@@ -1,0 +1,197 @@
+// Command scaling regenerates the paper's strong-scaling studies
+// (Figures 2 and 3) and Table I by executing the per-timestep schedule
+// of the GPU multi-level RMCRT algorithm against the Titan machine
+// model.
+//
+// Usage:
+//
+//	scaling -problem medium          # Figure 2: 256³/64³, 16..1024 GPUs
+//	scaling -problem large           # Figure 3: 512³/128³, 256..16384 GPUs
+//	scaling -table1                  # Table I / Figure 1
+//	scaling -problem large -csv      # machine-readable series
+//	scaling -problem large -legacy   # pre-improvement infrastructure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/uintah-repro/rmcrt/internal/perfmodel"
+	"github.com/uintah-repro/rmcrt/internal/sim"
+)
+
+func main() {
+	problem := flag.String("problem", "large", "benchmark size: medium (Fig 2) or large (Fig 3)")
+	table1 := flag.Bool("table1", false, "regenerate Table I / Figure 1 instead of a scaling study")
+	csv := flag.Bool("csv", false, "emit CSV instead of a human-readable table")
+	legacy := flag.Bool("legacy", false, "use the pre-improvement (mutex+Testsome) communication layer")
+	cpu := flag.Bool("cpu", false, "run the CPU implementation (the predecessor result of [5])")
+	ablation := flag.Bool("ablation", false, "print the occupancy/halo ablations instead of a scaling study")
+	rays := flag.Int("rays", 100, "rays per cell")
+	flag.Parse()
+
+	if *table1 {
+		printTableI(*csv)
+		return
+	}
+	if *ablation {
+		printAblation()
+		return
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.WaitFreePool = !*legacy
+	cfg.CPU = *cpu
+	if *cpu {
+		fmt.Println("# CPU implementation (16 Opteron cores per node, no GPU)")
+	}
+
+	var mk func(int) perfmodel.Problem
+	var counts []int
+	switch *problem {
+	case "medium":
+		mk, counts = perfmodel.Medium, sim.PowersOf2(16, 1024)
+		fmt.Println("# Figure 2 — MEDIUM 2-level benchmark: fine 256^3, coarse 64^3, RR 4,",
+			*rays, "rays/cell")
+	case "large":
+		mk, counts = perfmodel.Large, sim.PowersOf2(256, 16384)
+		fmt.Println("# Figure 3 — LARGE 2-level benchmark: fine 512^3, coarse 128^3, RR 4,",
+			*rays, "rays/cell")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown problem %q (want medium or large)\n", *problem)
+		os.Exit(2)
+	}
+
+	patchSizes := []int{16, 32, 64}
+	series := make(map[int]sim.Series, len(patchSizes))
+	for _, pn := range patchSizes {
+		p := mk(pn)
+		p.Rays = *rays
+		s, err := sim.StrongScaling(cfg, p, counts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scaling:", err)
+			os.Exit(1)
+		}
+		series[pn] = s
+	}
+
+	if *csv {
+		fmt.Println("gpus,patch,patches_per_gpu,comm_s,gpu_s,total_s")
+		for _, pn := range patchSizes {
+			for _, pt := range series[pn].Points {
+				fmt.Printf("%d,%d,%d,%.4f,%.4f,%.4f\n",
+					pt.GPUs, pn, pt.PatchesPerGPU, pt.CommSeconds, pt.GPUSeconds, pt.TotalSeconds)
+			}
+		}
+		return
+	}
+
+	fmt.Printf("%8s", "GPUs")
+	for _, pn := range patchSizes {
+		fmt.Printf("  %10s", fmt.Sprintf("%d^3 (s)", pn))
+	}
+	fmt.Println()
+	for i, g := range counts {
+		fmt.Printf("%8d", g)
+		for _, pn := range patchSizes {
+			fmt.Printf("  %10.2f", series[pn].Points[i].TotalSeconds)
+		}
+		fmt.Println()
+	}
+
+	// The paper's headline efficiencies for the large problem.
+	if *problem == "large" {
+		s := series[16]
+		var p4k, p8k, p16k *sim.Point
+		for i := range s.Points {
+			switch s.Points[i].GPUs {
+			case 4096:
+				p4k = &s.Points[i]
+			case 8192:
+				p8k = &s.Points[i]
+			case 16384:
+				p16k = &s.Points[i]
+			}
+		}
+		if p4k != nil && p8k != nil && p16k != nil {
+			fmt.Printf("\n16^3 patches: efficiency 4096->8192 GPUs = %.0f%% (paper: 96%%), "+
+				"4096->16384 GPUs = %.0f%% (paper: 89%%)\n",
+				100*sim.Efficiency(*p4k, *p8k), 100*sim.Efficiency(*p4k, *p16k))
+		}
+	}
+}
+
+// printAblation reports the design-choice sensitivities DESIGN.md calls
+// out: GPU occupancy vs patch size, and the communication volume of the
+// halo and refinement-ratio knobs.
+func printAblation() {
+	m := perfmodel.Titan()
+	fmt.Println("# Ablation 1 — GPU occupancy vs patch size (why larger patches win at low GPU counts)")
+	fmt.Printf("%10s %14s %16s\n", "patch", "cells/kernel", "GPU efficiency")
+	for _, pn := range []int{8, 16, 32, 64} {
+		cells := pn * pn * pn
+		fmt.Printf("%7d^3 %14d %15.0f%%\n", pn, cells, 100*m.GPUEfficiency(cells))
+	}
+
+	fmt.Println("\n# Ablation 2 — per-patch data volume vs halo width (LARGE, 16^3 patches)")
+	fmt.Printf("%10s %18s\n", "halo", "fine window (B)")
+	for _, halo := range []int{0, 2, 4, 8} {
+		p := perfmodel.Large(16)
+		p.Halo = halo
+		fmt.Printf("%10d %18d\n", halo, p.FineWindowBytes())
+	}
+
+	fmt.Println("\n# Ablation 3 — replicated coarse copy vs refinement ratio (512^3 fine)")
+	fmt.Printf("%10s %12s %20s\n", "RR", "coarse", "replica bytes x3 props")
+	for _, rr := range []int{2, 4, 8} {
+		cn := 512 / rr
+		bytes := int64(cn) * int64(cn) * int64(cn) * 8 * 3
+		fmt.Printf("%10d %9d^3 %20d\n", rr, cn, bytes)
+	}
+
+	fmt.Println("\n# Ablation 4 — communication layer (LARGE CPU config, per-node local time)")
+	p := perfmodel.Large(8)
+	fmt.Printf("%10s %14s %14s %10s\n", "nodes", "legacy (s)", "wait-free (s)", "speedup")
+	for _, n := range []int{512, 4096, 16384} {
+		est := p.CoarseGather(n).Total(p.HaloExchange(n))
+		b := perfmodel.LegacyCost(m.CoresPerNode).LocalTime(est)
+		a := perfmodel.WaitFreeCost(m.CoresPerNode).LocalTime(est)
+		fmt.Printf("%10d %14.2f %14.2f %9.2fx\n", n, b, a, b/a)
+	}
+}
+
+func printTableI(csv bool) {
+	nodes := []int{512, 1024, 2048, 4096, 8192, 16384}
+	rows := sim.TableI(perfmodel.Titan(), nodes)
+	if csv {
+		fmt.Println("nodes,before_s,after_s,speedup")
+		for _, r := range rows {
+			fmt.Printf("%d,%.2f,%.2f,%.2f\n", r.Nodes, r.Before, r.After, r.Speedup)
+		}
+		return
+	}
+	fmt.Println("# Table I / Figure 1 — local communication time before/after the")
+	fmt.Println("# infrastructure improvements (LARGE CPU benchmark, 262k patches)")
+	fmt.Printf("%-16s", "#Nodes")
+	for _, r := range rows {
+		fmt.Printf("%8d", r.Nodes)
+	}
+	fmt.Printf("\n%-16s", "Time (s) before")
+	for _, r := range rows {
+		fmt.Printf("%8.2f", r.Before)
+	}
+	fmt.Printf("\n%-16s", "Time (s) after")
+	for _, r := range rows {
+		fmt.Printf("%8.2f", r.After)
+	}
+	fmt.Printf("\n%-16s", "Speedup (X)")
+	for _, r := range rows {
+		fmt.Printf("%8.2f", r.Speedup)
+	}
+	fmt.Println()
+	fmt.Println("# paper:          512    1024    2048    4096    8192   16384")
+	fmt.Println("# before (s)     6.25    2.68    1.26    0.89    0.79    0.73")
+	fmt.Println("# after  (s)     1.42    1.18    0.54    0.36    0.30    0.23")
+	fmt.Println("# speedup        4.40    2.27    2.33    2.47    2.63    3.17")
+}

@@ -1,0 +1,95 @@
+// Gpuscheduler: drives the full mini-Uintah runtime on one simulated
+// Titan node — the DAG task scheduler with staged GPU queues, the GPU
+// DataWarehouse with its per-level database, and the wait-free
+// communication pool — running the paper's GPU multi-level RMCRT task
+// graph end to end, and reports what the level database saved.
+//
+//	go run ./examples/gpuscheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rmcrt "github.com/uintah-repro/rmcrt"
+)
+
+func main() {
+	// A 2-level grid at laptop scale: fine 32³ in eight 16³ patches,
+	// coarse 8³ radiation mesh (refinement ratio 4).
+	g, err := rmcrt.NewGrid(rmcrt.V3(0, 0, 0), rmcrt.V3(1, 1, 1),
+		rmcrt.GridSpec{Resolution: rmcrt.IV(8, 8, 8), PatchSize: rmcrt.IV(8, 8, 8)},
+		rmcrt.GridSpec{Resolution: rmcrt.IV(32, 32, 32), PatchSize: rmcrt.IV(16, 16, 16)},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One Titan node: 16 worker threads, one K20X-class device.
+	sched := rmcrt.NewScheduler(0, 16, g,
+		rmcrt.NewDataWarehouse(1), rmcrt.NewDataWarehouse(0), rmcrt.NewComm(1))
+	dev := rmcrt.NewDevice(rmcrt.K20XMemory, rmcrt.NewK20X(2.5e8))
+	dev.SetRecording(true)
+	sched.AttachGPU(dev, rmcrt.NewGPUDataWarehouse(dev))
+
+	opts := rmcrt.DefaultOptions()
+	opts.NRays = 24
+	solve := &rmcrt.GPURadiationSolve{Grid: g, Opts: opts, Props: rmcrt.FillBenchmark}
+	if err := solve.Register(sched); err != nil {
+		log.Fatal(err)
+	}
+
+	stats, err := sched.Execute()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fine := g.Finest()
+	fmt.Printf("GPU multi-level RMCRT task graph on one simulated Titan node\n")
+	fmt.Printf("  grid: fine 32^3 (8 patches of 16^3), coarse 8^3, RR 4\n")
+	fmt.Printf("  tasks run: %d (%d on the GPU through H2D->kernel->D2H queues)\n",
+		stats.TasksRun, stats.GPUTasksRun)
+	fmt.Printf("  simulated device makespan: %.2f ms, peak device memory: %d bytes\n",
+		1e3*stats.DeviceMakespan, stats.DevicePeakMem)
+
+	// The level database (contribution ii): one coarse upload shared by
+	// all eight patch tasks.
+	gdw := sched.GPUDW
+	fmt.Printf("\n  GPU DataWarehouse level database:\n")
+	fmt.Printf("    H2D bytes actually copied: %d\n", gdw.H2DBytes())
+	fmt.Printf("    PCIe bytes avoided vs per-patch replication: %d\n", gdw.SavedBytes())
+
+	// Show the stream overlap the dual copy engines + concurrent
+	// kernels provide.
+	events := dev.Events()
+	overlapped := 0
+	for i := 1; i < len(events); i++ {
+		if events[i].Start < events[i-1].End {
+			overlapped++
+		}
+	}
+	fmt.Printf("    device timeline: %d operations, %d overlapped with a predecessor\n",
+		len(events), overlapped)
+
+	// And the answer is real: divQ present for every patch.
+	var minQ, maxQ float64
+	first := true
+	for _, p := range fine.Patches {
+		v, err := sched.DW.GetCC(rmcrt.LabelDivQ, p.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.Cells.ForEach(func(c rmcrt.IntVector) {
+			q := v.At(c)
+			if first || q < minQ {
+				minQ = q
+			}
+			if first || q > maxQ {
+				maxQ = q
+			}
+			first = false
+		})
+	}
+	fmt.Printf("\n  divQ computed for all %d fine cells: range [%.4f, %.4f] W/m^3\n",
+		fine.NumCells(), minQ, maxQ)
+}

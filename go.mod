@@ -1,0 +1,3 @@
+module github.com/uintah-repro/rmcrt
+
+go 1.22

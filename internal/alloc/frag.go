@@ -1,0 +1,239 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// FragHeap models a classic sbrk-style heap with a first-fit free list,
+// instrumented to measure fragmentation. It allocates *address ranges*,
+// not memory, which lets tests replay millions of operations cheaply and
+// reproduce the pathology from Section IV-B: "persistent small
+// allocations mixed with transient large allocations fragmented the heap
+// such that it grew continually, acting as though a significant memory
+// leak still existed."
+type FragHeap struct {
+	brk    int64 // heap top (total address space claimed)
+	live   int64 // bytes currently allocated
+	nextID int64
+
+	// free holds coalesced free ranges ordered by address.
+	free []span
+	// allocs maps allocation id -> span.
+	allocs map[int64]span
+
+	peakBrk int64
+}
+
+type span struct {
+	off, size int64
+}
+
+// NewFragHeap returns an empty heap model.
+func NewFragHeap() *FragHeap {
+	return &FragHeap{allocs: make(map[int64]span)}
+}
+
+// Malloc claims size bytes and returns an allocation id. Placement is
+// first-fit over the free list; if nothing fits, the heap top grows —
+// this is the mechanism by which fragmentation turns into apparent
+// memory growth.
+func (h *FragHeap) Malloc(size int64) int64 {
+	if size <= 0 {
+		panic("alloc: FragHeap.Malloc needs positive size")
+	}
+	id := h.nextID
+	h.nextID++
+	for i, f := range h.free {
+		if f.size >= size {
+			h.allocs[id] = span{f.off, size}
+			if f.size == size {
+				h.free = append(h.free[:i], h.free[i+1:]...)
+			} else {
+				h.free[i] = span{f.off + size, f.size - size}
+			}
+			h.live += size
+			return id
+		}
+	}
+	h.allocs[id] = span{h.brk, size}
+	h.brk += size
+	if h.brk > h.peakBrk {
+		h.peakBrk = h.brk
+	}
+	h.live += size
+	return id
+}
+
+// Free releases allocation id, coalescing adjacent free ranges. Freeing
+// the range at the heap top also shrinks the heap (as glibc trims).
+func (h *FragHeap) Free(id int64) {
+	s, ok := h.allocs[id]
+	if !ok {
+		panic(fmt.Sprintf("alloc: FragHeap.Free of unknown id %d", id))
+	}
+	delete(h.allocs, id)
+	h.live -= s.size
+
+	// Insert into the address-ordered free list and coalesce.
+	i := sort.Search(len(h.free), func(i int) bool { return h.free[i].off >= s.off })
+	h.free = append(h.free, span{})
+	copy(h.free[i+1:], h.free[i:])
+	h.free[i] = s
+	// Coalesce with successor.
+	if i+1 < len(h.free) && h.free[i].off+h.free[i].size == h.free[i+1].off {
+		h.free[i].size += h.free[i+1].size
+		h.free = append(h.free[:i+1], h.free[i+2:]...)
+	}
+	// Coalesce with predecessor.
+	if i > 0 && h.free[i-1].off+h.free[i-1].size == h.free[i].off {
+		h.free[i-1].size += h.free[i].size
+		h.free = append(h.free[:i], h.free[i+1:]...)
+		i--
+	}
+	// Trim the heap top if the last free range touches it.
+	if len(h.free) > 0 {
+		last := h.free[len(h.free)-1]
+		if last.off+last.size == h.brk {
+			h.brk = last.off
+			h.free = h.free[:len(h.free)-1]
+		}
+	}
+}
+
+// HeapSize returns the current claimed address space (the resident
+// footprint the paper watched exceed Titan's 32 GB nodes).
+func (h *FragHeap) HeapSize() int64 { return h.brk }
+
+// PeakHeapSize returns the high-water mark of HeapSize.
+func (h *FragHeap) PeakHeapSize() int64 { return h.peakBrk }
+
+// LiveBytes returns the bytes in live allocations.
+func (h *FragHeap) LiveBytes() int64 { return h.live }
+
+// Fragmentation returns 1 - live/heap in [0,1): the fraction of the
+// claimed heap that is wasted. 0 for an empty heap.
+func (h *FragHeap) Fragmentation() float64 {
+	if h.brk == 0 {
+		return 0
+	}
+	return 1 - float64(h.live)/float64(h.brk)
+}
+
+// FreeSpans returns the number of fragments in the free list.
+func (h *FragHeap) FreeSpans() int { return len(h.free) }
+
+// --- Workload replay -------------------------------------------------
+
+// TraceStats summarizes a replay for the before/after comparison.
+type TraceStats struct {
+	// PeakHeap is the model heap's high-water mark in bytes.
+	PeakHeap int64
+	// FinalHeap is the heap size after the last timestep.
+	FinalHeap int64
+	// LivePeak is the maximum truly-live byte count (the footprint a
+	// perfect allocator would need).
+	LivePeak int64
+	// ArenaPeak is the peak bytes served by the arena under the custom
+	// policy (0 for the naive policy).
+	ArenaPeak int64
+}
+
+// Policy selects where the replay routes each allocation class.
+type Policy int
+
+const (
+	// PolicyHeap routes everything to the general heap (the "before").
+	PolicyHeap Policy = iota
+	// PolicyCustom routes large transient buffers to the arena and small
+	// transient objects to the pool, leaving only persistent allocations
+	// on the heap (the "after").
+	PolicyCustom
+)
+
+// RMCRTTrace generates and replays an allocation trace with the shape of
+// the RMCRT benchmark's behaviour the paper describes: each timestep
+// posts many large transient MPI buffers (freed within the step, but
+// interleaved) while persistent small allocations (grid variable
+// headers, task records) accumulate slowly and pin heap addresses
+// between the transients. steps timesteps are replayed; the returned
+// series has one TraceStats snapshot per step so callers can watch the
+// heap grow (or not).
+func RMCRTTrace(policy Policy, steps int, seed uint64) []TraceStats {
+	h := NewFragHeap()
+	rng := mathutil.NewRNG(seed)
+	var series []TraceStats
+	var livePeak, arenaLive, arenaPeak int64
+
+	// Persistent small allocations that survive across steps.
+	var persistent []int64
+
+	for s := 0; s < steps; s++ {
+		// Phase 1: a wave of large transient MPI buffers (64 KiB – 4 MiB)
+		// interleaved with small persistent allocations (64 – 512 B) that
+		// land between them and pin addresses.
+		var transientHeap []int64
+		for i := 0; i < 48; i++ {
+			large := int64(64<<10) + int64(rng.Intn(4<<20-64<<10))
+			if policy == PolicyCustom {
+				arenaLive += large
+				if arenaLive > arenaPeak {
+					arenaPeak = arenaLive
+				}
+			} else {
+				transientHeap = append(transientHeap, h.Malloc(large))
+			}
+			// A few small persistent allocations interleave with each
+			// buffer, as task/variable bookkeeping does.
+			for j := 0; j < 4; j++ {
+				small := int64(64 + rng.Intn(448))
+				if policy == PolicyCustom {
+					// Small *transient* objects go to the pool; the
+					// persistent minority still lives on the heap but is
+					// no longer interleaved with giants. Model: 1 in 4 is
+					// persistent.
+					if j == 0 {
+						persistent = append(persistent, h.Malloc(small))
+					}
+				} else {
+					persistent = append(persistent, h.Malloc(small))
+				}
+			}
+		}
+		// Phase 2: the transients die in a scrambled order (message
+		// completion order is not post order).
+		for i := len(transientHeap) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			transientHeap[i], transientHeap[j] = transientHeap[j], transientHeap[i]
+		}
+		for _, id := range transientHeap {
+			h.Free(id)
+		}
+		if policy == PolicyCustom {
+			arenaLive = 0 // arena reset at end of step
+		}
+		// A fraction of the persistent objects is retired each step.
+		keep := persistent[:0]
+		for _, id := range persistent {
+			if rng.Float64() < 0.05 {
+				h.Free(id)
+			} else {
+				keep = append(keep, id)
+			}
+		}
+		persistent = keep
+
+		if h.LiveBytes() > livePeak {
+			livePeak = h.LiveBytes()
+		}
+		series = append(series, TraceStats{
+			PeakHeap:  h.PeakHeapSize(),
+			FinalHeap: h.HeapSize(),
+			LivePeak:  livePeak,
+			ArenaPeak: arenaPeak,
+		})
+	}
+	return series
+}

@@ -1,0 +1,146 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Memory tracking across scaling runs — the paper's future work,
+// implemented: "we will extend the use of our custom memory allocators
+// and trackers to implement ways of tracking memory allocations
+// between scaling runs to identify allocation patterns that do not
+// scale."
+//
+// A Tracker tags every allocation with a label ("MPI buffers",
+// "coarse level DB", "task records", ...) and records per-tag peaks.
+// Snapshots from runs at different node counts are then compared by
+// FindNonScaling: in a strong-scaling study, per-node footprints
+// should *shrink* as nodes are added (the problem is fixed); a tag
+// whose footprint stays flat or grows with node count is an allocation
+// pattern that does not scale, exactly what the authors wanted to
+// catch between runs.
+
+// Tracker records live and peak bytes per allocation tag. It is safe
+// for concurrent use.
+type Tracker struct {
+	mu   sync.Mutex
+	live map[string]int64
+	peak map[string]int64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{live: make(map[string]int64), peak: make(map[string]int64)}
+}
+
+// Alloc records an allocation of size bytes under tag.
+func (t *Tracker) Alloc(tag string, size int64) {
+	t.mu.Lock()
+	t.live[tag] += size
+	if t.live[tag] > t.peak[tag] {
+		t.peak[tag] = t.live[tag]
+	}
+	t.mu.Unlock()
+}
+
+// Free records a deallocation of size bytes under tag.
+func (t *Tracker) Free(tag string, size int64) {
+	t.mu.Lock()
+	t.live[tag] -= size
+	if t.live[tag] < 0 {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("alloc: tracker tag %q went negative", tag))
+	}
+	t.mu.Unlock()
+}
+
+// Live returns the current live bytes for tag.
+func (t *Tracker) Live(tag string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.live[tag]
+}
+
+// Peak returns the high-water mark for tag.
+func (t *Tracker) Peak(tag string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peak[tag]
+}
+
+// Snapshot captures the per-tag peaks of one run.
+type Snapshot struct {
+	// Nodes is the node count of the run the snapshot belongs to.
+	Nodes int
+	// PeakBytes maps tag -> peak per-node bytes.
+	PeakBytes map[string]int64
+}
+
+// Snapshot returns the tracker's peaks labelled with a node count.
+func (t *Tracker) Snapshot(nodes int) Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{Nodes: nodes, PeakBytes: make(map[string]int64, len(t.peak))}
+	for tag, b := range t.peak {
+		s.PeakBytes[tag] = b
+	}
+	return s
+}
+
+// ScalingReport lists, per tag, how its per-node peak evolves across
+// runs at increasing node counts.
+type ScalingReport struct {
+	Tag string
+	// Peaks holds per-node peak bytes in the order of the snapshots.
+	Peaks []int64
+	// GrowthRatio is Peaks[last]/Peaks[first] (0 if first is 0).
+	GrowthRatio float64
+	// Scales is true when the footprint shrinks at least
+	// proportionally to some slack factor as nodes increase.
+	Scales bool
+}
+
+// FindNonScaling compares snapshots from runs at increasing node
+// counts and reports every tag. A tag "scales" when doubling nodes
+// shrinks its per-node peak by at least (1/slack); slack = 1 flags
+// anything that does not halve, slack = 2 tolerates constant-per-node
+// overheads up to a factor 2 deviation per doubling step overall.
+func FindNonScaling(snaps []Snapshot, slack float64) []ScalingReport {
+	if len(snaps) < 2 {
+		return nil
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Nodes < snaps[j].Nodes })
+	tagSet := map[string]bool{}
+	for _, s := range snaps {
+		for tag := range s.PeakBytes {
+			tagSet[tag] = true
+		}
+	}
+	tags := make([]string, 0, len(tagSet))
+	for tag := range tagSet {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+
+	first, last := snaps[0], snaps[len(snaps)-1]
+	nodeRatio := float64(last.Nodes) / float64(first.Nodes)
+
+	var out []ScalingReport
+	for _, tag := range tags {
+		r := ScalingReport{Tag: tag}
+		for _, s := range snaps {
+			r.Peaks = append(r.Peaks, s.PeakBytes[tag])
+		}
+		p0, pn := first.PeakBytes[tag], last.PeakBytes[tag]
+		if p0 > 0 {
+			r.GrowthRatio = float64(pn) / float64(p0)
+		}
+		// Ideal strong scaling: footprint ∝ 1/nodes. Accept anything
+		// within the slack factor of ideal.
+		ideal := 1 / nodeRatio
+		r.Scales = p0 == 0 || r.GrowthRatio <= ideal*slack
+		out = append(out, r)
+	}
+	return out
+}

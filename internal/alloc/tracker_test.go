@@ -1,0 +1,109 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTrackerLivePeak(t *testing.T) {
+	tr := NewTracker()
+	tr.Alloc("buffers", 100)
+	tr.Alloc("buffers", 50)
+	if tr.Live("buffers") != 150 || tr.Peak("buffers") != 150 {
+		t.Errorf("live=%d peak=%d", tr.Live("buffers"), tr.Peak("buffers"))
+	}
+	tr.Free("buffers", 120)
+	if tr.Live("buffers") != 30 {
+		t.Errorf("live after free = %d", tr.Live("buffers"))
+	}
+	if tr.Peak("buffers") != 150 {
+		t.Errorf("peak should persist, got %d", tr.Peak("buffers"))
+	}
+	tr.Alloc("buffers", 40)
+	if tr.Peak("buffers") != 150 {
+		t.Errorf("peak moved to %d without a new high", tr.Peak("buffers"))
+	}
+}
+
+func TestTrackerNegativePanics(t *testing.T) {
+	tr := NewTracker()
+	tr.Alloc("x", 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-free should panic")
+		}
+	}()
+	tr.Free("x", 11)
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Alloc("hot", 8)
+				tr.Free("hot", 8)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Live("hot") != 0 {
+		t.Errorf("live = %d after balanced ops", tr.Live("hot"))
+	}
+}
+
+func TestFindNonScaling(t *testing.T) {
+	// Simulate three strong-scaling runs: "patch data" halves with node
+	// count (scales), "coarse replica" is constant per node (does not
+	// scale), "neighbor table" grows with node count (definitely not).
+	mkSnap := func(nodes int) Snapshot {
+		return Snapshot{Nodes: nodes, PeakBytes: map[string]int64{
+			"patch data":     int64(1 << 30 / nodes),
+			"coarse replica": 50 << 20,
+			"neighbor table": int64(nodes * 1024),
+		}}
+	}
+	snaps := []Snapshot{mkSnap(512), mkSnap(2048), mkSnap(8192)}
+	reports := FindNonScaling(snaps, 2)
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	byTag := map[string]ScalingReport{}
+	for _, r := range reports {
+		byTag[r.Tag] = r
+	}
+	if !byTag["patch data"].Scales {
+		t.Error("patch data should scale (footprint ∝ 1/nodes)")
+	}
+	if byTag["coarse replica"].Scales {
+		t.Error("constant per-node replica must be flagged as non-scaling")
+	}
+	if byTag["neighbor table"].Scales {
+		t.Error("growing table must be flagged as non-scaling")
+	}
+	if g := byTag["neighbor table"].GrowthRatio; g < 15 || g > 17 {
+		t.Errorf("growth ratio = %v, want 16", g)
+	}
+	if FindNonScaling(snaps[:1], 2) != nil {
+		t.Error("single snapshot cannot produce a report")
+	}
+}
+
+func TestFindNonScalingUnsorted(t *testing.T) {
+	// Snapshots arriving out of node order must still be compared
+	// smallest-to-largest.
+	snaps := []Snapshot{
+		{Nodes: 4096, PeakBytes: map[string]int64{"x": 100}},
+		{Nodes: 512, PeakBytes: map[string]int64{"x": 800}},
+	}
+	reports := FindNonScaling(snaps, 1.1)
+	if len(reports) != 1 {
+		t.Fatal("want one report")
+	}
+	if !reports[0].Scales {
+		t.Errorf("x shrinks 8x over 8x nodes: should scale, got %+v", reports[0])
+	}
+}

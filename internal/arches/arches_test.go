@@ -1,0 +1,281 @@
+package arches
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+	"github.com/uintah-repro/rmcrt/internal/uda"
+)
+
+func testLevel(t testing.TB, n int) *grid.Level {
+	t.Helper()
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(n), PatchSize: grid.Uniform(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Levels[0]
+}
+
+func newSolver(t testing.TB, cfg Config, n int, initT func(x, y, z float64) float64) *Solver {
+	t.Helper()
+	lvl := testLevel(t, n)
+	abskg := field.NewCC[float64](lvl.IndexBox())
+	abskg.Fill(0.5)
+	s, err := NewSolver(cfg, lvl, initT, abskg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestUniformEquilibriumStaysPut(t *testing.T) {
+	// T == wall temperature, no sources: nothing changes, exactly.
+	cfg := DefaultConfig()
+	cfg.RadPeriod = 0
+	cfg.WallTemp = 400
+	s := newSolver(t, cfg, 6, func(x, y, z float64) float64 { return 400 })
+	dt := s.StableDt()
+	for i := 0; i < 10; i++ {
+		if err := s.Advance(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo, hi := s.Bounds()
+	if math.Abs(lo-400) > 1e-10 || math.Abs(hi-400) > 1e-10 {
+		t.Errorf("equilibrium drifted: [%v, %v]", lo, hi)
+	}
+}
+
+func TestConductionCoolsTowardWalls(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RadPeriod = 0
+	cfg.WallTemp = 300
+	s := newSolver(t, cfg, 8, func(x, y, z float64) float64 { return 1000 })
+	dt := s.StableDt()
+	prev := s.MeanTemp()
+	for i := 0; i < 50; i++ {
+		if err := s.Advance(dt); err != nil {
+			t.Fatal(err)
+		}
+		m := s.MeanTemp()
+		if m > prev+1e-12 {
+			t.Fatalf("step %d: mean temperature rose from %v to %v", i, prev, m)
+		}
+		prev = m
+	}
+	if prev >= 1000 {
+		t.Error("no cooling happened")
+	}
+	lo, hi := s.Bounds()
+	// Max principle: temperatures stay within [wall, initial max].
+	if lo < 300-1e-9 || hi > 1000+1e-9 {
+		t.Errorf("max principle violated: [%v, %v]", lo, hi)
+	}
+}
+
+func TestHeatSourceWarms(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RadPeriod = 0
+	cfg.HeatSource = 1e5
+	cfg.WallTemp = 300
+	s := newSolver(t, cfg, 6, func(x, y, z float64) float64 { return 300 })
+	dt := s.StableDt()
+	for i := 0; i < 20; i++ {
+		if err := s.Advance(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.MeanTemp() <= 300 {
+		t.Errorf("mean temp = %v, heat source had no effect", s.MeanTemp())
+	}
+}
+
+func TestRadiationCoolsHotGas(t *testing.T) {
+	// Hot medium, cold walls, conduction off: radiation is the only
+	// mechanism and must cool the gas monotonically.
+	cfg := DefaultConfig()
+	cfg.Conductivity = 0
+	cfg.RadPeriod = 2
+	cfg.WallTemp = 300
+	cfg.Radiation.NRays = 16
+	s := newSolver(t, cfg, 6, func(x, y, z float64) float64 { return 1500 })
+	dt := 1e-3
+	prev := s.MeanTemp()
+	for i := 0; i < 10; i++ {
+		if err := s.Advance(dt); err != nil {
+			t.Fatal(err)
+		}
+		m := s.MeanTemp()
+		if m >= prev {
+			t.Fatalf("step %d: radiation did not cool (%v -> %v)", i, prev, m)
+		}
+		prev = m
+	}
+	if s.RadSolves != 5 {
+		t.Errorf("RadSolves = %d, want 5 (period 2 over 10 steps)", s.RadSolves)
+	}
+}
+
+func TestRadiationCouplingPeriod(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RadPeriod = 5
+	cfg.Radiation.NRays = 4
+	s := newSolver(t, cfg, 4, func(x, y, z float64) float64 { return 800 })
+	dt := s.StableDt()
+	for i := 0; i < 10; i++ {
+		if err := s.Advance(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.RadSolves != 2 {
+		t.Errorf("RadSolves = %d, want 2", s.RadSolves)
+	}
+	if s.Step() != 10 {
+		t.Errorf("Step = %d", s.Step())
+	}
+}
+
+// TestRKOrders verifies the SSP integrators hit their design order on
+// dy/dt = -y: global error at t=1 should shrink ~2^p when dt halves.
+func TestRKOrders(t *testing.T) {
+	for _, tc := range []struct {
+		order   int
+		wantMin float64 // min acceptable observed order
+	}{
+		{1, 0.8},
+		{2, 1.8},
+		{3, 2.7},
+	} {
+		errAt := func(steps int) float64 {
+			y := []float64{1}
+			dt := 1.0 / float64(steps)
+			rhs := func(out, in []float64) { out[0] = -in[0] }
+			for i := 0; i < steps; i++ {
+				StepRK(tc.order, y, dt, rhs)
+			}
+			return math.Abs(y[0] - math.Exp(-1))
+		}
+		e1, e2 := errAt(64), errAt(128)
+		order := math.Log2(e1 / e2)
+		if order < tc.wantMin {
+			t.Errorf("RK%d observed order %.2f, want >= %.2f (errors %g, %g)",
+				tc.order, order, tc.wantMin, e1, e2)
+		}
+	}
+}
+
+func TestStepRKUnknownOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("StepRK(4) should panic")
+		}
+	}()
+	StepRK(4, []float64{1}, 0.1, func(out, in []float64) { out[0] = 0 })
+}
+
+func TestNewSolverValidation(t *testing.T) {
+	lvl := testLevel(t, 4)
+	abskg := field.NewCC[float64](lvl.IndexBox())
+	bad := DefaultConfig()
+	bad.Rho = 0
+	if _, err := NewSolver(bad, lvl, func(x, y, z float64) float64 { return 1 }, abskg); err == nil {
+		t.Error("rho=0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.RKOrder = 7
+	if _, err := NewSolver(bad, lvl, func(x, y, z float64) float64 { return 1 }, abskg); err == nil {
+		t.Error("RKOrder=7 accepted")
+	}
+}
+
+func TestStableDt(t *testing.T) {
+	cfg := DefaultConfig()
+	s := newSolver(t, cfg, 10, func(x, y, z float64) float64 { return 300 })
+	dt := s.StableDt()
+	alpha := cfg.Conductivity / (cfg.Rho * cfg.Cv)
+	want := 0.9 * 0.1 * 0.1 / (6 * alpha) // dx = 1/10
+	if math.Abs(dt-want)/want > 1e-12 {
+		t.Errorf("StableDt = %v, want %v", dt, want)
+	}
+	cfg.Conductivity = 0
+	s2 := newSolver(t, cfg, 10, func(x, y, z float64) float64 { return 300 })
+	if !math.IsInf(s2.StableDt(), 1) {
+		t.Error("zero conductivity should have no diffusion limit")
+	}
+}
+
+// TestCheckpointRestartBitwise: 20 straight steps must equal 10 steps +
+// checkpoint + restart + 10 steps, bit for bit — including the
+// radiation-period phase carried by the step counter.
+func TestCheckpointRestartBitwise(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RadPeriod = 3
+	cfg.Radiation.NRays = 8
+	mk := func() *Solver { return newSolver(t, cfg, 8, func(x, y, z float64) float64 { return 900 + 200*x }) }
+
+	straight := mk()
+	dt := 1e-3
+	for i := 0; i < 20; i++ {
+		if err := straight.Advance(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	half := mk()
+	for i := 0; i < 10; i++ {
+		if err := half.Advance(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arch, err := uda.Create(t.TempDir(), "ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := half.Checkpoint(arch); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restart(cfg, half.level, half.Abskg, arch, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := resumed.Advance(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if resumed.Step() != 20 || straight.Step() != 20 {
+		t.Fatalf("steps %d vs %d", resumed.Step(), straight.Step())
+	}
+	a, b := straight.T.Data(), resumed.T.Data()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("restart diverged at cell %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if straight.RadSolves == 0 {
+		t.Error("radiation never ran in the reference run")
+	}
+}
+
+// TestRestartRejectsWrongGrid: restarting on a mismatched grid is a
+// user error caught explicitly.
+func TestRestartRejectsWrongGrid(t *testing.T) {
+	cfg := DefaultConfig()
+	s := newSolver(t, cfg, 8, func(x, y, z float64) float64 { return 300 })
+	arch, err := uda.Create(t.TempDir(), "ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(arch); err != nil {
+		t.Fatal(err)
+	}
+	other := testLevel(t, 12)
+	abskg := field.NewCC[float64](other.IndexBox())
+	if _, err := Restart(cfg, other, abskg, arch, 0); err == nil {
+		t.Error("restart onto a different grid must fail")
+	}
+}

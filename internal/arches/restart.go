@@ -1,0 +1,60 @@
+package arches
+
+import (
+	"fmt"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/uda"
+)
+
+// Checkpoint/restart. The second purpose of Uintah's data archive is
+// restarting long runs mid-flight; a restarted simulation must continue
+// bit-for-bit as if it had never stopped. The solver's full state is
+// the temperature field, the last radiative source, and the step
+// counter (which also fixes the radiation-period phase).
+
+// Archive labels used by checkpoints.
+const (
+	ckptTemp = "checkpoint_T"
+	ckptDivQ = "checkpoint_divQ"
+)
+
+// Checkpoint writes the solver's state as timestep s.Step() of the
+// archive.
+func (s *Solver) Checkpoint(a *uda.Archive) error {
+	ts := s.step
+	if err := a.SaveCC(ts, ckptTemp, 0, s.T); err != nil {
+		return fmt.Errorf("arches: checkpoint: %w", err)
+	}
+	if err := a.SaveCC(ts, ckptDivQ, 0, s.DivQ); err != nil {
+		return fmt.Errorf("arches: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Restart builds a solver that resumes from checkpoint timestep ts of
+// the archive: identical configuration and grid are the caller's
+// responsibility (as with Uintah restarts).
+func Restart(cfg Config, lvl *grid.Level, abskg *field.CC[float64], a *uda.Archive, ts int) (*Solver, error) {
+	s, err := NewSolver(cfg, lvl, func(x, y, z float64) float64 { return 0 }, abskg)
+	if err != nil {
+		return nil, err
+	}
+	T, err := a.LoadCC(ts, ckptTemp, 0)
+	if err != nil {
+		return nil, fmt.Errorf("arches: restart: %w", err)
+	}
+	dq, err := a.LoadCC(ts, ckptDivQ, 0)
+	if err != nil {
+		return nil, fmt.Errorf("arches: restart: %w", err)
+	}
+	if T.Box() != lvl.IndexBox() || dq.Box() != lvl.IndexBox() {
+		return nil, fmt.Errorf("arches: restart: checkpoint grid %v does not match level %v",
+			T.Box(), lvl.IndexBox())
+	}
+	s.T = T
+	s.DivQ = dq
+	s.step = ts
+	return s, nil
+}

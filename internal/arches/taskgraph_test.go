@@ -1,0 +1,214 @@
+package arches
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/dw"
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+	"github.com/uintah-repro/rmcrt/internal/sched"
+	"github.com/uintah-repro/rmcrt/internal/simmpi"
+)
+
+// runGraphSteps advances the task-graph form over steps timesteps on a
+// patch-decomposed level and returns the final temperature field.
+func runGraphSteps(t *testing.T, cfg Config, n, patchN, steps int, dt float64,
+	initT func(x, y, z float64) float64) *field.CC[float64] {
+	t.Helper()
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(n), PatchSize: grid.Uniform(patchN)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := g.Levels[0]
+
+	old := dw.New(0)
+	for _, p := range lvl.Patches {
+		v := field.NewCC[float64](p.Cells)
+		v.FillFunc(func(c grid.IntVector) float64 {
+			pt := lvl.CellCenter(c)
+			return initT(pt.X, pt.Y, pt.Z)
+		})
+		old.PutCC(LabelT, p.ID, v)
+	}
+	comm := simmpi.NewComm(1)
+	for step := 0; step < steps; step++ {
+		newDW := dw.New(step + 1)
+		s := sched.NewScheduler(0, 4, g, newDW, old, comm)
+		tg := &TimestepGraph{Cfg: cfg, Grid: g, Level: 0, Dt: dt}
+		if err := tg.Register(s); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Execute(); err != nil {
+			t.Fatal(err)
+		}
+		old = newDW
+	}
+	out := field.NewCC[float64](lvl.IndexBox())
+	for _, p := range lvl.Patches {
+		v, err := old.GetCC(LabelT, p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.CopyRegion(v, p.Cells)
+	}
+	return out
+}
+
+// runMonolithicSteps advances the single-patch Solver identically.
+func runMonolithicSteps(t *testing.T, cfg Config, n, steps int, dt float64,
+	initT func(x, y, z float64) float64) *field.CC[float64] {
+	t.Helper()
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(n), PatchSize: grid.Uniform(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	abskg := field.NewCC[float64](g.Levels[0].IndexBox())
+	s, err := NewSolver(cfg, g.Levels[0], initT, abskg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		if err := s.Advance(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s.T
+}
+
+func hotBlobInit(x, y, z float64) float64 {
+	dx, dy, dz := x-0.5, y-0.5, z-0.5
+	return 300 + 900*math.Exp(-12*(dx*dx+dy*dy+dz*dz))
+}
+
+// TestTaskGraphMatchesMonolithicRK1: patch decomposition must not
+// change the arithmetic — Euler over 8 patches with halo exchange
+// equals Euler over one big patch, bitwise.
+func TestTaskGraphMatchesMonolithicRK1(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RKOrder = 1
+	cfg.RadPeriod = 0
+	const n, steps = 12, 8
+	dt := 0.5
+
+	graph := runGraphSteps(t, cfg, n, 4, steps, dt, hotBlobInit)
+	mono := runMonolithicSteps(t, cfg, n, steps, dt, hotBlobInit)
+
+	graph.Box().ForEach(func(c grid.IntVector) {
+		if graph.At(c) != mono.At(c) {
+			t.Fatalf("cell %v: graph %v != monolithic %v", c, graph.At(c), mono.At(c))
+		}
+	})
+}
+
+// TestTaskGraphMatchesMonolithicRK2: the two-phase SSP-RK2 graph (with
+// the intermediate-stage ghost exchange) reproduces the monolithic
+// integrator to round-off.
+func TestTaskGraphMatchesMonolithicRK2(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RKOrder = 2
+	cfg.RadPeriod = 0
+	cfg.HeatSource = 5e3
+	const n, steps = 12, 6
+	dt := 0.4
+
+	graph := runGraphSteps(t, cfg, n, 6, steps, dt, hotBlobInit)
+	mono := runMonolithicSteps(t, cfg, n, steps, dt, hotBlobInit)
+
+	var worst float64
+	graph.Box().ForEach(func(c grid.IntVector) {
+		rel := mathutil.RelErr(graph.At(c), mono.At(c), 1e-12)
+		if rel > worst {
+			worst = rel
+		}
+	})
+	if worst > 1e-12 {
+		t.Errorf("worst relative difference %g, want round-off", worst)
+	}
+}
+
+// TestTaskGraphDecompositionInvariance: 2³ patches and 3³ patches give
+// identical fields.
+func TestTaskGraphDecompositionInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RKOrder = 2
+	cfg.RadPeriod = 0
+	const n, steps = 12, 4
+	dt := 0.3
+	a := runGraphSteps(t, cfg, n, 6, steps, dt, hotBlobInit)
+	b := runGraphSteps(t, cfg, n, 4, steps, dt, hotBlobInit)
+	a.Box().ForEach(func(c grid.IntVector) {
+		if a.At(c) != b.At(c) {
+			t.Fatalf("cell %v differs across decompositions", c)
+		}
+	})
+}
+
+// TestTaskGraphWithRadiationSource: a supplied divQ cools the gas.
+func TestTaskGraphWithRadiationSource(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RKOrder = 2
+	cfg.RadPeriod = 0
+	cfg.Conductivity = 0
+	const n = 8
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(n), PatchSize: grid.Uniform(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := g.Levels[0]
+	old := dw.New(0)
+	for _, p := range lvl.Patches {
+		v := field.NewCC[float64](p.Cells)
+		v.Fill(1000)
+		old.PutCC(LabelT, p.ID, v)
+	}
+	newDW := dw.New(1)
+	s := sched.NewScheduler(0, 4, g, newDW, old, simmpi.NewComm(1))
+	tg := &TimestepGraph{
+		Cfg: cfg, Grid: g, Level: 0, Dt: 1e-3,
+		DivQ: func(p *grid.Patch) *field.CC[float64] {
+			v := field.NewCC[float64](p.Cells)
+			v.Fill(1e5) // net emission everywhere
+			return v
+		},
+	}
+	if err := tg.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range lvl.Patches {
+		v, err := newDW.GetCC(LabelT, p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Cells.ForEach(func(c grid.IntVector) {
+			if v.At(c) >= 1000 {
+				t.Fatalf("radiative cooling had no effect at %v: %v", c, v.At(c))
+			}
+		})
+	}
+}
+
+func TestTimestepGraphValidation(t *testing.T) {
+	s := sched.NewScheduler(0, 1, nil, dw.New(1), dw.New(0), simmpi.NewComm(1))
+	if err := (&TimestepGraph{}).Register(s); err == nil {
+		t.Error("empty graph accepted")
+	}
+	g, _ := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(4), PatchSize: grid.Uniform(4)})
+	cfg := DefaultConfig()
+	cfg.RKOrder = 3
+	if err := (&TimestepGraph{Cfg: cfg, Grid: g, Dt: 1}).Register(s); err == nil {
+		t.Error("RK3 graph should be rejected (not implemented)")
+	}
+	cfg.RKOrder = 2
+	if err := (&TimestepGraph{Cfg: cfg, Grid: g, Dt: 0}).Register(s); err == nil {
+		t.Error("zero dt accepted")
+	}
+}

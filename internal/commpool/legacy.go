@@ -1,0 +1,161 @@
+package commpool
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/uintah-repro/rmcrt/internal/simmpi"
+)
+
+// LegacyVector is the pre-improvement design the paper replaced: a
+// vector of communication records protected by a write lock, polled with
+// MPI_Testsome over the whole collection. It is correct, but every
+// ProcessReady serializes all workers behind one mutex and rescans the
+// entire vector — the contention the paper measured as 2.3–4.4x lost
+// throughput (Table I).
+//
+// The zero value is ready to use.
+type LegacyVector struct {
+	mu   sync.Mutex
+	recs []*Record
+}
+
+// NewLegacyVector returns an empty legacy container.
+func NewLegacyVector() *LegacyVector { return &LegacyVector{} }
+
+// Add registers a record.
+func (l *LegacyVector) Add(rec *Record) {
+	l.mu.Lock()
+	l.recs = append(l.recs, rec)
+	l.mu.Unlock()
+}
+
+// Len returns the number of held records.
+func (l *LegacyVector) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// ProcessReady polls the whole vector with Testsome under the lock,
+// handles the first completed record, and compacts the vector.
+func (l *LegacyVector) ProcessReady() bool {
+	l.mu.Lock()
+	reqs := make([]*simmpi.Request, len(l.recs))
+	for i, r := range l.recs {
+		reqs[i] = r.Req
+	}
+	ready := simmpi.Testsome(reqs)
+	if len(ready) == 0 {
+		l.mu.Unlock()
+		return false
+	}
+	i := ready[0]
+	rec := l.recs[i]
+	l.recs = append(l.recs[:i], l.recs[i+1:]...)
+	l.mu.Unlock()
+	rec.handle()
+	return true
+}
+
+// RacyLegacyVector reproduces the bug the paper debugged at scale: the
+// readiness scan runs under a read lock (many threads at once), and only
+// the removal takes the write lock. Two threads can both observe the
+// same record as ready, both allocate a processing buffer and run the
+// handler, but only the one that wins the removal race releases its
+// buffer — the other buffer leaks. The paper: "multiple threads
+// simultaneously processing the same received message, with all threads
+// allocating a buffer for the same MPI message, and only one thread
+// actually processing the message and invoking the callback to
+// deallocate its buffer."
+//
+// AllocBuffer/FreeBuffer count outstanding "buffers" so tests and the
+// demo can observe the leak. The yield hook widens the race window
+// deterministically for tests.
+type RacyLegacyVector struct {
+	mu   sync.RWMutex
+	recs []*Record
+
+	// Leaked counts buffers allocated for a message that a different
+	// thread ended up owning: the memory the paper saw leak at scale.
+	Leaked atomic.Int64
+	// yield, when non-nil, is called between the racy readiness read and
+	// the claim attempt, to force the interleaving in tests.
+	yield func()
+}
+
+// NewRacyLegacyVector returns an empty racy container. The optional
+// yield hook runs between the unsafe readiness check and the claim,
+// widening the race window (pass nil for the natural window).
+func NewRacyLegacyVector(yield func()) *RacyLegacyVector {
+	return &RacyLegacyVector{yield: yield}
+}
+
+// Add registers a record.
+func (l *RacyLegacyVector) Add(rec *Record) {
+	l.mu.Lock()
+	l.recs = append(l.recs, rec)
+	l.mu.Unlock()
+}
+
+// Len returns the number of held records.
+func (l *RacyLegacyVector) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.recs)
+}
+
+// ProcessReady scans under a read lock (the bug), "allocates a buffer"
+// for the first ready record it sees, then races other threads for the
+// removal. Losers leak their buffer.
+func (l *RacyLegacyVector) ProcessReady() bool {
+	l.mu.RLock()
+	var target *Record
+	for _, r := range l.recs {
+		if r.Req.Test() {
+			target = r
+			break
+		}
+	}
+	l.mu.RUnlock()
+	if target == nil {
+		return false
+	}
+
+	// Thread-local buffer allocation for the message we think is ours.
+	bufAllocated := true
+	if l.yield != nil {
+		l.yield()
+	}
+
+	// Claim: remove under the write lock — but another thread may have
+	// removed (and processed) the same record already.
+	l.mu.Lock()
+	won := false
+	for i, r := range l.recs {
+		if r == target {
+			l.recs = append(l.recs[:i], l.recs[i+1:]...)
+			won = true
+			break
+		}
+	}
+	l.mu.Unlock()
+
+	if !won {
+		// We allocated a buffer for a message someone else processed;
+		// the callback that frees it will never run for our copy.
+		if bufAllocated {
+			l.Leaked.Add(1)
+		}
+		return false
+	}
+	target.handle()
+	return true
+}
+
+// Interface conformance checks.
+var (
+	_ Container = (*Pool)(nil)
+	_ Container = (*LegacyVector)(nil)
+	_ Container = (*RacyLegacyVector)(nil)
+)

@@ -1,0 +1,125 @@
+package commpool
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/uintah-repro/rmcrt/internal/simmpi"
+)
+
+// TestPoolMatchesModel drives the wait-free pool with random operation
+// sequences and checks it against a trivial reference model (a slice).
+// Operations: even byte = add a record (ready if bit 1 set), odd byte =
+// ProcessReady. The pool must process exactly the ready records the
+// model would, in any order, and Len must track the model throughout.
+func TestPoolMatchesModel(t *testing.T) {
+	f := func(ops []byte) bool {
+		c := simmpi.NewComm(2)
+		p := NewPool()
+		type modelRec struct {
+			rec   *Record
+			ready bool
+		}
+		var model []modelRec
+		tag := 0
+
+		for _, op := range ops {
+			if op%2 == 0 {
+				ready := op&2 != 0
+				var rec *Record
+				if ready {
+					c.Isend(0, 1, tag, []byte{op})
+					rec = &Record{Req: c.Irecv(1, 0, tag)}
+				} else {
+					rec = &Record{Req: c.Irecv(1, 0, tag)}
+				}
+				tag++
+				p.Add(rec)
+				model = append(model, modelRec{rec, ready})
+			} else {
+				// The pool must succeed iff the model holds an
+				// unprocessed ready record (checked before the call,
+				// which flips one).
+				want := false
+				for i := range model {
+					if model[i].ready && model[i].rec.Handled.Load() == 0 {
+						want = true
+						break
+					}
+				}
+				if got := p.ProcessReady(); got != want {
+					return false
+				}
+			}
+			// Len = records added minus records handled.
+			handled := 0
+			for i := range model {
+				if model[i].rec.Handled.Load() > 0 {
+					handled++
+				}
+			}
+			if p.Len() != len(model)-handled {
+				return false
+			}
+		}
+		// Drain: all ready records become handled exactly once; pending
+		// ones never.
+		for p.ProcessReady() {
+		}
+		for i := range model {
+			h := model[i].rec.Handled.Load()
+			if model[i].ready && h != 1 {
+				return false
+			}
+			if !model[i].ready && h != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLegacyMatchesModel runs the same model against the (correct)
+// legacy container.
+func TestLegacyMatchesModel(t *testing.T) {
+	f := func(ops []byte) bool {
+		c := simmpi.NewComm(2)
+		l := NewLegacyVector()
+		var recs []*Record
+		var ready []bool
+		tag := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				r := op&2 != 0
+				if r {
+					c.Isend(0, 1, tag, nil)
+				}
+				rec := &Record{Req: c.Irecv(1, 0, tag)}
+				tag++
+				l.Add(rec)
+				recs = append(recs, rec)
+				ready = append(ready, r)
+			} else {
+				l.ProcessReady()
+			}
+		}
+		for l.ProcessReady() {
+		}
+		for i := range recs {
+			h := recs[i].Handled.Load()
+			if ready[i] && h != 1 {
+				return false
+			}
+			if !ready[i] && h != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,318 @@
+package dom
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+	"github.com/uintah-repro/rmcrt/internal/rmcrt"
+)
+
+func uniformProblem(t testing.TB, n int, kappa, sigT4 float64) *Problem {
+	t.Helper()
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(n), PatchSize: grid.Uniform(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := g.Levels[0]
+	p := &Problem{
+		Level:         lvl,
+		Abskg:         field.NewCC[float64](lvl.IndexBox()),
+		SigmaT4OverPi: field.NewCC[float64](lvl.IndexBox()),
+		CellType:      field.NewCC[field.CellType](lvl.IndexBox()),
+	}
+	p.Abskg.Fill(kappa)
+	p.SigmaT4OverPi.Fill(sigT4 / math.Pi)
+	p.CellType.Fill(field.Flow)
+	return p
+}
+
+func TestQuadratureMoments(t *testing.T) {
+	t4, err := Tn(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []*Quadrature{S2(), S4(), t4} {
+		if m := q.CheckMoments(); m > 1e-6 {
+			t.Errorf("%s moment error %g", q.Name, m)
+		}
+	}
+	if S2().NumOrdinates() != 8 {
+		t.Error("S2 must have 8 ordinates")
+	}
+	if S4().NumOrdinates() != 24 {
+		t.Error("S4 must have 24 ordinates")
+	}
+	if q, _ := Tn(3); q.NumOrdinates() != 6*12 {
+		t.Errorf("T3 ordinates = %d", q.NumOrdinates())
+	}
+	if _, err := Tn(0); err == nil {
+		t.Error("Tn(0) should fail")
+	}
+}
+
+func TestQuadratureDirectionsUnit(t *testing.T) {
+	for _, q := range []*Quadrature{S2(), S4()} {
+		for _, o := range q.Ordinates {
+			if math.Abs(o.Dir.Length()-1) > 1e-6 {
+				t.Errorf("%s ordinate %v not unit length", q.Name, o.Dir)
+			}
+		}
+	}
+}
+
+// TestEquilibriumExact: uniform medium at the wall temperature is in
+// radiative equilibrium; the step scheme reproduces I = I_b exactly, so
+// divQ = 0 to machine precision.
+func TestEquilibriumExact(t *testing.T) {
+	const sigT4 = 2.0
+	p := uniformProblem(t, 10, 1.0, sigT4)
+	p.WallEmissivity = 1
+	p.WallSigmaT4 = sigT4
+	for _, q := range []*Quadrature{S2(), S4()} {
+		res, err := Solve(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.DivQ.Box().ForEach(func(c grid.IntVector) {
+			if math.Abs(res.DivQ.At(c)) > 1e-10 {
+				t.Fatalf("%s: divQ(%v) = %g, want 0", q.Name, c, res.DivQ.At(c))
+			}
+		})
+		if res.Iterations != 1 {
+			t.Errorf("%s: %d iterations without scattering, want 1", q.Name, res.Iterations)
+		}
+		if res.Sweeps != q.NumOrdinates() {
+			t.Errorf("%s: sweeps = %d, want %d", q.Name, res.Sweeps, q.NumOrdinates())
+		}
+	}
+}
+
+// TestOpticallyThinLimit: κ→0, cold walls: G→0 so divQ→4κσT⁴.
+func TestOpticallyThinLimit(t *testing.T) {
+	const kappa, sigT4 = 1e-6, 3.0
+	p := uniformProblem(t, 8, kappa, sigT4)
+	res, err := Solve(p, S4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * kappa * sigT4
+	got := res.DivQ.At(grid.IV(4, 4, 4))
+	if mathutil.RelErr(got, want, 1e-30) > 1e-3 {
+		t.Errorf("thin divQ = %g, want %g", got, want)
+	}
+}
+
+// TestDOMAgreesWithRMCRT: both methods approximate the same RTE; on the
+// Burns & Christon benchmark their divQ fields must agree to a few
+// percent at the domain center (both are least accurate near walls).
+func TestDOMAgreesWithRMCRT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-method comparison skipped in -short")
+	}
+	const n = 21
+	rd, _, err := rmcrt.NewBenchmarkDomain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := rmcrt.DefaultOptions()
+	opts.NRays = 512
+	center := grid.NewBox(grid.IV(n/2, n/2, n/2), grid.IV(n/2+1, n/2+1, n/2+1))
+	mc, err := rd.SolveRegion(center, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := uniformProblem(t, n, 0, 0)
+	a, s, c := rmcrt.FillBenchmark(p.Level, p.Level.IndexBox())
+	p.Abskg, p.SigmaT4OverPi, p.CellType = a, s, c
+	q, _ := Tn(4) // 128 ordinates: enough angular resolution
+	res, err := Solve(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := grid.IV(n/2, n/2, n/2)
+	if rel := mathutil.RelErr(res.DivQ.At(cc), mc.At(cc), 1e-12); rel > 0.08 {
+		t.Errorf("DOM %g vs RMCRT %g: relative difference %.3f > 8%%",
+			res.DivQ.At(cc), mc.At(cc), rel)
+	}
+}
+
+// TestFalseScattering demonstrates the DOM pathology the paper cites: a
+// ray traced through the enclosure "gradually widens as it moves away
+// from its point of origin. False scattering can be addressed by using
+// a finer mesh of control volumes, but at greater computational cost."
+// A collimated beam injected through a one-cell spot on the x=0 wall
+// along an oblique ordinate smears laterally as the step scheme carries
+// it across cells; the beam's physical width at the exit plane must
+// shrink as the mesh is refined.
+func TestFalseScattering(t *testing.T) {
+	beamWidth := func(n int) float64 {
+		p := uniformProblem(t, n, 1e-9, 0) // transparent medium
+		o := Ordinate{Dir: mathutil.V3(1, 1, 1).Normalized(), Weight: 4 * math.Pi}
+		// Inject unit intensity through the x-face of the single entry
+		// cell nearest (0, n/4, n/4).
+		ey, ez := n/4, n/4
+		boundary := func(ax int, c grid.IntVector) float64 {
+			if ax == 0 && c.X == 0 && c.Y == ey && c.Z == ez {
+				return 1
+			}
+			return 0
+		}
+		iv := SweepOnce(p, o, boundary)
+		// Second moment of intensity about its centroid on the exit
+		// plane x = n-1, in physical units.
+		dx := 1.0 / float64(n)
+		var sum, cy, cz float64
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				w := iv.At(grid.IV(n-1, y, z))
+				sum += w
+				cy += w * float64(y)
+				cz += w * float64(z)
+			}
+		}
+		if sum == 0 {
+			t.Fatalf("n=%d: beam never reached the exit plane", n)
+		}
+		cy /= sum
+		cz /= sum
+		var m2 float64
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				w := iv.At(grid.IV(n-1, y, z))
+				dy, dz := (float64(y)-cy)*dx, (float64(z)-cz)*dx
+				m2 += w * (dy*dy + dz*dz)
+			}
+		}
+		return math.Sqrt(m2 / sum)
+	}
+	coarse := beamWidth(12)
+	fine := beamWidth(48)
+	if fine >= coarse {
+		t.Errorf("false scattering should shrink with refinement: width(12)=%.4f width(48)=%.4f",
+			coarse, fine)
+	}
+	if coarse <= 0 {
+		t.Error("expected nonzero beam smearing on the coarse mesh")
+	}
+}
+
+func TestScatteringSourceIteration(t *testing.T) {
+	// With scattering on, the solver iterates and still conserves in
+	// equilibrium.
+	const sigT4 = 1.0
+	p := uniformProblem(t, 8, 1.0, sigT4)
+	p.WallEmissivity = 1
+	p.WallSigmaT4 = sigT4
+	p.ScatterCoeff = 0.5
+	res, err := Solve(p, S2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Errorf("scattering solve converged in %d iteration(s), expected iteration", res.Iterations)
+	}
+	got := res.DivQ.At(grid.IV(4, 4, 4))
+	if math.Abs(got) > 1e-6 {
+		t.Errorf("equilibrium with scattering: divQ = %g", got)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(&Problem{}, S2()); err == nil {
+		t.Error("incomplete problem should fail")
+	}
+	p := uniformProblem(t, 4, 1, 1)
+	bad := &Quadrature{Name: "broken", Ordinates: []Ordinate{{Dir: mathutil.V3(1, 0, 0), Weight: 1}}}
+	if _, err := Solve(p, bad); err == nil {
+		t.Error("bad quadrature should fail")
+	}
+}
+
+func TestOpaqueCellsEmit(t *testing.T) {
+	// An interior hot intrusion raises G in adjacent flow cells.
+	p := uniformProblem(t, 9, 0.1, 0)
+	ctr := grid.IV(4, 4, 4)
+	p.CellType.Set(ctr, field.Intrusion)
+	p.SigmaT4OverPi.Set(ctr, 5)
+	p.WallEmissivity = 1
+	res, err := Solve(p, S4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := res.G.At(grid.IV(5, 4, 4))
+	far := res.G.At(grid.IV(8, 0, 0))
+	if near <= far {
+		t.Errorf("irradiation near intrusion (%g) should exceed far corner (%g)", near, far)
+	}
+	if res.DivQ.At(ctr) != 0 {
+		t.Error("divQ inside opaque cell should be 0")
+	}
+}
+
+// TestParallelSweepBitwiseEqual: the wavefront-parallel sweep must
+// reproduce the serial sweep exactly — same per-cell arithmetic, only
+// the schedule differs. Run with -race to also certify the wavefront
+// independence claim.
+func TestParallelSweepBitwiseEqual(t *testing.T) {
+	p := uniformProblem(t, 14, 0, 0)
+	a, s, c := rmcrt.FillBenchmark(p.Level, p.Level.IndexBox())
+	p.Abskg, p.SigmaT4OverPi, p.CellType = a, s, c
+	p.WallEmissivity = 1
+	p.WallSigmaT4 = 0.3
+	// An intrusion to exercise the opaque path too.
+	p.CellType.Set(grid.IV(7, 7, 7), field.Intrusion)
+
+	for _, q := range []*Quadrature{S2(), S4()} {
+		serial, err := Solve(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := SolveParallel(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, pd := serial.DivQ.Data(), par.DivQ.Data()
+		for i := range sd {
+			if sd[i] != pd[i] {
+				t.Fatalf("%s: parallel sweep diverged at cell %d: %v vs %v", q.Name, i, sd[i], pd[i])
+			}
+		}
+		sg, pg := serial.G.Data(), par.G.Data()
+		for i := range sg {
+			if sg[i] != pg[i] {
+				t.Fatalf("%s: irradiation diverged at cell %d", q.Name, i)
+			}
+		}
+	}
+}
+
+// TestParallelSweepWithScattering: source iteration composes with the
+// parallel sweep.
+func TestParallelSweepWithScattering(t *testing.T) {
+	const sigT4 = 1.0
+	p := uniformProblem(t, 8, 1.0, sigT4)
+	p.WallEmissivity = 1
+	p.WallSigmaT4 = sigT4
+	p.ScatterCoeff = 0.5
+	res, err := SolveParallel(p, S2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Error("expected source iteration")
+	}
+	if got := res.DivQ.At(grid.IV(4, 4, 4)); math.Abs(got) > 1e-6 {
+		t.Errorf("equilibrium divQ = %g", got)
+	}
+}
+
+func TestParallelSolveValidation(t *testing.T) {
+	if _, err := SolveParallel(&Problem{}, S2()); err == nil {
+		t.Error("incomplete problem accepted")
+	}
+}

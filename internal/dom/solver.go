@@ -1,0 +1,156 @@
+package dom
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+// Problem describes one DOM solve on a single uniform level: the same
+// radiative state RMCRT consumes, plus solver controls.
+type Problem struct {
+	Level *grid.Level
+	// Abskg is the absorption coefficient κ (1/m).
+	Abskg *field.CC[float64]
+	// SigmaT4OverPi is the blackbody intensity σT⁴/π.
+	SigmaT4OverPi *field.CC[float64]
+	// CellType marks opaque cells (treated as emitting walls).
+	CellType *field.CC[field.CellType]
+
+	// WallEmissivity and WallSigmaT4 define the enclosure boundary
+	// condition, as in rmcrt.Options.
+	WallEmissivity float64
+	WallSigmaT4    float64
+
+	// ScatterCoeff is the isotropic scattering coefficient σ_s; nonzero
+	// values require source iteration.
+	ScatterCoeff float64
+	// MaxIters bounds source iteration (default 50).
+	MaxIters int
+	// Tol is the source-iteration convergence tolerance on the relative
+	// change of the scalar irradiation G (default 1e-6).
+	Tol float64
+}
+
+func (p *Problem) maxIters() int {
+	if p.MaxIters > 0 {
+		return p.MaxIters
+	}
+	return 50
+}
+
+func (p *Problem) tol() float64 {
+	if p.Tol > 0 {
+		return p.Tol
+	}
+	return 1e-6
+}
+
+// Result carries the solve outputs.
+type Result struct {
+	// DivQ is the divergence of the radiative heat flux per cell.
+	DivQ *field.CC[float64]
+	// G is the scalar irradiation ∫I dΩ per cell.
+	G *field.CC[float64]
+	// Iterations is the number of source iterations performed.
+	Iterations int
+	// Sweeps is the total number of ordinate sweeps (the unit of DOM
+	// cost — each is the analogue of one sparse solve).
+	Sweeps int
+}
+
+// Solve runs the discrete ordinates method with the given quadrature.
+//
+// Spatial scheme: step (fully upwind) finite volume. For ordinate Ω the
+// balance over cell P with upwind neighbours I_in,i is
+//
+//	I_P = ( (κ+σs)·S_P + Σ_i |Ω_i|/Δ_i · I_in,i ) / ( κ+σs + Σ_i |Ω_i|/Δ_i )
+//
+// with source S_P = (κ I_b + σs G/4π)/(κ+σs); each ordinate is resolved
+// in one serial sweep ordered so upwind cells precede downwind cells.
+// SolveParallel (parallel.go) is the wavefront-parallel variant with
+// bitwise-identical results.
+func Solve(p *Problem, q *Quadrature) (*Result, error) {
+	return solveWith(p, q, sweep)
+}
+
+// Error helpers shared by the serial and parallel drivers.
+var errIncomplete = fmt.Errorf("dom: incomplete problem")
+
+func errQuadrature(name string, m float64) error {
+	return fmt.Errorf("dom: quadrature %s fails moment check (err %g)", name, m)
+}
+
+func errWindow(w, box grid.Box) error {
+	return fmt.Errorf("dom: property window %v does not cover the level %v", w, box)
+}
+
+// SweepOnce transports a single ordinate across the level with a
+// caller-supplied boundary intensity (boundary(ax, cell) is the
+// incoming intensity entering cell through its upwind face on axis ax)
+// and returns the intensity field. It exists for diagnostics such as
+// the false-scattering beam study; Solve is the production entry point.
+func SweepOnce(p *Problem, o Ordinate, boundary func(ax int, c grid.IntVector) float64) *field.CC[float64] {
+	iVar := field.NewCC[float64](p.Level.IndexBox())
+	gOld := field.NewCC[float64](p.Level.IndexBox())
+	sweep(p, o, p.Level.CellSize(), boundary, gOld, iVar)
+	return iVar
+}
+
+// sweep resolves one ordinate over the whole level in upwind order,
+// writing intensities into iVar. gOld supplies the scattering source.
+func sweep(p *Problem, o Ordinate, dx interface{ Component(int) float64 }, boundary func(ax int, c grid.IntVector) float64, gOld, iVar *field.CC[float64]) {
+	box := p.Level.IndexBox()
+	// Iteration bounds per axis, ordered so upwind comes first.
+	start, end, inc := [3]int{}, [3]int{}, [3]int{}
+	dir := [3]float64{o.Dir.X, o.Dir.Y, o.Dir.Z}
+	for ax := 0; ax < 3; ax++ {
+		lo, hi := box.Lo.Component(ax), box.Hi.Component(ax)
+		if dir[ax] >= 0 {
+			start[ax], end[ax], inc[ax] = lo, hi, 1
+		} else {
+			start[ax], end[ax], inc[ax] = hi-1, lo-1, -1
+		}
+	}
+	a := [3]float64{
+		math.Abs(o.Dir.X) / dx.Component(0),
+		math.Abs(o.Dir.Y) / dx.Component(1),
+		math.Abs(o.Dir.Z) / dx.Component(2),
+	}
+	sigS := p.ScatterCoeff
+
+	for x := start[0]; x != end[0]; x += inc[0] {
+		for y := start[1]; y != end[1]; y += inc[1] {
+			for z := start[2]; z != end[2]; z += inc[2] {
+				c := grid.IV(x, y, z)
+				if p.CellType.At(c) != field.Flow {
+					// Opaque cell: emits as a diffuse surface.
+					iVar.Set(c, p.WallEmissivity*p.SigmaT4OverPi.At(c))
+					continue
+				}
+				kappa := p.Abskg.At(c)
+				beta := kappa + sigS
+				// Upwind incoming intensities (domain walls emit wallI).
+				in := [3]float64{}
+				for ax := 0; ax < 3; ax++ {
+					up := c.WithComponent(ax, c.Component(ax)-inc[ax])
+					if box.Contains(up) {
+						in[ax] = iVar.At(up)
+					} else {
+						in[ax] = boundary(ax, c)
+					}
+				}
+				src := kappa*p.SigmaT4OverPi.At(c) + sigS*gOld.At(c)/(4*math.Pi)
+				num := src + a[0]*in[0] + a[1]*in[1] + a[2]*in[2]
+				den := beta + a[0] + a[1] + a[2]
+				if den == 0 {
+					iVar.Set(c, 0)
+					continue
+				}
+				iVar.Set(c, num/den)
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package dw
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+// EncodeRegion serializes the cells of region from v into a byte slice
+// (little-endian float64s in the canonical z-fastest order). This is
+// the payload format for simulated MPI halo and level-gather messages.
+func EncodeRegion(v *field.CC[float64], region grid.Box) []byte {
+	buf := make([]byte, 8*region.Volume())
+	i := 0
+	region.ForEach(func(c grid.IntVector) {
+		binary.LittleEndian.PutUint64(buf[i:], math.Float64bits(v.At(c)))
+		i += 8
+	})
+	return buf
+}
+
+// DecodeRegion deserializes data produced by EncodeRegion into the cells
+// of region in v.
+func DecodeRegion(v *field.CC[float64], region grid.Box, data []byte) error {
+	if len(data) != 8*region.Volume() {
+		return fmt.Errorf("dw: payload %d bytes for region of %d cells", len(data), region.Volume())
+	}
+	i := 0
+	region.ForEach(func(c grid.IntVector) {
+		v.Set(c, math.Float64frombits(binary.LittleEndian.Uint64(data[i:])))
+		i += 8
+	})
+	return nil
+}
+
+// EncodeRegionCellType serializes cell types (one byte per cell).
+func EncodeRegionCellType(v *field.CC[field.CellType], region grid.Box) []byte {
+	buf := make([]byte, region.Volume())
+	i := 0
+	region.ForEach(func(c grid.IntVector) {
+		buf[i] = byte(v.At(c))
+		i++
+	})
+	return buf
+}
+
+// DecodeRegionCellType deserializes EncodeRegionCellType payloads.
+func DecodeRegionCellType(v *field.CC[field.CellType], region grid.Box, data []byte) error {
+	if len(data) != region.Volume() {
+		return fmt.Errorf("dw: celltype payload %d bytes for region of %d cells", len(data), region.Volume())
+	}
+	i := 0
+	region.ForEach(func(c grid.IntVector) {
+		v.Set(c, field.CellType(data[i]))
+		i++
+	})
+	return nil
+}

@@ -1,0 +1,235 @@
+// Package dw implements a miniature of Uintah's "on-demand"
+// DataWarehouse: the per-timestep repository through which tasks read
+// and write grid variables. Tasks never exchange data directly — they
+// declare requires/computes against the warehouse, and the
+// infrastructure materializes ghost windows ("the illusion it has
+// access to memory it does not actually own"), including the global
+// halo ("infinite ghost cells") that RMCRT requires on coarse radiation
+// levels.
+package dw
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+// GhostGlobal requests a whole-level window — the paper's "infinite
+// ghost cells" used for the coarse radiation properties.
+const GhostGlobal = -1
+
+// Key identifies a per-patch variable instance.
+type Key struct {
+	Label string
+	Patch int
+}
+
+// LevelKey identifies a per-level (whole-domain) variable instance.
+type LevelKey struct {
+	Label string
+	Level int
+}
+
+// DW is one generation of the warehouse (Uintah keeps an "old" and
+// "new" DW per timestep). All methods are safe for concurrent use by
+// scheduler workers.
+type DW struct {
+	mu         sync.RWMutex
+	ccVars     map[Key]*field.CC[float64]
+	ctVars     map[Key]*field.CC[field.CellType]
+	levelCC    map[LevelKey]*field.CC[float64]
+	levelCT    map[LevelKey]*field.CC[field.CellType]
+	generation int
+}
+
+// New returns an empty warehouse for the given generation number.
+func New(generation int) *DW {
+	return &DW{
+		ccVars:     make(map[Key]*field.CC[float64]),
+		ctVars:     make(map[Key]*field.CC[field.CellType]),
+		levelCC:    make(map[LevelKey]*field.CC[float64]),
+		levelCT:    make(map[LevelKey]*field.CC[field.CellType]),
+		generation: generation,
+	}
+}
+
+// Generation returns the warehouse generation (timestep) number.
+func (d *DW) Generation() int { return d.generation }
+
+// PutCC stores a float64 cell-centered variable for (label, patch).
+// Re-putting an existing key is an error in Uintah (variables are
+// write-once per generation) and panics here.
+func (d *DW) PutCC(label string, patch int, v *field.CC[float64]) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := Key{label, patch}
+	if _, dup := d.ccVars[k]; dup {
+		panic(fmt.Sprintf("dw: duplicate PutCC %v in generation %d", k, d.generation))
+	}
+	d.ccVars[k] = v
+}
+
+// GetCC retrieves the variable stored for (label, patch).
+func (d *DW) GetCC(label string, patch int) (*field.CC[float64], error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v, ok := d.ccVars[Key{label, patch}]
+	if !ok {
+		return nil, fmt.Errorf("dw: no variable %q on patch %d in generation %d", label, patch, d.generation)
+	}
+	return v, nil
+}
+
+// HasCC reports whether (label, patch) exists.
+func (d *DW) HasCC(label string, patch int) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.ccVars[Key{label, patch}]
+	return ok
+}
+
+// PutCellType stores a cell-type variable for (label, patch).
+func (d *DW) PutCellType(label string, patch int, v *field.CC[field.CellType]) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := Key{label, patch}
+	if _, dup := d.ctVars[k]; dup {
+		panic(fmt.Sprintf("dw: duplicate PutCellType %v in generation %d", k, d.generation))
+	}
+	d.ctVars[k] = v
+}
+
+// GetCellType retrieves the cell-type variable for (label, patch).
+func (d *DW) GetCellType(label string, patch int) (*field.CC[field.CellType], error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v, ok := d.ctVars[Key{label, patch}]
+	if !ok {
+		return nil, fmt.Errorf("dw: no celltype %q on patch %d in generation %d", label, patch, d.generation)
+	}
+	return v, nil
+}
+
+// PutLevelCC stores a whole-level float64 variable — the host-side level
+// database entry for shared radiative properties.
+func (d *DW) PutLevelCC(label string, level int, v *field.CC[float64]) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := LevelKey{label, level}
+	if _, dup := d.levelCC[k]; dup {
+		panic(fmt.Sprintf("dw: duplicate PutLevelCC %v in generation %d", k, d.generation))
+	}
+	d.levelCC[k] = v
+}
+
+// GetLevelCC retrieves a whole-level float64 variable.
+func (d *DW) GetLevelCC(label string, level int) (*field.CC[float64], error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v, ok := d.levelCC[LevelKey{label, level}]
+	if !ok {
+		return nil, fmt.Errorf("dw: no level variable %q on level %d in generation %d", label, level, d.generation)
+	}
+	return v, nil
+}
+
+// PutLevelCellType stores a whole-level cell-type variable.
+func (d *DW) PutLevelCellType(label string, level int, v *field.CC[field.CellType]) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := LevelKey{label, level}
+	if _, dup := d.levelCT[k]; dup {
+		panic(fmt.Sprintf("dw: duplicate PutLevelCellType %v in generation %d", k, d.generation))
+	}
+	d.levelCT[k] = v
+}
+
+// GetLevelCellType retrieves a whole-level cell-type variable.
+func (d *DW) GetLevelCellType(label string, level int) (*field.CC[field.CellType], error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v, ok := d.levelCT[LevelKey{label, level}]
+	if !ok {
+		return nil, fmt.Errorf("dw: no level celltype %q on level %d in generation %d", label, level, d.generation)
+	}
+	return v, nil
+}
+
+// NumVars returns the count of stored per-patch and per-level variables,
+// for accounting tests.
+func (d *DW) NumVars() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.ccVars) + len(d.ctVars) + len(d.levelCC) + len(d.levelCT)
+}
+
+// GatherWindow materializes a float64 variable over an arbitrary window
+// of a level by copying from every stored patch variable that overlaps
+// it. The window is clipped to the level bounds. It fails if any clipped
+// cell is not covered by a stored patch variable — a missing ghost
+// dependency, which in Uintah means the task graph was mis-specified.
+//
+// ghost == GhostGlobal callers should use GatherLevel instead.
+func (d *DW) GatherWindow(label string, lvl *grid.Level, window grid.Box) (*field.CC[float64], error) {
+	clipped := window.Intersect(lvl.IndexBox())
+	if clipped.Empty() {
+		return nil, fmt.Errorf("dw: window %v does not intersect level %d", window, lvl.Index)
+	}
+	out := field.NewCC[float64](clipped)
+	covered := 0
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, p := range lvl.Patches {
+		overlap := p.Cells.Intersect(clipped)
+		if overlap.Empty() {
+			continue
+		}
+		v, ok := d.ccVars[Key{label, p.ID}]
+		if !ok {
+			return nil, fmt.Errorf("dw: gather %q needs patch %d which is absent", label, p.ID)
+		}
+		out.CopyRegion(v, overlap)
+		covered += overlap.Volume()
+	}
+	if covered != clipped.Volume() {
+		return nil, fmt.Errorf("dw: gather %q covered %d of %d cells", label, covered, clipped.Volume())
+	}
+	return out, nil
+}
+
+// GatherLevel materializes the whole level for label — the "infinite
+// ghost cell" gather RMCRT issues on coarse radiation levels when the
+// level database entry has not been constructed yet.
+func (d *DW) GatherLevel(label string, lvl *grid.Level) (*field.CC[float64], error) {
+	return d.GatherWindow(label, lvl, lvl.IndexBox())
+}
+
+// GatherWindowCellType is GatherWindow for cell-type variables.
+func (d *DW) GatherWindowCellType(label string, lvl *grid.Level, window grid.Box) (*field.CC[field.CellType], error) {
+	clipped := window.Intersect(lvl.IndexBox())
+	if clipped.Empty() {
+		return nil, fmt.Errorf("dw: window %v does not intersect level %d", window, lvl.Index)
+	}
+	out := field.NewCC[field.CellType](clipped)
+	covered := 0
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, p := range lvl.Patches {
+		overlap := p.Cells.Intersect(clipped)
+		if overlap.Empty() {
+			continue
+		}
+		v, ok := d.ctVars[Key{label, p.ID}]
+		if !ok {
+			return nil, fmt.Errorf("dw: gather celltype %q needs patch %d which is absent", label, p.ID)
+		}
+		out.CopyRegion(v, overlap)
+		covered += overlap.Volume()
+	}
+	if covered != clipped.Volume() {
+		return nil, fmt.Errorf("dw: gather celltype %q covered %d of %d cells", label, covered, clipped.Volume())
+	}
+	return out, nil
+}

@@ -1,0 +1,254 @@
+package dw
+
+import (
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+func testGrid(t testing.TB) *grid.Grid {
+	t.Helper()
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(8), PatchSize: grid.Uniform(4)},  // coarse: 8 patches
+		grid.Spec{Resolution: grid.Uniform(16), PatchSize: grid.Uniform(4)}, // fine: 64 patches
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// fillLevel stores a patch variable for every patch of level li with a
+// position-coded value.
+func fillLevel(d *DW, g *grid.Grid, li int, label string) {
+	for _, p := range g.Levels[li].Patches {
+		v := field.NewCC[float64](p.Cells)
+		v.FillFunc(func(c grid.IntVector) float64 {
+			return float64(c.X*10000 + c.Y*100 + c.Z)
+		})
+		d.PutCC(label, p.ID, v)
+	}
+}
+
+func TestPutGetCC(t *testing.T) {
+	g := testGrid(t)
+	d := New(1)
+	p := g.Levels[0].Patches[0]
+	v := field.NewCC[float64](p.Cells)
+	v.Fill(7)
+	d.PutCC("abskg", p.ID, v)
+	got, err := d.GetCC("abskg", p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(grid.IV(0, 0, 0)) != 7 {
+		t.Error("round trip value wrong")
+	}
+	if !d.HasCC("abskg", p.ID) || d.HasCC("abskg", 999) {
+		t.Error("HasCC wrong")
+	}
+	if _, err := d.GetCC("missing", p.ID); err == nil {
+		t.Error("missing variable should error")
+	}
+	if d.Generation() != 1 {
+		t.Error("generation wrong")
+	}
+}
+
+func TestDuplicatePutPanics(t *testing.T) {
+	g := testGrid(t)
+	d := New(0)
+	p := g.Levels[0].Patches[0]
+	d.PutCC("x", p.ID, field.NewCC[float64](p.Cells))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate PutCC should panic (write-once semantics)")
+		}
+	}()
+	d.PutCC("x", p.ID, field.NewCC[float64](p.Cells))
+}
+
+func TestCellTypeStorage(t *testing.T) {
+	g := testGrid(t)
+	d := New(0)
+	p := g.Levels[0].Patches[0]
+	ct := field.NewCC[field.CellType](p.Cells)
+	ct.Set(grid.IV(0, 0, 0), field.Boundary)
+	d.PutCellType("cellType", p.ID, ct)
+	got, err := d.GetCellType("cellType", p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(grid.IV(0, 0, 0)) != field.Boundary {
+		t.Error("cell type round trip wrong")
+	}
+}
+
+func TestLevelVars(t *testing.T) {
+	g := testGrid(t)
+	d := New(0)
+	lv := field.NewCC[float64](g.Levels[0].IndexBox())
+	lv.Fill(3)
+	d.PutLevelCC("abskg", 0, lv)
+	got, err := d.GetLevelCC("abskg", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(grid.IV(4, 4, 4)) != 3 {
+		t.Error("level var wrong")
+	}
+	if _, err := d.GetLevelCC("abskg", 1); err == nil {
+		t.Error("missing level var should error")
+	}
+	ct := field.NewCC[field.CellType](g.Levels[0].IndexBox())
+	d.PutLevelCellType("cellType", 0, ct)
+	if _, err := d.GetLevelCellType("cellType", 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGatherWindowAcrossPatches(t *testing.T) {
+	g := testGrid(t)
+	d := New(0)
+	fillLevel(d, g, 1, "T")
+	lvl := g.Levels[1]
+	// A window spanning the center of the level crosses 8 patches.
+	window := grid.NewBox(grid.IV(2, 2, 2), grid.IV(7, 7, 7))
+	got, err := d.GatherWindow("T", lvl, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window.ForEach(func(c grid.IntVector) {
+		want := float64(c.X*10000 + c.Y*100 + c.Z)
+		if got.At(c) != want {
+			t.Fatalf("gathered value at %v = %v, want %v", c, got.At(c), want)
+		}
+	})
+}
+
+func TestGatherWindowClipsToLevel(t *testing.T) {
+	g := testGrid(t)
+	d := New(0)
+	fillLevel(d, g, 1, "T")
+	lvl := g.Levels[1]
+	// Ghost window pokes outside the domain; it must be clipped.
+	window := lvl.Patches[0].Cells.Grow(2)
+	got, err := d.GatherWindow("T", lvl, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Box() != window.Intersect(lvl.IndexBox()) {
+		t.Errorf("gather box = %v", got.Box())
+	}
+}
+
+func TestGatherMissingPatchFails(t *testing.T) {
+	g := testGrid(t)
+	d := New(0)
+	lvl := g.Levels[1]
+	// Only patch 0's variable present; a window crossing into the
+	// neighbour must fail loudly.
+	p0 := lvl.Patches[0]
+	d.PutCC("T", p0.ID, field.NewCC[float64](p0.Cells))
+	if _, err := d.GatherWindow("T", lvl, p0.Cells.Grow(1)); err == nil {
+		t.Error("gather with a missing neighbour should fail")
+	}
+}
+
+func TestGatherLevelIsInfiniteGhost(t *testing.T) {
+	g := testGrid(t)
+	d := New(0)
+	fillLevel(d, g, 0, "sigmaT4")
+	got, err := d.GatherLevel("sigmaT4", g.Levels[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Box() != g.Levels[0].IndexBox() {
+		t.Errorf("GatherLevel box = %v", got.Box())
+	}
+}
+
+func TestGatherWindowCellType(t *testing.T) {
+	g := testGrid(t)
+	d := New(0)
+	lvl := g.Levels[0]
+	for _, p := range lvl.Patches {
+		v := field.NewCC[field.CellType](p.Cells)
+		v.Fill(field.Flow)
+		d.PutCellType("cellType", p.ID, v)
+	}
+	got, err := d.GatherWindowCellType("cellType", lvl, lvl.IndexBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(grid.IV(7, 7, 7)) != field.Flow {
+		t.Error("gathered cell type wrong")
+	}
+	if _, err := d.GatherWindowCellType("missing", lvl, lvl.IndexBox()); err == nil {
+		t.Error("missing celltype gather should fail")
+	}
+}
+
+func TestGatherEmptyWindowFails(t *testing.T) {
+	g := testGrid(t)
+	d := New(0)
+	win := grid.NewBox(grid.IV(100, 100, 100), grid.IV(101, 101, 101))
+	if _, err := d.GatherWindow("T", g.Levels[0], win); err == nil {
+		t.Error("disjoint window should fail")
+	}
+}
+
+func TestNumVars(t *testing.T) {
+	g := testGrid(t)
+	d := New(0)
+	fillLevel(d, g, 0, "a")
+	d.PutLevelCC("b", 0, field.NewCC[float64](g.Levels[0].IndexBox()))
+	if got := d.NumVars(); got != 9 {
+		t.Errorf("NumVars = %d, want 9", got)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	b := grid.NewBox(grid.IV(2, 3, 4), grid.IV(6, 6, 6))
+	v := field.NewCC[float64](b)
+	v.FillFunc(func(c grid.IntVector) float64 { return float64(c.X) + 0.5*float64(c.Y) - float64(c.Z)/3 })
+	region := grid.NewBox(grid.IV(3, 3, 4), grid.IV(5, 6, 6))
+	data := EncodeRegion(v, region)
+	if len(data) != 8*region.Volume() {
+		t.Fatalf("payload size %d", len(data))
+	}
+	w := field.NewCC[float64](b)
+	if err := DecodeRegion(w, region, data); err != nil {
+		t.Fatal(err)
+	}
+	region.ForEach(func(c grid.IntVector) {
+		if w.At(c) != v.At(c) {
+			t.Fatalf("codec mismatch at %v", c)
+		}
+	})
+	if err := DecodeRegion(w, region, data[:8]); err == nil {
+		t.Error("short payload should error")
+	}
+}
+
+func TestCellTypeCodecRoundTrip(t *testing.T) {
+	b := grid.NewBox(grid.IV(0, 0, 0), grid.IV(4, 4, 4))
+	v := field.NewCC[field.CellType](b)
+	v.Set(grid.IV(1, 2, 3), field.Boundary)
+	v.Set(grid.IV(2, 2, 2), field.Intrusion)
+	data := EncodeRegionCellType(v, b)
+	w := field.NewCC[field.CellType](b)
+	if err := DecodeRegionCellType(w, b, data); err != nil {
+		t.Fatal(err)
+	}
+	b.ForEach(func(c grid.IntVector) {
+		if w.At(c) != v.At(c) {
+			t.Fatalf("celltype codec mismatch at %v", c)
+		}
+	})
+	if err := DecodeRegionCellType(w, b, data[:3]); err == nil {
+		t.Error("short celltype payload should error")
+	}
+}

@@ -1,0 +1,209 @@
+// Package field provides cell-centered grid variables (Uintah's
+// CCVariable): dense 3-D arrays addressed by global cell index over an
+// arbitrary index box, with support for ghost windows, copies between
+// overlapping variables, and conservative coarsening between AMR levels.
+package field
+
+import (
+	"fmt"
+
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+// CellType labels a computational cell for the ray tracer. The paper's
+// radiative property set is {abskg, sigmaT4, cellType}.
+type CellType int8
+
+const (
+	// Flow marks an interior cell a ray travels through.
+	Flow CellType = iota
+	// Boundary marks a wall cell: rays terminate (absorb/emit) there.
+	Boundary
+	// Intrusion marks an interior obstacle cell, also opaque to rays.
+	Intrusion
+)
+
+// String implements fmt.Stringer.
+func (c CellType) String() string {
+	switch c {
+	case Flow:
+		return "flow"
+	case Boundary:
+		return "boundary"
+	case Intrusion:
+		return "intrusion"
+	default:
+		return fmt.Sprintf("celltype(%d)", int8(c))
+	}
+}
+
+// CC is a dense cell-centered variable over an index box. The box may be
+// larger than a patch (ghost window) or span a whole level (the global
+// radiation properties on coarse levels). The zero CC is empty; use NewCC.
+//
+// Data layout is z-fastest (k inner), matching grid.Box.ForEach, so
+// straight-line loops over k are contiguous.
+type CC[T any] struct {
+	box  grid.Box
+	ext  grid.IntVector
+	data []T
+}
+
+// NewCC allocates a variable covering box, zero-initialized.
+func NewCC[T any](box grid.Box) *CC[T] {
+	ext := box.Extent()
+	if ext.X <= 0 || ext.Y <= 0 || ext.Z <= 0 {
+		panic(fmt.Sprintf("field: NewCC with empty box %v", box))
+	}
+	return &CC[T]{box: box, ext: ext, data: make([]T, ext.Volume())}
+}
+
+// NewCCFrom allocates a variable covering box backed by the provided
+// storage, which must have exactly box.Volume() elements. It lets callers
+// place variables in arena-allocated memory (see internal/alloc).
+func NewCCFrom[T any](box grid.Box, data []T) *CC[T] {
+	if len(data) != box.Volume() {
+		panic(fmt.Sprintf("field: NewCCFrom storage %d != box volume %d", len(data), box.Volume()))
+	}
+	return &CC[T]{box: box, ext: box.Extent(), data: data}
+}
+
+// Box returns the index box the variable covers.
+func (v *CC[T]) Box() grid.Box { return v.box }
+
+// Data exposes the backing slice (z-fastest layout). Intended for bulk
+// serialization into simulated MPI messages and PCIe copies.
+func (v *CC[T]) Data() []T { return v.data }
+
+// SizeBytes returns an estimate of the payload size assuming 8-byte
+// elements for float64/int64 and 1 byte for int8-like types; used by the
+// byte-accounting in the communication model.
+func (v *CC[T]) SizeBytes(elemSize int) int64 { return int64(len(v.data)) * int64(elemSize) }
+
+// offset converts a global cell index to a flat offset. Callers must
+// ensure c lies in the box; At/Set check in debug paths via Contains.
+func (v *CC[T]) offset(c grid.IntVector) int {
+	r := c.Sub(v.box.Lo)
+	return (r.X*v.ext.Y+r.Y)*v.ext.Z + r.Z
+}
+
+// At returns the value at cell c. It panics if c is outside the box —
+// out-of-window access is always a ghost-cell bug upstream.
+func (v *CC[T]) At(c grid.IntVector) T {
+	if !v.box.Contains(c) {
+		panic(fmt.Sprintf("field: access at %v outside window %v", c, v.box))
+	}
+	return v.data[v.offset(c)]
+}
+
+// Set stores val at cell c, panicking if c is outside the box.
+func (v *CC[T]) Set(c grid.IntVector, val T) {
+	if !v.box.Contains(c) {
+		panic(fmt.Sprintf("field: store at %v outside window %v", c, v.box))
+	}
+	v.data[v.offset(c)] = val
+}
+
+// Fill sets every cell to val.
+func (v *CC[T]) Fill(val T) {
+	for i := range v.data {
+		v.data[i] = val
+	}
+}
+
+// FillFunc sets every cell to f(cell index).
+func (v *CC[T]) FillFunc(f func(c grid.IntVector) T) {
+	i := 0
+	for x := v.box.Lo.X; x < v.box.Hi.X; x++ {
+		for y := v.box.Lo.Y; y < v.box.Hi.Y; y++ {
+			for z := v.box.Lo.Z; z < v.box.Hi.Z; z++ {
+				v.data[i] = f(grid.IntVector{X: x, Y: y, Z: z})
+				i++
+			}
+		}
+	}
+}
+
+// CopyRegion copies the cells of region from src into v. The region must
+// be contained in both windows.
+func (v *CC[T]) CopyRegion(src *CC[T], region grid.Box) {
+	if region.Empty() {
+		return
+	}
+	if !sameBoxContains(v.box, region) || !sameBoxContains(src.box, region) {
+		panic(fmt.Sprintf("field: CopyRegion %v not contained in dst %v and src %v",
+			region, v.box, src.box))
+	}
+	for x := region.Lo.X; x < region.Hi.X; x++ {
+		for y := region.Lo.Y; y < region.Hi.Y; y++ {
+			// Contiguous run in z on both sides.
+			do := v.offset(grid.IntVector{X: x, Y: y, Z: region.Lo.Z})
+			so := src.offset(grid.IntVector{X: x, Y: y, Z: region.Lo.Z})
+			copy(v.data[do:do+region.Hi.Z-region.Lo.Z], src.data[so:so+region.Hi.Z-region.Lo.Z])
+		}
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v *CC[T]) Clone() *CC[T] {
+	out := &CC[T]{box: v.box, ext: v.ext, data: make([]T, len(v.data))}
+	copy(out.data, v.data)
+	return out
+}
+
+func sameBoxContains(outer, inner grid.Box) bool {
+	return outer.Intersect(inner) == inner
+}
+
+// CoarsenAverage computes the conservative average of fine onto the
+// coarse window dst: every coarse cell receives the arithmetic mean of
+// its rr.Volume() children. This is how the paper projects the fine CFD
+// mesh's radiative properties (abskg, sigmaT4) onto the coarse radiation
+// levels. dst's box, refined by rr, must be contained in fine's box.
+func CoarsenAverage(dst *CC[float64], fine *CC[float64], rr grid.IntVector) {
+	inv := 1.0 / float64(rr.Volume())
+	for x := dst.box.Lo.X; x < dst.box.Hi.X; x++ {
+		for y := dst.box.Lo.Y; y < dst.box.Hi.Y; y++ {
+			for z := dst.box.Lo.Z; z < dst.box.Hi.Z; z++ {
+				sum := 0.0
+				fx0, fy0, fz0 := x*rr.X, y*rr.Y, z*rr.Z
+				for i := 0; i < rr.X; i++ {
+					for j := 0; j < rr.Y; j++ {
+						for k := 0; k < rr.Z; k++ {
+							sum += fine.At(grid.IntVector{X: fx0 + i, Y: fy0 + j, Z: fz0 + k})
+						}
+					}
+				}
+				dst.Set(grid.IntVector{X: x, Y: y, Z: z}, sum*inv)
+			}
+		}
+	}
+}
+
+// CoarsenCellType projects cell types to a coarse window: a coarse cell
+// is Boundary/Intrusion if any child is (opaque wins), else Flow. Rays on
+// the coarse level must not fly through walls that exist on the fine
+// level.
+func CoarsenCellType(dst *CC[CellType], fine *CC[CellType], rr grid.IntVector) {
+	for x := dst.box.Lo.X; x < dst.box.Hi.X; x++ {
+		for y := dst.box.Lo.Y; y < dst.box.Hi.Y; y++ {
+			for z := dst.box.Lo.Z; z < dst.box.Hi.Z; z++ {
+				ct := Flow
+				fx0, fy0, fz0 := x*rr.X, y*rr.Y, z*rr.Z
+			children:
+				for i := 0; i < rr.X; i++ {
+					for j := 0; j < rr.Y; j++ {
+						for k := 0; k < rr.Z; k++ {
+							c := fine.At(grid.IntVector{X: fx0 + i, Y: fy0 + j, Z: fz0 + k})
+							if c != Flow {
+								ct = c
+								break children
+							}
+						}
+					}
+				}
+				dst.Set(grid.IntVector{X: x, Y: y, Z: z}, ct)
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package field
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+func box(lo, hi int) grid.Box {
+	return grid.NewBox(grid.Uniform(lo), grid.Uniform(hi))
+}
+
+func TestCCRoundTrip(t *testing.T) {
+	v := NewCC[float64](box(0, 4))
+	i := 0.0
+	v.Box().ForEach(func(c grid.IntVector) {
+		v.Set(c, i)
+		i++
+	})
+	j := 0.0
+	v.Box().ForEach(func(c grid.IntVector) {
+		if got := v.At(c); got != j {
+			t.Fatalf("At(%v) = %v, want %v", c, got, j)
+		}
+		j++
+	})
+}
+
+func TestCCOffsetWindow(t *testing.T) {
+	// Windows need not start at the origin (ghost windows have negative
+	// lo corners).
+	b := grid.NewBox(grid.IV(-2, -2, -2), grid.IV(3, 3, 3))
+	v := NewCC[int](b)
+	v.Set(grid.IV(-2, -2, -2), 7)
+	v.Set(grid.IV(2, 2, 2), 9)
+	if v.At(grid.IV(-2, -2, -2)) != 7 || v.At(grid.IV(2, 2, 2)) != 9 {
+		t.Error("corner round trip failed")
+	}
+	if v.At(grid.IV(0, 0, 0)) != 0 {
+		t.Error("unset cell not zero")
+	}
+}
+
+func TestCCOutOfWindowPanics(t *testing.T) {
+	v := NewCC[float64](box(0, 2))
+	for _, c := range []grid.IntVector{grid.IV(2, 0, 0), grid.IV(-1, 0, 0), grid.IV(0, 0, 5)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("access at %v should panic", c)
+				}
+			}()
+			v.At(c)
+		}()
+	}
+}
+
+func TestCCFillFuncMatchesAt(t *testing.T) {
+	v := NewCC[float64](box(0, 5))
+	f := func(c grid.IntVector) float64 { return float64(c.X*100 + c.Y*10 + c.Z) }
+	v.FillFunc(f)
+	v.Box().ForEach(func(c grid.IntVector) {
+		if v.At(c) != f(c) {
+			t.Fatalf("FillFunc mismatch at %v", c)
+		}
+	})
+}
+
+func TestCCDataLayoutZFastest(t *testing.T) {
+	v := NewCC[float64](box(0, 3))
+	v.FillFunc(func(c grid.IntVector) float64 { return float64(c.X*9 + c.Y*3 + c.Z) })
+	data := v.Data()
+	for i, x := range data {
+		if x != float64(i) {
+			t.Fatalf("data[%d] = %v: layout is not z-fastest row-major", i, x)
+		}
+	}
+}
+
+func TestCopyRegion(t *testing.T) {
+	src := NewCC[float64](box(0, 8))
+	src.FillFunc(func(c grid.IntVector) float64 { return float64(c.X + 10*c.Y + 100*c.Z) })
+	dst := NewCC[float64](grid.NewBox(grid.IV(2, 2, 2), grid.IV(10, 10, 10)))
+	region := grid.NewBox(grid.IV(3, 3, 3), grid.IV(7, 7, 7))
+	dst.CopyRegion(src, region)
+	region.ForEach(func(c grid.IntVector) {
+		if dst.At(c) != src.At(c) {
+			t.Fatalf("CopyRegion mismatch at %v", c)
+		}
+	})
+	// Outside the region dst stays zero.
+	if dst.At(grid.IV(2, 2, 2)) != 0 || dst.At(grid.IV(9, 9, 9)) != 0 {
+		t.Error("CopyRegion wrote outside region")
+	}
+}
+
+func TestCopyRegionEmptyAndInvalid(t *testing.T) {
+	src := NewCC[float64](box(0, 4))
+	dst := NewCC[float64](box(0, 4))
+	dst.CopyRegion(src, grid.NewBox(grid.IV(2, 2, 2), grid.IV(2, 2, 2))) // empty: no-op
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CopyRegion outside windows should panic")
+			}
+		}()
+		dst.CopyRegion(src, box(0, 5))
+	}()
+}
+
+func TestClone(t *testing.T) {
+	v := NewCC[float64](box(0, 3))
+	v.Fill(3.5)
+	w := v.Clone()
+	w.Set(grid.IV(1, 1, 1), 9)
+	if v.At(grid.IV(1, 1, 1)) != 3.5 {
+		t.Error("Clone shares storage with original")
+	}
+	if w.Box() != v.Box() {
+		t.Error("Clone box mismatch")
+	}
+}
+
+func TestNewCCFrom(t *testing.T) {
+	storage := make([]float64, 27)
+	v := NewCCFrom(box(0, 3), storage)
+	v.Set(grid.IV(0, 0, 1), 5)
+	if storage[1] != 5 {
+		t.Error("NewCCFrom does not alias provided storage")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewCCFrom with wrong size should panic")
+			}
+		}()
+		NewCCFrom(box(0, 3), make([]float64, 26))
+	}()
+}
+
+func TestCoarsenAverageConservation(t *testing.T) {
+	// The mean over the fine level equals the mean over the coarse level
+	// (conservative projection).
+	rr := grid.Uniform(4)
+	fine := NewCC[float64](box(0, 16))
+	fine.FillFunc(func(c grid.IntVector) float64 {
+		return float64((c.X*31+c.Y*17+c.Z*7)%13) + 0.25
+	})
+	coarse := NewCC[float64](box(0, 4))
+	CoarsenAverage(coarse, fine, rr)
+
+	sumF, sumC := 0.0, 0.0
+	fine.Box().ForEach(func(c grid.IntVector) { sumF += fine.At(c) })
+	coarse.Box().ForEach(func(c grid.IntVector) { sumC += coarse.At(c) })
+	if diff := sumF/float64(fine.Box().Volume()) - sumC/float64(coarse.Box().Volume()); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("means differ by %v", diff)
+	}
+}
+
+func TestCoarsenAverageConstantField(t *testing.T) {
+	f := func(val float64) bool {
+		if val != val || val > 1e100 || val < -1e100 { // NaN/huge guard
+			val = 1
+		}
+		fine := NewCC[float64](box(0, 8))
+		fine.Fill(val)
+		coarse := NewCC[float64](box(0, 4))
+		CoarsenAverage(coarse, fine, grid.Uniform(2))
+		ok := true
+		coarse.Box().ForEach(func(c grid.IntVector) {
+			d := coarse.At(c) - val
+			if d > 1e-9 || d < -1e-9 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoarsenCellTypeOpaqueWins(t *testing.T) {
+	rr := grid.Uniform(2)
+	fine := NewCC[CellType](box(0, 4))
+	fine.Fill(Flow)
+	// One boundary child inside the (1,1,1) coarse cell.
+	fine.Set(grid.IV(3, 2, 2), Boundary)
+	coarse := NewCC[CellType](box(0, 2))
+	CoarsenCellType(coarse, fine, rr)
+	if coarse.At(grid.IV(1, 1, 1)) != Boundary {
+		t.Error("coarse cell with a boundary child must be boundary")
+	}
+	if coarse.At(grid.IV(0, 0, 0)) != Flow {
+		t.Error("all-flow coarse cell must be flow")
+	}
+}
+
+func TestCellTypeString(t *testing.T) {
+	if Flow.String() != "flow" || Boundary.String() != "boundary" || Intrusion.String() != "intrusion" {
+		t.Error("CellType strings wrong")
+	}
+	if CellType(9).String() == "" {
+		t.Error("unknown CellType should still format")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	v := NewCC[float64](box(0, 4))
+	if got := v.SizeBytes(8); got != 64*8 {
+		t.Errorf("SizeBytes = %d", got)
+	}
+}

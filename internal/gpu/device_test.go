@@ -1,0 +1,236 @@
+package gpu
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAllocAccounting(t *testing.T) {
+	d := NewDevice(1000, CostModel{})
+	b1, err := d.Alloc(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := d.Alloc(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 900 {
+		t.Errorf("Used = %d", d.Used())
+	}
+	d.Free(b1)
+	if d.Used() != 500 {
+		t.Errorf("Used after free = %d", d.Used())
+	}
+	if d.PeakUsed() != 900 {
+		t.Errorf("PeakUsed = %d", d.PeakUsed())
+	}
+	d.Free(b2)
+	if d.Capacity() != 1000 {
+		t.Errorf("Capacity = %d", d.Capacity())
+	}
+}
+
+func TestAllocOutOfMemory(t *testing.T) {
+	// The 6 GB wall: allocations beyond capacity must fail, not mask.
+	d := NewDevice(100, CostModel{})
+	if _, err := d.Alloc(60); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.Alloc(50)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	d := NewDevice(100, CostModel{})
+	b, _ := d.Alloc(10)
+	d.Free(b)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free should panic")
+		}
+	}()
+	d.Free(b)
+}
+
+func TestFreeNilIsNoop(t *testing.T) {
+	d := NewDevice(100, CostModel{})
+	d.Free(nil)
+}
+
+func TestBufferDataSized(t *testing.T) {
+	d := NewDevice(1000, CostModel{})
+	b, _ := d.Alloc(17) // odd size rounds up to 3 float64s
+	if len(b.Data) != 3 {
+		t.Errorf("Data len = %d", len(b.Data))
+	}
+	if b.Size() != 17 {
+		t.Errorf("Size = %d", b.Size())
+	}
+}
+
+func TestStreamSerializesItsOps(t *testing.T) {
+	m := CostModel{PCIeBandwidth: 1e9, PCIeLatency: 1e-6, KernelLaunch: 1e-6, Throughput: 1e9}
+	d := NewDevice(1<<30, m)
+	s := d.NewStream()
+	t1 := s.H2D(1e6, "in")           // 1e-6 + 1e-3
+	t2 := s.Launch(1e6, "kern", nil) // starts after t1
+	t3 := s.D2H(1e6, "out")          // starts after t2
+	if !(t1 < t2 && t2 < t3) {
+		t.Errorf("stream ops not serialized: %v %v %v", t1, t2, t3)
+	}
+	if s.ReadyAt() != t3 {
+		t.Errorf("ReadyAt = %v, want %v", s.ReadyAt(), t3)
+	}
+}
+
+func TestCopyEnginesOverlapAcrossStreams(t *testing.T) {
+	// Two streams transferring simultaneously use both copy engines: the
+	// makespan is ~one transfer, not two.
+	m := CostModel{PCIeBandwidth: 1e9}
+	d := NewDevice(1<<30, m)
+	s1, s2 := d.NewStream(), d.NewStream()
+	e1 := s1.H2D(1e6, "a")
+	e2 := s2.H2D(1e6, "b")
+	single := 1e6 / 1e9
+	if math.Abs(e1-single) > 1e-9 || math.Abs(e2-single) > 1e-9 {
+		t.Errorf("transfers did not overlap: %v %v, want %v", e1, e2, single)
+	}
+	// A third transfer must queue behind one of the engines.
+	s3 := d.NewStream()
+	e3 := s3.H2D(1e6, "c")
+	if math.Abs(e3-2*single) > 1e-9 {
+		t.Errorf("third transfer = %v, want %v", e3, 2*single)
+	}
+}
+
+func TestKernelsSerializeButOverlapCopies(t *testing.T) {
+	m := CostModel{PCIeBandwidth: 1e9, Throughput: 1e9}
+	d := NewDevice(1<<30, m)
+	s1, s2 := d.NewStream(), d.NewStream()
+	k1 := s1.Launch(1e6, "k1", nil)
+	k2 := s2.Launch(1e6, "k2", nil) // compute serializes
+	if k2 <= k1 {
+		t.Errorf("kernels overlapped on compute: %v %v", k1, k2)
+	}
+	// But a copy on stream 3 runs during the kernels.
+	s3 := d.NewStream()
+	c := s3.H2D(1e6, "c")
+	if c > k1+1e-9 {
+		t.Errorf("copy did not overlap compute: copy end %v, k1 end %v", c, k1)
+	}
+}
+
+func TestLaunchRunsBody(t *testing.T) {
+	d := NewDevice(1<<20, CostModel{})
+	s := d.NewStream()
+	ran := false
+	s.Launch(1, "body", func() { ran = true })
+	if !ran {
+		t.Error("kernel body did not execute")
+	}
+}
+
+func TestMakespanAndReset(t *testing.T) {
+	m := CostModel{PCIeBandwidth: 1e9, Throughput: 1e9}
+	d := NewDevice(1<<30, m)
+	s := d.NewStream()
+	s.H2D(1e6, "in")
+	s.Launch(5e6, "k", nil)
+	if d.Makespan() <= 0 {
+		t.Error("Makespan should be positive")
+	}
+	d.ResetTimeline()
+	if d.Makespan() != 0 {
+		t.Errorf("Makespan after reset = %v", d.Makespan())
+	}
+}
+
+func TestEventRecording(t *testing.T) {
+	d := NewDevice(1<<30, NewK20X(1e9))
+	d.SetRecording(true)
+	s := d.NewStream()
+	s.H2D(100, "in")
+	s.Launch(50, "kern", nil)
+	s.D2H(100, "out")
+	evs := d.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	wantKinds := []EventKind{EventH2D, EventKernel, EventD2H}
+	for i, e := range evs {
+		if e.Kind != wantKinds[i] {
+			t.Errorf("event %d kind = %v, want %v", i, e.Kind, wantKinds[i])
+		}
+		if e.End < e.Start {
+			t.Errorf("event %d ends before it starts", i)
+		}
+	}
+	if EventH2D.String() != "h2d" || EventD2H.String() != "d2h" || EventKernel.String() != "kernel" {
+		t.Error("EventKind strings wrong")
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	d := NewDevice(1<<20, CostModel{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b, err := d.Alloc(256)
+				if err != nil {
+					continue // transient exhaustion is fine
+				}
+				d.Free(b)
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Used() != 0 {
+		t.Errorf("Used = %d after balanced alloc/free", d.Used())
+	}
+}
+
+func TestConcurrentStreams(t *testing.T) {
+	d := NewDevice(1<<30, NewK20X(1e9))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := d.NewStream()
+			for i := 0; i < 100; i++ {
+				s.H2D(1000, "x")
+				s.Launch(100, "k", nil)
+				s.D2H(1000, "y")
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Makespan() <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+}
+
+func TestNewK20XParameters(t *testing.T) {
+	m := NewK20X(5e8)
+	if m.PCIeBandwidth != 6e9 || m.Throughput != 5e8 {
+		t.Errorf("K20X model = %+v", m)
+	}
+	if K20XMemory != 6<<30 {
+		t.Errorf("K20XMemory = %d", int64(K20XMemory))
+	}
+}
+
+func TestNegativeAllocFails(t *testing.T) {
+	d := NewDevice(100, CostModel{})
+	if _, err := d.Alloc(-1); err == nil {
+		t.Error("negative alloc should fail")
+	}
+}

@@ -1,0 +1,319 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+func TestIntVectorArithmetic(t *testing.T) {
+	a, b := IV(1, 2, 3), IV(4, 5, 6)
+	if got := a.Add(b); got != IV(5, 7, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != IV(3, 3, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b); got != IV(4, 10, 18) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := IV(8, 9, 10).Div(IV(2, 3, 5)); got != IV(4, 3, 2) {
+		t.Errorf("Div = %v", got)
+	}
+	if got := a.Scale(3); got != IV(3, 6, 9) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Max(b); got != b {
+		t.Errorf("Max = %v", got)
+	}
+	if got := a.Min(b); got != a {
+		t.Errorf("Min = %v", got)
+	}
+	if got := IV(2, 3, 4).Volume(); got != 24 {
+		t.Errorf("Volume = %v", got)
+	}
+}
+
+func TestFloorDivNegativeIndices(t *testing.T) {
+	// Ghost cells below zero must coarsen to negative coarse indices,
+	// not to zero: cell -1 under ratio 4 belongs to coarse cell -1.
+	cases := []struct {
+		fine IntVector
+		want IntVector
+	}{
+		{IV(-1, -1, -1), IV(-1, -1, -1)},
+		{IV(-4, -5, -8), IV(-1, -2, -2)},
+		{IV(0, 3, 4), IV(0, 0, 1)},
+		{IV(7, 8, 9), IV(1, 2, 2)},
+	}
+	rr := Uniform(4)
+	for _, c := range cases {
+		if got := c.fine.FloorDiv(rr); got != c.want {
+			t.Errorf("FloorDiv(%v, 4) = %v, want %v", c.fine, got, c.want)
+		}
+	}
+}
+
+func TestFloorDivProperty(t *testing.T) {
+	// floorDiv(a,b)*b <= a < floorDiv(a,b)*b + b for positive b.
+	f := func(a int16, b uint8) bool {
+		bb := int(b%16) + 1
+		q := floorDiv(int(a), bb)
+		return q*bb <= int(a) && int(a) < q*bb+bb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox(IV(0, 0, 0), IV(4, 4, 4))
+	if b.Volume() != 64 {
+		t.Errorf("Volume = %d", b.Volume())
+	}
+	if !b.Contains(IV(3, 3, 3)) || b.Contains(IV(4, 0, 0)) {
+		t.Error("Contains wrong on boundary (hi is exclusive)")
+	}
+	if b.Empty() {
+		t.Error("non-empty box reported empty")
+	}
+	if !(Box{IV(2, 2, 2), IV(2, 5, 5)}).Empty() {
+		t.Error("degenerate box not empty")
+	}
+}
+
+func TestBoxIntersectUnion(t *testing.T) {
+	a := NewBox(IV(0, 0, 0), IV(4, 4, 4))
+	b := NewBox(IV(2, 2, 2), IV(6, 6, 6))
+	got := a.Intersect(b)
+	if got != NewBox(IV(2, 2, 2), IV(4, 4, 4)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if u := a.Union(b); u != NewBox(IV(0, 0, 0), IV(6, 6, 6)) {
+		t.Errorf("Union = %v", u)
+	}
+	c := NewBox(IV(10, 10, 10), IV(12, 12, 12))
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint boxes intersect non-empty")
+	}
+}
+
+func TestBoxGrow(t *testing.T) {
+	b := NewBox(IV(2, 2, 2), IV(4, 4, 4)).Grow(1)
+	if b != NewBox(IV(1, 1, 1), IV(5, 5, 5)) {
+		t.Errorf("Grow = %v", b)
+	}
+	if g := b.Grow(-1); g != NewBox(IV(2, 2, 2), IV(4, 4, 4)) {
+		t.Errorf("Grow(-1) = %v", g)
+	}
+}
+
+func TestBoxCoarsenRefineRoundTrip(t *testing.T) {
+	rr := Uniform(4)
+	fine := NewBox(IV(0, 4, 8), IV(16, 20, 24))
+	coarse := fine.Coarsen(rr)
+	if coarse != NewBox(IV(0, 1, 2), IV(4, 5, 6)) {
+		t.Errorf("Coarsen = %v", coarse)
+	}
+	// Refining the coarsened box must cover the original.
+	ref := coarse.Refine(rr)
+	if ref.Intersect(fine) != fine {
+		t.Errorf("Refine(Coarsen(b)) = %v does not cover %v", ref, fine)
+	}
+}
+
+func TestBoxCoarsenCoversProperty(t *testing.T) {
+	// For any box and ratio, every fine cell's coarse parent lies in the
+	// coarsened box.
+	f := func(lx, ly, lz uint8, ex, ey, ez uint8, r uint8) bool {
+		lo := IV(int(lx%20), int(ly%20), int(lz%20))
+		ext := IV(int(ex%8)+1, int(ey%8)+1, int(ez%8)+1)
+		rr := Uniform(int(r%4) + 1)
+		b := NewBox(lo, lo.Add(ext))
+		cb := b.Coarsen(rr)
+		ok := true
+		b.ForEach(func(c IntVector) {
+			if !cb.Contains(c.FloorDiv(rr)) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxForEachOrderAndCount(t *testing.T) {
+	b := NewBox(IV(1, 1, 1), IV(3, 3, 3))
+	var cells []IntVector
+	b.ForEach(func(c IntVector) { cells = append(cells, c) })
+	if len(cells) != 8 {
+		t.Fatalf("ForEach visited %d cells, want 8", len(cells))
+	}
+	if cells[0] != IV(1, 1, 1) || cells[1] != IV(1, 1, 2) {
+		t.Errorf("ForEach order wrong: %v", cells[:2])
+	}
+	if cells[7] != IV(2, 2, 2) {
+		t.Errorf("last cell = %v", cells[7])
+	}
+}
+
+func mustGrid(t testing.TB, specs ...Spec) *Grid {
+	t.Helper()
+	g, err := New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridTwoLevel(t *testing.T) {
+	// The paper's medium problem, laptop-scaled: coarse 16^3, fine 64^3,
+	// refinement ratio 4.
+	g := mustGrid(t,
+		Spec{Resolution: Uniform(16), PatchSize: Uniform(8)},
+		Spec{Resolution: Uniform(64), PatchSize: Uniform(16)},
+	)
+	if len(g.Levels) != 2 {
+		t.Fatalf("levels = %d", len(g.Levels))
+	}
+	if rr := g.Levels[1].RefinementRatio; rr != Uniform(4) {
+		t.Errorf("refinement ratio = %v, want (4,4,4)", rr)
+	}
+	if n := len(g.Levels[0].Patches); n != 8 {
+		t.Errorf("coarse patches = %d, want 8", n)
+	}
+	if n := len(g.Levels[1].Patches); n != 64 {
+		t.Errorf("fine patches = %d, want 64", n)
+	}
+	if got := g.TotalCells(); got != 16*16*16+64*64*64 {
+		t.Errorf("TotalCells = %d", got)
+	}
+	if g.Finest() != g.Levels[1] || g.Coarsest() != g.Levels[0] {
+		t.Error("Finest/Coarsest wrong")
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	bad := []([]Spec){
+		{},
+		{{Resolution: Uniform(0), PatchSize: Uniform(1)}},
+		{{Resolution: Uniform(8), PatchSize: Uniform(3)}},                                                   // patch doesn't divide
+		{{Resolution: Uniform(8), PatchSize: Uniform(4)}, {Resolution: Uniform(12), PatchSize: Uniform(4)}}, // 12 not multiple of 8
+	}
+	for i, specs := range bad {
+		if _, err := New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1), specs...); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPatchesTileLevelExactly(t *testing.T) {
+	g := mustGrid(t, Spec{Resolution: IV(8, 4, 6), PatchSize: IV(4, 2, 3)})
+	l := g.Levels[0]
+	count := make(map[IntVector]int)
+	for _, p := range l.Patches {
+		p.Cells.ForEach(func(c IntVector) { count[c]++ })
+	}
+	if len(count) != l.NumCells() {
+		t.Fatalf("patches cover %d cells, level has %d", len(count), l.NumCells())
+	}
+	for c, n := range count {
+		if n != 1 {
+			t.Fatalf("cell %v covered %d times", c, n)
+		}
+	}
+}
+
+func TestPatchContaining(t *testing.T) {
+	g := mustGrid(t, Spec{Resolution: Uniform(16), PatchSize: Uniform(4)})
+	l := g.Levels[0]
+	l.IndexBox().ForEach(func(c IntVector) {
+		p := l.PatchContaining(c)
+		if p == nil {
+			t.Fatalf("no patch contains %v", c)
+		}
+		if !p.Cells.Contains(c) {
+			t.Fatalf("PatchContaining(%v) returned %v which does not contain it", c, p)
+		}
+	})
+	if l.PatchContaining(IV(-1, 0, 0)) != nil || l.PatchContaining(IV(16, 0, 0)) != nil {
+		t.Error("out-of-level cell should have no patch")
+	}
+}
+
+func TestCellGeometry(t *testing.T) {
+	g := mustGrid(t, Spec{Resolution: Uniform(10), PatchSize: Uniform(5)})
+	l := g.Levels[0]
+	dx := l.CellSize()
+	if dx != mathutil.V3(0.1, 0.1, 0.1) {
+		t.Errorf("CellSize = %v", dx)
+	}
+	c := l.CellCenter(IV(0, 0, 0))
+	if c != mathutil.V3(0.05, 0.05, 0.05) {
+		t.Errorf("CellCenter = %v", c)
+	}
+	// CellContaining inverts CellCenter.
+	l.IndexBox().ForEach(func(ci IntVector) {
+		if got := l.CellContaining(l.CellCenter(ci)); got != ci {
+			t.Fatalf("CellContaining(center(%v)) = %v", ci, got)
+		}
+	})
+	// Upper boundary maps to last cell; outside clamps.
+	if got := l.CellContaining(mathutil.V3(1, 1, 1)); got != IV(9, 9, 9) {
+		t.Errorf("boundary point maps to %v", got)
+	}
+}
+
+func TestCoarsenRefineIndex(t *testing.T) {
+	g := mustGrid(t,
+		Spec{Resolution: Uniform(8), PatchSize: Uniform(8)},
+		Spec{Resolution: Uniform(16), PatchSize: Uniform(16)},
+		Spec{Resolution: Uniform(64), PatchSize: Uniform(64)},
+	)
+	// Level 2 -> 0 composes ratios 4 then 2.
+	if got := g.CoarsenIndex(IV(63, 63, 63), 2, 0); got != IV(7, 7, 7) {
+		t.Errorf("CoarsenIndex = %v", got)
+	}
+	if got := g.RefineIndex(IV(7, 7, 7), 0, 2); got != IV(56, 56, 56) {
+		t.Errorf("RefineIndex = %v", got)
+	}
+	// Refine then coarsen is identity on the low corner.
+	if got := g.CoarsenIndex(g.RefineIndex(IV(3, 5, 2), 0, 2), 2, 0); got != IV(3, 5, 2) {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestAssignRoundRobin(t *testing.T) {
+	g := mustGrid(t, Spec{Resolution: Uniform(8), PatchSize: Uniform(2)}) // 64 patches
+	g.AssignRoundRobin(6)
+	counts := make(map[int]int)
+	for _, p := range g.Levels[0].Patches {
+		if p.Rank < 0 || p.Rank >= 6 {
+			t.Fatalf("patch rank %d out of range", p.Rank)
+		}
+		counts[p.Rank]++
+	}
+	// 64 patches over 6 ranks: loads must differ by at most 1.
+	lo, hi := 1<<30, 0
+	for r := 0; r < 6; r++ {
+		if counts[r] < lo {
+			lo = counts[r]
+		}
+		if counts[r] > hi {
+			hi = counts[r]
+		}
+	}
+	if hi-lo > 1 {
+		t.Errorf("imbalanced assignment: min %d max %d", lo, hi)
+	}
+	got := 0
+	for r := 0; r < 6; r++ {
+		got += len(g.PatchesOnRank(0, r))
+	}
+	if got != 64 {
+		t.Errorf("PatchesOnRank total = %d", got)
+	}
+}

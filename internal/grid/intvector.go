@@ -1,0 +1,213 @@
+// Package grid implements a miniature version of Uintah's structured AMR
+// grid: a hierarchy of Cartesian mesh levels, each decomposed into
+// axis-aligned patches of cells, with integer index arithmetic for
+// coarsening and refining between levels.
+//
+// Terminology follows Uintah:
+//
+//   - Level: a uniform Cartesian mesh covering (for radiation levels) the
+//     whole domain. Level 0 is the coarsest; higher indices are finer.
+//   - Patch: a box of cells on a level, the unit of work distribution.
+//   - Refinement ratio: the per-axis cell count ratio between a level and
+//     the next coarser level (typically 2 or 4 in the paper).
+//   - Ghost cells: halo cells around a patch filled from neighbouring
+//     patches (or, for radiation coarse levels, from the whole level).
+package grid
+
+import "fmt"
+
+// IntVector is a 3-component integer index, the coordinate type for cells
+// and patch extents.
+type IntVector struct {
+	X, Y, Z int
+}
+
+// IV constructs an IntVector.
+func IV(x, y, z int) IntVector { return IntVector{x, y, z} }
+
+// Uniform returns (n, n, n).
+func Uniform(n int) IntVector { return IntVector{n, n, n} }
+
+// Add returns a + b.
+func (a IntVector) Add(b IntVector) IntVector {
+	return IntVector{a.X + b.X, a.Y + b.Y, a.Z + b.Z}
+}
+
+// Sub returns a - b.
+func (a IntVector) Sub(b IntVector) IntVector {
+	return IntVector{a.X - b.X, a.Y - b.Y, a.Z - b.Z}
+}
+
+// Mul returns the component-wise product a∘b.
+func (a IntVector) Mul(b IntVector) IntVector {
+	return IntVector{a.X * b.X, a.Y * b.Y, a.Z * b.Z}
+}
+
+// Div returns the component-wise quotient with truncation toward zero.
+func (a IntVector) Div(b IntVector) IntVector {
+	return IntVector{a.X / b.X, a.Y / b.Y, a.Z / b.Z}
+}
+
+// FloorDiv returns the component-wise quotient rounded toward negative
+// infinity. Index coarsening must use floor division so that negative
+// ghost indices map to the correct coarse cell.
+func (a IntVector) FloorDiv(b IntVector) IntVector {
+	return IntVector{floorDiv(a.X, b.X), floorDiv(a.Y, b.Y), floorDiv(a.Z, b.Z)}
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// Scale returns s*a.
+func (a IntVector) Scale(s int) IntVector {
+	return IntVector{s * a.X, s * a.Y, s * a.Z}
+}
+
+// Max returns the component-wise maximum of a and b.
+func (a IntVector) Max(b IntVector) IntVector {
+	return IntVector{maxInt(a.X, b.X), maxInt(a.Y, b.Y), maxInt(a.Z, b.Z)}
+}
+
+// Min returns the component-wise minimum of a and b.
+func (a IntVector) Min(b IntVector) IntVector {
+	return IntVector{minInt(a.X, b.X), minInt(a.Y, b.Y), minInt(a.Z, b.Z)}
+}
+
+// Volume returns X*Y*Z, the cell count of a box with this extent.
+func (a IntVector) Volume() int { return a.X * a.Y * a.Z }
+
+// AllGTE reports whether every component of a is >= the matching
+// component of b.
+func (a IntVector) AllGTE(b IntVector) bool {
+	return a.X >= b.X && a.Y >= b.Y && a.Z >= b.Z
+}
+
+// AllGT reports whether every component of a is > the matching component
+// of b.
+func (a IntVector) AllGT(b IntVector) bool {
+	return a.X > b.X && a.Y > b.Y && a.Z > b.Z
+}
+
+// Component returns component i (0=X, 1=Y, 2=Z).
+func (a IntVector) Component(i int) int {
+	switch i {
+	case 0:
+		return a.X
+	case 1:
+		return a.Y
+	default:
+		return a.Z
+	}
+}
+
+// WithComponent returns a copy of a with component i set to v.
+func (a IntVector) WithComponent(i, v int) IntVector {
+	switch i {
+	case 0:
+		a.X = v
+	case 1:
+		a.Y = v
+	default:
+		a.Z = v
+	}
+	return a
+}
+
+// String implements fmt.Stringer.
+func (a IntVector) String() string { return fmt.Sprintf("(%d,%d,%d)", a.X, a.Y, a.Z) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Box is a half-open axis-aligned box of cell indices: Lo is the first
+// cell contained, Hi is one past the last in each axis.
+type Box struct {
+	Lo, Hi IntVector
+}
+
+// NewBox returns the box [lo, hi).
+func NewBox(lo, hi IntVector) Box { return Box{lo, hi} }
+
+// Extent returns Hi - Lo.
+func (b Box) Extent() IntVector { return b.Hi.Sub(b.Lo) }
+
+// Volume returns the number of cells in the box (0 if degenerate).
+func (b Box) Volume() int {
+	e := b.Extent()
+	if e.X <= 0 || e.Y <= 0 || e.Z <= 0 {
+		return 0
+	}
+	return e.Volume()
+}
+
+// Empty reports whether the box contains no cells.
+func (b Box) Empty() bool { return b.Volume() == 0 }
+
+// Contains reports whether cell c lies inside the box.
+func (b Box) Contains(c IntVector) bool {
+	return c.X >= b.Lo.X && c.X < b.Hi.X &&
+		c.Y >= b.Lo.Y && c.Y < b.Hi.Y &&
+		c.Z >= b.Lo.Z && c.Z < b.Hi.Z
+}
+
+// Intersect returns the (possibly empty) intersection of b and o.
+func (b Box) Intersect(o Box) Box {
+	return Box{b.Lo.Max(o.Lo), b.Hi.Min(o.Hi)}
+}
+
+// Union returns the smallest box containing both b and o.
+func (b Box) Union(o Box) Box {
+	return Box{b.Lo.Min(o.Lo), b.Hi.Max(o.Hi)}
+}
+
+// Grow returns the box expanded by g cells on every face (negative g
+// shrinks).
+func (b Box) Grow(g int) Box {
+	gv := Uniform(g)
+	return Box{b.Lo.Sub(gv), b.Hi.Add(gv)}
+}
+
+// Coarsen maps the box to the next coarser level under refinement ratio
+// rr, conservatively covering all coarse cells touched by b.
+func (b Box) Coarsen(rr IntVector) Box {
+	lo := b.Lo.FloorDiv(rr)
+	// Hi is exclusive: coarsen hi-1 then add one.
+	hi := b.Hi.Sub(Uniform(1)).FloorDiv(rr).Add(Uniform(1))
+	return Box{lo, hi}
+}
+
+// Refine maps the box to the next finer level under refinement ratio rr.
+func (b Box) Refine(rr IntVector) Box {
+	return Box{b.Lo.Mul(rr), b.Hi.Mul(rr)}
+}
+
+// ForEach invokes f for every cell in the box in k-fastest (z inner)
+// order. It is the canonical cell iteration used by solvers and tests.
+func (b Box) ForEach(f func(c IntVector)) {
+	for i := b.Lo.X; i < b.Hi.X; i++ {
+		for j := b.Lo.Y; j < b.Hi.Y; j++ {
+			for k := b.Lo.Z; k < b.Hi.Z; k++ {
+				f(IntVector{i, j, k})
+			}
+		}
+	}
+}
+
+// String implements fmt.Stringer.
+func (b Box) String() string { return fmt.Sprintf("[%v..%v)", b.Lo, b.Hi) }

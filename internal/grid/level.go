@@ -1,0 +1,271 @@
+package grid
+
+import (
+	"fmt"
+
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// Patch is one axis-aligned box of cells on a level — Uintah's unit of
+// work distribution and data ownership. Patches on a level tile the level
+// exactly (no overlap, no gaps).
+type Patch struct {
+	// ID is unique across the whole grid (all levels).
+	ID int
+	// LevelIndex is the index of the owning level within the grid.
+	LevelIndex int
+	// Cells is the half-open cell index box owned by this patch.
+	Cells Box
+	// Rank is the simulated MPI rank that owns the patch after load
+	// balancing (-1 before assignment).
+	Rank int
+}
+
+// String implements fmt.Stringer.
+func (p *Patch) String() string {
+	return fmt.Sprintf("patch{id=%d L%d %v rank=%d}", p.ID, p.LevelIndex, p.Cells, p.Rank)
+}
+
+// NumCells returns the number of cells owned by the patch.
+func (p *Patch) NumCells() int { return p.Cells.Volume() }
+
+// Level is one uniform Cartesian mesh in the AMR hierarchy. For the
+// radiation problems in the paper every level spans the entire physical
+// domain ("level-upon-level" AMR, not patch-based local refinement): the
+// fine CFD level and the coarse radiation level(s) all cover the boiler.
+type Level struct {
+	// Index is this level's position in the grid; 0 is coarsest.
+	Index int
+	// Resolution is the number of cells along each axis.
+	Resolution IntVector
+	// DomainLo and DomainHi are the physical corners of the domain.
+	DomainLo, DomainHi mathutil.Vec3
+	// RefinementRatio relates this level to the NEXT COARSER level:
+	// coarse_index = fine_index / RefinementRatio. Unused on level 0.
+	RefinementRatio IntVector
+	// Patches tile the level.
+	Patches []*Patch
+
+	dx mathutil.Vec3 // cell size, cached
+}
+
+// CellSize returns the physical size of one cell along each axis.
+func (l *Level) CellSize() mathutil.Vec3 { return l.dx }
+
+// CellVolume returns the physical volume of one cell.
+func (l *Level) CellVolume() float64 { return l.dx.X * l.dx.Y * l.dx.Z }
+
+// IndexBox returns the level's full cell index box [0, Resolution).
+func (l *Level) IndexBox() Box { return Box{IntVector{}, l.Resolution} }
+
+// NumCells returns the total number of cells on the level.
+func (l *Level) NumCells() int { return l.Resolution.Volume() }
+
+// CellLo returns the physical coordinates of the low corner of cell c.
+func (l *Level) CellLo(c IntVector) mathutil.Vec3 {
+	return mathutil.Vec3{
+		X: l.DomainLo.X + float64(c.X)*l.dx.X,
+		Y: l.DomainLo.Y + float64(c.Y)*l.dx.Y,
+		Z: l.DomainLo.Z + float64(c.Z)*l.dx.Z,
+	}
+}
+
+// CellCenter returns the physical coordinates of the center of cell c.
+func (l *Level) CellCenter(c IntVector) mathutil.Vec3 {
+	lo := l.CellLo(c)
+	return mathutil.Vec3{X: lo.X + 0.5*l.dx.X, Y: lo.Y + 0.5*l.dx.Y, Z: lo.Z + 0.5*l.dx.Z}
+}
+
+// CellContaining returns the index of the cell containing physical point
+// p. Points on the upper domain boundary map to the last cell.
+func (l *Level) CellContaining(p mathutil.Vec3) IntVector {
+	rel := p.Sub(l.DomainLo).Div(l.dx)
+	c := IntVector{int(floor(rel.X)), int(floor(rel.Y)), int(floor(rel.Z))}
+	return c.Max(IntVector{}).Min(l.Resolution.Sub(Uniform(1)))
+}
+
+func floor(x float64) float64 {
+	i := float64(int(x))
+	if x < 0 && x != i {
+		return i - 1
+	}
+	return i
+}
+
+// ContainsCell reports whether c is a valid interior cell index.
+func (l *Level) ContainsCell(c IntVector) bool { return l.IndexBox().Contains(c) }
+
+// PatchContaining returns the patch owning cell c, or nil if c is outside
+// the level. Lookup is O(1) via the patch layout.
+func (l *Level) PatchContaining(c IntVector) *Patch {
+	if !l.ContainsCell(c) {
+		return nil
+	}
+	// All patches on a level share one extent (regular decomposition).
+	if len(l.Patches) == 0 {
+		return nil
+	}
+	pe := l.Patches[0].Cells.Extent()
+	nPatches := IntVector{
+		X: l.Resolution.X / pe.X,
+		Y: l.Resolution.Y / pe.Y,
+		Z: l.Resolution.Z / pe.Z,
+	}
+	pi := IntVector{c.X / pe.X, c.Y / pe.Y, c.Z / pe.Z}
+	idx := (pi.X*nPatches.Y+pi.Y)*nPatches.Z + pi.Z
+	if idx < 0 || idx >= len(l.Patches) {
+		return nil
+	}
+	return l.Patches[idx]
+}
+
+// Grid is the AMR hierarchy: Levels[0] is the coarsest. In the paper's
+// 2-level radiation problems, level 0 is the coarse radiation mesh and
+// level 1 the fine CFD mesh, with a refinement ratio of 4.
+type Grid struct {
+	Levels []*Level
+}
+
+// Spec describes one level when building a grid.
+type Spec struct {
+	// Resolution is the cell count per axis of the level.
+	Resolution IntVector
+	// PatchSize is the cell extent of every patch on the level; it must
+	// divide Resolution exactly.
+	PatchSize IntVector
+}
+
+// New builds a grid over the physical domain [domainLo, domainHi] with the
+// given per-level specs, ordered coarsest first. Every finer level's
+// resolution must be an integer multiple of its coarser neighbour (the
+// refinement ratio, per axis).
+func New(domainLo, domainHi mathutil.Vec3, specs ...Spec) (*Grid, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("grid: need at least one level spec")
+	}
+	g := &Grid{}
+	nextID := 0
+	for li, s := range specs {
+		if s.Resolution.X <= 0 || s.Resolution.Y <= 0 || s.Resolution.Z <= 0 {
+			return nil, fmt.Errorf("grid: level %d has non-positive resolution %v", li, s.Resolution)
+		}
+		if s.PatchSize.X <= 0 || s.PatchSize.Y <= 0 || s.PatchSize.Z <= 0 {
+			return nil, fmt.Errorf("grid: level %d has non-positive patch size %v", li, s.PatchSize)
+		}
+		if s.Resolution.X%s.PatchSize.X != 0 ||
+			s.Resolution.Y%s.PatchSize.Y != 0 ||
+			s.Resolution.Z%s.PatchSize.Z != 0 {
+			return nil, fmt.Errorf("grid: level %d patch size %v does not divide resolution %v",
+				li, s.PatchSize, s.Resolution)
+		}
+		l := &Level{
+			Index:      li,
+			Resolution: s.Resolution,
+			DomainLo:   domainLo,
+			DomainHi:   domainHi,
+		}
+		ext := domainHi.Sub(domainLo)
+		l.dx = mathutil.Vec3{
+			X: ext.X / float64(s.Resolution.X),
+			Y: ext.Y / float64(s.Resolution.Y),
+			Z: ext.Z / float64(s.Resolution.Z),
+		}
+		if li > 0 {
+			prev := g.Levels[li-1]
+			if s.Resolution.X%prev.Resolution.X != 0 ||
+				s.Resolution.Y%prev.Resolution.Y != 0 ||
+				s.Resolution.Z%prev.Resolution.Z != 0 {
+				return nil, fmt.Errorf("grid: level %d resolution %v is not a multiple of level %d resolution %v",
+					li, s.Resolution, li-1, prev.Resolution)
+			}
+			l.RefinementRatio = s.Resolution.Div(prev.Resolution)
+		}
+		// Tile the level with patches in x-major order matching
+		// PatchContaining's index arithmetic.
+		n := s.Resolution.Div(s.PatchSize)
+		for i := 0; i < n.X; i++ {
+			for j := 0; j < n.Y; j++ {
+				for k := 0; k < n.Z; k++ {
+					lo := IntVector{i * s.PatchSize.X, j * s.PatchSize.Y, k * s.PatchSize.Z}
+					p := &Patch{
+						ID:         nextID,
+						LevelIndex: li,
+						Cells:      Box{lo, lo.Add(s.PatchSize)},
+						Rank:       -1,
+					}
+					nextID++
+					l.Patches = append(l.Patches, p)
+				}
+			}
+		}
+		g.Levels = append(g.Levels, l)
+	}
+	return g, nil
+}
+
+// Finest returns the finest (last) level.
+func (g *Grid) Finest() *Level { return g.Levels[len(g.Levels)-1] }
+
+// Coarsest returns the coarsest (first) level.
+func (g *Grid) Coarsest() *Level { return g.Levels[0] }
+
+// NumPatches returns the total patch count across all levels.
+func (g *Grid) NumPatches() int {
+	n := 0
+	for _, l := range g.Levels {
+		n += len(l.Patches)
+	}
+	return n
+}
+
+// TotalCells returns the total cell count across all levels — the
+// "136.31M cells" style figure the paper quotes.
+func (g *Grid) TotalCells() int {
+	n := 0
+	for _, l := range g.Levels {
+		n += l.NumCells()
+	}
+	return n
+}
+
+// CoarsenIndex maps a cell index on level fine to the containing cell on
+// level coarse (fine > coarse), composing refinement ratios.
+func (g *Grid) CoarsenIndex(c IntVector, fine, coarse int) IntVector {
+	for li := fine; li > coarse; li-- {
+		c = c.FloorDiv(g.Levels[li].RefinementRatio)
+	}
+	return c
+}
+
+// RefineIndex maps a cell index on level coarse to the low corner of its
+// child block on level fine (fine > coarse).
+func (g *Grid) RefineIndex(c IntVector, coarse, fine int) IntVector {
+	for li := coarse + 1; li <= fine; li++ {
+		c = c.Mul(g.Levels[li].RefinementRatio)
+	}
+	return c
+}
+
+// AssignRoundRobin distributes the patches of every level over nRanks
+// simulated ranks in patch-ID order. Uintah's real load balancer is
+// space-filling-curve based; for the regular radiation benchmarks a
+// round-robin of the regular tiling is equivalent in load and locality
+// distribution for our purposes.
+func (g *Grid) AssignRoundRobin(nRanks int) {
+	for _, l := range g.Levels {
+		for i, p := range l.Patches {
+			p.Rank = i % nRanks
+		}
+	}
+}
+
+// PatchesOnRank returns the patches of level li owned by rank r.
+func (g *Grid) PatchesOnRank(li, r int) []*Patch {
+	var out []*Patch
+	for _, p := range g.Levels[li].Patches {
+		if p.Rank == r {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package grid
+
+import "sort"
+
+// Load balancing. Uintah assigns patches to ranks along a space-filling
+// curve so that consecutive ranks own spatially adjacent patches [17],
+// which keeps halo exchanges local on the torus. This file implements
+// Morton (Z-order) curve assignment plus the imbalance metrics the
+// scaling studies report.
+
+// mortonKey interleaves the bits of the patch's low corner (in patch
+// units) into a Z-order index. Coordinates are assumed non-negative
+// and < 2^21, ample for any realistic level.
+func mortonKey(c IntVector) uint64 {
+	return spread(uint64(c.X)) | spread(uint64(c.Y))<<1 | spread(uint64(c.Z))<<2
+}
+
+// spread inserts two zero bits between each of the low 21 bits of x.
+func spread(x uint64) uint64 {
+	x &= 0x1fffff
+	x = (x | x<<32) & 0x1f00000000ffff
+	x = (x | x<<16) & 0x1f0000ff0000ff
+	x = (x | x<<8) & 0x100f00f00f00f00f
+	x = (x | x<<4) & 0x10c30c30c30c30c3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// AssignSFC distributes every level's patches over nRanks ranks in
+// Morton order: the curve is cut into nRanks contiguous, equally-loaded
+// (by cell count) segments. Spatially nearby patches land on the same
+// or neighbouring ranks.
+func (g *Grid) AssignSFC(nRanks int) {
+	if nRanks < 1 {
+		nRanks = 1
+	}
+	for _, l := range g.Levels {
+		patches := append([]*Patch(nil), l.Patches...)
+		if len(patches) == 0 {
+			continue
+		}
+		pe := patches[0].Cells.Extent()
+		sort.Slice(patches, func(i, j int) bool {
+			// Keys computed in patch units so the curve is dense.
+			pi := patches[i].Cells.Lo.Div(pe)
+			pj := patches[j].Cells.Lo.Div(pe)
+			return mortonKey(pi) < mortonKey(pj)
+		})
+		totalCells := 0
+		for _, p := range patches {
+			totalCells += p.NumCells()
+		}
+		target := float64(totalCells) / float64(nRanks)
+		rank, acc := 0, 0.0
+		for _, p := range patches {
+			if acc >= target*float64(rank+1) && rank < nRanks-1 {
+				rank++
+			}
+			p.Rank = rank
+			acc += float64(p.NumCells())
+		}
+	}
+}
+
+// LoadStats summarizes a level's patch distribution over ranks.
+type LoadStats struct {
+	// MaxCells and MinCells are the largest and smallest per-rank cell
+	// loads (over ranks that own at least one patch).
+	MaxCells, MinCells int
+	// Imbalance is MaxCells / mean cells per loaded rank, >= 1.
+	Imbalance float64
+	// SurfaceCells is the total number of patch-boundary faces crossing
+	// rank boundaries (a proxy for halo-exchange volume).
+	SurfaceCells int
+	// Ranks is the number of ranks owning at least one patch.
+	Ranks int
+}
+
+// MeasureLoad computes load statistics for level li under the current
+// patch assignment, over nRanks ranks.
+func (g *Grid) MeasureLoad(li, nRanks int) LoadStats {
+	l := g.Levels[li]
+	cells := make(map[int]int)
+	for _, p := range l.Patches {
+		cells[p.Rank] += p.NumCells()
+	}
+	st := LoadStats{MinCells: 1 << 62}
+	total := 0
+	for _, n := range cells {
+		if n > st.MaxCells {
+			st.MaxCells = n
+		}
+		if n < st.MinCells {
+			st.MinCells = n
+		}
+		total += n
+		st.Ranks++
+	}
+	if st.Ranks == 0 {
+		st.MinCells = 0
+		return st
+	}
+	mean := float64(total) / float64(st.Ranks)
+	st.Imbalance = float64(st.MaxCells) / mean
+
+	// Cross-rank surface: for each patch, count face-adjacent cells
+	// whose owning patch lives on a different rank.
+	for _, p := range l.Patches {
+		ext := p.Cells.Extent()
+		faces := [6]struct {
+			probe IntVector
+			area  int
+		}{
+			{IV(p.Cells.Lo.X-1, p.Cells.Lo.Y, p.Cells.Lo.Z), ext.Y * ext.Z},
+			{IV(p.Cells.Hi.X, p.Cells.Lo.Y, p.Cells.Lo.Z), ext.Y * ext.Z},
+			{IV(p.Cells.Lo.X, p.Cells.Lo.Y-1, p.Cells.Lo.Z), ext.X * ext.Z},
+			{IV(p.Cells.Lo.X, p.Cells.Hi.Y, p.Cells.Lo.Z), ext.X * ext.Z},
+			{IV(p.Cells.Lo.X, p.Cells.Lo.Y, p.Cells.Lo.Z-1), ext.X * ext.Y},
+			{IV(p.Cells.Lo.X, p.Cells.Lo.Y, p.Cells.Hi.Z), ext.X * ext.Y},
+		}
+		for _, f := range faces {
+			q := l.PatchContaining(f.probe)
+			if q != nil && q.Rank != p.Rank {
+				st.SurfaceCells += f.area
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,120 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMortonKeyOrdering(t *testing.T) {
+	// Morton keys must be unique per coordinate and preserve locality
+	// at power-of-two block boundaries: all 8 children of a 2x2x2 block
+	// sort before any cell of the next block along the curve.
+	seen := map[uint64]IntVector{}
+	NewBox(IV(0, 0, 0), IV(8, 8, 8)).ForEach(func(c IntVector) {
+		k := mortonKey(c)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("morton collision: %v and %v both map to %d", prev, c, k)
+		}
+		seen[k] = c
+	})
+	// The 2x2x2 block at origin occupies keys 0..7.
+	NewBox(IV(0, 0, 0), IV(2, 2, 2)).ForEach(func(c IntVector) {
+		if k := mortonKey(c); k > 7 {
+			t.Errorf("cell %v of first octant has key %d > 7", c, k)
+		}
+	})
+}
+
+func TestSpreadProperty(t *testing.T) {
+	// spread must be invertible on its low 21 bits via bit gathering.
+	f := func(x uint32) bool {
+		v := uint64(x) & 0x1fffff
+		s := spread(v)
+		// Every third bit of s reconstructs v.
+		var back uint64
+		for i := 0; i < 21; i++ {
+			back |= ((s >> (3 * i)) & 1) << i
+		}
+		return back == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignSFCBalanced(t *testing.T) {
+	g := mustGrid(t, Spec{Resolution: Uniform(16), PatchSize: Uniform(2)}) // 512 patches
+	for _, ranks := range []int{1, 7, 16, 64} {
+		g.AssignSFC(ranks)
+		st := g.MeasureLoad(0, ranks)
+		if st.Ranks != ranks {
+			t.Errorf("ranks=%d: only %d ranks loaded", ranks, st.Ranks)
+		}
+		if st.Imbalance > 1.15 {
+			t.Errorf("ranks=%d: imbalance %.3f > 1.15", ranks, st.Imbalance)
+		}
+		// Every patch assigned.
+		for _, p := range g.Levels[0].Patches {
+			if p.Rank < 0 || p.Rank >= ranks {
+				t.Fatalf("patch %d rank %d out of range", p.ID, p.Rank)
+			}
+		}
+	}
+}
+
+func TestSFCBeatsRoundRobinOnLocality(t *testing.T) {
+	// The point of the space-filling curve: spatially contiguous rank
+	// territories mean fewer cross-rank faces than round-robin, which
+	// scatters neighbours across ranks.
+	build := func() *Grid {
+		return mustGrid(t, Spec{Resolution: Uniform(16), PatchSize: Uniform(2)})
+	}
+	const ranks = 16
+	sfc := build()
+	sfc.AssignSFC(ranks)
+	sfcStats := sfc.MeasureLoad(0, ranks)
+
+	rr := build()
+	rr.AssignRoundRobin(ranks)
+	rrStats := rr.MeasureLoad(0, ranks)
+
+	if sfcStats.SurfaceCells >= rrStats.SurfaceCells {
+		t.Errorf("SFC surface %d should be below round-robin %d",
+			sfcStats.SurfaceCells, rrStats.SurfaceCells)
+	}
+	// Quantitatively: round-robin makes essentially every face a
+	// cross-rank face; SFC should cut that substantially.
+	if float64(sfcStats.SurfaceCells) > 0.8*float64(rrStats.SurfaceCells) {
+		t.Errorf("SFC only reduced surface from %d to %d", rrStats.SurfaceCells, sfcStats.SurfaceCells)
+	}
+}
+
+func TestMeasureLoadEdgeCases(t *testing.T) {
+	g := mustGrid(t, Spec{Resolution: Uniform(4), PatchSize: Uniform(4)}) // 1 patch
+	g.AssignSFC(8)
+	st := g.MeasureLoad(0, 8)
+	if st.Ranks != 1 || st.MaxCells != 64 || st.MinCells != 64 {
+		t.Errorf("single-patch stats = %+v", st)
+	}
+	if st.Imbalance != 1 {
+		t.Errorf("imbalance = %v", st.Imbalance)
+	}
+	if st.SurfaceCells != 0 {
+		t.Errorf("one patch has no cross-rank surface, got %d", st.SurfaceCells)
+	}
+}
+
+func TestAssignSFCMultiLevel(t *testing.T) {
+	g := mustGrid(t,
+		Spec{Resolution: Uniform(8), PatchSize: Uniform(4)},
+		Spec{Resolution: Uniform(32), PatchSize: Uniform(8)},
+	)
+	g.AssignSFC(4)
+	for li := range g.Levels {
+		for _, p := range g.Levels[li].Patches {
+			if p.Rank < 0 || p.Rank >= 4 {
+				t.Fatalf("level %d patch %d unassigned", li, p.ID)
+			}
+		}
+	}
+}

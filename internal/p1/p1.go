@@ -1,0 +1,209 @@
+// Package p1 implements the P1 (spherical harmonics, first order)
+// approximation to the radiative transport equation — the other
+// radiation model ARCHES historically used ([25] in the paper,
+// "Parallelization of the P-1 Radiation Model"). P1 reduces the RTE to
+// a diffusion equation for the irradiation G = ∫I dΩ:
+//
+//	∇·( 1/(3κ) ∇G ) − κ G = −4κ σT⁴
+//
+// with Marshak boundary conditions at grey walls. Like ARCHES' real
+// solver, the discretized system is symmetric positive definite and is
+// solved with conjugate gradients — our stand-in for the Hypre solves
+// the paper mentions ("the pressure equation ... formulated as a
+// linear system that is solved using Hypre").
+//
+// P1 is accurate in optically thick media and degrades in thin ones —
+// the comparison tests against RMCRT demonstrate exactly that, which
+// is why the CCMSC moved to ray tracing.
+package p1
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+// Problem describes one P1 solve on a uniform level.
+type Problem struct {
+	Level *grid.Level
+	// Abskg is the absorption coefficient κ (1/m); must be positive.
+	Abskg *field.CC[float64]
+	// SigmaT4OverPi is σT⁴/π (the emission source is 4κσT⁴ = 4πκ·this).
+	SigmaT4OverPi *field.CC[float64]
+	// WallEmissivity and WallSigmaT4 set the Marshak boundary
+	// condition at the enclosure walls.
+	WallEmissivity float64
+	WallSigmaT4    float64
+	// Tol is the CG convergence tolerance on the relative residual
+	// (default 1e-8); MaxIters bounds the iterations (default 10·n).
+	Tol      float64
+	MaxIters int
+}
+
+func (p *Problem) tol() float64 {
+	if p.Tol > 0 {
+		return p.Tol
+	}
+	return 1e-8
+}
+
+func (p *Problem) maxIters(n int) int {
+	if p.MaxIters > 0 {
+		return p.MaxIters
+	}
+	return 10 * n
+}
+
+// Result carries the solve outputs.
+type Result struct {
+	// G is the irradiation field ∫I dΩ.
+	G *field.CC[float64]
+	// DivQ = κ(4πI_b − G), same definition as the other models.
+	DivQ *field.CC[float64]
+	// Iterations is the CG iteration count; Residual the final
+	// relative residual.
+	Iterations int
+	Residual   float64
+}
+
+// Solve assembles and solves the P1 system with conjugate gradients.
+//
+// Discretization: finite volume with harmonic-mean face diffusivities
+// D = 1/(3κ); Marshak wall condition linearized as a Robin condition
+//
+//	−D ∂G/∂n = ε/(2(2−ε)) (G − 4σT⁴_w)
+//
+// which closes the boundary flux with a face conductance.
+func Solve(p *Problem) (*Result, error) {
+	if p.Level == nil || p.Abskg == nil || p.SigmaT4OverPi == nil {
+		return nil, fmt.Errorf("p1: incomplete problem")
+	}
+	box := p.Level.IndexBox()
+	n := box.Volume()
+	dx := p.Level.CellSize()
+	for _, c := range []grid.IntVector{box.Lo, box.Hi.Sub(grid.Uniform(1))} {
+		if p.Abskg.At(c) <= 0 {
+			return nil, fmt.Errorf("p1: non-positive absorption at %v (P1 needs κ > 0)", c)
+		}
+	}
+
+	// Index mapping: canonical z-fastest ordering of the level box.
+	idx := func(c grid.IntVector) int {
+		e := box.Extent()
+		return (c.X*e.Y+c.Y)*e.Z + c.Z
+	}
+
+	// Assemble: A·G = b with A SPD.
+	// Diagonal: κV + Σ face conductances; off-diagonals: −face conductance.
+	diag := make([]float64, n)
+	b := make([]float64, n)
+	vol := p.Level.CellVolume()
+	wallCoef := p.WallEmissivity / (2 * (2 - p.WallEmissivity))
+
+	type link struct {
+		to   int
+		cond float64
+	}
+	links := make([][]link, n)
+
+	faceAreas := [3]float64{dx.Y * dx.Z, dx.X * dx.Z, dx.X * dx.Y}
+	box.ForEach(func(c grid.IntVector) {
+		i := idx(c)
+		kappa := p.Abskg.At(c)
+		diag[i] += kappa * vol
+		b[i] += 4 * math.Pi * kappa * p.SigmaT4OverPi.At(c) * vol
+
+		dc := 1 / (3 * kappa)
+		for ax := 0; ax < 3; ax++ {
+			h := dx.Component(ax)
+			area := faceAreas[ax]
+			for _, dir := range []int{-1, 1} {
+				nb := c.WithComponent(ax, c.Component(ax)+dir)
+				if box.Contains(nb) {
+					dn := 1 / (3 * p.Abskg.At(nb))
+					// Harmonic mean diffusivity at the face.
+					dface := 2 * dc * dn / (dc + dn)
+					cond := dface * area / h
+					diag[i] += cond
+					links[i] = append(links[i], link{to: idx(nb), cond: cond})
+				} else if wallCoef > 0 {
+					// Marshak: conductance in series — half-cell
+					// diffusion then the surface coefficient.
+					surf := wallCoef * area
+					diff := dc * area / (h / 2)
+					cond := surf * diff / (surf + diff)
+					diag[i] += cond
+					b[i] += cond * 4 * p.WallSigmaT4
+				}
+			}
+		}
+	})
+
+	apply := func(out, x []float64) {
+		for i := range out {
+			s := diag[i] * x[i]
+			for _, l := range links[i] {
+				s -= l.cond * x[l.to]
+			}
+			out[i] = s
+		}
+	}
+
+	// Conjugate gradients from G = 4πI_b (a good initial guess in
+	// thick media).
+	x := make([]float64, n)
+	box.ForEach(func(c grid.IntVector) {
+		x[idx(c)] = 4 * math.Pi * p.SigmaT4OverPi.At(c)
+	})
+	r := make([]float64, n)
+	apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	pv := append([]float64(nil), r...)
+	ap := make([]float64, n)
+	dot := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	bNorm := math.Sqrt(dot(b, b))
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	rr := dot(r, r)
+	res := &Result{}
+	for iter := 0; iter < p.maxIters(n); iter++ {
+		res.Iterations = iter
+		res.Residual = math.Sqrt(rr) / bNorm
+		if res.Residual < p.tol() {
+			break
+		}
+		apply(ap, pv)
+		alpha := rr / dot(pv, ap)
+		for i := range x {
+			x[i] += alpha * pv[i]
+			r[i] -= alpha * ap[i]
+		}
+		rrNew := dot(r, r)
+		beta := rrNew / rr
+		rr = rrNew
+		for i := range pv {
+			pv[i] = r[i] + beta*pv[i]
+		}
+	}
+
+	res.G = field.NewCC[float64](box)
+	res.DivQ = field.NewCC[float64](box)
+	box.ForEach(func(c grid.IntVector) {
+		i := idx(c)
+		res.G.Set(c, x[i])
+		kappa := p.Abskg.At(c)
+		res.DivQ.Set(c, kappa*(4*math.Pi*p.SigmaT4OverPi.At(c)-x[i]))
+	})
+	return res, nil
+}

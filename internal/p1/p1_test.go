@@ -1,0 +1,203 @@
+package p1
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+	"github.com/uintah-repro/rmcrt/internal/rmcrt"
+)
+
+func uniformProblem(t testing.TB, n int, kappa, sigT4 float64) *Problem {
+	t.Helper()
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(n), PatchSize: grid.Uniform(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := g.Levels[0]
+	p := &Problem{
+		Level:         lvl,
+		Abskg:         field.NewCC[float64](lvl.IndexBox()),
+		SigmaT4OverPi: field.NewCC[float64](lvl.IndexBox()),
+		// Cold black walls by default (ε = 0 would mean perfect
+		// mirrors, under which G = 4σT⁴ is the exact solution).
+		WallEmissivity: 1,
+		WallSigmaT4:    0,
+	}
+	p.Abskg.Fill(kappa)
+	p.SigmaT4OverPi.Fill(sigT4 / math.Pi)
+	return p
+}
+
+// TestEquilibrium: medium at the wall temperature — G = 4σT⁴ exactly and
+// divQ = 0 (the linear system's exact solution).
+func TestEquilibrium(t *testing.T) {
+	const sigT4 = 2.5
+	p := uniformProblem(t, 10, 1.0, sigT4)
+	p.WallEmissivity = 1
+	p.WallSigmaT4 = sigT4
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.DivQ.Box().ForEach(func(c grid.IntVector) {
+		if math.Abs(res.DivQ.At(c)) > 1e-6 {
+			t.Fatalf("divQ(%v) = %g, want 0", c, res.DivQ.At(c))
+		}
+		if math.Abs(res.G.At(c)-4*sigT4) > 1e-6 {
+			t.Fatalf("G(%v) = %g, want %g", c, res.G.At(c), 4*sigT4)
+		}
+	})
+	if res.Residual > 1e-8 {
+		t.Errorf("residual = %g", res.Residual)
+	}
+}
+
+// TestOpticallyThickMatchesRMCRT: P1 is asymptotically exact in thick
+// media; deep inside an optically thick benchmark it must agree with
+// the ray tracer.
+func TestOpticallyThickMatchesRMCRT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thick comparison skipped in -short")
+	}
+	const n, kappa = 16, 30.0 // τ ≈ 30 across the domain
+	p := uniformProblem(t, n, kappa, 1.0)
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, _, err := rmcrt.NewBenchmarkDomain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Levels[0].Abskg.Fill(kappa)
+	rd.Levels[0].SigmaT4OverPi.Fill(1.0 / math.Pi)
+	opts := rmcrt.DefaultOptions()
+	opts.NRays = 256
+	ctr := grid.Uniform(n / 2)
+	mc := rd.SolveCell(ctr, &opts)
+	// Both are ~0 at the center of a thick medium; compare against the
+	// emission scale 4κσT⁴ = 120.
+	scale := 4 * kappa
+	if math.Abs(res.DivQ.At(ctr))/scale > 0.01 || math.Abs(mc)/scale > 0.01 {
+		t.Errorf("thick-center divQ: P1 %g, RMCRT %g, both should be <<%g", res.DivQ.At(ctr), mc, scale)
+	}
+}
+
+// TestOpticallyThinP1Degrades: P1's known failure mode is *spatial*.
+// In a thin medium, transport from a localized hot blob is ballistic —
+// the irradiation falls off like 1/r² — while P1's diffusion closure
+// (D = 1/(3κ) → huge) flattens G across the whole domain. RMCRT keeps
+// the transport structure; P1 loses it. This is the documented reason
+// the CCMSC moved from moment methods to ray tracing.
+func TestOpticallyThinP1Degrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thin-medium comparison skipped in -short")
+	}
+	const n, kappa = 16, 0.05 // τ ≈ 0.05 across the domain
+	// A hot emitting blob near the -x wall inside cold thin gas.
+	mkFields := func() (*field.CC[float64], *field.CC[float64]) {
+		box := grid.NewBox(grid.IntVector{}, grid.Uniform(n))
+		a := field.NewCC[float64](box)
+		a.Fill(kappa)
+		s := field.NewCC[float64](box)
+		blob := grid.NewBox(grid.IV(1, 6, 6), grid.IV(4, 10, 10))
+		blob.ForEach(func(c grid.IntVector) {
+			a.Set(c, 5.0) // the blob itself is opaque-ish and hot
+			s.Set(c, 10/math.Pi)
+		})
+		return a, s
+	}
+
+	p := uniformProblem(t, n, kappa, 0)
+	p.Abskg, p.SigmaT4OverPi = mkFields()
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rd, _, err := rmcrt.NewBenchmarkDomain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Levels[0].Abskg, rd.Levels[0].SigmaT4OverPi = mkFields()
+	opts := rmcrt.DefaultOptions()
+	opts.NRays = 1024
+
+	// Irradiation G near the blob vs far from it. RMCRT: G = 4π·mean
+	// sumI; recover it from divQ: G = 4πI_b − divQ/κ.
+	gMC := func(c grid.IntVector) float64 {
+		dq := rd.SolveCell(c, &opts)
+		k := rd.Levels[0].Abskg.At(c)
+		ib := rd.Levels[0].SigmaT4OverPi.At(c)
+		return 4*math.Pi*ib - dq/k
+	}
+	near := grid.IV(5, 8, 8) // just outside the blob
+	far := grid.IV(14, 8, 8) // across the domain
+	ratioMC := gMC(near) / gMC(far)
+	ratioP1 := res.G.At(near) / res.G.At(far)
+
+	// Transport: strong falloff (≈ (r_far/r_near)² modulo geometry);
+	// P1 diffusion in a thin medium: nearly flat.
+	if ratioMC < 2 {
+		t.Errorf("RMCRT near/far irradiation ratio = %.2f, expected strong falloff", ratioMC)
+	}
+	if ratioP1 > ratioMC/1.5 {
+		t.Errorf("P1 near/far ratio %.2f should be much flatter than transport's %.2f (the P1 failure)",
+			ratioP1, ratioMC)
+	}
+	t.Logf("thin blob: irradiation near/far — RMCRT %.2f, P1 %.2f", ratioMC, ratioP1)
+}
+
+func TestMaxPrinciple(t *testing.T) {
+	// G stays within [0, 4σT⁴_max] for cold walls (SPD system, positive
+	// source).
+	p := uniformProblem(t, 12, 0.8, 1.0)
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.G.Box().ForEach(func(c grid.IntVector) {
+		g := res.G.At(c)
+		if g < 0 || g > 4.0+1e-9 {
+			t.Fatalf("G(%v) = %g outside [0, 4σT⁴]", c, g)
+		}
+	})
+	if res.Iterations == 0 {
+		t.Error("CG did no work")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(&Problem{}); err == nil {
+		t.Error("incomplete problem accepted")
+	}
+	p := uniformProblem(t, 4, 0, 1) // κ = 0: P1 diffusivity blows up
+	if _, err := Solve(p); err == nil {
+		t.Error("zero absorption accepted")
+	}
+}
+
+func TestVariableKappa(t *testing.T) {
+	// The Burns & Christon κ field: the solve converges and divQ is
+	// positive everywhere (net emitter with cold walls).
+	const n = 12
+	p := uniformProblem(t, n, 1, 0)
+	a, s, _ := rmcrt.FillBenchmark(p.Level, p.Level.IndexBox())
+	p.Abskg, p.SigmaT4OverPi = a, s
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 1e-8 {
+		t.Errorf("residual = %g", res.Residual)
+	}
+	res.DivQ.Box().ForEach(func(c grid.IntVector) {
+		if res.DivQ.At(c) <= 0 {
+			t.Fatalf("divQ(%v) = %g, want > 0", c, res.DivQ.At(c))
+		}
+	})
+}

@@ -1,0 +1,284 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/rmcrt"
+)
+
+func TestTitanParameters(t *testing.T) {
+	m := Titan()
+	// The paper's footnote: 16 cores, 32 GB, 1 K20X (6 GB), Gemini
+	// 1.4 µs / 20 GB/s.
+	if m.CoresPerNode != 16 || m.GPUsPerNode != 1 {
+		t.Errorf("node config = %+v", m)
+	}
+	if m.NodeMemory != 32<<30 || m.GPUMemory != 6<<30 {
+		t.Errorf("memory config wrong")
+	}
+	if m.NetLatency != 1.4e-6 || m.NetBandwidth != 20e9 {
+		t.Errorf("network config wrong")
+	}
+}
+
+func TestProblemSizesMatchPaper(t *testing.T) {
+	// "the total number of cells in the domain was 17.04 million" /
+	// "136.31 million".
+	med := Medium(16)
+	if got := med.TotalCells(); got != 256*256*256+64*64*64 {
+		t.Errorf("medium cells = %d", got)
+	}
+	if float64(med.TotalCells())/1e6 < 17.0 || float64(med.TotalCells())/1e6 > 17.1 {
+		t.Errorf("medium = %.2fM cells, paper says 17.04M", float64(med.TotalCells())/1e6)
+	}
+	lg := Large(16)
+	if float64(lg.TotalCells())/1e6 < 136.2 || float64(lg.TotalCells())/1e6 > 136.4 {
+		t.Errorf("large = %.2fM cells, paper says 136.31M", float64(lg.TotalCells())/1e6)
+	}
+	// Refinement ratio 4 between the levels.
+	if lg.FineN/lg.CoarseN != 4 || med.FineN/med.CoarseN != 4 {
+		t.Error("refinement ratio must be 4")
+	}
+}
+
+func TestFinePatchCounts(t *testing.T) {
+	if got := Medium(16).FinePatches(); got != 4096 {
+		t.Errorf("medium 16³ patches = %d, want 4096", got)
+	}
+	if got := Medium(64).FinePatches(); got != 64 {
+		t.Errorf("medium 64³ patches = %d, want 64", got)
+	}
+	if got := Large(8).FinePatches(); got != 262144 {
+		t.Errorf("large 8³ patches = %d, want 262144 (the paper's 262k)", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Problem{
+		{},
+		{FineN: 256, CoarseN: 64, PatchN: 17, Rays: 100, Props: 3},  // patch doesn't divide
+		{FineN: 256, CoarseN: 100, PatchN: 16, Rays: 100, Props: 3}, // coarse doesn't divide
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+	if err := Medium(32).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGPUEfficiencyMonotone(t *testing.T) {
+	m := Titan()
+	e16 := m.GPUEfficiency(16 * 16 * 16)
+	e32 := m.GPUEfficiency(32 * 32 * 32)
+	e64 := m.GPUEfficiency(64 * 64 * 64)
+	if !(e16 < e32 && e32 < e64 && e64 < 1) {
+		t.Errorf("efficiency not monotone: %v %v %v", e16, e32, e64)
+	}
+	if e64 < 0.85 {
+		t.Errorf("64³ patches should nearly saturate the device, got %v", e64)
+	}
+	if e16 > 0.35 {
+		t.Errorf("16³ patches should under-fill the device, got %v", e16)
+	}
+	if (Machine{}).GPUEfficiency(100) != 1 {
+		t.Error("zero HalfOccupancyCells should disable the model")
+	}
+}
+
+func TestCoarseGatherVolume(t *testing.T) {
+	p := Large(16)
+	e := p.CoarseGather(1024)
+	// Every node must receive (almost) the whole coarse level once per
+	// property.
+	wantRecv := float64(p.CoarseBytes()) * float64(p.Props)
+	got := float64(e.BytesRecv)
+	if got < 0.95*wantRecv || got > 1.01*wantRecv {
+		t.Errorf("coarse gather recv = %g, want ~%g", got, wantRecv)
+	}
+	if e.MsgsRecv <= 0 || e.MsgsSent <= 0 {
+		t.Error("gather has no messages")
+	}
+	if (Problem{FineN: 64, CoarseN: 16, PatchN: 16, Rays: 1, Props: 3}).CoarseGather(1).MsgsSent != 0 {
+		t.Error("single node needs no gather")
+	}
+}
+
+func TestHaloShrinksWithNodes(t *testing.T) {
+	p := Large(16)
+	e512 := p.HaloExchange(512)
+	e16k := p.HaloExchange(16384)
+	if e512.MsgsSent <= e16k.MsgsSent {
+		t.Errorf("halo messages per node should shrink with nodes: %d vs %d",
+			e512.MsgsSent, e16k.MsgsSent)
+	}
+}
+
+// TestSingleLevelIsQuadratic verifies the §III.C claim: the single-level
+// design's total communicated volume grows ~quadratically in problem
+// replication (O(N_total²) overall), i.e. per-node volume equals the
+// whole fine level regardless of node count, so total = nodes × level.
+func TestSingleLevelIsQuadratic(t *testing.T) {
+	p := Medium(16)
+	e1k := p.SingleLevelGather(1024)
+	e2k := p.SingleLevelGather(2048)
+	fineBytes := int64(p.FineN) * int64(p.FineN) * int64(p.FineN) * 8 * int64(p.Props)
+	if e1k.BytesRecv < fineBytes*95/100 {
+		t.Errorf("per-node single-level volume = %d, want ~whole fine level %d", e1k.BytesRecv, fineBytes)
+	}
+	tot1k := int64(1024) * e1k.BytesRecv
+	tot2k := int64(2048) * e2k.BytesRecv
+	if ratio := float64(tot2k) / float64(tot1k); ratio < 1.9 {
+		t.Errorf("total volume ratio = %v, want ~2 (linear in nodes => quadratic overall)", ratio)
+	}
+	// And the multi-level design's per-node volume is far smaller.
+	ml := p.CoarseGather(1024).Total(p.HaloExchange(1024))
+	if ml.BytesRecv*10 > e1k.BytesRecv {
+		t.Errorf("multi-level volume %d should be <10%% of single-level %d", ml.BytesRecv, e1k.BytesRecv)
+	}
+}
+
+// TestMemoryClaim reproduces §III.C: "problem sizes beyond 256³ were
+// intractable ... especially on machines with less than 2GB of memory
+// per core". Under MPI-only execution (one rank per core, 2 GB each on
+// Titan) the single-level 512³ replication exceeds the 32 GB node,
+// while 256³ still fit; the 2-level layout fits comfortably at any of
+// the studied node counts.
+func TestMemoryClaim(t *testing.T) {
+	m := Titan()
+	lg := Large(16)
+	if lg.SingleLevelMemoryBytes(m.CoresPerNode) <= m.NodeMemory {
+		t.Errorf("single-level 512³ MPI-only = %d bytes should exceed the 32 GB node",
+			lg.SingleLevelMemoryBytes(m.CoresPerNode))
+	}
+	med := Medium(16)
+	if med.SingleLevelMemoryBytes(m.CoresPerNode) > m.NodeMemory {
+		t.Errorf("single-level 256³ = %d bytes should still fit (it was tractable)",
+			med.SingleLevelMemoryBytes(m.CoresPerNode))
+	}
+	// On the GPU one replicated fine level eats over half the K20X by
+	// itself, leaving no room for patch working sets (the per-patch
+	// replication blow-up is demonstrated in gpudw's tests).
+	if lg.SingleLevelMemoryBytes(1)*2 < m.GPUMemory {
+		t.Errorf("single-level 512³ = %d bytes should dominate the 6 GB K20X",
+			lg.SingleLevelMemoryBytes(1))
+	}
+	if lg.NodeMemoryBytes(512) >= m.NodeMemory {
+		t.Errorf("2-level layout at 512 nodes = %d bytes should fit in 32 GB", lg.NodeMemoryBytes(512))
+	}
+}
+
+// TestLegacyVsWaitFreeShape: the modeled legacy cost must exceed the
+// wait-free cost, by a factor that grows with the per-node message
+// count (queue-length dependence) — the Table I structure.
+func TestLegacyVsWaitFreeShape(t *testing.T) {
+	p := Large(8)
+	threads := 16
+	sBig := p.CoarseGather(512).Total(p.HaloExchange(512))
+	sSmall := p.CoarseGather(16384).Total(p.HaloExchange(16384))
+	spBig := LegacyCost(threads).LocalTime(sBig) / WaitFreeCost(threads).LocalTime(sBig)
+	spSmall := LegacyCost(threads).LocalTime(sSmall) / WaitFreeCost(threads).LocalTime(sSmall)
+	if spBig <= spSmall {
+		t.Errorf("speedup should grow with queue length: %v vs %v", spBig, spSmall)
+	}
+	for _, sp := range []float64{spBig, spSmall} {
+		if sp < 2 || sp > 5 {
+			t.Errorf("speedup %v outside the paper's 2.3-4.4x band", sp)
+		}
+	}
+	if (CommCost{PerMsg: 1}).LocalTime(CommEstimate{}) != 0 {
+		t.Error("no messages should cost nothing")
+	}
+}
+
+// TestStepsPerRayAgainstRealTracer cross-validates the analytic step
+// model against the instrumented tracer on a laptop-scale 2-level
+// benchmark: the prediction must be within a factor of two.
+func TestStepsPerRayAgainstRealTracer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration cross-check skipped in -short")
+	}
+	const fineN, patchN, rr, halo = 64, 16, 4, 4
+	g, mk, err := rmcrt.NewMultiLevelBenchmark(fineN, patchN, rr, halo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patch *grid.Patch
+	for _, pp := range g.Levels[1].Patches {
+		if pp.Cells.Contains(grid.IV(fineN/2, fineN/2, fineN/2)) {
+			patch = pp
+			break
+		}
+	}
+	dom, err := mk(patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := rmcrt.DefaultOptions()
+	opts.NRays = 32
+	if _, err := dom.SolveRegion(patch.Cells, &opts); err != nil {
+		t.Fatal(err)
+	}
+	measured := float64(dom.Steps.Load()) / float64(dom.Rays.Load())
+
+	p := Problem{FineN: fineN, CoarseN: fineN / rr, PatchN: patchN, Rays: opts.NRays, Props: 3, Halo: halo}
+	predicted := p.StepsPerRay()
+	ratio := predicted / measured
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("StepsPerRay prediction %v vs measured %v (ratio %.2f), want within 2x",
+			predicted, measured, ratio)
+	}
+}
+
+func TestNetworkTime(t *testing.T) {
+	m := Titan()
+	e := CommEstimate{MsgsSent: 1000, MsgsRecv: 1000, BytesSent: 1 << 30, BytesRecv: 1 << 30}
+	got := m.NetworkTime(e)
+	want := 2000*1.4e-6 + float64(2<<30)/20e9
+	if got != want {
+		t.Errorf("NetworkTime = %v, want %v", got, want)
+	}
+}
+
+// TestWeakScalingQuadratic formalizes the paper's §V justification for
+// showing only strong scaling: with the problem grown proportionally to
+// the node count, the globally-coupled gather's total volume grows
+// ~quadratically, so weak efficiency collapses by construction.
+func TestWeakScalingQuadratic(t *testing.T) {
+	p := Medium(16)
+	base, scaled := p.WeakScalingCommGrowth(64, 512) // 8x nodes
+	ratio := float64(scaled) / float64(base)
+	// Total volume = nodes × (coarse level bytes); weak scaling grows
+	// both factors: nodes × 8 and coarse cells × ~8 → ratio ~64.
+	if ratio < 30 || ratio > 130 {
+		t.Errorf("weak-scaled total volume grew %.1fx over 8x nodes, want ~64x (quadratic)", ratio)
+	}
+	// Per-node volume must also GROW (the death knell for weak scaling),
+	// unlike strong scaling where it is fixed.
+	perNodeBase := base / 64
+	perNodeScaled := scaled / 512
+	if perNodeScaled <= perNodeBase {
+		t.Errorf("per-node volume should grow under weak scaling: %d -> %d", perNodeBase, perNodeScaled)
+	}
+}
+
+func TestWeakScaleGeometry(t *testing.T) {
+	p := Medium(16)
+	q := p.WeakScale(64, 512) // 8x nodes -> 2x per axis
+	if q.FineN != 512 {
+		t.Errorf("weak-scaled fine = %d, want 512", q.FineN)
+	}
+	if q.FineN/q.CoarseN != p.FineN/p.CoarseN {
+		t.Error("refinement ratio changed under weak scaling")
+	}
+	if err := q.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Identity at the base.
+	if same := p.WeakScale(64, 64); same.FineN != p.FineN {
+		t.Error("weak scale at base nodes should be identity")
+	}
+}

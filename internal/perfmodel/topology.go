@@ -1,0 +1,156 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+// Network topology. Titan's Gemini interconnect is a 3-D torus; the
+// latency of a message grows with the hop distance between the
+// communicating nodes, which is why Uintah places spatially adjacent
+// patches on nearby ranks (the space-filling-curve load balancer).
+// This file models that coupling: a torus geometry, the default
+// rank→coordinate placement, and hop statistics for a patch assignment
+// — letting the tests quantify how much the SFC placement saves on the
+// wire, not just in message counts.
+
+// Torus is a 3-D wrap-around interconnect.
+type Torus struct {
+	// Dims are the torus dimensions; Dims[0]*Dims[1]*Dims[2] >= nodes.
+	Dims [3]int
+}
+
+// TitanTorus returns a torus sized like Titan's Gemini (the full
+// machine is 25x16x24 Gemini ASICs; scaled factorizations are used for
+// smaller node counts).
+func TitanTorus(nodes int) Torus {
+	return Torus{Dims: factor3(nodes)}
+}
+
+// factor3 finds a near-cubic factorization d0*d1*d2 >= n.
+func factor3(n int) [3]int {
+	if n < 1 {
+		n = 1
+	}
+	c := int(math.Ceil(math.Cbrt(float64(n))))
+	d := [3]int{c, c, c}
+	// Shrink dimensions while the capacity still covers n.
+	for ax := 0; ax < 3; ax++ {
+		for d[ax] > 1 && (d[0]-boolInt(ax == 0))*(d[1]-boolInt(ax == 1))*(d[2]-boolInt(ax == 2)) >= n {
+			d[ax]--
+		}
+	}
+	return d
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Coord maps a rank to its torus coordinate (lexicographic placement,
+// the scheduler-default ALPS-style ordering).
+func (t Torus) Coord(rank int) [3]int {
+	x := rank % t.Dims[0]
+	y := (rank / t.Dims[0]) % t.Dims[1]
+	z := rank / (t.Dims[0] * t.Dims[1])
+	return [3]int{x, y, z % t.Dims[2]}
+}
+
+// Hops returns the Manhattan hop distance between two ranks with
+// wrap-around links.
+func (t Torus) Hops(a, b int) int {
+	ca, cb := t.Coord(a), t.Coord(b)
+	h := 0
+	for ax := 0; ax < 3; ax++ {
+		d := ca[ax] - cb[ax]
+		if d < 0 {
+			d = -d
+		}
+		if w := t.Dims[ax] - d; w < d {
+			d = w
+		}
+		h += d
+	}
+	return h
+}
+
+// Nodes returns the torus capacity.
+func (t Torus) Nodes() int { return t.Dims[0] * t.Dims[1] * t.Dims[2] }
+
+// String implements fmt.Stringer.
+func (t Torus) String() string {
+	return fmt.Sprintf("torus %dx%dx%d", t.Dims[0], t.Dims[1], t.Dims[2])
+}
+
+// HaloHopStats measures the halo-exchange traffic of level li under the
+// grid's current patch assignment, weighted by shared face area: the
+// average and maximum torus hops a halo message travels.
+type HaloHopStats struct {
+	// AvgHops is the face-area-weighted mean hop distance of cross-rank
+	// halo traffic.
+	AvgHops float64
+	// MaxHops is the worst message's hop distance.
+	MaxHops int
+	// Messages is the number of cross-rank patch-face pairs.
+	Messages int
+	// AreaHops is the total network load: Σ (shared face area × hops),
+	// the cells·hops the interconnect actually carries.
+	AreaHops float64
+}
+
+// MeasureHaloHops computes hop statistics for level li of g on torus t.
+// Patches must already be assigned to ranks.
+func MeasureHaloHops(g *grid.Grid, li int, t Torus) HaloHopStats {
+	lvl := g.Levels[li]
+	var st HaloHopStats
+	var weighted float64
+	var totalArea int
+	for _, p := range lvl.Patches {
+		ext := p.Cells.Extent()
+		probes := []struct {
+			c    grid.IntVector
+			area int
+		}{
+			{grid.IV(p.Cells.Hi.X, p.Cells.Lo.Y, p.Cells.Lo.Z), ext.Y * ext.Z},
+			{grid.IV(p.Cells.Lo.X, p.Cells.Hi.Y, p.Cells.Lo.Z), ext.X * ext.Z},
+			{grid.IV(p.Cells.Lo.X, p.Cells.Lo.Y, p.Cells.Hi.Z), ext.X * ext.Y},
+		}
+		for _, pr := range probes {
+			q := lvl.PatchContaining(pr.c)
+			if q == nil || q.Rank == p.Rank {
+				continue
+			}
+			h := t.Hops(p.Rank, q.Rank)
+			st.Messages++
+			weighted += float64(h * pr.area)
+			totalArea += pr.area
+			if h > st.MaxHops {
+				st.MaxHops = h
+			}
+			st.AreaHops += float64(h * pr.area)
+		}
+	}
+	if totalArea > 0 {
+		st.AvgHops = weighted / float64(totalArea)
+	}
+	return st
+}
+
+// NetworkTimeTopo refines the α-β model with a per-hop latency term:
+// each message pays NetLatency + avgHops·HopLatency, plus the
+// bandwidth term. HopLatency defaults to 100 ns/hop when unset on the
+// machine (Gemini's per-hop forwarding cost is ~O(100 ns)).
+func (m Machine) NetworkTimeTopo(e CommEstimate, avgHops float64) float64 {
+	hop := m.HopLatency
+	if hop == 0 {
+		hop = 100e-9
+	}
+	msgs := float64(e.MsgsSent + e.MsgsRecv)
+	bytes := float64(e.BytesSent + e.BytesRecv)
+	return msgs*(m.NetLatency+avgHops*hop) + bytes/m.NetBandwidth
+}

@@ -1,0 +1,267 @@
+// Package production is the closest analogue of the CCMSC target
+// calculation this reproduction can run: a multi-timestep simulation
+// coupling the ARCHES-style energy equation (per-patch task graph,
+// SSP-RK2, ghost exchanges) with the GPU multi-level RMCRT radiation
+// solve (property tasks, coarsening, level-database uploads, staged
+// ray-trace kernels) — all through one scheduler per timestep, on a
+// 2-level AMR grid, with radiation recomputed on its own loosely
+// coupled period, optional UDA output and checkpoints.
+//
+// Everything the paper's production boiler runs exercise flows through
+// here: the task graph, the warehouses (old/new generations), the
+// simulated device with its shared coarse copies, and the wait-free
+// communication pool inside the scheduler's worker loop.
+package production
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uintah-repro/rmcrt/internal/arches"
+	"github.com/uintah-repro/rmcrt/internal/dw"
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/gpu"
+	"github.com/uintah-repro/rmcrt/internal/gpudw"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+	"github.com/uintah-repro/rmcrt/internal/rmcrt"
+	"github.com/uintah-repro/rmcrt/internal/sched"
+	"github.com/uintah-repro/rmcrt/internal/simmpi"
+	"github.com/uintah-repro/rmcrt/internal/uda"
+)
+
+// Config describes one production run.
+type Config struct {
+	// FineN and PatchN set the fine CFD level (FineN³ cells in PatchN³
+	// patches); the coarse radiation level is FineN/RR³.
+	FineN, PatchN, RR int
+	// Steps is the number of timesteps; Dt their length (seconds).
+	Steps int
+	Dt    float64
+	// RadPeriod recomputes radiation every RadPeriod steps.
+	RadPeriod int
+	// Rays per cell for the radiation solves.
+	Rays int
+	// Workers is the scheduler thread count per timestep.
+	Workers int
+	// Energy is the gas/energy-equation configuration (RKOrder must be
+	// 1 or 2; Radiation options inside it are ignored here).
+	Energy arches.Config
+	// InitTemp gives the initial temperature at a physical point.
+	InitTemp func(x, y, z float64) float64
+	// Abskg gives the absorption coefficient at a physical point.
+	Abskg func(x, y, z float64) float64
+	// Archive, when non-nil, receives the temperature field every
+	// ArchiveEvery steps (and at the end).
+	Archive      *uda.Archive
+	ArchiveEvery int
+	// Seed drives the radiation Monte Carlo.
+	Seed uint64
+}
+
+// DefaultConfig returns a laptop-scale hot-box run.
+func DefaultConfig() Config {
+	e := arches.DefaultConfig()
+	e.RKOrder = 2
+	e.RadPeriod = 0 // the driver owns the radiation schedule
+	return Config{
+		FineN: 32, PatchN: 16, RR: 4,
+		Steps: 10, Dt: 1e-3,
+		RadPeriod: 5, Rays: 16, Workers: 8,
+		Energy: e,
+		InitTemp: func(x, y, z float64) float64 {
+			r2 := (x-0.5)*(x-0.5) + (y-0.5)*(y-0.5) + (z-0.5)*(z-0.5)
+			return 600 + 1200*math.Exp(-10*r2)
+		},
+		Abskg: func(x, y, z float64) float64 { return 0.5 },
+		Seed:  71,
+	}
+}
+
+// StepStats is one timestep's record.
+type StepStats struct {
+	Step      int
+	MeanTemp  float64
+	MaxTemp   float64
+	Radiation bool
+	// TasksRun is the scheduler task count of the step.
+	TasksRun int64
+}
+
+// Result carries the run history and final state.
+type Result struct {
+	History []StepStats
+	// FinalT is the assembled final temperature field.
+	FinalT *field.CC[float64]
+	// RadSolves counts radiation solves performed.
+	RadSolves int
+	// DevicePeakMem is the maximum device residency seen.
+	DevicePeakMem int64
+}
+
+// Run executes the coupled simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Steps <= 0 || cfg.Dt <= 0 {
+		return nil, fmt.Errorf("production: need positive steps and dt")
+	}
+	if cfg.InitTemp == nil || cfg.Abskg == nil {
+		return nil, fmt.Errorf("production: need InitTemp and Abskg")
+	}
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(cfg.FineN / cfg.RR), PatchSize: grid.Uniform(cfg.FineN / cfg.RR)},
+		grid.Spec{Resolution: grid.Uniform(cfg.FineN), PatchSize: grid.Uniform(cfg.PatchN)},
+	)
+	if err != nil {
+		return nil, err
+	}
+	fineIdx := 1
+	fine := g.Levels[fineIdx]
+
+	// Static absorption coefficient per patch (gas composition fixed).
+	abskg := make(map[int]*field.CC[float64], len(fine.Patches))
+	for _, p := range fine.Patches {
+		v := field.NewCC[float64](p.Cells)
+		v.FillFunc(func(c grid.IntVector) float64 {
+			pt := fine.CellCenter(c)
+			return cfg.Abskg(pt.X, pt.Y, pt.Z)
+		})
+		abskg[p.ID] = v
+	}
+
+	// Initial temperature into generation 0.
+	old := dw.New(0)
+	for _, p := range fine.Patches {
+		v := field.NewCC[float64](p.Cells)
+		v.FillFunc(func(c grid.IntVector) float64 {
+			pt := fine.CellCenter(c)
+			return cfg.InitTemp(pt.X, pt.Y, pt.Z)
+		})
+		old.PutCC(arches.LabelT, p.ID, v)
+	}
+
+	// One device for the whole run (a Titan node's K20X).
+	dev := gpu.NewDevice(gpu.K20XMemory, gpu.NewK20X(2.5e8))
+	comm := simmpi.NewComm(1)
+
+	// lastDivQ persists the radiative source between radiation solves
+	// (the loosely-coupled schedule).
+	lastDivQ := make(map[int]*field.CC[float64], len(fine.Patches))
+
+	res := &Result{}
+	wallSigT4 := rmcrt.SigmaSB * math.Pow(cfg.Energy.WallTemp, 4)
+
+	for step := 0; step < cfg.Steps; step++ {
+		radiationDue := cfg.RadPeriod > 0 && step%cfg.RadPeriod == 0
+		newDW := dw.New(step + 1)
+		s := sched.NewScheduler(0, cfg.Workers, g, newDW, old, comm)
+		s.AttachGPU(dev, gpudw.New(dev))
+
+		if radiationDue {
+			ropts := rmcrt.DefaultOptions()
+			ropts.NRays = cfg.Rays
+			ropts.Seed = cfg.Seed + uint64(step)
+			ropts.WallSigmaT4 = wallSigT4
+			oldDW := old
+			solve := &rmcrt.GPURadiationSolve{
+				Grid: g,
+				Opts: ropts,
+				// Radiative properties derived from the PREVIOUS
+				// generation's temperature — the paper's coupling.
+				Props: func(lvl *grid.Level, window grid.Box) (*field.CC[float64], *field.CC[float64], *field.CC[field.CellType]) {
+					a := abskg[lvl.PatchContaining(window.Lo).ID].Clone()
+					sg := field.NewCC[float64](window)
+					T, err := oldDW.GetCC(arches.LabelT, lvl.PatchContaining(window.Lo).ID)
+					if err == nil {
+						sg.FillFunc(func(c grid.IntVector) float64 {
+							t := T.At(c)
+							return rmcrt.SigmaSB * t * t * t * t / math.Pi
+						})
+					}
+					ct := field.NewCC[field.CellType](window)
+					ct.Fill(field.Flow)
+					return a, sg, ct
+				},
+			}
+			if err := solve.Register(s); err != nil {
+				return nil, fmt.Errorf("production: step %d radiation: %w", step, err)
+			}
+		}
+
+		tg := &arches.TimestepGraph{
+			Cfg: cfg.Energy, Grid: g, Level: fineIdx, Dt: cfg.Dt,
+			DivQ: func(p *grid.Patch) *field.CC[float64] {
+				if radiationDue {
+					if v, err := newDW.GetCC(rmcrt.LabelDivQ, p.ID); err == nil {
+						return v
+					}
+				}
+				return lastDivQ[p.ID] // nil on the first steps: no radiation yet
+			},
+		}
+		if radiationDue {
+			tg.ExtraDeps = []sched.Dep{{Label: rmcrt.LabelDivQ, Level: fineIdx, Ghost: 0}}
+		}
+		if err := tg.Register(s); err != nil {
+			return nil, fmt.Errorf("production: step %d energy: %w", step, err)
+		}
+
+		stats, err := s.Execute()
+		if err != nil {
+			return nil, fmt.Errorf("production: step %d: %w", step, err)
+		}
+		if radiationDue {
+			res.RadSolves++
+			for _, p := range fine.Patches {
+				if v, err := newDW.GetCC(rmcrt.LabelDivQ, p.ID); err == nil {
+					lastDivQ[p.ID] = v
+				}
+			}
+		}
+		if stats.DevicePeakMem > res.DevicePeakMem {
+			res.DevicePeakMem = stats.DevicePeakMem
+		}
+
+		// Gather monitoring stats.
+		mean, max := 0.0, math.Inf(-1)
+		cells := 0
+		for _, p := range fine.Patches {
+			v, err := newDW.GetCC(arches.LabelT, p.ID)
+			if err != nil {
+				return nil, fmt.Errorf("production: step %d missing T: %w", step, err)
+			}
+			for _, t := range v.Data() {
+				mean += t
+				cells++
+				if t > max {
+					max = t
+				}
+			}
+		}
+		res.History = append(res.History, StepStats{
+			Step: step + 1, MeanTemp: mean / float64(cells), MaxTemp: max,
+			Radiation: radiationDue, TasksRun: stats.TasksRun,
+		})
+
+		if cfg.Archive != nil && cfg.ArchiveEvery > 0 &&
+			((step+1)%cfg.ArchiveEvery == 0 || step == cfg.Steps-1) {
+			for _, p := range fine.Patches {
+				v, _ := newDW.GetCC(arches.LabelT, p.ID)
+				if err := cfg.Archive.SaveCC(step+1, arches.LabelT, p.ID, v); err != nil {
+					return nil, fmt.Errorf("production: archiving step %d: %w", step, err)
+				}
+			}
+		}
+		old = newDW
+	}
+
+	// Assemble the final field.
+	res.FinalT = field.NewCC[float64](fine.IndexBox())
+	for _, p := range fine.Patches {
+		v, err := old.GetCC(arches.LabelT, p.ID)
+		if err != nil {
+			return nil, err
+		}
+		res.FinalT.CopyRegion(v, p.Cells)
+	}
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package production
+
+import (
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/uda"
+)
+
+func TestProductionRunBasics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Steps = 6
+	cfg.RadPeriod = 3
+	cfg.Rays = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 6 {
+		t.Fatalf("history = %d steps", len(res.History))
+	}
+	if res.RadSolves != 2 {
+		t.Errorf("RadSolves = %d, want 2 (steps 0 and 3)", res.RadSolves)
+	}
+	// Radiation steps carry more tasks (props + coarsen + GPU trace).
+	if !res.History[0].Radiation || res.History[1].Radiation {
+		t.Error("radiation schedule wrong")
+	}
+	if res.History[0].TasksRun <= res.History[1].TasksRun {
+		t.Errorf("radiation step ran %d tasks, plain step %d — radiation should add tasks",
+			res.History[0].TasksRun, res.History[1].TasksRun)
+	}
+	if res.FinalT == nil || res.FinalT.Box().Volume() != 32*32*32 {
+		t.Error("final field missing or wrong shape")
+	}
+	if res.DevicePeakMem <= 0 {
+		t.Error("device never held data")
+	}
+}
+
+func TestProductionHotGasCools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("production cooling run skipped in -short")
+	}
+	cfg := DefaultConfig()
+	cfg.Steps = 12
+	cfg.RadPeriod = 2
+	cfg.Rays = 12
+	cfg.Energy.Conductivity = 0 // isolate radiation
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.History[0], res.History[len(res.History)-1]
+	if last.MaxTemp >= first.MaxTemp {
+		t.Errorf("hot core did not cool: %v -> %v", first.MaxTemp, last.MaxTemp)
+	}
+	// Monotone decrease once radiation is active.
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i].MeanTemp > res.History[i-1].MeanTemp+1e-9 {
+			t.Errorf("step %d: mean T rose %v -> %v",
+				i, res.History[i-1].MeanTemp, res.History[i].MeanTemp)
+		}
+	}
+}
+
+func TestProductionDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Steps = 4
+	cfg.RadPeriod = 2
+	cfg.Rays = 6
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := a.FinalT.Data(), b.FinalT.Data()
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("non-deterministic production run at cell %d", i)
+		}
+	}
+}
+
+func TestProductionArchives(t *testing.T) {
+	arch, err := uda.Create(t.TempDir(), "prod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Steps = 4
+	cfg.RadPeriod = 2
+	cfg.Rays = 4
+	cfg.Archive = arch
+	cfg.ArchiveEvery = 2
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	ts := arch.Timesteps()
+	if len(ts) != 2 || ts[0] != 2 || ts[1] != 4 {
+		t.Errorf("archived timesteps = %v, want [2 4]", ts)
+	}
+}
+
+func TestProductionValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Steps = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero steps accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.InitTemp = nil
+	if _, err := Run(cfg); err == nil {
+		t.Error("missing InitTemp accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package rmcrt
+
+import (
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// Ablation studies for the multi-level design choices DESIGN.md calls
+// out: the fine halo width and the refinement ratio both trade accuracy
+// against communication/memory volume. These tests pin the direction of
+// each trade so a regression in either the tracer or the coarsening
+// shows up as a shape change.
+
+// mlError returns the mean relative difference between a 2-level solve
+// (per-patch ROI with the given halo and refinement ratio) and the
+// single-level fine solve, over the center patch.
+func mlError(t *testing.T, fineN, patchN, rr, halo, rays int) float64 {
+	t.Helper()
+	g, mk, err := NewMultiLevelBenchmark(fineN, patchN, rr, halo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patch *grid.Patch
+	mid := grid.Uniform(fineN / 2)
+	for _, p := range g.Levels[1].Patches {
+		if p.Cells.Contains(mid) {
+			patch = p
+			break
+		}
+	}
+	opts := DefaultOptions()
+	opts.NRays = rays
+	opts.HaloCells = halo
+	ml, err := mk(patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlV, err := ml.SolveRegion(patch.Cells, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, _, err := NewBenchmarkDomain(fineN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slV, err := sl.SolveRegion(patch.Cells, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	n := 0
+	patch.Cells.ForEach(func(c grid.IntVector) {
+		sum += mathutil.RelErr(mlV.At(c), slV.At(c), 1e-12)
+		n++
+	})
+	return sum / float64(n)
+}
+
+// TestAblationHaloWidth: widening the fine halo moves the fine/coarse
+// hand-off further from the rays' origins, so the multi-level answer
+// approaches the single-level one; a generous halo must beat none.
+func TestAblationHaloWidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("halo ablation skipped in -short")
+	}
+	const fineN, patchN, rr, rays = 32, 8, 4, 24
+	errNone := mlError(t, fineN, patchN, rr, 0, rays)
+	errWide := mlError(t, fineN, patchN, rr, 8, rays)
+	if errWide >= errNone {
+		t.Errorf("halo 8 error %.4f should be below halo 0 error %.4f", errWide, errNone)
+	}
+	// With this smooth benchmark the errors stay small in absolute
+	// terms; what matters is the direction and that even halo 0 is
+	// usable (the coarse field is a good far-field).
+	if errNone > 0.10 {
+		t.Errorf("halo 0 error %.4f unexpectedly large", errNone)
+	}
+}
+
+// TestAblationRefinementRatio: RR 2 keeps 8x more coarse cells than RR
+// 4, so it is more accurate but its replicated coarse level costs 8x
+// the memory/communication — the knob the paper sets to 4.
+func TestAblationRefinementRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("refinement-ratio ablation skipped in -short")
+	}
+	const fineN, patchN, halo, rays = 32, 8, 4, 24
+	err2 := mlError(t, fineN, patchN, 2, halo, rays)
+	err4 := mlError(t, fineN, patchN, 4, halo, rays)
+	// Coarse copies: (fineN/rr)^3 cells.
+	bytes2 := int64((fineN / 2) * (fineN / 2) * (fineN / 2) * 8)
+	bytes4 := int64((fineN / 4) * (fineN / 4) * (fineN / 4) * 8)
+	if bytes2 != 8*bytes4 {
+		t.Fatalf("coarse volume accounting wrong: %d vs %d", bytes2, bytes4)
+	}
+	if err2 > err4*1.5 {
+		t.Errorf("RR2 error %.4f should not be materially worse than RR4 error %.4f", err2, err4)
+	}
+	t.Logf("ablation: RR2 err=%.4f (coarse %d B), RR4 err=%.4f (coarse %d B)", err2, bytes2, err4, bytes4)
+}
+
+// TestAblationStepsPerRayVsHalo: the cost side of the halo trade — a
+// wider halo means more fine-level DDA steps per ray.
+func TestAblationStepsPerRayVsHalo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steps ablation skipped in -short")
+	}
+	const fineN, patchN, rr, rays = 32, 8, 4, 8
+	steps := func(halo int) float64 {
+		g, mk, err := NewMultiLevelBenchmark(fineN, patchN, rr, halo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := g.Levels[1].Patches[len(g.Levels[1].Patches)/2]
+		dom, err := mk(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.NRays = rays
+		opts.HaloCells = halo
+		if _, err := dom.SolveRegion(p.Cells, &opts); err != nil {
+			t.Fatal(err)
+		}
+		return float64(dom.Steps.Load()) / float64(dom.Rays.Load())
+	}
+	s0, s8 := steps(0), steps(8)
+	if s8 <= s0 {
+		t.Errorf("steps/ray with halo 8 (%.1f) should exceed halo 0 (%.1f)", s8, s0)
+	}
+}
+
+// TestThreeLevelHierarchy exercises the general level-upon-level walk:
+// a 3-level solve must stay close to the single-level answer on the
+// patch interior and must actually traverse all three levels.
+func TestThreeLevelHierarchy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-level study skipped in -short")
+	}
+	const fineN, patchN, rr, halo, midHalo = 32, 8, 2, 4, 4
+	g, mk, err := NewThreeLevelBenchmark(fineN, patchN, rr, halo, midHalo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Levels) != 3 {
+		t.Fatalf("levels = %d", len(g.Levels))
+	}
+	var patch *grid.Patch
+	for _, p := range g.Levels[2].Patches {
+		if p.Cells.Contains(grid.Uniform(fineN / 2)) {
+			patch = p
+			break
+		}
+	}
+	dom, err := mk(patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.NRays = 48
+	opts.HaloCells = halo
+	out, err := dom.SolveRegion(patch.Cells, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, _, err := NewBenchmarkDomain(fineN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sl.SolveRegion(patch.Cells, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	n := 0
+	patch.Cells.ForEach(func(c grid.IntVector) {
+		sum += mathutil.RelErr(out.At(c), ref.At(c), 1e-12)
+		n++
+	})
+	if mean := sum / float64(n); mean > 0.05 {
+		t.Errorf("3-level vs single-level mean relative difference = %.3f", mean)
+	}
+	// The walk must be cheaper than tracing the fine level everywhere:
+	// steps/ray bounded well below a fine-only traversal (~0.66*1.5*32).
+	stepsPerRay := float64(dom.Steps.Load()) / float64(dom.Rays.Load())
+	if stepsPerRay > 0.66*1.5*float64(fineN) {
+		t.Errorf("steps/ray = %.1f — hierarchy not reducing traversal cost", stepsPerRay)
+	}
+}
+
+func TestThreeLevelValidation(t *testing.T) {
+	if _, _, err := NewThreeLevelBenchmark(30, 6, 4, 2, 2); err == nil {
+		t.Error("30 not divisible by 16 should fail")
+	}
+	g, mk, err := NewThreeLevelBenchmark(32, 8, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mid-level patch is not a valid fine patch.
+	if _, err := mk(g.Levels[1].Patches[0]); err == nil {
+		t.Error("mid-level patch accepted")
+	}
+}

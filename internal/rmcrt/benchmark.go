@@ -1,0 +1,171 @@
+package rmcrt
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// Burns & Christon benchmark [30]: a unit cube of radiatively
+// participating medium with the trilinear absorption coefficient
+//
+//	κ(x,y,z) = 0.9·(1−2|x−½|)(1−2|y−½|)(1−2|z−½|) + 0.1
+//
+// (peak 1.0 at the center, 0.1 at corners), a uniform temperature such
+// that σT⁴ = 1 W/m², and cold black walls. The quantity of interest is
+// the divergence of the heat flux in every cell. This is the problem
+// behind the paper's Figures 2 and 3 and its accuracy citations [3].
+
+// BenchmarkSigmaT4 is the uniform emissive power σT⁴ of the medium.
+const BenchmarkSigmaT4 = 1.0
+
+// BenchmarkKappa evaluates the Burns & Christon absorption coefficient
+// at physical point (x, y, z) of the unit cube.
+func BenchmarkKappa(x, y, z float64) float64 {
+	f := func(t float64) float64 { return 1 - 2*math.Abs(t-0.5) }
+	return 0.9*f(x)*f(y)*f(z) + 0.1
+}
+
+// FillBenchmark populates κ, σT⁴/π and cellType for the Burns &
+// Christon problem over window on level lvl (cell-center sampling).
+// All cells are flow cells; the cube's walls are the domain boundary,
+// handled by the tracer's wall options.
+func FillBenchmark(lvl *grid.Level, window grid.Box) (abskg, sigT4OverPi *field.CC[float64], ct *field.CC[field.CellType]) {
+	abskg = field.NewCC[float64](window)
+	sigT4OverPi = field.NewCC[float64](window)
+	ct = field.NewCC[field.CellType](window)
+	abskg.FillFunc(func(c grid.IntVector) float64 {
+		p := lvl.CellCenter(c)
+		return BenchmarkKappa(p.X, p.Y, p.Z)
+	})
+	sigT4OverPi.Fill(BenchmarkSigmaT4 / math.Pi)
+	ct.Fill(field.Flow)
+	return abskg, sigT4OverPi, ct
+}
+
+// NewBenchmarkDomain builds a single-level tracer domain for the Burns
+// & Christon problem at resolution n³ (unit cube, one patch).
+func NewBenchmarkDomain(n int) (*Domain, *grid.Grid, error) {
+	g, err := grid.New(
+		mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(n), PatchSize: grid.Uniform(n)},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	lvl := g.Levels[0]
+	abskg, sig, ct := FillBenchmark(lvl, lvl.IndexBox())
+	d := &Domain{Levels: []LevelData{{
+		Level: lvl, ROI: lvl.IndexBox(),
+		Abskg: abskg, SigmaT4OverPi: sig, CellType: ct,
+	}}}
+	return d, g, nil
+}
+
+// NewMultiLevelBenchmark builds a 2-level tracer domain for the
+// benchmark: a fine level of fineN³ cells (split into patches of
+// patchN³) and a coarse radiation level of fineN/rr³ cells spanning the
+// domain — the paper's configuration (e.g. fine 256³ / coarse 64³,
+// refinement ratio 4). It returns the grid plus a constructor that
+// builds the per-patch Domain (fine ROI = patch + halo, coarse ROI =
+// whole level) for any fine patch.
+func NewMultiLevelBenchmark(fineN, patchN, rr, halo int) (*grid.Grid, func(p *grid.Patch) (*Domain, error), error) {
+	if fineN%rr != 0 {
+		return nil, nil, fmt.Errorf("rmcrt: fine resolution %d not divisible by refinement ratio %d", fineN, rr)
+	}
+	coarseN := fineN / rr
+	g, err := grid.New(
+		mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(coarseN), PatchSize: grid.Uniform(coarseN)},
+		grid.Spec{Resolution: grid.Uniform(fineN), PatchSize: grid.Uniform(patchN)},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	fine, coarse := g.Levels[1], g.Levels[0]
+
+	// Fine-level properties over the whole level (the CFD mesh state);
+	// per-patch domains window into it.
+	fa, fs, fc := FillBenchmark(fine, fine.IndexBox())
+	// Coarse-level properties are the conservative projection of the
+	// fine level — exactly what Uintah's coarsening tasks compute.
+	ca := field.NewCC[float64](coarse.IndexBox())
+	cs := field.NewCC[float64](coarse.IndexBox())
+	cc := field.NewCC[field.CellType](coarse.IndexBox())
+	rrv := grid.Uniform(rr)
+	field.CoarsenAverage(ca, fa, rrv)
+	field.CoarsenAverage(cs, fs, rrv)
+	field.CoarsenCellType(cc, fc, rrv)
+
+	mk := func(p *grid.Patch) (*Domain, error) {
+		if p.LevelIndex != 1 {
+			return nil, fmt.Errorf("rmcrt: patch %d is not on the fine level", p.ID)
+		}
+		roi := p.Cells.Grow(halo).Intersect(fine.IndexBox())
+		// The fine window aliases the full-level fields: cheap, and the
+		// tracer only reads within the ROI.
+		return &Domain{Levels: []LevelData{
+			{Level: coarse, ROI: coarse.IndexBox(), Abskg: ca, SigmaT4OverPi: cs, CellType: cc},
+			{Level: fine, ROI: roi, Abskg: fa, SigmaT4OverPi: fs, CellType: fc},
+		}}, nil
+	}
+	return g, mk, nil
+}
+
+// NewThreeLevelBenchmark builds the benchmark with the general
+// level-upon-level hierarchy the paper's AMR design allows: a fine
+// level (fineN³ in patchN³ patches), a mid radiation level at
+// fineN/rr³, and a coarsest level at fineN/rr²³, every level spanning
+// the domain. Rays march the fine ROI (patch + halo), drop to the mid
+// level inside the mid ROI (the refined fine ROI grown by midHalo),
+// and the coarsest level everywhere else.
+func NewThreeLevelBenchmark(fineN, patchN, rr, halo, midHalo int) (*grid.Grid, func(p *grid.Patch) (*Domain, error), error) {
+	if fineN%(rr*rr) != 0 {
+		return nil, nil, fmt.Errorf("rmcrt: fine resolution %d not divisible by rr² = %d", fineN, rr*rr)
+	}
+	midN, coarseN := fineN/rr, fineN/(rr*rr)
+	g, err := grid.New(
+		mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(coarseN), PatchSize: grid.Uniform(coarseN)},
+		grid.Spec{Resolution: grid.Uniform(midN), PatchSize: grid.Uniform(midN)},
+		grid.Spec{Resolution: grid.Uniform(fineN), PatchSize: grid.Uniform(patchN)},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	coarse, mid, fine := g.Levels[0], g.Levels[1], g.Levels[2]
+
+	fa, fs, fc := FillBenchmark(fine, fine.IndexBox())
+	rrv := grid.Uniform(rr)
+
+	ma := field.NewCC[float64](mid.IndexBox())
+	ms := field.NewCC[float64](mid.IndexBox())
+	mc := field.NewCC[field.CellType](mid.IndexBox())
+	field.CoarsenAverage(ma, fa, rrv)
+	field.CoarsenAverage(ms, fs, rrv)
+	field.CoarsenCellType(mc, fc, rrv)
+
+	ca := field.NewCC[float64](coarse.IndexBox())
+	cs := field.NewCC[float64](coarse.IndexBox())
+	cc := field.NewCC[field.CellType](coarse.IndexBox())
+	field.CoarsenAverage(ca, ma, rrv)
+	field.CoarsenAverage(cs, ms, rrv)
+	field.CoarsenCellType(cc, mc, rrv)
+
+	mk := func(p *grid.Patch) (*Domain, error) {
+		if p.LevelIndex != 2 {
+			return nil, fmt.Errorf("rmcrt: patch %d is not on the fine level", p.ID)
+		}
+		fineROI := p.Cells.Grow(halo).Intersect(fine.IndexBox())
+		midROI := fineROI.Coarsen(rrv).Grow(midHalo).Intersect(mid.IndexBox())
+		return &Domain{Levels: []LevelData{
+			{Level: coarse, ROI: coarse.IndexBox(), Abskg: ca, SigmaT4OverPi: cs, CellType: cc},
+			{Level: mid, ROI: midROI, Abskg: ma, SigmaT4OverPi: ms, CellType: mc},
+			{Level: fine, ROI: fineROI, Abskg: fa, SigmaT4OverPi: fs, CellType: fc},
+		}}, nil
+	}
+	return g, mk, nil
+}

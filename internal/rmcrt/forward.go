@@ -1,0 +1,204 @@
+package rmcrt
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// Forward Monte Carlo ray tracing — the baseline RMCRT improves on.
+// §III: "Traditional forward MCRT approaches are inefficient though,
+// in that large numbers of traced rays may not reach the subdomain of
+// interest." This implementation exists to make that comparison
+// concrete (see the tests and EXPERIMENTS.md): photon bundles are
+// emitted from every cell (and the hot walls), energy is deposited
+// along their paths with a collision estimator, and the divergence of
+// the heat flux is emission minus absorption per cell.
+//
+// Forward MCRT computes the *whole field* from one global photon
+// budget; RMCRT concentrates its entire budget on the cells that need
+// answers. For a fixed budget aimed at a small subdomain, reverse wins
+// by orders of magnitude — exactly the reciprocity argument the paper
+// makes.
+
+// ForwardResult carries the forward solve outputs.
+type ForwardResult struct {
+	// DivQ is emission minus absorption per unit volume, per cell.
+	DivQ *field.CC[float64]
+	// EmittedWatts and AbsorbedWatts are the global tallies; with cold
+	// black walls Emitted = Absorbed + Escaped.
+	EmittedWatts, AbsorbedWatts, EscapedWatts float64
+	// Bundles is the number of photon bundles traced.
+	Bundles int64
+}
+
+// SolveForward runs a forward photon Monte Carlo over the single-level
+// domain d (multi-level forward transport is not implemented — the
+// paper's forward baseline predates the AMR work). bundlesPerCell
+// photon bundles are emitted from every flow cell; walls with nonzero
+// emission each emit bundlesPerCell bundles per boundary face cell.
+func (d *Domain) SolveForward(bundlesPerCell int, opts *Options) (*ForwardResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d.Levels) != 1 {
+		return nil, fmt.Errorf("rmcrt: forward MCRT supports single-level domains, have %d levels", len(d.Levels))
+	}
+	if bundlesPerCell <= 0 {
+		return nil, fmt.Errorf("rmcrt: need positive bundles per cell")
+	}
+	ld := &d.Levels[0]
+	lvl := ld.Level
+	box := lvl.IndexBox()
+	vol := lvl.CellVolume()
+
+	res := &ForwardResult{DivQ: field.NewCC[float64](box)}
+	absorbed := field.NewCC[float64](box)
+
+	// --- Volume emission --------------------------------------------
+	box.ForEach(func(c grid.IntVector) {
+		if ld.CellType.At(c) != field.Flow {
+			return
+		}
+		kappa := ld.Abskg.At(c)
+		// Cell emissive power: 4 κ σT⁴ V  (σT⁴ = π · I_b).
+		power := 4 * kappa * math.Pi * ld.SigmaT4OverPi.At(c) * vol
+		if power == 0 {
+			return
+		}
+		res.EmittedWatts += power
+		perBundle := power / float64(bundlesPerCell)
+		rng := mathutil.NewStream(opts.Seed^0xf02ad, cellStreamID(c))
+		lo := lvl.CellLo(c)
+		dx := lvl.CellSize()
+		for b := 0; b < bundlesPerCell; b++ {
+			origin := mathutil.Vec3{
+				X: lo.X + rng.Float64()*dx.X,
+				Y: lo.Y + rng.Float64()*dx.Y,
+				Z: lo.Z + rng.Float64()*dx.Z,
+			}
+			d.traceForward(ld, origin, rng.UnitSphere(), perBundle, absorbed, res, opts)
+		}
+	})
+
+	// --- Wall emission ------------------------------------------------
+	if opts.WallSigmaT4 > 0 && opts.WallEmissivity > 0 {
+		d.emitFromWalls(ld, bundlesPerCell, absorbed, res, opts)
+	}
+
+	// divQ = (emitted − absorbed)/V per cell.
+	box.ForEach(func(c grid.IntVector) {
+		if ld.CellType.At(c) != field.Flow {
+			return
+		}
+		kappa := ld.Abskg.At(c)
+		emitted := 4 * kappa * math.Pi * ld.SigmaT4OverPi.At(c)
+		res.DivQ.Set(c, emitted-absorbed.At(c)/vol)
+	})
+	return res, nil
+}
+
+// traceForward marches one photon bundle, depositing absorbed energy
+// into the tally until extinction or a wall.
+func (d *Domain) traceForward(ld *LevelData, origin, dir mathutil.Vec3, energy float64,
+	absorbed *field.CC[float64], res *ForwardResult, opts *Options) {
+
+	res.Bundles++
+	d.Rays.Add(1)
+	lvl := ld.Level
+	cell := lvl.CellContaining(origin)
+	st := initMarch(lvl, cell, origin, dir, 0)
+	tCur := 0.0
+	maxSteps := opts.maxSteps()
+
+	for step := 0; step < maxSteps; step++ {
+		ax := st.nextAxis()
+		tNext := st.tMax.Component(ax)
+		ds := tNext - tCur
+		if ds < 0 {
+			ds = 0
+		}
+		d.Steps.Add(1)
+		kappa := ld.Abskg.At(st.cell)
+		// Fraction of the bundle absorbed across this segment.
+		f := 1 - math.Exp(-kappa*ds)
+		dep := energy * f
+		absorbed.Set(st.cell, absorbed.At(st.cell)+dep)
+		res.AbsorbedWatts += dep
+		energy -= dep
+		if energy < opts.Threshold*1e-3 {
+			// Deposit the residual where the bundle dies to conserve
+			// energy exactly.
+			absorbed.Set(st.cell, absorbed.At(st.cell)+energy)
+			res.AbsorbedWatts += energy
+			return
+		}
+		tCur = tNext
+		st.cell = st.cell.WithComponent(ax, st.cell.Component(ax)+st.step.Component(ax))
+		st.tMax = st.tMax.WithComponent(ax, st.tMax.Component(ax)+st.tDelta.Component(ax))
+		if !lvl.ContainsCell(st.cell) {
+			// Cold black walls absorb everything that reaches them.
+			res.EscapedWatts += energy
+			return
+		}
+		if ld.CellType.At(st.cell) != field.Flow {
+			res.EscapedWatts += energy
+			return
+		}
+	}
+	res.EscapedWatts += energy
+}
+
+// emitFromWalls launches cosine-distributed bundles from every face
+// cell of the six enclosure walls.
+func (d *Domain) emitFromWalls(ld *LevelData, bundlesPerCell int,
+	absorbed *field.CC[float64], res *ForwardResult, opts *Options) {
+
+	lvl := ld.Level
+	n := lvl.Resolution
+	dx := lvl.CellSize()
+	faceAreas := [3]float64{dx.Y * dx.Z, dx.X * dx.Z, dx.X * dx.Y}
+	// Wall emissive power per face cell: ε σT⁴ A.
+	for _, face := range []WallFace{XMinus, XPlus, YMinus, YPlus, ZMinus, ZPlus} {
+		normal := face.normal()
+		ax := int(face) / 2
+		area := faceAreas[ax]
+		power := opts.WallEmissivity * opts.WallSigmaT4 * area
+		perBundle := power / float64(bundlesPerCell)
+		// Enumerate the face's cells via the two other axes.
+		a1, a2 := (ax+1)%3, (ax+2)%3
+		for i := 0; i < n.Component(a1); i++ {
+			for j := 0; j < n.Component(a2); j++ {
+				var c grid.IntVector
+				if int(face)%2 == 0 {
+					c = c.WithComponent(ax, 0)
+				} else {
+					c = c.WithComponent(ax, n.Component(ax)-1)
+				}
+				c = c.WithComponent(a1, i).WithComponent(a2, j)
+				res.EmittedWatts += power
+				rng := mathutil.NewStream(opts.Seed^uint64(0xa11+face), cellStreamID(c))
+				lo := lvl.CellLo(c)
+				for b := 0; b < bundlesPerCell; b++ {
+					// Random point on the wall face, nudged inside.
+					p := lo
+					p = p.Add(dx.Mul(mathutil.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}))
+					eps := 1e-9 * dx.MinComponent()
+					switch {
+					case int(face)%2 == 0:
+						p = p.WithComponent(ax, lvl.DomainLo.Component(ax)+eps)
+					default:
+						p = p.WithComponent(ax, lvl.DomainHi.Component(ax)-eps)
+					}
+					d.traceForward(ld, p, rng.CosineHemisphere(normal), perBundle, absorbed, res, opts)
+				}
+			}
+		}
+	}
+}

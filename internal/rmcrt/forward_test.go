@@ -1,0 +1,146 @@
+package rmcrt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+func TestForwardEnergyConservation(t *testing.T) {
+	// Every emitted watt is either absorbed in the medium or escapes to
+	// the (cold black) walls — exactly, by construction of the residual
+	// deposit.
+	d := uniformDomain(t, 10, 0.8, 2.0)
+	opts := DefaultOptions()
+	res, err := d.SolveForward(8, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EmittedWatts <= 0 {
+		t.Fatal("nothing emitted")
+	}
+	balance := res.EmittedWatts - res.AbsorbedWatts - res.EscapedWatts
+	if math.Abs(balance)/res.EmittedWatts > 1e-12 {
+		t.Errorf("energy imbalance %g of %g emitted", balance, res.EmittedWatts)
+	}
+	if res.Bundles != int64(10*10*10*8) {
+		t.Errorf("bundles = %d, want %d", res.Bundles, 10*10*10*8)
+	}
+}
+
+func TestForwardMatchesReverseOnBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forward/reverse comparison skipped in -short")
+	}
+	// Both estimators approximate the same RTE; their divQ at the
+	// domain center must agree within Monte Carlo noise.
+	n := 15
+	fwd, _, err := NewBenchmarkDomain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	fres, err := fwd.SolveForward(512, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, _, _ := NewBenchmarkDomain(n)
+	ro := DefaultOptions()
+	ro.NRays = 2048
+	center := grid.IV(n/2, n/2, n/2)
+	want := rev.SolveCell(center, &ro)
+	got := fres.DivQ.At(center)
+	if rel := mathutil.RelErr(got, want, 1e-12); rel > 0.08 {
+		t.Errorf("forward %g vs reverse %g: %.1f%% apart", got, want, 100*rel)
+	}
+}
+
+func TestForwardEquilibrium(t *testing.T) {
+	// Hot walls at the medium temperature: forward transport is in
+	// detailed balance and divQ ~ 0 everywhere (statistically).
+	const sigT4 = 1.0
+	d := uniformDomain(t, 8, 1.0, sigT4)
+	opts := DefaultOptions()
+	opts.WallEmissivity = 1
+	opts.WallSigmaT4 = sigT4
+	res, err := d.SolveForward(256, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Emission scale is 4κσT⁴ = 4; the MC residual should be well under
+	// 10% of it with this budget.
+	probe := []grid.IntVector{grid.IV(4, 4, 4), grid.IV(1, 1, 1), grid.IV(6, 2, 5)}
+	for _, c := range probe {
+		if q := res.DivQ.At(c); math.Abs(q) > 0.4 {
+			t.Errorf("equilibrium forward divQ(%v) = %g, want ~0", c, q)
+		}
+	}
+}
+
+// TestReverseBeatsForwardForSubdomain demonstrates the paper's §III
+// motivation: for a single cell of interest, reverse tracing with a
+// budget of B rays is far more accurate than a forward solve whose B
+// bundles are spread over the whole domain.
+func TestReverseBeatsForwardForSubdomain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("efficiency comparison skipped in -short")
+	}
+	const n = 15
+	center := grid.IV(n/2, n/2, n/2)
+
+	// Trusted reference: very high ray count, independent seed.
+	refDom, _, err := NewBenchmarkDomain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOpts := DefaultOptions()
+	refOpts.NRays = 16384
+	refOpts.Seed = 4242
+	ref := refDom.SolveCell(center, &refOpts)
+
+	// Equal budgets: B total rays.
+	const budget = n * n * n // one bundle per cell for forward
+	fwdDom, _, _ := NewBenchmarkDomain(n)
+	fo := DefaultOptions()
+	fres, err := fwdDom.SolveForward(1, &fo) // n³ bundles total
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwardErr := math.Abs(fres.DivQ.At(center) - ref)
+
+	revDom, _, _ := NewBenchmarkDomain(n)
+	ro := DefaultOptions()
+	ro.NRays = budget // all n³ rays on the one cell of interest
+	reverseErr := math.Abs(revDom.SolveCell(center, &ro) - ref)
+
+	if reverseErr*3 > forwardErr {
+		t.Errorf("reverse err %g should be far below forward err %g at equal budget %d rays",
+			reverseErr, forwardErr, budget)
+	}
+}
+
+func TestForwardValidation(t *testing.T) {
+	d := uniformDomain(t, 4, 1, 1)
+	opts := DefaultOptions()
+	if _, err := d.SolveForward(0, &opts); err == nil {
+		t.Error("zero bundles accepted")
+	}
+	bad := Options{NRays: 1, Threshold: 0}
+	if _, err := d.SolveForward(1, &bad); err == nil {
+		t.Error("invalid options accepted")
+	}
+	// Multi-level forward is unsupported and must say so.
+	g, mk, err := NewMultiLevelBenchmark(16, 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := mk(g.Levels[1].Patches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ml.SolveForward(1, &opts); err == nil {
+		t.Error("multi-level forward accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package rmcrt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// TestPerfectMirrorEqualsInfiniteMedium: with ε = 0 walls and
+// Reflections on, rays bounce forever inside a uniform emitting medium
+// — optically equivalent to an infinite medium, where sumI converges to
+// exactly I_b (up to the extinction threshold). This is a closed-form
+// validation of the reflection machinery.
+func TestPerfectMirrorEqualsInfiniteMedium(t *testing.T) {
+	const sigT4 = 2.0
+	d := uniformDomain(t, 8, 0.5, sigT4)
+	opts := DefaultOptions()
+	opts.Reflections = true
+	opts.WallEmissivity = 0
+	opts.WallSigmaT4 = 0
+	opts.MaxReflections = 10000
+	opts.Threshold = 1e-6
+
+	ib := sigT4 / math.Pi
+	dirs := []mathutil.Vec3{
+		mathutil.V3(1, 0, 0),
+		mathutil.V3(0, -1, 0),
+		mathutil.V3(1, 1, 1).Normalized(),
+		mathutil.V3(-0.3, 0.5, 0.81).Normalized(),
+	}
+	for _, dir := range dirs {
+		got := d.TraceRay(mathutil.V3(0.4, 0.6, 0.5), dir, nil, &opts)
+		if math.Abs(got-ib)/ib > 2*opts.Threshold/1e-6*1e-6+1e-5 {
+			t.Errorf("dir %v: sumI = %.8f, want I_b = %.8f", dir, got, ib)
+		}
+	}
+}
+
+// TestGreyWallReflectionClosedForm: a non-emitting medium (κ=0) inside
+// grey walls at temperature T_w with emissivity ε: each wall hit
+// contributes ε·I_w·(1−ε)^k after k reflections, so
+// sumI = ε·I_w·Σ(1−ε)^k = I_w exactly (a grey isothermal enclosure is
+// black). κ=0 means no attenuation, so the geometric series is exact.
+func TestGreyWallReflectionClosedForm(t *testing.T) {
+	d := uniformDomain(t, 8, 0, 0) // transparent, non-emitting medium
+	opts := DefaultOptions()
+	opts.Reflections = true
+	opts.WallEmissivity = 0.3
+	opts.WallSigmaT4 = math.Pi // I_w = ε σT⁴/π with the ε folded below
+	opts.MaxReflections = 100000
+	opts.Threshold = 1e-9
+
+	// wallIntensity() = ε σT⁴/π = 0.3; after the series the total must
+	// be σT⁴/π = 1.
+	got := d.TraceRay(mathutil.V3(0.5, 0.5, 0.5), mathutil.V3(1, 0.37, 0.22).Normalized(), nil, &opts)
+	// The series truncates when trans = (1−ε)^k < threshold.
+	if math.Abs(got-1.0) > 1e-6 {
+		t.Errorf("grey enclosure sumI = %.8f, want 1.0", got)
+	}
+}
+
+// TestReflectionOffIntrusion: a mirror intrusion plane reflects a ray
+// back toward a hot far wall.
+func TestReflectionOffIntrusion(t *testing.T) {
+	d := uniformDomain(t, 8, 1e-9, 0)
+	ld := &d.Levels[0]
+	// Mirror plane at x = 6 (emissivity handled by options: ε applies
+	// to walls and intrusions alike in this model).
+	for y := 0; y < 8; y++ {
+		for z := 0; z < 8; z++ {
+			ld.CellType.Set(grid.IV(6, y, z), field.Intrusion)
+			ld.SigmaT4OverPi.Set(grid.IV(6, y, z), 0)
+		}
+	}
+	opts := DefaultOptions()
+	opts.Reflections = true
+	opts.WallEmissivity = 0 // mirrors everywhere
+	opts.WallSigmaT4 = 0
+	opts.MaxSteps = 10000
+	opts.MaxReflections = 3
+
+	// With everything mirrored and nothing emitting, sumI is 0; the
+	// value of this test is that the ray terminates (no infinite loop)
+	// despite bouncing between the intrusion and the -x wall.
+	got := d.TraceRay(mathutil.V3(0.5, 0.5, 0.5), mathutil.V3(1, 0, 0), nil, &opts)
+	if got != 0 {
+		t.Errorf("sumI = %g, want 0 from non-emitting mirrors", got)
+	}
+}
+
+// TestReflectionsDisabledUnchanged: the Reflections flag off must leave
+// the original (terminate-at-wall) behaviour bit-identical.
+func TestReflectionsDisabledUnchanged(t *testing.T) {
+	d, _, err := NewBenchmarkDomain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.NRays = 16
+	a := d.SolveCell(grid.IV(5, 5, 5), &opts)
+	opts2 := opts
+	opts2.Reflections = true // black walls: reflections never trigger
+	b := d.SolveCell(grid.IV(5, 5, 5), &opts2)
+	if a != b {
+		t.Errorf("black walls with reflections on changed the answer: %v vs %v", a, b)
+	}
+}
+
+// TestStratifiedSamplingReducesError: randomized-Halton direction
+// sampling must beat independent uniform sampling on the benchmark
+// centerline at equal ray count.
+func TestStratifiedSamplingReducesError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stratification study skipped in -short")
+	}
+	d, _, err := NewBenchmarkDomain(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := grid.NewBox(grid.IV(0, 8, 8), grid.IV(17, 9, 9))
+	ref := DefaultOptions()
+	ref.NRays = 8192
+	ref.Seed = 31415
+	refV, err := d.SolveRegion(line, &ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := func(stratified bool) float64 {
+		o := DefaultOptions()
+		o.NRays = 64
+		o.Stratified = stratified
+		v, err := d.SolveRegion(line, &o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var diffs []float64
+		line.ForEach(func(c grid.IntVector) { diffs = append(diffs, v.At(c)-refV.At(c)) })
+		return mathutil.L2Norm(diffs)
+	}
+	plain := l2(false)
+	strat := l2(true)
+	if strat >= plain {
+		t.Errorf("stratified error %.5f should beat plain %.5f at equal rays", strat, plain)
+	}
+	t.Logf("64 rays: plain L2=%.5f, stratified L2=%.5f (%.1fx)", plain, strat, plain/strat)
+}
+
+// TestStratifiedDeterministic: stratification keeps the per-cell
+// determinism contract.
+func TestStratifiedDeterministic(t *testing.T) {
+	d1, _, _ := NewBenchmarkDomain(8)
+	d2, _, _ := NewBenchmarkDomain(8)
+	opts := DefaultOptions()
+	opts.NRays = 8
+	opts.Stratified = true
+	if d1.SolveCell(grid.IV(4, 4, 4), &opts) != d2.SolveCell(grid.IV(4, 4, 4), &opts) {
+		t.Error("stratified solve not deterministic")
+	}
+}

@@ -1,0 +1,190 @@
+package rmcrt
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// frac returns the fractional part of x in [0,1).
+func frac(x float64) float64 { return x - math.Floor(x) }
+
+// cellStreamID derives the deterministic RNG stream id for a cell, so a
+// cell's rays are identical regardless of which goroutine, patch
+// decomposition or machine traces them.
+func cellStreamID(c grid.IntVector) uint64 {
+	// Pack with generous per-axis ranges; offsets keep negatives away.
+	const off = 1 << 20
+	return (uint64(c.X+off) << 42) | (uint64(c.Y+off) << 21) | uint64(c.Z+off)
+}
+
+// SolveCell traces opts.NRays rays from cell c on the finest level and
+// returns the cell's divergence of the heat flux:
+//
+//	divQ(c) = 4π κ(c) (σT⁴(c)/π − mean sumI)
+func (d *Domain) SolveCell(c grid.IntVector, opts *Options) float64 {
+	ld := d.finest()
+	rng := mathutil.NewStream(opts.Seed, cellStreamID(c))
+	lvl := ld.Level
+	dx := lvl.CellSize()
+	lo := lvl.CellLo(c)
+
+	// Cranley–Patterson rotation offsets for stratified (randomized
+	// quasi-Monte Carlo) direction sampling.
+	var shift1, shift2 float64
+	if opts.Stratified {
+		shift1, shift2 = rng.Float64(), rng.Float64()
+	}
+
+	sum := 0.0
+	for r := 0; r < opts.NRays; r++ {
+		var origin mathutil.Vec3
+		if opts.CellCenteredRays {
+			origin = lvl.CellCenter(c)
+		} else {
+			origin = mathutil.Vec3{
+				X: lo.X + rng.Float64()*dx.X,
+				Y: lo.Y + rng.Float64()*dx.Y,
+				Z: lo.Z + rng.Float64()*dx.Z,
+			}
+		}
+		var dir mathutil.Vec3
+		if opts.Stratified {
+			u1 := frac(mathutil.Halton(r, 2) + shift1)
+			u2 := frac(mathutil.Halton(r, 3) + shift2)
+			cosTheta := 2*u1 - 1
+			sinTheta := math.Sqrt(1 - cosTheta*cosTheta)
+			phi := 2 * math.Pi * u2
+			dir = mathutil.Vec3{X: sinTheta * math.Cos(phi), Y: sinTheta * math.Sin(phi), Z: cosTheta}
+		} else {
+			dir = rng.UnitSphere()
+		}
+		sum += d.TraceRay(origin, dir, rng, opts)
+	}
+	meanI := sum / float64(opts.NRays)
+	kappa := ld.Abskg.At(c)
+	return 4 * math.Pi * kappa * (ld.SigmaT4OverPi.At(c) - meanI)
+}
+
+// SolveRegion computes divQ for every flow cell in region (finest-level
+// indices) into a new variable windowed on region. Opaque cells get 0.
+// Work is split across min(GOMAXPROCS, region thickness) goroutines by
+// x-slabs; determinism is unaffected because every cell has its own RNG
+// stream.
+func (d *Domain) SolveRegion(region grid.Box, opts *Options) (*field.CC[float64], error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	ld := d.finest()
+	if ld.ROI.Intersect(region) != region {
+		return nil, fmt.Errorf("rmcrt: region %v outside finest ROI %v", region, ld.ROI)
+	}
+	out := field.NewCC[float64](region)
+
+	nw := runtime.GOMAXPROCS(0)
+	if ext := region.Extent().X; nw > ext {
+		nw = ext
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for x := region.Lo.X + w; x < region.Hi.X; x += nw {
+				slab := grid.Box{
+					Lo: grid.IV(x, region.Lo.Y, region.Lo.Z),
+					Hi: grid.IV(x+1, region.Hi.Y, region.Hi.Z),
+				}
+				slab.ForEach(func(c grid.IntVector) {
+					if ld.CellType.At(c) != field.Flow {
+						return
+					}
+					out.Set(c, d.SolveCell(c, opts))
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// Boundary flux -------------------------------------------------------
+
+// WallFace identifies one face of the domain enclosure.
+type WallFace int
+
+// The six enclosure faces.
+const (
+	XMinus WallFace = iota
+	XPlus
+	YMinus
+	YPlus
+	ZMinus
+	ZPlus
+)
+
+// String implements fmt.Stringer.
+func (f WallFace) String() string {
+	return [...]string{"x-", "x+", "y-", "y+", "z-", "z+"}[f]
+}
+
+// normal returns the face's inward unit normal.
+func (f WallFace) normal() mathutil.Vec3 {
+	switch f {
+	case XMinus:
+		return mathutil.V3(1, 0, 0)
+	case XPlus:
+		return mathutil.V3(-1, 0, 0)
+	case YMinus:
+		return mathutil.V3(0, 1, 0)
+	case YPlus:
+		return mathutil.V3(0, -1, 0)
+	case ZMinus:
+		return mathutil.V3(0, 0, 1)
+	default:
+		return mathutil.V3(0, 0, -1)
+	}
+}
+
+// SolveWallFlux estimates the incident radiative heat flux (W/m²) at
+// the center of the given enclosure face by tracing nRays
+// cosine-weighted rays into the domain — "the heat flux to the
+// surrounding walls" that boiler design cares about:
+//
+//	q_in = ∫_{2π} I cosθ dΩ  ≈  π · mean(sumI)   (cosine-weighted MC)
+func (d *Domain) SolveWallFlux(face WallFace, opts *Options) (float64, error) {
+	if err := opts.validate(); err != nil {
+		return 0, err
+	}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	ld := d.finest()
+	lvl := ld.Level
+	n := face.normal()
+	// Face-center point nudged inside the domain.
+	ctr := lvl.DomainLo.Add(lvl.DomainHi.Sub(lvl.DomainLo).Scale(0.5))
+	half := lvl.DomainHi.Sub(lvl.DomainLo).Scale(0.5)
+	p := ctr.Sub(n.Mul(half))
+	eps := lvl.CellSize().MinComponent() * 1e-6
+	p = p.Add(n.Scale(eps))
+
+	rng := mathutil.NewStream(opts.Seed, uint64(face)+0xface)
+	sum := 0.0
+	for r := 0; r < opts.NRays; r++ {
+		dir := rng.CosineHemisphere(n)
+		sum += d.TraceRay(p, dir, rng, opts)
+	}
+	return math.Pi * sum / float64(opts.NRays), nil
+}

@@ -1,0 +1,168 @@
+package rmcrt
+
+import (
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/dw"
+	"github.com/uintah-repro/rmcrt/internal/gpu"
+	"github.com/uintah-repro/rmcrt/internal/gpudw"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+	"github.com/uintah-repro/rmcrt/internal/sched"
+	"github.com/uintah-repro/rmcrt/internal/simmpi"
+)
+
+// buildSolve constructs a 2-level benchmark task-graph configuration at
+// laptop scale: fine 32³ in 16³ patches, coarse 8³, RR 4.
+func buildSolve(t testing.TB, devMem int64) (*GPURadiationSolve, *sched.Scheduler) {
+	t.Helper()
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(8), PatchSize: grid.Uniform(8)},
+		grid.Spec{Resolution: grid.Uniform(32), PatchSize: grid.Uniform(16)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.NRays = 8
+	opts.HaloCells = 4
+	solve := &GPURadiationSolve{Grid: g, Opts: opts, Props: FillBenchmark}
+	s := newTaskScheduler(g)
+	dev := gpu.NewDevice(devMem, gpu.NewK20X(1e8))
+	s.AttachGPU(dev, gpudw.New(dev))
+	return solve, s
+}
+
+func TestGPURadiationSolveEndToEnd(t *testing.T) {
+	solve, s := buildSolve(t, 1<<28)
+	if err := solve.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 fine patches: 8 init + 1 coarsen + 8 GPU tasks.
+	if st.TasksRun != 17 {
+		t.Errorf("TasksRun = %d, want 17", st.TasksRun)
+	}
+	if st.GPUTasksRun != 8 {
+		t.Errorf("GPUTasksRun = %d, want 8", st.GPUTasksRun)
+	}
+	// Every patch has a divQ, all positive (cold-wall benchmark).
+	fine := solve.Grid.Finest()
+	for _, p := range fine.Patches {
+		v, err := s.DW.GetCC(LabelDivQ, p.ID)
+		if err != nil {
+			t.Fatalf("patch %d: %v", p.ID, err)
+		}
+		p.Cells.ForEach(func(c grid.IntVector) {
+			if v.At(c) <= 0 {
+				t.Fatalf("divQ at %v = %v, want > 0", c, v.At(c))
+			}
+		})
+	}
+	// The device must be fully drained: every buffer released.
+	if used := s.Device.Used(); used != 0 {
+		t.Errorf("device still holds %d bytes after the solve", used)
+	}
+	if st.DeviceMakespan <= 0 {
+		t.Error("no simulated device time recorded")
+	}
+	// Level database actually shared: 8 patch tasks, 2 level vars, so 7
+	// re-acquisitions per var were avoided.
+	coarseBytes := int64(8*8*8) * 8
+	if saved := s.GPUDW.SavedBytes(); saved != 7*2*coarseBytes {
+		t.Errorf("SavedBytes = %d, want %d (7 avoided uploads x 2 vars)", saved, 7*2*coarseBytes)
+	}
+	if h2d := s.GPUDW.H2DBytes(); h2d <= 0 {
+		t.Error("no H2D bytes accounted")
+	}
+}
+
+func TestGPURadiationSolveMatchesDirectSolve(t *testing.T) {
+	// The task-graph answer must equal the direct multi-level solve
+	// bitwise (deterministic per-cell streams).
+	solve, s := buildSolve(t, 1<<28)
+	if err := solve.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	_, mk, err := NewMultiLevelBenchmark(32, 16, 4, solve.Opts.HaloCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine := solve.Grid.Finest()
+	for _, p := range fine.Patches[:2] {
+		dom, err := mk(matchingPatch(t, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := dom.SolveRegion(p.Cells, &solve.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.DW.GetCC(LabelDivQ, p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Cells.ForEach(func(c grid.IntVector) {
+			if got.At(c) != want.At(c) {
+				t.Fatalf("patch %d cell %v: task graph %v != direct %v",
+					p.ID, c, got.At(c), want.At(c))
+			}
+		})
+	}
+}
+
+// matchingPatch finds the patch with the same cell box in the second,
+// independently-built grid.
+func matchingPatch(t *testing.T, p *grid.Patch) *grid.Patch {
+	t.Helper()
+	g2, _, err := NewMultiLevelBenchmark(32, 16, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range g2.Levels[1].Patches {
+		if q.Cells == p.Cells {
+			return q
+		}
+	}
+	t.Fatalf("no matching patch for %v", p)
+	return nil
+}
+
+func TestGPURadiationSolveOOM(t *testing.T) {
+	// A device too small for even the coarse level database must fail
+	// loudly, not deadlock.
+	solve, s := buildSolve(t, 1024)
+	if err := solve.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(); err == nil {
+		t.Fatal("expected out-of-memory failure")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	solve, s := buildSolve(t, 1<<28)
+	bad := &GPURadiationSolve{}
+	if err := bad.Register(s); err == nil {
+		t.Error("empty solve accepted")
+	}
+	noGPU := newTaskScheduler(solve.Grid)
+	if err := solve.Register(noGPU); err == nil {
+		t.Error("scheduler without GPU accepted")
+	}
+	badOpts := &GPURadiationSolve{Grid: solve.Grid, Props: FillBenchmark}
+	if err := badOpts.Register(s); err == nil {
+		t.Error("zero options accepted")
+	}
+}
+
+// newTaskScheduler builds a single-rank scheduler over g.
+func newTaskScheduler(g *grid.Grid) *sched.Scheduler {
+	return sched.NewScheduler(0, 4, g, dw.New(1), dw.New(0), simmpi.NewComm(1))
+}

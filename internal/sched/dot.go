@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the compiled task graph in Graphviz format — Uintah has
+// the same facility for debugging task graphs. Call after adding all
+// tasks; it compiles (without executing) and returns the digraph, with
+// GPU tasks drawn as boxes, CPU tasks as ellipses, and external
+// receives as dashed inputs.
+func (s *Scheduler) DOT() (string, error) {
+	if err := s.compile(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph taskgraph {\n  rankdir=LR;\n")
+	id := make(map[*node]int, len(s.nodes))
+	for i, n := range s.nodes {
+		id[n] = i
+		shape := "ellipse"
+		if n.task.GPU != nil {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", i, n.task.String(), shape)
+	}
+	for _, n := range s.nodes {
+		// outs may contain duplicates (multiple keys); dedup for the
+		// rendering.
+		seen := map[int]bool{}
+		var outs []int
+		for _, o := range n.outs {
+			if !seen[id[o]] {
+				seen[id[o]] = true
+				outs = append(outs, id[o])
+			}
+		}
+		sort.Ints(outs)
+		for _, o := range outs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", id[n], o)
+		}
+	}
+	for i, r := range s.externals {
+		fmt.Fprintf(&b, "  x%d [label=\"recv %s p%d from rank %d\" shape=note style=dashed];\n",
+			i, r.Label, r.PatchID, r.Source)
+	}
+	fmt.Fprintf(&b, "}\n")
+	return b.String(), nil
+}

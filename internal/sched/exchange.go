@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/uintah-repro/rmcrt/internal/dw"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+// Cross-rank data exchange. Uintah's task graph compiles "requires"
+// declarations whose producers live on other ranks into automatically
+// generated MPI messages. This file provides that wiring for the two
+// patterns the radiation solve needs:
+//
+//   - RegisterHaloExchange: neighbour exchange of a patch variable with
+//     a ghost halo (the fine CFD mesh's ghost traffic);
+//   - RegisterLevelGather: the all-to-all gather that gives every rank
+//     a full copy of a level's variable (the coarse radiation mesh's
+//     "infinite ghost cells" — the communication pattern whose volume
+//     the multi-level algorithm exists to shrink).
+//
+// Both return the registered message counts so studies can compare the
+// real traffic against perfmodel's estimates.
+
+// ExchangeStats reports what an exchange registration will move.
+type ExchangeStats struct {
+	// SendTasks is the number of send-side tasks registered.
+	SendTasks int
+	// Recvs is the number of external receives posted.
+	Recvs int
+	// BytesOut is the total payload this rank will send.
+	BytesOut int64
+}
+
+// tagFor builds a unique MPI tag for (tagBase, patch) pairs. Tags must
+// be non-negative and unique per in-flight (source, label, patch).
+func tagFor(tagBase, patchID int) int { return tagBase + patchID }
+
+// RegisterHaloExchange wires the exchange of variable label on level
+// li: every local patch's data is sent (whole patch) to each rank
+// owning a patch within ghost cells of it, and matching external
+// receives are posted for every remote patch within ghost cells of a
+// local patch. The send task requires the variable locally, so it runs
+// after the producer; receives complete dependent tasks through the
+// wait-free pool.
+//
+// tagBase must leave room for the level's patch IDs and be distinct
+// per (label, level) exchange.
+func (s *Scheduler) RegisterHaloExchange(g *grid.Grid, li int, label string, ghost, tagBase int) ExchangeStats {
+	lvl := g.Levels[li]
+	var st ExchangeStats
+
+	// Which ranks need my patch p? Those owning a patch q with
+	// q.Grow(ghost) ∩ p ≠ ∅ (equivalently p.Grow(ghost) ∩ q ≠ ∅).
+	for _, p := range lvl.Patches {
+		if p.Rank != s.Rank {
+			continue
+		}
+		p := p
+		needed := map[int]bool{}
+		grown := p.Cells.Grow(ghost).Intersect(lvl.IndexBox())
+		for _, q := range lvl.Patches {
+			if q.Rank == s.Rank {
+				continue
+			}
+			if !q.Cells.Intersect(grown).Empty() {
+				needed[q.Rank] = true
+			}
+		}
+		if len(needed) == 0 {
+			continue
+		}
+		dests := make([]int, 0, len(needed))
+		for r := range needed {
+			dests = append(dests, r)
+		}
+		st.SendTasks++
+		st.BytesOut += int64(len(dests)) * int64(p.Cells.Volume()) * 8
+		s.AddTask(&Task{
+			Name:     fmt.Sprintf("send:%s", label),
+			Patch:    p,
+			Requires: []Dep{{Label: label, Level: li, Ghost: 0}},
+			Run: func(c *Context) error {
+				v, err := c.DW().GetCC(label, p.ID)
+				if err != nil {
+					return err
+				}
+				payload := dw.EncodeRegion(v, p.Cells)
+				for _, r := range dests {
+					s.Comm.Isend(s.Rank, r, tagFor(tagBase, p.ID), payload)
+				}
+				return nil
+			},
+		})
+	}
+
+	// Which remote patches do my patches need?
+	posted := map[int]bool{}
+	for _, p := range lvl.Patches {
+		if p.Rank != s.Rank {
+			continue
+		}
+		grown := p.Cells.Grow(ghost).Intersect(lvl.IndexBox())
+		for _, q := range lvl.Patches {
+			if q.Rank == s.Rank || posted[q.ID] {
+				continue
+			}
+			if q.Cells.Intersect(grown).Empty() {
+				continue
+			}
+			posted[q.ID] = true
+			st.Recvs++
+			s.AddExternalRecv(ExternalRecv{
+				Label: label, PatchID: q.ID, Level: li,
+				Region: q.Cells, Source: q.Rank, Tag: tagFor(tagBase, q.ID),
+			})
+		}
+	}
+	return st
+}
+
+// RegisterLevelGather wires the all-to-all replication of variable
+// label on level li: every local patch's data goes to every other
+// rank, and receives are posted for every remote patch — after which
+// the whole level is locally gatherable (dw.GatherLevel). This is the
+// coarse radiation mesh's communication pattern; applying it to a fine
+// level reproduces the O(N²) single-level volume the paper abandoned.
+func (s *Scheduler) RegisterLevelGather(g *grid.Grid, li int, label string, tagBase int) ExchangeStats {
+	lvl := g.Levels[li]
+	var st ExchangeStats
+	nRanks := s.Comm.Size()
+
+	for _, p := range lvl.Patches {
+		if p.Rank != s.Rank {
+			continue
+		}
+		p := p
+		st.SendTasks++
+		st.BytesOut += int64(nRanks-1) * int64(p.Cells.Volume()) * 8
+		s.AddTask(&Task{
+			Name:     fmt.Sprintf("gather-send:%s", label),
+			Patch:    p,
+			Requires: []Dep{{Label: label, Level: li, Ghost: 0}},
+			Run: func(c *Context) error {
+				v, err := c.DW().GetCC(label, p.ID)
+				if err != nil {
+					return err
+				}
+				payload := dw.EncodeRegion(v, p.Cells)
+				for r := 0; r < nRanks; r++ {
+					if r == s.Rank {
+						continue
+					}
+					s.Comm.Isend(s.Rank, r, tagFor(tagBase, p.ID), payload)
+				}
+				return nil
+			},
+		})
+	}
+	for _, q := range lvl.Patches {
+		if q.Rank == s.Rank {
+			continue
+		}
+		st.Recvs++
+		s.AddExternalRecv(ExternalRecv{
+			Label: label, PatchID: q.ID, Level: li,
+			Region: q.Cells, Source: q.Rank, Tag: tagFor(tagBase, q.ID),
+		})
+	}
+	return st
+}

@@ -1,0 +1,221 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/dw"
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+	"github.com/uintah-repro/rmcrt/internal/simmpi"
+)
+
+// exchangeGrid builds a 2-level grid (coarse 8³ in 4³ patches, fine 16³
+// in 4³ patches) distributed over nRanks by space-filling curve.
+func exchangeGrid(t testing.TB, nRanks int) *grid.Grid {
+	t.Helper()
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(8), PatchSize: grid.Uniform(4)},
+		grid.Spec{Resolution: grid.Uniform(16), PatchSize: grid.Uniform(4)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AssignSFC(nRanks)
+	return g
+}
+
+// cellValue is the globally-known test field.
+func cellValue(c grid.IntVector) float64 {
+	return float64(c.X*10000 + c.Y*100 + c.Z)
+}
+
+// addInitTasks creates the producer task for every local patch.
+func addInitTasks(s *Scheduler, g *grid.Grid, li int, label string) {
+	for _, p := range g.Levels[li].Patches {
+		if p.Rank != s.Rank {
+			continue
+		}
+		p := p
+		s.AddTask(&Task{
+			Name: "init", Patch: p,
+			Computes: []Compute{{Label: label, Level: li}},
+			Run: func(c *Context) error {
+				v := field.NewCC[float64](p.Cells)
+				v.FillFunc(cellValue)
+				c.DW().PutCC(label, p.ID, v)
+				return nil
+			},
+		})
+	}
+}
+
+// TestHaloExchangeAcrossRanks runs a full distributed ghost exchange:
+// every rank initializes its own patches, halos flow over simulated
+// MPI through the wait-free pool, and every local patch then gathers a
+// ghost window whose values must match the global field.
+func TestHaloExchangeAcrossRanks(t *testing.T) {
+	const nRanks, ghost = 4, 2
+	comm := simmpi.NewComm(nRanks)
+	g := exchangeGrid(t, nRanks)
+	fineIdx := 1
+	var verified atomic.Int64
+
+	_, err := RunRanks(nRanks, func(rank int) (*Scheduler, error) {
+		s := NewScheduler(rank, 4, g, dw.New(1), dw.New(0), comm)
+		addInitTasks(s, g, fineIdx, "T")
+		s.RegisterHaloExchange(g, fineIdx, "T", ghost, 1000)
+		for _, p := range g.Levels[fineIdx].Patches {
+			if p.Rank != rank {
+				continue
+			}
+			p := p
+			s.AddTask(&Task{
+				Name: "verify", Patch: p,
+				Requires: []Dep{{Label: "T", Level: fineIdx, Ghost: ghost}},
+				Run: func(c *Context) error {
+					w, err := c.GatherSelf("T", ghost)
+					if err != nil {
+						return err
+					}
+					w.Box().ForEach(func(ci grid.IntVector) {
+						if w.At(ci) != cellValue(ci) {
+							t.Errorf("rank %d patch %d: ghost value at %v = %v, want %v",
+								rank, p.ID, ci, w.At(ci), cellValue(ci))
+						}
+					})
+					verified.Add(1)
+					return nil
+				},
+			})
+		}
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verified.Load() != int64(len(g.Levels[fineIdx].Patches)) {
+		t.Errorf("verified %d of %d patches", verified.Load(), len(g.Levels[fineIdx].Patches))
+	}
+	// Nothing stuck in flight.
+	for r := 0; r < nRanks; r++ {
+		if comm.PendingUnexpected(r) != 0 || comm.PendingPosted(r) != 0 {
+			t.Errorf("rank %d has pending traffic", r)
+		}
+	}
+}
+
+// TestLevelGatherAcrossRanks: after the gather every rank holds the
+// whole level locally — the coarse radiation mesh pattern.
+func TestLevelGatherAcrossRanks(t *testing.T) {
+	const nRanks = 4
+	comm := simmpi.NewComm(nRanks)
+	g := exchangeGrid(t, nRanks)
+	coarseIdx := 0
+	var verified atomic.Int64
+
+	_, err := RunRanks(nRanks, func(rank int) (*Scheduler, error) {
+		s := NewScheduler(rank, 4, g, dw.New(1), dw.New(0), comm)
+		addInitTasks(s, g, coarseIdx, "abskg")
+		s.RegisterLevelGather(g, coarseIdx, "abskg", 5000)
+		s.AddTask(&Task{
+			Name: "verify", LevelIndex: coarseIdx,
+			Requires: []Dep{{Label: "abskg", Level: coarseIdx, Ghost: GhostGlobal}},
+			Run: func(c *Context) error {
+				lvl := g.Levels[coarseIdx]
+				full, err := c.DW().GatherLevel("abskg", lvl)
+				if err != nil {
+					return err
+				}
+				lvl.IndexBox().ForEach(func(ci grid.IntVector) {
+					if full.At(ci) != cellValue(ci) {
+						t.Errorf("rank %d: gathered value at %v = %v, want %v",
+							rank, ci, full.At(ci), cellValue(ci))
+					}
+				})
+				verified.Add(1)
+				return nil
+			},
+		})
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verified.Load() != nRanks {
+		t.Errorf("verified on %d of %d ranks", verified.Load(), nRanks)
+	}
+}
+
+// TestLevelGatherTrafficMatchesModel checks the measured simulated-MPI
+// byte volume of the all-gather against the analytic expectation:
+// every rank must receive (level bytes − its local share).
+func TestLevelGatherTrafficMatchesModel(t *testing.T) {
+	const nRanks = 4
+	comm := simmpi.NewComm(nRanks)
+	g := exchangeGrid(t, nRanks)
+
+	_, err := RunRanks(nRanks, func(rank int) (*Scheduler, error) {
+		s := NewScheduler(rank, 2, g, dw.New(1), dw.New(0), comm)
+		addInitTasks(s, g, 0, "abskg")
+		s.RegisterLevelGather(g, 0, "abskg", 5000)
+		// A consumer forces all receives to complete.
+		s.AddTask(&Task{
+			Name: "sink", LevelIndex: 0,
+			Requires: []Dep{{Label: "abskg", Level: 0, Ghost: GhostGlobal}},
+			Run:      func(*Context) error { return nil },
+		})
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := g.Levels[0]
+	levelBytes := int64(lvl.NumCells()) * 8
+	var wantRecv int64
+	for r := 0; r < nRanks; r++ {
+		var local int64
+		for _, p := range lvl.Patches {
+			if p.Rank == r {
+				local += int64(p.NumCells()) * 8
+			}
+		}
+		wantRecv += levelBytes - local
+	}
+	got := comm.TotalStats().BytesRecv
+	if got != wantRecv {
+		t.Errorf("gather moved %d bytes, model expects %d", got, wantRecv)
+	}
+}
+
+// TestExchangeStatsAccounting: the registration's own accounting must
+// agree with what the communicator later measures.
+func TestExchangeStatsAccounting(t *testing.T) {
+	const nRanks = 2
+	comm := simmpi.NewComm(nRanks)
+	g := exchangeGrid(t, nRanks)
+	var statsOut [nRanks]ExchangeStats
+
+	_, err := RunRanks(nRanks, func(rank int) (*Scheduler, error) {
+		s := NewScheduler(rank, 2, g, dw.New(1), dw.New(0), comm)
+		addInitTasks(s, g, 0, "v")
+		statsOut[rank] = s.RegisterLevelGather(g, 0, "v", 9000)
+		s.AddTask(&Task{
+			Name: "sink", LevelIndex: 0,
+			Requires: []Dep{{Label: "v", Level: 0, Ghost: GhostGlobal}},
+			Run:      func(*Context) error { return nil },
+		})
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var declared int64
+	for r := 0; r < nRanks; r++ {
+		declared += statsOut[r].BytesOut
+	}
+	if got := comm.TotalStats().BytesSent; got != declared {
+		t.Errorf("declared %d bytes out, communicator measured %d", declared, got)
+	}
+}

@@ -1,0 +1,227 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/uintah-repro/rmcrt/internal/dw"
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/gpu"
+	"github.com/uintah-repro/rmcrt/internal/gpudw"
+	"github.com/uintah-repro/rmcrt/internal/simmpi"
+)
+
+// TestMultiGPURoundRobin attaches two devices and checks GPU tasks are
+// spread across both — the paper's "arbitrary number of on-node GPUs".
+func TestMultiGPURoundRobin(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	dev1 := gpu.NewDevice(1<<20, gpu.NewK20X(1e9))
+	dev2 := gpu.NewDevice(1<<20, gpu.NewK20X(1e9))
+	s.AttachGPU(dev1, gpudw.New(dev1))
+	s.AttachGPU(dev2, gpudw.New(dev2))
+	if s.Device != dev1 {
+		t.Fatal("Device should remain the first attached device")
+	}
+
+	devicesSeen := make(map[*gpu.Device]*atomic.Int64)
+	devicesSeen[dev1] = &atomic.Int64{}
+	devicesSeen[dev2] = &atomic.Int64{}
+	for _, p := range g.Levels[0].Patches { // 8 patches
+		p := p
+		s.AddTask(&Task{
+			Name: "gpuwork", Patch: p,
+			GPU: &GPUStages{
+				Kernel: func(c *Context) error {
+					if c.Device == nil || c.GPUDW == nil {
+						t.Error("GPU context missing device")
+						return nil
+					}
+					c.Stream.Launch(1000, "k", nil)
+					devicesSeen[c.Device].Add(1)
+					return nil
+				},
+			},
+		})
+	}
+	st, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GPUTasksRun != 8 {
+		t.Fatalf("GPUTasksRun = %d", st.GPUTasksRun)
+	}
+	n1, n2 := devicesSeen[dev1].Load(), devicesSeen[dev2].Load()
+	if n1 != 4 || n2 != 4 {
+		t.Errorf("round-robin split = %d/%d, want 4/4", n1, n2)
+	}
+	if dev1.Makespan() <= 0 || dev2.Makespan() <= 0 {
+		t.Error("both devices should have simulated work")
+	}
+}
+
+// TestMultiGPUStagePinning: a task's three stages must all run against
+// the same device and stream.
+func TestMultiGPUStagePinning(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	dev1 := gpu.NewDevice(1<<20, gpu.CostModel{})
+	dev2 := gpu.NewDevice(1<<20, gpu.CostModel{})
+	s.AttachGPU(dev1, gpudw.New(dev1))
+	s.AttachGPU(dev2, gpudw.New(dev2))
+
+	type seen struct {
+		dev    *gpu.Device
+		stream *gpu.Stream
+	}
+	records := make([][]seen, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		rec := func(c *Context) error {
+			records[i] = append(records[i], seen{c.Device, c.Stream})
+			return nil
+		}
+		s.AddTask(&Task{
+			Name: "pin", Patch: g.Levels[0].Patches[i],
+			GPU: &GPUStages{H2D: rec, Kernel: rec, D2H: rec},
+		})
+	}
+	if _, err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range records {
+		if len(r) != 3 {
+			t.Fatalf("task %d ran %d stages", i, len(r))
+		}
+		if r[0].dev != r[1].dev || r[1].dev != r[2].dev {
+			t.Errorf("task %d hopped devices across stages", i)
+		}
+		if r[0].stream != r[1].stream || r[1].stream != r[2].stream {
+			t.Errorf("task %d changed streams across stages", i)
+		}
+	}
+}
+
+// TestOutOfOrderExecution: a slow ready task must not block unrelated
+// ready tasks — the dynamic, out-of-order task execution Uintah uses to
+// reduce MPI wait time [18].
+func TestOutOfOrderExecution(t *testing.T) {
+	g := testGrid(t)
+	comm := simmpi.NewComm(1)
+	s := NewScheduler(0, 4, g, dw.New(1), dw.New(0), comm)
+
+	slowStarted := make(chan struct{})
+	release := make(chan struct{})
+	var fastDone atomic.Int32
+
+	s.AddTask(&Task{
+		Name: "slow", Patch: g.Levels[0].Patches[0],
+		Run: func(*Context) error {
+			close(slowStarted)
+			<-release
+			return nil
+		},
+	})
+	for i := 1; i < 8; i++ {
+		p := g.Levels[0].Patches[i]
+		s.AddTask(&Task{
+			Name: "fast", Patch: p,
+			Run: func(*Context) error {
+				fastDone.Add(1)
+				return nil
+			},
+		})
+	}
+	done := make(chan error)
+	go func() {
+		_, err := s.Execute()
+		done <- err
+	}()
+	<-slowStarted
+	// While the slow task is blocked, the other workers must finish all
+	// fast tasks.
+	deadline := time.After(5 * time.Second)
+	for fastDone.Load() != 7 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d fast tasks completed while slow task blocked", fastDone.Load())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCarriedForwardVariable: a dependency satisfied by the *old*
+// warehouse (previous timestep's result) compiles and runs — Uintah's
+// OldDW/NewDW pattern.
+func TestCarriedForwardVariable(t *testing.T) {
+	g := testGrid(t)
+	old := dw.New(0)
+	for _, p := range g.Levels[0].Patches {
+		v := field.NewCC[float64](p.Cells)
+		v.Fill(42)
+		old.PutCC("T_old", p.ID, v)
+	}
+	s := NewScheduler(0, 2, g, dw.New(1), old, simmpi.NewComm(1))
+	ran := false
+	s.AddTask(&Task{
+		Name: "advance", Patch: g.Levels[0].Patches[0],
+		Requires: []Dep{{Label: "T_old", Level: 0, Ghost: 1, FromOld: true}},
+		Run: func(c *Context) error {
+			v, err := c.OldDW().GetCC("T_old", c.Task.Patch.ID)
+			if err != nil {
+				return err
+			}
+			if v.At(c.Task.Patch.Cells.Lo) != 42 {
+				t.Error("old warehouse value wrong")
+			}
+			ran = true
+			return nil
+		},
+	})
+	if _, err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("task did not run")
+	}
+}
+
+// TestTaskTimersAccumulate: per-task-name wall time shows up in Stats,
+// the profiling Uintah's load balancer consumes.
+func TestTaskTimersAccumulate(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	for i := 0; i < 4; i++ {
+		s.AddTask(&Task{
+			Name: "busy", Patch: g.Levels[0].Patches[i],
+			Run: func(*Context) error {
+				time.Sleep(2 * time.Millisecond)
+				return nil
+			},
+		})
+	}
+	s.AddTask(&Task{
+		Name: "instant", Patch: g.Levels[0].Patches[4],
+		Run: func(*Context) error { return nil },
+	})
+	st, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TaskSeconds["busy"] < 0.008 {
+		t.Errorf("busy time = %v, want >= 8ms (4 tasks x 2ms)", st.TaskSeconds["busy"])
+	}
+	if st.TaskSeconds["busy"] <= st.TaskSeconds["instant"] {
+		t.Errorf("busy (%v) should dominate instant (%v)",
+			st.TaskSeconds["busy"], st.TaskSeconds["instant"])
+	}
+	if _, ok := st.TaskSeconds["instant"]; !ok {
+		t.Error("instant task missing from the profile")
+	}
+}

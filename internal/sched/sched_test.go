@@ -1,0 +1,522 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/dw"
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/gpu"
+	"github.com/uintah-repro/rmcrt/internal/gpudw"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+	"github.com/uintah-repro/rmcrt/internal/simmpi"
+)
+
+func testGrid(t testing.TB) *grid.Grid {
+	t.Helper()
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(8), PatchSize: grid.Uniform(4)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newSched(t testing.TB, g *grid.Grid) *Scheduler {
+	t.Helper()
+	return NewScheduler(0, 4, g, dw.New(1), dw.New(0), simmpi.NewComm(1))
+}
+
+func TestSingleTaskRuns(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	p := g.Levels[0].Patches[0]
+	ran := false
+	s.AddTask(&Task{
+		Name:     "init",
+		Patch:    p,
+		Computes: []Compute{{Label: "T", Level: 0}},
+		Run: func(c *Context) error {
+			v := field.NewCC[float64](p.Cells)
+			v.Fill(300)
+			c.DW().PutCC("T", p.ID, v)
+			ran = true
+			return nil
+		},
+	})
+	st, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran || st.TasksRun != 1 {
+		t.Errorf("ran=%v stats=%+v", ran, st)
+	}
+}
+
+func TestDependencyOrdering(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	var order []string
+	var mu atomic.Int32
+	record := func(name string) {
+		for !mu.CompareAndSwap(0, 1) {
+		}
+		order = append(order, name)
+		mu.Store(0)
+	}
+	for _, p := range g.Levels[0].Patches {
+		p := p
+		s.AddTask(&Task{
+			Name: "produce", Patch: p,
+			Computes: []Compute{{Label: "a", Level: 0}},
+			Run: func(c *Context) error {
+				v := field.NewCC[float64](p.Cells)
+				v.Fill(float64(p.ID))
+				c.DW().PutCC("a", p.ID, v)
+				record("produce")
+				return nil
+			},
+		})
+		s.AddTask(&Task{
+			Name: "consume", Patch: p,
+			Requires: []Dep{{Label: "a", Level: 0, Ghost: 1}},
+			Computes: []Compute{{Label: "b", Level: 0}},
+			Run: func(c *Context) error {
+				// The ghost gather must succeed: all neighbours done.
+				w, err := c.GatherSelf("a", 1)
+				if err != nil {
+					return err
+				}
+				v := field.NewCC[float64](p.Cells)
+				v.Fill(w.At(p.Cells.Lo))
+				c.DW().PutCC("b", p.ID, v)
+				record("consume")
+				return nil
+			},
+		})
+	}
+	st, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TasksRun != 16 {
+		t.Errorf("TasksRun = %d, want 16", st.TasksRun)
+	}
+	// All 8 produces must precede all 8 consumes: each consume requires
+	// ghost data from every neighbour patch, and with 8 patches of 4^3 on
+	// an 8^3 level each patch touches all others' corners... actually each
+	// patch has 7 neighbours (full corner adjacency), so every produce
+	// precedes every consume in this topology.
+	lastProduce, firstConsume := -1, len(order)
+	for i, n := range order {
+		if n == "produce" && i > lastProduce {
+			lastProduce = i
+		}
+		if n == "consume" && i < firstConsume {
+			firstConsume = i
+		}
+	}
+	if lastProduce > firstConsume {
+		t.Errorf("a consume ran before its producers: order %v", order)
+	}
+}
+
+func TestMissingProducerFailsCompile(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	p := g.Levels[0].Patches[0]
+	s.AddTask(&Task{
+		Name: "orphan", Patch: p,
+		Requires: []Dep{{Label: "ghostvar", Level: 0, Ghost: 0}},
+		Run:      func(*Context) error { return nil },
+	})
+	if _, err := s.Execute(); err == nil {
+		t.Fatal("compile should fail for unsatisfiable dependency")
+	}
+}
+
+func TestDuplicateProducerFailsCompile(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	p := g.Levels[0].Patches[0]
+	mk := func() *Task {
+		return &Task{
+			Name: "dup", Patch: p,
+			Computes: []Compute{{Label: "x", Level: 0}},
+			Run:      func(*Context) error { return nil },
+		}
+	}
+	s.AddTask(mk())
+	s.AddTask(mk())
+	if _, err := s.Execute(); err == nil {
+		t.Fatal("two producers of one variable must fail compile")
+	}
+}
+
+func TestTaskNeitherRunNorGPUFails(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	s.AddTask(&Task{Name: "empty", Patch: g.Levels[0].Patches[0]})
+	if _, err := s.Execute(); err == nil {
+		t.Fatal("task without a body must fail compile")
+	}
+}
+
+func TestGPUTaskWithoutDeviceFails(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	s.AddTask(&Task{
+		Name: "gpu", Patch: g.Levels[0].Patches[0],
+		GPU: &GPUStages{},
+	})
+	if _, err := s.Execute(); err == nil {
+		t.Fatal("GPU task without device must fail compile")
+	}
+}
+
+func TestTaskErrorPropagates(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	boom := errors.New("boom")
+	s.AddTask(&Task{
+		Name: "fail", Patch: g.Levels[0].Patches[0],
+		Run: func(*Context) error { return boom },
+	})
+	if _, err := s.Execute(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestGPUTaskStages(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	dev := gpu.NewDevice(1<<20, gpu.NewK20X(1e9))
+	s.AttachGPU(dev, gpudw.New(dev))
+	var stages []string
+	var mu atomic.Int32
+	rec := func(st string) {
+		for !mu.CompareAndSwap(0, 1) {
+		}
+		stages = append(stages, st)
+		mu.Store(0)
+	}
+	s.AddTask(&Task{
+		Name: "rmcrt", Patch: g.Levels[0].Patches[0],
+		GPU: &GPUStages{
+			H2D: func(c *Context) error {
+				c.Stream.H2D(1000, "in")
+				rec("h2d")
+				return nil
+			},
+			Kernel: func(c *Context) error {
+				c.Stream.Launch(500, "kern", nil)
+				rec("kernel")
+				return nil
+			},
+			D2H: func(c *Context) error {
+				c.Stream.D2H(1000, "out")
+				rec("d2h")
+				return nil
+			},
+		},
+	})
+	st, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GPUTasksRun != 1 || st.TasksRun != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	want := []string{"h2d", "kernel", "d2h"}
+	if len(stages) != 3 {
+		t.Fatalf("stages = %v", stages)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Errorf("stage %d = %s, want %s", i, stages[i], want[i])
+		}
+	}
+	if st.DeviceMakespan <= 0 {
+		t.Error("device makespan not recorded")
+	}
+}
+
+func TestGPUStageErrorPropagates(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	dev := gpu.NewDevice(1<<20, gpu.CostModel{})
+	s.AttachGPU(dev, gpudw.New(dev))
+	boom := errors.New("kernel launch failure")
+	s.AddTask(&Task{
+		Name: "bad", Patch: g.Levels[0].Patches[0],
+		GPU: &GPUStages{
+			Kernel: func(*Context) error { return boom },
+		},
+	})
+	if _, err := s.Execute(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestCrossRankExchange runs two ranks: rank 0 computes a variable and
+// sends it; rank 1 receives it as an external dependency and consumes
+// it. This is the full halo-exchange machinery end to end, with the
+// receive flowing through the wait-free pool.
+func TestCrossRankExchange(t *testing.T) {
+	g := testGrid(t)
+	comm := simmpi.NewComm(2)
+	// Patch 0 belongs to rank 0, patch 1 to rank 1.
+	p0, p1 := g.Levels[0].Patches[0], g.Levels[0].Patches[1]
+
+	var consumed atomic.Bool
+	_, err := RunRanks(2, func(rank int) (*Scheduler, error) {
+		s := NewScheduler(rank, 2, g, dw.New(1), dw.New(0), comm)
+		switch rank {
+		case 0:
+			s.AddTask(&Task{
+				Name: "produceAndSend", Patch: p0,
+				Computes: []Compute{{Label: "T", Level: 0}},
+				Run: func(c *Context) error {
+					v := field.NewCC[float64](p0.Cells)
+					v.FillFunc(func(ci grid.IntVector) float64 { return float64(ci.X + ci.Y + ci.Z) })
+					c.DW().PutCC("T", p0.ID, v)
+					payload := dw.EncodeRegion(v, p0.Cells)
+					comm.Isend(0, 1, 42, payload)
+					return nil
+				},
+			})
+		case 1:
+			s.AddExternalRecv(ExternalRecv{
+				Label: "T", PatchID: p0.ID, Level: 0,
+				Region: p0.Cells, Source: 0, Tag: 42,
+			})
+			// Rank 1 owns every patch except p0, so the ghost gather can
+			// cover the full grown window once p0's data arrives.
+			for _, p := range g.Levels[0].Patches {
+				if p == p0 {
+					continue
+				}
+				p := p
+				s.AddTask(&Task{
+					Name: "initLocal", Patch: p,
+					Computes: []Compute{{Label: "T", Level: 0}},
+					Run: func(c *Context) error {
+						c.DW().PutCC("T", p.ID, field.NewCC[float64](p.Cells))
+						return nil
+					},
+				})
+			}
+			s.AddTask(&Task{
+				Name: "consume", Patch: p1,
+				Requires: []Dep{{Label: "T", Level: 0, Ghost: 1}},
+				Run: func(c *Context) error {
+					w, err := c.GatherSelf("T", 1)
+					if err != nil {
+						return err
+					}
+					// A ghost cell inside p0: values must match what
+					// rank 0 computed.
+					probe := grid.IV(p1.Cells.Lo.X-1, p1.Cells.Lo.Y, p1.Cells.Lo.Z)
+					if p0.Cells.Contains(probe) {
+						want := float64(probe.X + probe.Y + probe.Z)
+						if w.At(probe) != want {
+							t.Errorf("ghost value = %v, want %v", w.At(probe), want)
+						}
+					}
+					consumed.Store(true)
+					return nil
+				},
+			})
+		}
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consumed.Load() {
+		t.Error("consumer never ran")
+	}
+}
+
+func TestLevelWideDependency(t *testing.T) {
+	// A task with a GhostGlobal requirement waits for every patch's
+	// producer on that level (the all-to-all pattern).
+	g := testGrid(t)
+	s := newSched(t, g)
+	var produced atomic.Int32
+	for _, p := range g.Levels[0].Patches {
+		p := p
+		s.AddTask(&Task{
+			Name: "prop", Patch: p,
+			Computes: []Compute{{Label: "abskg", Level: 0}},
+			Run: func(c *Context) error {
+				c.DW().PutCC("abskg", p.ID, field.NewCC[float64](p.Cells))
+				produced.Add(1)
+				return nil
+			},
+		})
+	}
+	s.AddTask(&Task{
+		Name: "globalGather", LevelIndex: 0,
+		Requires: []Dep{{Label: "abskg", Level: 0, Ghost: GhostGlobal}},
+		Run: func(c *Context) error {
+			if got := produced.Load(); got != 8 {
+				t.Errorf("global task ran after only %d producers", got)
+			}
+			_, err := c.DW().GatherLevel("abskg", g.Levels[0])
+			return err
+		},
+	})
+	if _, err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreexistingDWSatisfiesDependency(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	// Initial condition already in the new DW.
+	for _, p := range g.Levels[0].Patches {
+		s.DW.PutCC("init", p.ID, field.NewCC[float64](p.Cells))
+	}
+	ran := false
+	s.AddTask(&Task{
+		Name: "uses-init", Patch: g.Levels[0].Patches[0],
+		Requires: []Dep{{Label: "init", Level: 0, Ghost: 1}},
+		Run: func(c *Context) error {
+			ran = true
+			return nil
+		},
+	})
+	if _, err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("task did not run")
+	}
+}
+
+func TestEmptyScheduler(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	st, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TasksRun != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestOldNewGenerationNoFalseCycle is the regression test for a real
+// deadlock: task A reads last generation's X (FromOld) while task B
+// computes this generation's X. Without the old/new distinction the
+// compiler wired A to wait for B's X — and if B also (transitively)
+// waited on A, the graph deadlocked. A FromOld dependency must never
+// create an edge to this graph's producers.
+func TestOldNewGenerationNoFalseCycle(t *testing.T) {
+	g := testGrid(t)
+	old := dw.New(0)
+	for _, p := range g.Levels[0].Patches {
+		old.PutCC("X", p.ID, field.NewCC[float64](p.Cells))
+	}
+	s := NewScheduler(0, 2, g, dw.New(1), old, simmpi.NewComm(1))
+	var order []string
+	var mu atomic.Int32
+	rec := func(what string) {
+		for !mu.CompareAndSwap(0, 1) {
+		}
+		order = append(order, what)
+		mu.Store(0)
+	}
+	p0 := g.Levels[0].Patches[0]
+	// A: reads old X, produces Y.
+	s.AddTask(&Task{
+		Name: "A", Patch: p0,
+		Requires: []Dep{{Label: "X", Level: 0, Ghost: 1, FromOld: true}},
+		Computes: []Compute{{Label: "Y", Level: 0}},
+		Run: func(c *Context) error {
+			rec("A")
+			c.DW().PutCC("Y", p0.ID, field.NewCC[float64](p0.Cells))
+			return nil
+		},
+	})
+	// B: consumes A's Y and produces the NEW generation's X — the exact
+	// shape of an RK2 timestep (predictor reads old T, corrector writes
+	// new T).
+	s.AddTask(&Task{
+		Name: "B", Patch: p0,
+		Requires: []Dep{{Label: "Y", Level: 0, Ghost: 0}},
+		Computes: []Compute{{Label: "X", Level: 0}},
+		Run: func(c *Context) error {
+			rec("B")
+			c.DW().PutCC("X", p0.ID, field.NewCC[float64](p0.Cells))
+			return nil
+		},
+	})
+	st, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TasksRun != 2 {
+		t.Fatalf("TasksRun = %d", st.TasksRun)
+	}
+	if len(order) != 2 || order[0] != "A" || order[1] != "B" {
+		t.Errorf("order = %v, want [A B]", order)
+	}
+}
+
+// TestFromOldMissingFailsCompile: a FromOld dependency absent from the
+// old warehouse is a graph specification error, caught at compile.
+func TestFromOldMissingFailsCompile(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	s.AddTask(&Task{
+		Name: "orphan", Patch: g.Levels[0].Patches[0],
+		Requires: []Dep{{Label: "never", Level: 0, Ghost: 0, FromOld: true}},
+		Run:      func(*Context) error { return nil },
+	})
+	if _, err := s.Execute(); err == nil {
+		t.Fatal("missing old-generation dependency must fail compile")
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	g := testGrid(t)
+	s := newSched(t, g)
+	p := g.Levels[0].Patches[0]
+	s.AddTask(&Task{
+		Name: "produce", Patch: p,
+		Computes: []Compute{{Label: "v", Level: 0}},
+		Run:      func(c *Context) error { return nil },
+	})
+	s.AddTask(&Task{
+		Name: "consume", Patch: p,
+		Requires: []Dep{{Label: "v", Level: 0, Ghost: 0}},
+		Run:      func(*Context) error { return nil },
+	})
+	s.AddExternalRecv(ExternalRecv{Label: "w", PatchID: 99, Level: 0,
+		Region: p.Cells, Source: 0, Tag: 7})
+	dot, err := s.DOT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph taskgraph", "produce@p0", "consume@p0",
+		"n0 -> n1", "recv w p99 from rank 0"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// A broken graph fails instead of rendering garbage.
+	bad := newSched(t, g)
+	bad.AddTask(&Task{Name: "orphan", Patch: p,
+		Requires: []Dep{{Label: "none", Level: 0}},
+		Run:      func(*Context) error { return nil }})
+	if _, err := bad.DOT(); err == nil {
+		t.Error("DOT of uncompilable graph should fail")
+	}
+}

@@ -1,0 +1,539 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/uintah-repro/rmcrt/internal/commpool"
+	"github.com/uintah-repro/rmcrt/internal/dw"
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/gpu"
+	"github.com/uintah-repro/rmcrt/internal/gpudw"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/simmpi"
+)
+
+// Scheduler executes one rank's task graph for one timestep. Create it,
+// add tasks and external receives, then call Execute. A fresh Scheduler
+// is built per timestep, matching Uintah's per-generation task graphs.
+type Scheduler struct {
+	Rank    int
+	Workers int
+	Grid    *grid.Grid
+	DW      *dw.DW
+	OldDW   *dw.DW
+	Comm    *simmpi.Comm
+
+	// Device and GPUDW are the rank's first attached device and its
+	// warehouse (nil for CPU-only ranks). Additional devices attached
+	// with AttachGPU service GPU tasks round-robin — "an arbitrary
+	// number of on-node GPUs".
+	Device *gpu.Device
+	GPUDW  *gpudw.DW
+	gpus   []gpuSlot
+
+	tasks     []*Task
+	externals []ExternalRecv
+
+	// run state
+	nodes     []*node
+	producers map[prodKey][]*node
+	pool      *commpool.Pool
+	ready     chan *node
+	remaining atomic.Int64
+	done      chan struct{}
+	errMu     sync.Mutex
+	errs      []error
+	failed    atomic.Bool
+
+	stats     Stats
+	commNanos atomic.Int64
+
+	timeMu    sync.Mutex
+	taskNanos map[string]int64
+}
+
+// prodKey identifies what a node produces or an external receive
+// delivers: a (label, patch) pair or a (label, level) pair (patch = -1).
+type prodKey struct {
+	label string
+	patch int
+	level int
+}
+
+// nodeStage tracks a GPU task's progress through the staged queues.
+type nodeStage int32
+
+const (
+	stageCPU nodeStage = iota
+	stageH2D
+	stageKernel
+	stageD2H
+)
+
+// gpuSlot pairs one device with its warehouse.
+type gpuSlot struct {
+	dev *gpu.Device
+	gdw *gpudw.DW
+}
+
+type node struct {
+	task    *Task
+	waiting atomic.Int64 // unsatisfied dependency count
+	outs    []*node      // dependents
+	stage   nodeStage
+	stream  *gpu.Stream
+	gpuIdx  int // which attached device services this task
+}
+
+// NewScheduler constructs a scheduler for rank with the given worker
+// count (the paper uses 16 threads + 1 GPU per Titan node).
+func NewScheduler(rank, workers int, g *grid.Grid, newDW, oldDW *dw.DW, comm *simmpi.Comm) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{
+		Rank:      rank,
+		Workers:   workers,
+		Grid:      g,
+		DW:        newDW,
+		OldDW:     oldDW,
+		Comm:      comm,
+		producers: make(map[prodKey][]*node),
+		pool:      commpool.NewPool(),
+		done:      make(chan struct{}),
+		taskNanos: make(map[string]int64),
+	}
+}
+
+// AttachGPU gives the scheduler a device and its warehouse; GPU tasks
+// fail at compile time without one. Calling it repeatedly attaches
+// additional on-node devices, over which GPU tasks are distributed
+// round-robin (each task's stages stay pinned to its device).
+func (s *Scheduler) AttachGPU(dev *gpu.Device, gdw *gpudw.DW) {
+	if len(s.gpus) == 0 {
+		s.Device = dev
+		s.GPUDW = gdw
+	}
+	s.gpus = append(s.gpus, gpuSlot{dev: dev, gdw: gdw})
+}
+
+// AddTask registers a task.
+func (s *Scheduler) AddTask(t *Task) {
+	s.tasks = append(s.tasks, t)
+}
+
+// AddExternalRecv registers an incoming variable from another rank.
+func (s *Scheduler) AddExternalRecv(r ExternalRecv) {
+	s.externals = append(s.externals, r)
+}
+
+// compile builds the dependency graph: producer edges from computes (and
+// external receives) to requires. A dependency with no producer is
+// satisfied from the warehouse if present, otherwise compilation fails —
+// Uintah likewise detects mis-specified task graphs.
+func (s *Scheduler) compile() error {
+	s.nodes = make([]*node, 0, len(s.tasks))
+	byProduct := make(map[prodKey]*node)
+	nextGPU := 0
+	for _, t := range s.tasks {
+		if (t.Run == nil) == (t.GPU == nil) {
+			return fmt.Errorf("sched: task %v must set exactly one of Run or GPU", t)
+		}
+		if t.GPU != nil && len(s.gpus) == 0 {
+			return fmt.Errorf("sched: GPU task %v on rank %d without an attached device", t, s.Rank)
+		}
+		n := &node{task: t}
+		if t.GPU != nil {
+			n.stage = stageH2D
+			n.gpuIdx = nextGPU % len(s.gpus)
+			nextGPU++
+		}
+		s.nodes = append(s.nodes, n)
+		for _, c := range t.Computes {
+			k := prodKey{c.Label, -1, c.Level}
+			if t.Patch != nil {
+				k.patch = t.Patch.ID
+			}
+			if prev, dup := byProduct[k]; dup {
+				return fmt.Errorf("sched: %v and %v both compute %q", prev.task, t, c.Label)
+			}
+			byProduct[k] = n
+		}
+	}
+	// External receives are producers too (satisfied by MPI arrival).
+	extDone := make(map[prodKey]bool)
+	for _, r := range s.externals {
+		k := prodKey{r.Label, r.PatchID, r.Level}
+		if _, dup := byProduct[k]; dup {
+			return fmt.Errorf("sched: external recv and a task both produce %q on patch %d", r.Label, r.PatchID)
+		}
+		if extDone[k] {
+			return fmt.Errorf("sched: duplicate external recv for %q on patch %d", r.Label, r.PatchID)
+		}
+		extDone[k] = true
+	}
+
+	// Wire consumer edges.
+	for _, n := range s.nodes {
+		for _, d := range n.task.Requires {
+			for _, k := range s.depKeys(n.task, d) {
+				if d.FromOld {
+					// Previous-generation data: must already exist in
+					// the old warehouse, and never depends on this
+					// graph's producers.
+					if !s.presentIn(s.OldDW, k) {
+						return fmt.Errorf("sched: %v requires %q (level %d, patch %d) from the old warehouse, which lacks it",
+							n.task, k.label, k.level, k.patch)
+					}
+					continue
+				}
+				if p, ok := byProduct[k]; ok {
+					if p != n {
+						p.outs = append(p.outs, n)
+						n.waiting.Add(1)
+					}
+					continue
+				}
+				if extDone[k] {
+					// Arrival wiring happens in postExternals.
+					continue
+				}
+				if s.presentInDW(k) {
+					continue
+				}
+				return fmt.Errorf("sched: %v requires %q (level %d, patch %d) which nothing produces",
+					n.task, k.label, k.level, k.patch)
+			}
+		}
+	}
+	return nil
+}
+
+// depKeys expands one dependency of task t into concrete producer keys.
+func (s *Scheduler) depKeys(t *Task, d Dep) []prodKey {
+	lvl := s.Grid.Levels[d.Level]
+	if d.Ghost == GhostGlobal || t.Patch == nil {
+		// Whole-level requirement: either a level variable, or every
+		// patch variable on that level. Prefer the level variable if
+		// someone produces or already put it.
+		k := prodKey{d.Label, -1, d.Level}
+		if s.presentInDW(k) {
+			return []prodKey{k}
+		}
+		// Check whether a task computes the level var.
+		for _, n := range s.nodes {
+			for _, c := range n.task.Computes {
+				if c.Label == d.Label && c.Level == d.Level && n.task.Patch == nil {
+					return []prodKey{k}
+				}
+			}
+		}
+		keys := make([]prodKey, 0, len(lvl.Patches))
+		for _, p := range lvl.Patches {
+			keys = append(keys, prodKey{d.Label, p.ID, d.Level})
+		}
+		return keys
+	}
+	// Patch-local requirement with a ghost halo: every patch whose cells
+	// intersect the grown box, on the dependency's level. When the
+	// dependency is on a coarser level than the task's patch, the halo
+	// is taken around the patch's projection.
+	box := t.Patch.Cells
+	if d.Level != t.Patch.LevelIndex {
+		if d.Level < t.Patch.LevelIndex {
+			box = box.Coarsen(s.ratioBetween(d.Level, t.Patch.LevelIndex))
+		} else {
+			box = box.Refine(s.ratioBetween(t.Patch.LevelIndex, d.Level))
+		}
+	}
+	box = box.Grow(d.Ghost).Intersect(lvl.IndexBox())
+	var keys []prodKey
+	for _, p := range lvl.Patches {
+		if !p.Cells.Intersect(box).Empty() {
+			keys = append(keys, prodKey{d.Label, p.ID, d.Level})
+		}
+	}
+	return keys
+}
+
+// ratioBetween composes refinement ratios from coarse to fine.
+func (s *Scheduler) ratioBetween(coarse, fine int) grid.IntVector {
+	rr := grid.Uniform(1)
+	for li := coarse + 1; li <= fine; li++ {
+		rr = rr.Mul(s.Grid.Levels[li].RefinementRatio)
+	}
+	return rr
+}
+
+// presentInDW reports whether the key's data is already in the new or
+// old warehouse (initial conditions, carried-forward variables).
+func (s *Scheduler) presentInDW(k prodKey) bool {
+	return s.presentIn(s.DW, k) || s.presentIn(s.OldDW, k)
+}
+
+// presentIn reports whether one warehouse holds the key's data.
+func (s *Scheduler) presentIn(d *dw.DW, k prodKey) bool {
+	if d == nil {
+		return false
+	}
+	if k.patch >= 0 {
+		if d.HasCC(k.label, k.patch) {
+			return true
+		}
+		if _, err := d.GetCellType(k.label, k.patch); err == nil {
+			return true
+		}
+		return false
+	}
+	if _, err := d.GetLevelCC(k.label, k.level); err == nil {
+		return true
+	}
+	if _, err := d.GetLevelCellType(k.label, k.level); err == nil {
+		return true
+	}
+	return false
+}
+
+// postExternals posts all external receives into the wait-free pool and
+// wires their completion to dependent tasks.
+func (s *Scheduler) postExternals() {
+	for _, r := range s.externals {
+		r := r
+		k := prodKey{r.Label, r.PatchID, r.Level}
+		// Find consumers whose dependency expands to this key.
+		var consumers []*node
+		for _, n := range s.nodes {
+			for _, d := range n.task.Requires {
+				for _, dk := range s.depKeys(n.task, d) {
+					if dk == k {
+						consumers = append(consumers, n)
+					}
+				}
+			}
+		}
+		for _, c := range consumers {
+			c.waiting.Add(1)
+		}
+		t0 := time.Now()
+		req := s.Comm.Irecv(s.Rank, r.Source, r.Tag)
+		s.commNanos.Add(time.Since(t0).Nanoseconds())
+		rec := &commpool.Record{Req: req}
+		rec.OnDone = func(rc *commpool.Record) {
+			v := field.NewCC[float64](r.Region)
+			if err := dw.DecodeRegion(v, r.Region, rc.Req.Data()); err != nil {
+				s.fail(fmt.Errorf("sched: decoding external %q: %w", r.Label, err))
+				return
+			}
+			s.DW.PutCC(r.Label, r.PatchID, v)
+			for _, c := range consumers {
+				s.satisfy(c)
+			}
+		}
+		s.pool.Add(rec)
+	}
+}
+
+func (s *Scheduler) satisfy(n *node) {
+	if n.waiting.Add(-1) == 0 {
+		s.ready <- n
+	}
+}
+
+func (s *Scheduler) fail(err error) {
+	s.errMu.Lock()
+	s.errs = append(s.errs, err)
+	s.errMu.Unlock()
+	s.failed.Store(true)
+}
+
+// Execute compiles and runs the task graph to completion, returning
+// run statistics. It blocks until every task has executed (or a task
+// failed, in which case the first error is returned).
+func (s *Scheduler) Execute() (Stats, error) {
+	if err := s.compile(); err != nil {
+		return Stats{}, err
+	}
+	total := len(s.nodes)
+	s.ready = make(chan *node, total+1)
+	s.remaining.Store(int64(total))
+	if total == 0 {
+		return Stats{}, nil
+	}
+	s.postExternals()
+	// Seed initially-ready tasks.
+	for _, n := range s.nodes {
+		if n.waiting.Load() == 0 {
+			s.ready <- n
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < s.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.workerLoop()
+		}()
+	}
+	wg.Wait()
+
+	st := s.stats
+	st.LocalCommSeconds = float64(s.commNanos.Load()) / 1e9
+	st.TaskSeconds = make(map[string]float64, len(s.taskNanos))
+	s.timeMu.Lock()
+	for name, ns := range s.taskNanos {
+		st.TaskSeconds[name] = float64(ns) / 1e9
+	}
+	s.timeMu.Unlock()
+	for _, slot := range s.gpus {
+		if m := slot.dev.Makespan(); m > st.DeviceMakespan {
+			st.DeviceMakespan = m
+		}
+		st.DevicePeakMem += slot.dev.PeakUsed()
+	}
+	if s.failed.Load() {
+		s.errMu.Lock()
+		defer s.errMu.Unlock()
+		return st, errors.Join(s.errs...)
+	}
+	return st, nil
+}
+
+// workerLoop is the per-thread scheduler body: prefer executing ready
+// tasks; otherwise make MPI progress through the wait-free pool (each
+// thread performs its own MPI — MPI_THREAD_MULTIPLE); otherwise yield.
+func (s *Scheduler) workerLoop() {
+	for {
+		if s.remaining.Load() <= 0 || s.failed.Load() {
+			return
+		}
+		select {
+		case n := <-s.ready:
+			s.runNode(n)
+		default:
+			t0 := time.Now()
+			progressed := s.pool.ProcessReady()
+			s.commNanos.Add(time.Since(t0).Nanoseconds())
+			if progressed {
+				atomic.AddInt64(&s.stats.MPIProcessed, 1)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// chargeTask accumulates wall time against the task's name.
+func (s *Scheduler) chargeTask(name string, start time.Time) {
+	ns := time.Since(start).Nanoseconds()
+	s.timeMu.Lock()
+	s.taskNanos[name] += ns
+	s.timeMu.Unlock()
+}
+
+// runNode executes one task (or one GPU stage) and propagates
+// completions.
+func (s *Scheduler) runNode(n *node) {
+	defer s.chargeTask(n.task.Name, time.Now())
+	ctx := &Context{Sched: s, Task: n.task}
+	if n.task.GPU == nil {
+		if err := n.task.Run(ctx); err != nil {
+			s.fail(fmt.Errorf("task %v: %w", n.task, err))
+			s.finishNode()
+			return
+		}
+		atomic.AddInt64(&s.stats.TasksRun, 1)
+		s.completeNode(n)
+		return
+	}
+	// GPU task: advance one stage, then requeue — this is the
+	// multi-stage queue architecture (H2D queue -> kernel queue -> D2H
+	// queue) that keeps copies and kernels from distinct patches
+	// overlapped on the device.
+	slot := s.gpus[n.gpuIdx]
+	if n.stream == nil {
+		n.stream = slot.dev.NewStream()
+	}
+	ctx.Stream = n.stream
+	ctx.Device = slot.dev
+	ctx.GPUDW = slot.gdw
+	var err error
+	switch n.stage {
+	case stageH2D:
+		if n.task.GPU.H2D != nil {
+			err = n.task.GPU.H2D(ctx)
+		}
+		n.stage = stageKernel
+	case stageKernel:
+		if n.task.GPU.Kernel != nil {
+			err = n.task.GPU.Kernel(ctx)
+		}
+		n.stage = stageD2H
+	case stageD2H:
+		if n.task.GPU.D2H != nil {
+			err = n.task.GPU.D2H(ctx)
+		}
+		if err == nil {
+			atomic.AddInt64(&s.stats.TasksRun, 1)
+			atomic.AddInt64(&s.stats.GPUTasksRun, 1)
+			s.completeNode(n)
+			return
+		}
+	}
+	if err != nil {
+		s.fail(fmt.Errorf("gpu task %v stage %d: %w", n.task, n.stage, err))
+		s.finishNode()
+		return
+	}
+	s.ready <- n
+}
+
+// completeNode marks a node done and releases its dependents.
+func (s *Scheduler) completeNode(n *node) {
+	for _, out := range n.outs {
+		s.satisfy(out)
+	}
+	s.finishNode()
+}
+
+func (s *Scheduler) finishNode() {
+	s.remaining.Add(-1)
+}
+
+// Pool exposes the scheduler's wait-free request pool (tests verify it
+// drains).
+func (s *Scheduler) Pool() *commpool.Pool { return s.pool }
+
+// RunRanks drives one scheduler per rank concurrently — the whole-
+// machine view, with rank r's scheduler owning the patches assigned to
+// r. build is called once per rank to construct and populate that
+// rank's scheduler; all schedulers then execute simultaneously so
+// cross-rank sends and receives can rendezvous. The per-rank stats and
+// the first error are returned.
+func RunRanks(nRanks int, build func(rank int) (*Scheduler, error)) ([]Stats, error) {
+	scheds := make([]*Scheduler, nRanks)
+	for r := 0; r < nRanks; r++ {
+		sc, err := build(r)
+		if err != nil {
+			return nil, fmt.Errorf("building rank %d: %w", r, err)
+		}
+		scheds[r] = sc
+	}
+	stats := make([]Stats, nRanks)
+	errs := make([]error, nRanks)
+	var wg sync.WaitGroup
+	for r := 0; r < nRanks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			stats[r], errs[r] = scheds[r].Execute()
+		}(r)
+	}
+	wg.Wait()
+	return stats, errors.Join(errs...)
+}

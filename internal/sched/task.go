@@ -1,0 +1,150 @@
+// Package sched implements a miniature of Uintah's DAG-based task
+// scheduler and hybrid runtime: tasks declare what they require and
+// compute against the DataWarehouse, the scheduler compiles the
+// dependency graph, generates the needed (simulated) MPI receives, and
+// executes tasks out-of-order on a pool of worker goroutines — each
+// worker performing its own MPI progress through the wait-free
+// commpool.Pool, exactly the MPI_THREAD_MULTIPLE pattern the paper
+// hardened.
+//
+// GPU tasks flow through the multi-stage queue architecture of [6]: a
+// host-to-device stage, a kernel stage and a device-to-host stage, with
+// per-task CUDA-style streams so copies and kernels from different
+// patches overlap on the simulated device.
+package sched
+
+import (
+	"fmt"
+
+	"github.com/uintah-repro/rmcrt/internal/dw"
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/gpu"
+	"github.com/uintah-repro/rmcrt/internal/gpudw"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+// GhostGlobal mirrors dw.GhostGlobal for task dependency declarations.
+const GhostGlobal = dw.GhostGlobal
+
+// Dep is one "requires" declaration: the task needs variable Label on
+// level Level with Ghost halo cells around its patch (GhostGlobal for
+// the whole level — the radiation coarse-mesh requirement).
+//
+// FromOld marks the dependency as coming from the *previous*
+// generation's warehouse (Uintah's OldDW). Old-generation data is
+// always already present, so FromOld dependencies never create edges
+// to this graph's producers — without the distinction, a task reading
+// last step's T while another computes this step's T would deadlock.
+type Dep struct {
+	Label   string
+	Level   int
+	Ghost   int
+	FromOld bool
+}
+
+// Compute is one "computes" declaration: the task will Put variable
+// Label for its own patch (or its level if the task is level-wide).
+type Compute struct {
+	Label string
+	Level int
+}
+
+// Context is handed to task bodies. It exposes the warehouse and
+// convenience gathers for the task's own patch.
+type Context struct {
+	Sched *Scheduler
+	Task  *Task
+	// Stream is the task's device stream (GPU tasks only).
+	Stream *gpu.Stream
+	// Device and GPUDW are the device servicing this GPU task and its
+	// warehouse (GPU tasks only). With several on-node GPUs attached,
+	// different tasks see different devices.
+	Device *gpu.Device
+	GPUDW  *gpudw.DW
+}
+
+// DW returns the new (being-computed) warehouse.
+func (c *Context) DW() *dw.DW { return c.Sched.DW }
+
+// OldDW returns the previous generation's warehouse (inputs).
+func (c *Context) OldDW() *dw.DW { return c.Sched.OldDW }
+
+// GatherSelf materializes label over the task's patch grown by ghost
+// cells, clipped to the level.
+func (c *Context) GatherSelf(label string, ghost int) (*field.CC[float64], error) {
+	lvl := c.Sched.Grid.Levels[c.Task.Patch.LevelIndex]
+	return c.Sched.DW.GatherWindow(label, lvl, c.Task.Patch.Cells.Grow(ghost))
+}
+
+// Task is one schedulable unit of work, bound to a patch (Patch != nil)
+// or to a whole level (Patch == nil, LevelIndex set).
+type Task struct {
+	Name       string
+	Patch      *grid.Patch
+	LevelIndex int // used when Patch == nil
+	Requires   []Dep
+	Computes   []Compute
+
+	// Run executes a CPU task. Exactly one of Run or GPU must be set.
+	Run func(*Context) error
+	// GPU marks a device task executed through the staged queues.
+	GPU *GPUStages
+}
+
+// GPUStages are the three phases of a device task. Each stage receives
+// the task's stream; H2D typically acquires level-database entries and
+// uploads patch inputs, Kernel launches the computation, D2H copies
+// results back and releases shared entries.
+type GPUStages struct {
+	H2D    func(*Context) error
+	Kernel func(*Context) error
+	D2H    func(*Context) error
+}
+
+func (t *Task) String() string {
+	if t.Patch != nil {
+		return fmt.Sprintf("%s@p%d", t.Name, t.Patch.ID)
+	}
+	return fmt.Sprintf("%s@L%d", t.Name, t.LevelIndex)
+}
+
+// level returns the level index the task operates on.
+func (t *Task) level() int {
+	if t.Patch != nil {
+		return t.Patch.LevelIndex
+	}
+	return t.LevelIndex
+}
+
+// ExternalRecv declares that variable Label for patch PatchID (window
+// Region) will arrive from rank Source with the given Tag. The
+// scheduler posts the receive up front (into the wait-free pool),
+// decodes the payload into the warehouse on completion, and treats the
+// arrival as the producer for dependent tasks.
+type ExternalRecv struct {
+	Label   string
+	PatchID int
+	Level   int
+	Region  grid.Box
+	Source  int
+	Tag     int
+}
+
+// Stats reports what a scheduler run did.
+type Stats struct {
+	TasksRun     int64
+	GPUTasksRun  int64
+	MPIProcessed int64
+	// LocalCommSeconds is wall time workers spent posting and
+	// processing MPI communication — the quantity Table I reports.
+	LocalCommSeconds float64
+
+	// TaskSeconds is the accumulated wall time per task name (all
+	// stages for GPU tasks) — Uintah's per-task profiling, the numbers
+	// its load balancer feeds on.
+	TaskSeconds map[string]float64
+
+	// Device accounting (zero without a GPU).
+	DeviceMakespan float64
+	DevicePeakMem  int64
+}

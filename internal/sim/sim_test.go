@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/perfmodel"
+)
+
+func TestPowersOf2(t *testing.T) {
+	got := PowersOf2(16, 128)
+	want := []int{16, 32, 64, 128}
+	if len(got) != len(want) {
+		t.Fatalf("PowersOf2 = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PowersOf2 = %v", got)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Simulate(cfg, perfmodel.Problem{}, 16); err == nil {
+		t.Error("invalid problem accepted")
+	}
+	if _, err := Simulate(cfg, perfmodel.Medium(16), 0); err == nil {
+		t.Error("zero GPUs accepted")
+	}
+}
+
+func TestSimulatePointFields(t *testing.T) {
+	cfg := DefaultConfig()
+	pt, err := Simulate(cfg, perfmodel.Medium(16), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.GPUs != 64 {
+		t.Errorf("GPUs = %d", pt.GPUs)
+	}
+	if pt.PatchesPerGPU != 64 { // 4096 patches / 64
+		t.Errorf("PatchesPerGPU = %d, want 64", pt.PatchesPerGPU)
+	}
+	if pt.TotalSeconds <= 0 || pt.TotalSeconds != pt.CommSeconds+pt.GPUSeconds {
+		t.Errorf("inconsistent point: %+v", pt)
+	}
+}
+
+// TestFigure2Shape asserts the paper's qualitative findings for the
+// MEDIUM benchmark: (1) larger patches are faster at low GPU counts
+// ("using larger patches provides more work per GPU and yields a more
+// significant speedup"); (2) 16³ keeps strong-scaling across the full
+// range; (3) a patch size stops scaling once GPUs exceed its patch
+// count.
+func TestFigure2Shape(t *testing.T) {
+	cfg := DefaultConfig()
+	counts := PowersOf2(16, 1024)
+	series := map[int]Series{}
+	for _, pn := range []int{16, 32, 64} {
+		s, err := StrongScaling(cfg, perfmodel.Medium(pn), counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series[pn] = s
+	}
+	// (1) At 16 GPUs: t(64³) < t(32³) < t(16³).
+	t16 := series[16].Points[0].TotalSeconds
+	t32 := series[32].Points[0].TotalSeconds
+	t64 := series[64].Points[0].TotalSeconds
+	if !(t64 < t32 && t32 < t16) {
+		t.Errorf("at 16 GPUs want t(64³)<t(32³)<t(16³), got %v %v %v", t64, t32, t16)
+	}
+	// (2) 16³ strong-scales: monotone decreasing, good efficiency to 1024.
+	pts := series[16].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TotalSeconds >= pts[i-1].TotalSeconds {
+			t.Errorf("16³ stopped scaling at %d GPUs", pts[i].GPUs)
+		}
+	}
+	if eff := Efficiency(pts[0], pts[len(pts)-1]); eff < 0.7 {
+		t.Errorf("16³ efficiency 16->1024 GPUs = %.2f, want >= 0.7", eff)
+	}
+	// (3) 64³ has 64 patches: beyond 64 GPUs the time flattens.
+	p64 := series[64].Points
+	var at64, at512 float64
+	for _, pt := range p64 {
+		if pt.GPUs == 64 {
+			at64 = pt.TotalSeconds
+		}
+		if pt.GPUs == 512 {
+			at512 = pt.TotalSeconds
+		}
+	}
+	if math.Abs(at512-at64)/at64 > 0.05 {
+		t.Errorf("64³ should flatten past 64 GPUs: t(64)=%v t(512)=%v", at64, at512)
+	}
+}
+
+// TestFigure3Efficiencies asserts the paper's headline numbers for the
+// LARGE benchmark with 16³ patches: "96% going from 4096 to 8192 GPUs,
+// and 89% going from 4096 to 16,384 GPUs". The model must land within
+// a few points of both.
+func TestFigure3Efficiencies(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := StrongScaling(cfg, perfmodel.Large(16), []int{4096, 8192, 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e8k := Efficiency(s.Points[0], s.Points[1])
+	e16k := Efficiency(s.Points[0], s.Points[2])
+	if e8k < 0.90 || e8k > 1.0 {
+		t.Errorf("efficiency 4096->8192 = %.3f, paper reports 0.96", e8k)
+	}
+	if e16k < 0.82 || e16k > 0.97 {
+		t.Errorf("efficiency 4096->16384 = %.3f, paper reports 0.89", e16k)
+	}
+	if !(e16k < e8k) {
+		t.Errorf("efficiency must decay with scale: %v %v", e8k, e16k)
+	}
+}
+
+// TestFigure3FullRange: the LARGE 16³ curve scales 256 -> 16384 GPUs
+// monotonically — the paper's headline result.
+func TestFigure3FullRange(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := StrongScaling(cfg, perfmodel.Large(16), PowersOf2(256, 16384))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].TotalSeconds >= s.Points[i-1].TotalSeconds {
+			t.Errorf("large 16³ stopped scaling at %d GPUs", s.Points[i].GPUs)
+		}
+	}
+	// Speedup 256 -> 16384 (64x more GPUs) should be substantial.
+	sp := Speedup(s.Points[0], s.Points[len(s.Points)-1])
+	if sp < 40 {
+		t.Errorf("speedup 256->16384 = %.1f, want >= 40 (of ideal 64)", sp)
+	}
+}
+
+// TestTableIShape asserts the Table I reproduction: before/after times
+// decreasing in node count, speedups within the paper's 2.3-4.4x band,
+// largest at 512 nodes, and the 512-node and 16k-node rows near the
+// published values.
+func TestTableIShape(t *testing.T) {
+	nodes := []int{512, 1024, 2048, 4096, 8192, 16384}
+	rows := TableI(perfmodel.Titan(), nodes)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Speedup < 2.0 || r.Speedup > 5.0 {
+			t.Errorf("nodes %d: speedup %.2f outside 2-5x band", r.Nodes, r.Speedup)
+		}
+		if r.After >= r.Before {
+			t.Errorf("nodes %d: after (%.3f) not faster than before (%.3f)", r.Nodes, r.After, r.Before)
+		}
+		if i > 0 {
+			if r.Before >= rows[i-1].Before || r.After >= rows[i-1].After {
+				t.Errorf("times should decrease with node count at row %d", i)
+			}
+		}
+	}
+	if rows[0].Speedup <= rows[2].Speedup {
+		t.Errorf("speedup should be largest at 512 nodes (longest queues): %v", rows)
+	}
+	// Calibration anchors: paper's 512-node row is 6.25 -> 1.42 s.
+	if math.Abs(rows[0].Before-6.25) > 1.5 {
+		t.Errorf("before(512) = %.2f, paper 6.25", rows[0].Before)
+	}
+	if math.Abs(rows[0].After-1.42) > 0.4 {
+		t.Errorf("after(512) = %.2f, paper 1.42", rows[0].After)
+	}
+	// And the 16k-node row: 0.73 -> 0.23 s.
+	last := rows[len(rows)-1]
+	if math.Abs(last.Before-0.73) > 0.25 || math.Abs(last.After-0.23) > 0.1 {
+		t.Errorf("16k row = %.2f/%.2f, paper 0.73/0.23", last.Before, last.After)
+	}
+}
+
+// TestLegacyInfrastructureSlower: running the whole scaling study with
+// the pre-improvement communication layer must be slower at every point
+// — the motivation for contribution (iii).
+func TestLegacyInfrastructureSlower(t *testing.T) {
+	good := DefaultConfig()
+	bad := DefaultConfig()
+	bad.WaitFreePool = false
+	counts := []int{512, 4096, 16384}
+	sGood, err := StrongScaling(good, perfmodel.Large(16), counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBad, err := StrongScaling(bad, perfmodel.Large(16), counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if sBad.Points[i].TotalSeconds <= sGood.Points[i].TotalSeconds {
+			t.Errorf("legacy not slower at %d GPUs", counts[i])
+		}
+	}
+}
+
+// TestDevicePipelineOverlap: the simulated node pipeline must be faster
+// than the serial sum of its parts (copies overlap kernels via the two
+// copy engines and streams) but no faster than the kernel-only time.
+func TestDevicePipelineOverlap(t *testing.T) {
+	cfg := DefaultConfig()
+	p := perfmodel.Medium(32)
+	n := 16
+	makespan, err := SimulateNode(cfg, p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cfg.Machine
+	kernelOnly := float64(n) * (p.KernelWork()/m.GPUEfficiency(p.CellsPerPatch())/m.GPUThroughput + m.KernelLaunch)
+	transfers := float64(n) * (float64(p.FineWindowBytes()+p.PatchOutBytes())/m.PCIeBandwidth + 2*m.PCIeLatency)
+	serial := kernelOnly + transfers
+	if makespan >= serial {
+		t.Errorf("no overlap: makespan %v >= serial %v", makespan, serial)
+	}
+	if makespan < kernelOnly {
+		t.Errorf("makespan %v below kernel-only bound %v", makespan, kernelOnly)
+	}
+}
+
+// TestNodeMemoryFitsK20X: the per-node working set of every studied
+// configuration fits the 6 GB device (the level database makes this
+// possible); the simulator would error otherwise.
+func TestNodeMemoryFitsK20X(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, pn := range []int{16, 32, 64} {
+		for _, gpus := range []int{256, 16384} {
+			if _, err := Simulate(cfg, perfmodel.Large(pn), gpus); err != nil {
+				t.Errorf("large %d³ at %d GPUs: %v", pn, gpus, err)
+			}
+		}
+	}
+}
+
+// TestCPUModeScaling reproduces the predecessor CPU result's shape [5]:
+// the CPU implementation strong-scales across the studied range (more
+// patches per node than cores for most of it), and one node's GPU
+// out-traces its 16 Opterons on big patches — the motivation for the
+// GPU port.
+func TestCPUModeScaling(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPU = true
+	s, err := StrongScaling(cfg, perfmodel.Large(16), PowersOf2(512, 16384))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].TotalSeconds >= s.Points[i-1].TotalSeconds {
+			t.Errorf("CPU curve stopped scaling at %d nodes", s.Points[i].GPUs)
+		}
+	}
+	// GPU vs CPU on one node with large patches: the K20X wins.
+	gcfg := DefaultConfig()
+	gpuT, err := SimulateNode(gcfg, perfmodel.Large(64), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuT := SimulateNodeCPU(cfg, perfmodel.Large(64), 8)
+	if gpuT >= cpuT {
+		t.Errorf("GPU node time %v should beat CPU node time %v on 64³ patches", gpuT, cpuT)
+	}
+	// And the ratio should be meaningful (>1.5x) but not absurd (<100x),
+	// consistent with early-2010s GPU/CPU-node comparisons.
+	ratio := cpuT / gpuT
+	if ratio < 1.5 || ratio > 100 {
+		t.Errorf("GPU speedup over a full CPU node = %.1fx, outside plausibility band", ratio)
+	}
+}

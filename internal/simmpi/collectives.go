@@ -1,0 +1,133 @@
+package simmpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Collective operations. Uintah uses reductions for global timestep
+// control (the stable dt is the minimum over all ranks) and barriers
+// between task-graph phases. These are built on the same communicator,
+// implemented with in-process synchronization: each collective call
+// blocks until every rank has arrived, matching MPI's completion
+// semantics. Collectives on one communicator may be interleaved with
+// point-to-point traffic but successive collectives must be called in
+// the same order on all ranks (as in MPI).
+
+// ReduceOp combines two float64 values in an Allreduce.
+type ReduceOp func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+)
+
+// collectiveState tracks one in-progress collective round.
+type collectiveState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	round   int64
+	values  []float64
+	gathers [][]byte
+	result  float64
+}
+
+func (c *Comm) collectives() *collectiveState {
+	c.collOnce.Do(func() {
+		st := &collectiveState{
+			values:  make([]float64, c.size),
+			gathers: make([][]byte, c.size),
+		}
+		st.cond = sync.NewCond(&st.mu)
+		c.coll = st
+	})
+	return c.coll
+}
+
+// arrive blocks until all ranks have joined the current round, then
+// releases everyone. The last arriving rank runs fn (with the lock
+// held) before the release. Returns after the round completes.
+func (st *collectiveState) arrive(size int, fn func()) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	myRound := st.round
+	st.arrived++
+	if st.arrived == size {
+		if fn != nil {
+			fn()
+		}
+		st.arrived = 0
+		st.round++
+		st.cond.Broadcast()
+		return
+	}
+	for st.round == myRound {
+		st.cond.Wait()
+	}
+}
+
+// Barrier blocks until every rank of the communicator has called it.
+func (c *Comm) Barrier(rank int) {
+	c.checkRank(rank, "barrier")
+	c.collectives().arrive(c.size, nil)
+}
+
+// Allreduce combines each rank's value with op and returns the result
+// to every rank. All ranks must call it with the same op.
+func (c *Comm) Allreduce(rank int, value float64, op ReduceOp) float64 {
+	c.checkRank(rank, "allreduce")
+	if op == nil {
+		panic("simmpi: Allreduce with nil op")
+	}
+	st := c.collectives()
+	st.mu.Lock()
+	st.values[rank] = value
+	st.mu.Unlock()
+	st.arrive(c.size, func() {
+		acc := st.values[0]
+		for r := 1; r < c.size; r++ {
+			acc = op(acc, st.values[r])
+		}
+		st.result = acc
+	})
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.result
+}
+
+// Allgather collects each rank's byte payload and returns the slice of
+// all payloads (indexed by rank) to every rank. Payloads are copied.
+func (c *Comm) Allgather(rank int, data []byte) [][]byte {
+	c.checkRank(rank, "allgather")
+	st := c.collectives()
+	st.mu.Lock()
+	st.gathers[rank] = append([]byte(nil), data...)
+	st.mu.Unlock()
+	var out [][]byte
+	st.arrive(c.size, func() {
+		out = nil // assembled below per-rank from the shared state
+	})
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out = make([][]byte, c.size)
+	for r := 0; r < c.size; r++ {
+		out[r] = append([]byte(nil), st.gathers[r]...)
+	}
+	return out
+}
+
+// String helper for error messages in debugging sessions.
+func (c *Comm) String() string { return fmt.Sprintf("comm{size=%d}", c.size) }

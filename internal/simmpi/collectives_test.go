@@ -1,0 +1,149 @@
+package simmpi
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// runRanks executes f concurrently for every rank and waits.
+func runRanks(size int, f func(rank int)) {
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			f(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const size = 8
+	c := NewComm(size)
+	var before, after atomic.Int32
+	runRanks(size, func(rank int) {
+		before.Add(1)
+		c.Barrier(rank)
+		// Every rank must have passed "before" by the time any rank is
+		// past the barrier.
+		if got := before.Load(); got != size {
+			t.Errorf("rank %d crossed barrier with only %d arrivals", rank, got)
+		}
+		after.Add(1)
+	})
+	if after.Load() != size {
+		t.Errorf("after = %d", after.Load())
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const size = 4
+	c := NewComm(size)
+	runRanks(size, func(rank int) {
+		for i := 0; i < 50; i++ {
+			c.Barrier(rank)
+		}
+	})
+}
+
+func TestAllreduceOps(t *testing.T) {
+	const size = 6
+	c := NewComm(size)
+	sums := make([]float64, size)
+	mins := make([]float64, size)
+	maxs := make([]float64, size)
+	runRanks(size, func(rank int) {
+		v := float64(rank + 1)
+		sums[rank] = c.Allreduce(rank, v, OpSum)
+		mins[rank] = c.Allreduce(rank, v, OpMin)
+		maxs[rank] = c.Allreduce(rank, v, OpMax)
+	})
+	for r := 0; r < size; r++ {
+		if sums[r] != 21 {
+			t.Errorf("rank %d sum = %v, want 21", r, sums[r])
+		}
+		if mins[r] != 1 {
+			t.Errorf("rank %d min = %v, want 1", r, mins[r])
+		}
+		if maxs[r] != 6 {
+			t.Errorf("rank %d max = %v, want 6", r, maxs[r])
+		}
+	}
+}
+
+func TestAllreduceTimestepControl(t *testing.T) {
+	// The Uintah use case: global stable dt = min over ranks.
+	const size = 4
+	c := NewComm(size)
+	localDt := []float64{0.01, 0.003, 0.04, 0.0225}
+	got := make([]float64, size)
+	runRanks(size, func(rank int) {
+		got[rank] = c.Allreduce(rank, localDt[rank], OpMin)
+	})
+	for r := 0; r < size; r++ {
+		if got[r] != 0.003 {
+			t.Errorf("rank %d dt = %v, want 0.003", r, got[r])
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	const size = 5
+	c := NewComm(size)
+	results := make([][][]byte, size)
+	runRanks(size, func(rank int) {
+		payload := []byte{byte(rank), byte(rank * 2)}
+		results[rank] = c.Allgather(rank, payload)
+	})
+	for r := 0; r < size; r++ {
+		if len(results[r]) != size {
+			t.Fatalf("rank %d gathered %d payloads", r, len(results[r]))
+		}
+		for s := 0; s < size; s++ {
+			p := results[r][s]
+			if len(p) != 2 || p[0] != byte(s) || p[1] != byte(s*2) {
+				t.Errorf("rank %d: payload from %d = %v", r, s, p)
+			}
+		}
+	}
+}
+
+func TestAllgatherPayloadCopied(t *testing.T) {
+	const size = 2
+	c := NewComm(size)
+	out := make([][][]byte, size)
+	runRanks(size, func(rank int) {
+		buf := []byte{byte(rank)}
+		out[rank] = c.Allgather(rank, buf)
+		buf[0] = 99 // mutate after the call
+	})
+	if out[1][0][0] != 0 {
+		t.Error("Allgather did not copy the payload")
+	}
+}
+
+func TestCollectivesRepeatedRounds(t *testing.T) {
+	const size = 4
+	c := NewComm(size)
+	runRanks(size, func(rank int) {
+		for i := 0; i < 25; i++ {
+			got := c.Allreduce(rank, float64(i), OpMax)
+			if got != float64(i) {
+				t.Errorf("round %d: allreduce max = %v", i, got)
+			}
+			c.Barrier(rank)
+		}
+	})
+}
+
+func TestAllreduceNilOpPanics(t *testing.T) {
+	c := NewComm(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("nil op should panic")
+		}
+	}()
+	c.Allreduce(0, 1, nil)
+}

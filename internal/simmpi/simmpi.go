@@ -1,0 +1,312 @@
+// Package simmpi is an in-process message-passing layer with MPI
+// semantics: ranks, tags, nonblocking sends and receives returning
+// request handles, Test/Testsome/Wait completion, and wildcard matching.
+//
+// The Go ecosystem has no MPI; this package is the substitution. It
+// reproduces exactly the properties the paper's infrastructure work
+// depends on:
+//
+//   - MPI_THREAD_MULTIPLE: any goroutine may post or complete operations
+//     on any rank concurrently ("all CPU threads perform their own MPI
+//     sends and receives").
+//   - Nonblocking request objects whose completion must be polled — the
+//     raw material managed by internal/commpool's legacy and wait-free
+//     request containers.
+//   - Deterministic FIFO matching per (source, tag) channel, matching
+//     MPI's non-overtaking rule.
+//   - Byte accounting per rank so the communication model can be checked
+//     against the paper's message-volume arithmetic.
+//
+// Sends use buffered (eager) semantics: Isend copies the payload and the
+// send request completes immediately, which is how Uintah's small- and
+// medium-message traffic behaves on Gemini.
+package simmpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Wildcards for Irecv matching.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = -1
+	// AnyTag matches a message with any tag.
+	AnyTag = -1
+)
+
+// Status describes a completed receive: who sent it, with what tag, and
+// how many bytes arrived.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int
+}
+
+// reqKind discriminates send from receive requests.
+type reqKind int8
+
+const (
+	kindSend reqKind = iota
+	kindRecv
+)
+
+// Request is a nonblocking operation handle, the analogue of
+// MPI_Request. A Request is safe for concurrent Test from many
+// goroutines; completion is delivered exactly once.
+type Request struct {
+	comm *Comm
+	kind reqKind
+
+	// Receive matching criteria (kindRecv only).
+	rank, source, tag int
+
+	done   atomic.Bool
+	doneCh chan struct{}
+
+	mu     sync.Mutex
+	data   []byte
+	status Status
+}
+
+// Test reports whether the operation has completed. It never blocks.
+func (r *Request) Test() bool { return r.done.Load() }
+
+// Wait blocks until the operation completes and returns its status.
+func (r *Request) Wait() Status {
+	<-r.doneCh
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// Status returns the completion status. It is only meaningful after Test
+// has returned true or Wait has returned.
+func (r *Request) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// Data returns the received payload (kindRecv, after completion) or the
+// buffered payload (kindSend).
+func (r *Request) Data() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.data
+}
+
+func (r *Request) complete(data []byte, st Status) {
+	r.mu.Lock()
+	r.data = data
+	r.status = st
+	r.mu.Unlock()
+	if r.done.CompareAndSwap(false, true) {
+		close(r.doneCh)
+	}
+}
+
+// envelope is an in-flight message buffered at the destination.
+type envelope struct {
+	source, tag int
+	data        []byte
+}
+
+// mailbox holds a destination rank's unmatched messages and posted
+// receives. One mutex per rank keeps cross-rank traffic uncontended.
+type mailbox struct {
+	mu         sync.Mutex
+	unexpected []*envelope // arrival order
+	posted     []*Request  // post order
+}
+
+// Stats aggregates traffic counters for one rank.
+type Stats struct {
+	MessagesSent int64
+	BytesSent    int64
+	MessagesRecv int64
+	BytesRecv    int64
+}
+
+// Comm is a communicator over Size simulated ranks, the analogue of
+// MPI_COMM_WORLD. All methods are safe for concurrent use from any
+// goroutine (MPI_THREAD_MULTIPLE).
+type Comm struct {
+	size  int
+	boxes []mailbox
+
+	sentMsgs  []atomic.Int64
+	sentBytes []atomic.Int64
+	recvMsgs  []atomic.Int64
+	recvBytes []atomic.Int64
+
+	collOnce sync.Once
+	coll     *collectiveState
+}
+
+// NewComm creates a communicator with size ranks.
+func NewComm(size int) *Comm {
+	if size <= 0 {
+		panic("simmpi: communicator size must be positive")
+	}
+	return &Comm{
+		size:      size,
+		boxes:     make([]mailbox, size),
+		sentMsgs:  make([]atomic.Int64, size),
+		sentBytes: make([]atomic.Int64, size),
+		recvMsgs:  make([]atomic.Int64, size),
+		recvBytes: make([]atomic.Int64, size),
+	}
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+func (c *Comm) checkRank(r int, what string) {
+	if r < 0 || r >= c.size {
+		panic(fmt.Sprintf("simmpi: %s rank %d out of range [0,%d)", what, r, c.size))
+	}
+}
+
+// Isend posts a nonblocking send of data from rank src to rank dst with
+// the given tag. The payload is copied; the returned request is already
+// complete (eager buffered semantics). Tag must be >= 0.
+func (c *Comm) Isend(src, dst, tag int, data []byte) *Request {
+	c.checkRank(src, "source")
+	c.checkRank(dst, "destination")
+	if tag < 0 {
+		panic("simmpi: Isend tag must be non-negative")
+	}
+	buf := append([]byte(nil), data...)
+	req := &Request{comm: c, kind: kindSend, doneCh: make(chan struct{})}
+	req.complete(buf, Status{Source: src, Tag: tag, Count: len(buf)})
+
+	c.sentMsgs[src].Add(1)
+	c.sentBytes[src].Add(int64(len(buf)))
+
+	env := &envelope{source: src, tag: tag, data: buf}
+	box := &c.boxes[dst]
+	box.mu.Lock()
+	// Try to match a posted receive, in post order (non-overtaking).
+	for i, pr := range box.posted {
+		if matches(pr, env) {
+			box.posted = append(box.posted[:i], box.posted[i+1:]...)
+			box.mu.Unlock()
+			c.recvMsgs[dst].Add(1)
+			c.recvBytes[dst].Add(int64(len(buf)))
+			pr.complete(env.data, Status{Source: env.source, Tag: env.tag, Count: len(env.data)})
+			return req
+		}
+	}
+	box.unexpected = append(box.unexpected, env)
+	box.mu.Unlock()
+	return req
+}
+
+// Irecv posts a nonblocking receive on rank dst for a message from
+// source (or AnySource) with tag (or AnyTag). Completion is observed via
+// Test/Wait; the payload is available from Data afterwards.
+func (c *Comm) Irecv(dst, source, tag int) *Request {
+	c.checkRank(dst, "destination")
+	if source != AnySource {
+		c.checkRank(source, "source")
+	}
+	req := &Request{
+		comm: c, kind: kindRecv, rank: dst,
+		source: source, tag: tag,
+		doneCh: make(chan struct{}),
+	}
+	box := &c.boxes[dst]
+	box.mu.Lock()
+	// Try to match an already-arrived message, in arrival order.
+	for i, env := range box.unexpected {
+		if matches(req, env) {
+			box.unexpected = append(box.unexpected[:i], box.unexpected[i+1:]...)
+			box.mu.Unlock()
+			c.recvMsgs[dst].Add(1)
+			c.recvBytes[dst].Add(int64(len(env.data)))
+			req.complete(env.data, Status{Source: env.source, Tag: env.tag, Count: len(env.data)})
+			return req
+		}
+	}
+	box.posted = append(box.posted, req)
+	box.mu.Unlock()
+	return req
+}
+
+func matches(r *Request, e *envelope) bool {
+	if r.source != AnySource && r.source != e.source {
+		return false
+	}
+	if r.tag != AnyTag && r.tag != e.tag {
+		return false
+	}
+	return true
+}
+
+// Testsome checks a collection of requests and returns the indices of
+// those that have completed — the analogue of MPI_Testsome, used by the
+// legacy (pre-improvement) communication record container.
+func Testsome(reqs []*Request) []int {
+	var idx []int
+	for i, r := range reqs {
+		if r != nil && r.Test() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// WaitAll blocks until every request in reqs has completed.
+func WaitAll(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// RankStats returns the traffic counters for rank r.
+func (c *Comm) RankStats(r int) Stats {
+	c.checkRank(r, "stats")
+	return Stats{
+		MessagesSent: c.sentMsgs[r].Load(),
+		BytesSent:    c.sentBytes[r].Load(),
+		MessagesRecv: c.recvMsgs[r].Load(),
+		BytesRecv:    c.recvBytes[r].Load(),
+	}
+}
+
+// TotalStats returns traffic counters summed over all ranks.
+func (c *Comm) TotalStats() Stats {
+	var t Stats
+	for r := 0; r < c.size; r++ {
+		s := c.RankStats(r)
+		t.MessagesSent += s.MessagesSent
+		t.BytesSent += s.BytesSent
+		t.MessagesRecv += s.MessagesRecv
+		t.BytesRecv += s.BytesRecv
+	}
+	return t
+}
+
+// PendingUnexpected returns the number of buffered, unmatched messages at
+// rank r — nonzero at shutdown indicates a protocol bug (a leaked
+// message, the class of bug the paper's race condition produced).
+func (c *Comm) PendingUnexpected(r int) int {
+	c.checkRank(r, "pending")
+	box := &c.boxes[r]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	return len(box.unexpected)
+}
+
+// PendingPosted returns the number of posted, unmatched receives at rank r.
+func (c *Comm) PendingPosted(r int) int {
+	c.checkRank(r, "pending")
+	box := &c.boxes[r]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	return len(box.posted)
+}

@@ -1,0 +1,327 @@
+package simmpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendThenRecv(t *testing.T) {
+	c := NewComm(2)
+	c.Isend(0, 1, 5, []byte("hello"))
+	r := c.Irecv(1, 0, 5)
+	if !r.Test() {
+		t.Fatal("recv should complete immediately for a buffered message")
+	}
+	st := r.Status()
+	if st.Source != 0 || st.Tag != 5 || st.Count != 5 {
+		t.Errorf("status = %+v", st)
+	}
+	if !bytes.Equal(r.Data(), []byte("hello")) {
+		t.Errorf("data = %q", r.Data())
+	}
+}
+
+func TestRecvThenSend(t *testing.T) {
+	c := NewComm(2)
+	r := c.Irecv(1, 0, 7)
+	if r.Test() {
+		t.Fatal("recv completed with no message")
+	}
+	c.Isend(0, 1, 7, []byte{1, 2, 3})
+	if !r.Test() {
+		t.Fatal("recv not completed after matching send")
+	}
+	if st := r.Wait(); st.Count != 3 {
+		t.Errorf("count = %d", st.Count)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	c := NewComm(2)
+	c.Isend(0, 1, 1, []byte("one"))
+	c.Isend(0, 1, 2, []byte("two"))
+	r2 := c.Irecv(1, 0, 2)
+	r1 := c.Irecv(1, 0, 1)
+	if string(r2.Data()) != "two" || string(r1.Data()) != "one" {
+		t.Errorf("tag matching wrong: %q %q", r1.Data(), r2.Data())
+	}
+}
+
+func TestNonOvertakingFIFO(t *testing.T) {
+	// Messages with the same (source, tag) must be received in send
+	// order.
+	c := NewComm(2)
+	for i := 0; i < 10; i++ {
+		c.Isend(0, 1, 3, []byte{byte(i)})
+	}
+	for i := 0; i < 10; i++ {
+		r := c.Irecv(1, 0, 3)
+		if !r.Test() {
+			t.Fatalf("recv %d incomplete", i)
+		}
+		if r.Data()[0] != byte(i) {
+			t.Fatalf("recv %d got payload %d: overtaking", i, r.Data()[0])
+		}
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	c := NewComm(3)
+	c.Isend(2, 0, 9, []byte("x"))
+	r := c.Irecv(0, AnySource, AnyTag)
+	if !r.Test() {
+		t.Fatal("wildcard recv did not match")
+	}
+	if st := r.Status(); st.Source != 2 || st.Tag != 9 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestWildcardDoesNotMatchWrongTag(t *testing.T) {
+	c := NewComm(2)
+	r := c.Irecv(1, 0, 4)
+	c.Isend(0, 1, 5, []byte("wrong tag"))
+	if r.Test() {
+		t.Fatal("recv with tag 4 matched a tag-5 message")
+	}
+	if c.PendingUnexpected(1) != 1 {
+		t.Errorf("unexpected queue = %d, want 1", c.PendingUnexpected(1))
+	}
+	if c.PendingPosted(1) != 1 {
+		t.Errorf("posted queue = %d, want 1", c.PendingPosted(1))
+	}
+}
+
+func TestSendBufferIsCopied(t *testing.T) {
+	c := NewComm(2)
+	buf := []byte{1, 2, 3}
+	c.Isend(0, 1, 0, buf)
+	buf[0] = 99 // mutate after send: receiver must see the original
+	r := c.Irecv(1, 0, 0)
+	if r.Data()[0] != 1 {
+		t.Error("Isend did not copy the payload (eager semantics)")
+	}
+}
+
+func TestTestsome(t *testing.T) {
+	c := NewComm(2)
+	r1 := c.Irecv(1, 0, 1)
+	r2 := c.Irecv(1, 0, 2)
+	r3 := c.Irecv(1, 0, 3)
+	c.Isend(0, 1, 2, nil)
+	got := Testsome([]*Request{r1, r2, r3, nil})
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Testsome = %v, want [1]", got)
+	}
+}
+
+func TestWaitBlocksUntilSend(t *testing.T) {
+	c := NewComm(2)
+	r := c.Irecv(1, 0, 0)
+	done := make(chan Status)
+	go func() { done <- r.Wait() }()
+	c.Isend(0, 1, 0, []byte("late"))
+	st := <-done
+	if st.Count != 4 {
+		t.Errorf("count = %d", st.Count)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := NewComm(3)
+	c.Isend(0, 1, 0, make([]byte, 100))
+	c.Isend(0, 2, 0, make([]byte, 50))
+	c.Irecv(1, 0, 0)
+	s0 := c.RankStats(0)
+	if s0.MessagesSent != 2 || s0.BytesSent != 150 {
+		t.Errorf("rank 0 stats = %+v", s0)
+	}
+	s1 := c.RankStats(1)
+	if s1.MessagesRecv != 1 || s1.BytesRecv != 100 {
+		t.Errorf("rank 1 stats = %+v", s1)
+	}
+	tot := c.TotalStats()
+	if tot.MessagesSent != 2 || tot.BytesSent != 150 || tot.MessagesRecv != 1 {
+		t.Errorf("total stats = %+v", tot)
+	}
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	c := NewComm(2)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad size", func() { NewComm(0) })
+	mustPanic("bad src", func() { c.Isend(-1, 0, 0, nil) })
+	mustPanic("bad dst", func() { c.Isend(0, 2, 0, nil) })
+	mustPanic("bad tag", func() { c.Isend(0, 1, -1, nil) })
+	mustPanic("bad recv rank", func() { c.Irecv(5, 0, 0) })
+}
+
+// TestThreadMultiple hammers one communicator from many goroutines, the
+// MPI_THREAD_MULTIPLE pattern Uintah relies on: every worker posts its
+// own sends and receives. Run with -race.
+func TestThreadMultiple(t *testing.T) {
+	const (
+		ranks       = 8
+		perPair     = 50
+		payloadSize = 32
+	)
+	c := NewComm(ranks)
+	var wg sync.WaitGroup
+	// Senders: every rank sends perPair messages to every other rank.
+	for src := 0; src < ranks; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for dst := 0; dst < ranks; dst++ {
+				if dst == src {
+					continue
+				}
+				for k := 0; k < perPair; k++ {
+					payload := make([]byte, payloadSize)
+					payload[0] = byte(src)
+					c.Isend(src, dst, k, payload)
+				}
+			}
+		}(src)
+	}
+	// Receivers: each rank posts matching receives from several
+	// goroutines at once.
+	recvd := make([]int, ranks)
+	var mu sync.Mutex
+	for dst := 0; dst < ranks; dst++ {
+		wg.Add(1)
+		go func(dst int) {
+			defer wg.Done()
+			var reqs []*Request
+			for src := 0; src < ranks; src++ {
+				if src == dst {
+					continue
+				}
+				for k := 0; k < perPair; k++ {
+					reqs = append(reqs, c.Irecv(dst, src, k))
+				}
+			}
+			WaitAll(reqs)
+			mu.Lock()
+			recvd[dst] += len(reqs)
+			mu.Unlock()
+		}(dst)
+	}
+	wg.Wait()
+	want := (ranks - 1) * perPair
+	for dst := 0; dst < ranks; dst++ {
+		if recvd[dst] != want {
+			t.Errorf("rank %d received %d, want %d", dst, recvd[dst], want)
+		}
+		if c.PendingUnexpected(dst) != 0 || c.PendingPosted(dst) != 0 {
+			t.Errorf("rank %d has pending traffic at shutdown", dst)
+		}
+	}
+	tot := c.TotalStats()
+	wantTotal := int64(ranks * (ranks - 1) * perPair)
+	if tot.MessagesSent != wantTotal || tot.MessagesRecv != wantTotal {
+		t.Errorf("totals = %+v, want %d each", tot, wantTotal)
+	}
+}
+
+func TestManyRequestsCompleteExactlyOnce(t *testing.T) {
+	// A request completed by a racing send is delivered exactly once.
+	c := NewComm(2)
+	const n = 200
+	var reqs []*Request
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, c.Irecv(1, 0, i))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Isend(0, 1, i, []byte(fmt.Sprintf("%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range reqs {
+		if !r.Test() {
+			t.Fatalf("request %d incomplete", i)
+		}
+		if string(r.Data()) != fmt.Sprintf("%d", i) {
+			t.Fatalf("request %d payload %q", i, r.Data())
+		}
+	}
+}
+
+// TestRandomTrafficConservation drives random traffic matrices through
+// a communicator and checks global conservation: every sent message is
+// received exactly once with its payload intact, regardless of posting
+// order (quick-check property).
+func TestRandomTrafficConservation(t *testing.T) {
+	f := func(plan []uint8) bool {
+		const ranks = 4
+		c := NewComm(ranks)
+		type msg struct {
+			src, dst, tag int
+			body          byte
+		}
+		var msgs []msg
+		for i, b := range plan {
+			m := msg{
+				src:  int(b) % ranks,
+				dst:  int(b>>2) % ranks,
+				tag:  i,
+				body: b,
+			}
+			msgs = append(msgs, m)
+		}
+		// Post receives first for even indices, sends first for odd —
+		// exercising both matching paths.
+		var reqs []*Request
+		for _, m := range msgs {
+			if m.tag%2 == 0 {
+				reqs = append(reqs, c.Irecv(m.dst, m.src, m.tag))
+			} else {
+				c.Isend(m.src, m.dst, m.tag, []byte{m.body})
+				reqs = append(reqs, nil)
+			}
+		}
+		for i, m := range msgs {
+			if m.tag%2 == 0 {
+				c.Isend(m.src, m.dst, m.tag, []byte{m.body})
+			} else {
+				reqs[i] = c.Irecv(m.dst, m.src, m.tag)
+			}
+		}
+		for i, r := range reqs {
+			if !r.Test() {
+				return false
+			}
+			if len(r.Data()) != 1 || r.Data()[0] != msgs[i].body {
+				return false
+			}
+		}
+		// Conservation: totals match and nothing is left in flight.
+		tot := c.TotalStats()
+		if tot.MessagesSent != int64(len(msgs)) || tot.MessagesRecv != int64(len(msgs)) {
+			return false
+		}
+		for r := 0; r < ranks; r++ {
+			if c.PendingUnexpected(r) != 0 || c.PendingPosted(r) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package uda implements a miniature of the Uintah Data Archive — the
+// on-disk timestep output format Uintah writes for post-processing and
+// restarts. A real UDA is a directory tree of XML indices and per-patch
+// binary data; this reproduction keeps the same shape (one archive
+// directory, one index, per-timestep subdirectories, per-variable
+// binary payloads with patch windows) with a simple, versioned, binary
+// encoding instead of XML.
+//
+// Layout:
+//
+//	<dir>/index.json                     archive metadata + timestep list
+//	<dir>/t<NNNN>/<label>.p<patch>.bin   per-patch variable payloads
+//
+// Payload format (little-endian): magic "UDA1", the window box (6
+// int64s), the cell count (int64), then count float64s in the canonical
+// z-fastest order.
+package uda
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+const magic = "UDA1"
+
+// Index is the archive's top-level metadata.
+type Index struct {
+	// Title names the simulation.
+	Title string `json:"title"`
+	// Timesteps lists the recorded timestep numbers in order.
+	Timesteps []int `json:"timesteps"`
+	// Variables lists the labels ever saved.
+	Variables []string `json:"variables"`
+}
+
+// Archive is an open UDA directory.
+type Archive struct {
+	dir   string
+	index Index
+}
+
+// Create makes a new archive directory (which must not already contain
+// an index).
+func Create(dir, title string) (*Archive, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("uda: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "index.json")); err == nil {
+		return nil, fmt.Errorf("uda: %s already holds an archive", dir)
+	}
+	a := &Archive{dir: dir, index: Index{Title: title}}
+	if err := a.writeIndex(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Open loads an existing archive.
+func Open(dir string) (*Archive, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		return nil, fmt.Errorf("uda: %w", err)
+	}
+	a := &Archive{dir: dir}
+	if err := json.Unmarshal(data, &a.index); err != nil {
+		return nil, fmt.Errorf("uda: corrupt index: %w", err)
+	}
+	return a, nil
+}
+
+// Index returns a copy of the archive metadata.
+func (a *Archive) Index() Index {
+	cp := a.index
+	cp.Timesteps = append([]int(nil), a.index.Timesteps...)
+	cp.Variables = append([]string(nil), a.index.Variables...)
+	return cp
+}
+
+func (a *Archive) writeIndex() error {
+	data, err := json.MarshalIndent(a.index, "", "  ")
+	if err != nil {
+		return fmt.Errorf("uda: %w", err)
+	}
+	tmp := filepath.Join(a.dir, "index.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("uda: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(a.dir, "index.json"))
+}
+
+func (a *Archive) tsDir(ts int) string { return filepath.Join(a.dir, fmt.Sprintf("t%04d", ts)) }
+
+func payloadName(label string, patch int) string {
+	return fmt.Sprintf("%s.p%d.bin", label, patch)
+}
+
+// SaveCC writes a variable's patch window into timestep ts.
+func (a *Archive) SaveCC(ts int, label string, patch int, v *field.CC[float64]) error {
+	dir := a.tsDir(ts)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("uda: %w", err)
+	}
+	box := v.Box()
+	data := v.Data()
+	buf := make([]byte, 4+6*8+8+8*len(data))
+	copy(buf, magic)
+	off := 4
+	for _, x := range []int{box.Lo.X, box.Lo.Y, box.Lo.Z, box.Hi.X, box.Hi.Y, box.Hi.Z} {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(int64(x)))
+		off += 8
+	}
+	binary.LittleEndian.PutUint64(buf[off:], uint64(len(data)))
+	off += 8
+	for _, x := range data {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(x))
+		off += 8
+	}
+	if err := os.WriteFile(filepath.Join(dir, payloadName(label, patch)), buf, 0o644); err != nil {
+		return fmt.Errorf("uda: %w", err)
+	}
+	a.noteTimestep(ts)
+	a.noteVariable(label)
+	return a.writeIndex()
+}
+
+// LoadCC reads a variable's patch window from timestep ts.
+func (a *Archive) LoadCC(ts int, label string, patch int) (*field.CC[float64], error) {
+	buf, err := os.ReadFile(filepath.Join(a.tsDir(ts), payloadName(label, patch)))
+	if err != nil {
+		return nil, fmt.Errorf("uda: %w", err)
+	}
+	if len(buf) < 4+6*8+8 || string(buf[:4]) != magic {
+		return nil, fmt.Errorf("uda: bad payload header for %s patch %d", label, patch)
+	}
+	off := 4
+	xs := make([]int, 6)
+	for i := range xs {
+		xs[i] = int(int64(binary.LittleEndian.Uint64(buf[off:])))
+		off += 8
+	}
+	box := grid.NewBox(grid.IV(xs[0], xs[1], xs[2]), grid.IV(xs[3], xs[4], xs[5]))
+	n := int(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	if n != box.Volume() {
+		return nil, fmt.Errorf("uda: payload count %d != box volume %d", n, box.Volume())
+	}
+	if len(buf) != off+8*n {
+		return nil, fmt.Errorf("uda: truncated payload (%d bytes, want %d)", len(buf), off+8*n)
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return field.NewCCFrom(box, data), nil
+}
+
+// SaveLevel writes every patch of a level's variable map in one call.
+func (a *Archive) SaveLevel(ts int, label string, lvl *grid.Level, get func(p *grid.Patch) (*field.CC[float64], error)) error {
+	for _, p := range lvl.Patches {
+		v, err := get(p)
+		if err != nil {
+			return fmt.Errorf("uda: save level %s: %w", label, err)
+		}
+		if err := a.SaveCC(ts, label, p.ID, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadLevel reassembles a whole level's variable from its patches.
+func (a *Archive) LoadLevel(ts int, label string, lvl *grid.Level) (*field.CC[float64], error) {
+	out := field.NewCC[float64](lvl.IndexBox())
+	for _, p := range lvl.Patches {
+		v, err := a.LoadCC(ts, label, p.ID)
+		if err != nil {
+			return nil, err
+		}
+		region := v.Box().Intersect(p.Cells)
+		out.CopyRegion(v, region)
+	}
+	return out, nil
+}
+
+// Timesteps returns the recorded timestep numbers.
+func (a *Archive) Timesteps() []int { return append([]int(nil), a.index.Timesteps...) }
+
+func (a *Archive) noteTimestep(ts int) {
+	i := sort.SearchInts(a.index.Timesteps, ts)
+	if i < len(a.index.Timesteps) && a.index.Timesteps[i] == ts {
+		return
+	}
+	a.index.Timesteps = append(a.index.Timesteps, 0)
+	copy(a.index.Timesteps[i+1:], a.index.Timesteps[i:])
+	a.index.Timesteps[i] = ts
+}
+
+func (a *Archive) noteVariable(label string) {
+	i := sort.SearchStrings(a.index.Variables, label)
+	if i < len(a.index.Variables) && a.index.Variables[i] == label {
+		return
+	}
+	a.index.Variables = append(a.index.Variables, "")
+	copy(a.index.Variables[i+1:], a.index.Variables[i:])
+	a.index.Variables[i] = label
+}

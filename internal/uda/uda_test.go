@@ -1,0 +1,206 @@
+package uda
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+func testVar(box grid.Box) *field.CC[float64] {
+	v := field.NewCC[float64](box)
+	v.FillFunc(func(c grid.IntVector) float64 {
+		return float64(c.X)*1.5 - float64(c.Y)/3 + float64(c.Z)*7
+	})
+	return v
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Create(dir, "benchmark run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := grid.NewBox(grid.IV(4, 0, 8), grid.IV(8, 4, 12))
+	want := testVar(box)
+	if err := a.SaveCC(3, "divQ", 7, want); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.LoadCC(3, "divQ", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Box() != box {
+		t.Fatalf("box = %v", got.Box())
+	}
+	box.ForEach(func(c grid.IntVector) {
+		if got.At(c) != want.At(c) {
+			t.Fatalf("value mismatch at %v", c)
+		}
+	})
+	idx := b.Index()
+	if idx.Title != "benchmark run" {
+		t.Errorf("title = %q", idx.Title)
+	}
+	if len(idx.Timesteps) != 1 || idx.Timesteps[0] != 3 {
+		t.Errorf("timesteps = %v", idx.Timesteps)
+	}
+	if len(idx.Variables) != 1 || idx.Variables[0] != "divQ" {
+		t.Errorf("variables = %v", idx.Variables)
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(dir, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(dir, "b"); err == nil {
+		t.Error("second Create should refuse to clobber the archive")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("Open of a non-archive should fail")
+	}
+}
+
+func TestLoadMissingVariable(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Create(dir, "x")
+	if _, err := a.LoadCC(0, "ghost", 0); err == nil {
+		t.Error("missing payload should fail")
+	}
+}
+
+func TestCorruptPayloadRejected(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Create(dir, "x")
+	box := grid.NewBox(grid.IV(0, 0, 0), grid.IV(2, 2, 2))
+	if err := a.SaveCC(0, "v", 0, testVar(box)); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "t0000", "v.p0.bin")
+	// Truncate the payload.
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.LoadCC(0, "v", 0); err == nil {
+		t.Error("truncated payload should fail")
+	}
+	// Corrupt the magic.
+	data[0] = 'X'
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.LoadCC(0, "v", 0); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestMultipleTimestepsSorted(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Create(dir, "x")
+	box := grid.NewBox(grid.IV(0, 0, 0), grid.IV(2, 2, 2))
+	for _, ts := range []int{5, 1, 3, 1} {
+		if err := a.SaveCC(ts, "T", 0, testVar(box)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := a.Timesteps()
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("timesteps = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("timesteps = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSaveLoadLevel(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Create(dir, "level io")
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(8), PatchSize: grid.Uniform(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := g.Levels[0]
+	err = a.SaveLevel(2, "T", lvl, func(p *grid.Patch) (*field.CC[float64], error) {
+		return testVar(p.Cells), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := a.LoadLevel(2, "T", lvl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := testVar(lvl.IndexBox())
+	lvl.IndexBox().ForEach(func(c grid.IntVector) {
+		if full.At(c) != ref.At(c) {
+			t.Fatalf("level reassembly wrong at %v", c)
+		}
+	})
+}
+
+// TestPayloadRoundTripProperty: arbitrary windows and values survive
+// the archive bit-exactly (quick-check).
+func TestPayloadRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Create(dir, "prop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(lx, ly, lz uint8, ex, ey, ez uint8, vals []float64) bool {
+		lo := grid.IV(int(lx%32)-16, int(ly%32)-16, int(lz%32)-16)
+		ext := grid.IV(int(ex%4)+1, int(ey%4)+1, int(ez%4)+1)
+		box := grid.NewBox(lo, lo.Add(ext))
+		v := field.NewCC[float64](box)
+		i := 0
+		box.ForEach(func(c grid.IntVector) {
+			if i < len(vals) {
+				v.Set(c, vals[i])
+				i++
+			}
+		})
+		if err := a.SaveCC(0, "p", 0, v); err != nil {
+			return false
+		}
+		got, err := a.LoadCC(0, "p", 0)
+		if err != nil {
+			return false
+		}
+		ok := got.Box() == box
+		box.ForEach(func(c grid.IntVector) {
+			gv, wv := got.At(c), v.At(c)
+			// NaN-safe bit comparison.
+			if math.Float64bits(gv) != math.Float64bits(wv) {
+				ok = false
+			}
+		})
+		// Clean up for the next property iteration (same ts/label/patch).
+		os.Remove(filepath.Join(dir, "t0000", "p.p0.bin"))
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package rmcrt
+
+import (
+	"github.com/uintah-repro/rmcrt/internal/alloc"
+	"github.com/uintah-repro/rmcrt/internal/commpool"
+	"github.com/uintah-repro/rmcrt/internal/dw"
+	"github.com/uintah-repro/rmcrt/internal/gpu"
+	"github.com/uintah-repro/rmcrt/internal/gpudw"
+	"github.com/uintah-repro/rmcrt/internal/production"
+	"github.com/uintah-repro/rmcrt/internal/rmcrt"
+	"github.com/uintah-repro/rmcrt/internal/sched"
+	"github.com/uintah-repro/rmcrt/internal/simmpi"
+	"github.com/uintah-repro/rmcrt/internal/uda"
+)
+
+// --- Mini-Uintah runtime -------------------------------------------------
+//
+// These re-exports expose the runtime system the radiation model runs
+// on: the DAG task scheduler with its staged GPU queues, the host and
+// GPU DataWarehouses (including the per-level database of contribution
+// ii), the simulated MPI layer, and the wait-free communication-record
+// pool of contribution iii.
+
+// Scheduler executes one rank's task graph for one timestep.
+type Scheduler = sched.Scheduler
+
+// Task is one schedulable unit of work.
+type Task = sched.Task
+
+// TaskDep declares a "requires" edge; TaskCompute a "computes".
+type (
+	TaskDep     = sched.Dep
+	TaskCompute = sched.Compute
+)
+
+// TaskContext is handed to task bodies.
+type TaskContext = sched.Context
+
+// GPUStages are the H2D/kernel/D2H phases of a device task.
+type GPUStages = sched.GPUStages
+
+// ExternalRecv declares a variable arriving from another rank.
+type ExternalRecv = sched.ExternalRecv
+
+// GhostGlobal requests a whole-level ("infinite ghost cells") window.
+const GhostGlobal = sched.GhostGlobal
+
+// NewScheduler constructs a scheduler for one rank.
+var NewScheduler = sched.NewScheduler
+
+// RunRanks drives one scheduler per rank concurrently.
+var RunRanks = sched.RunRanks
+
+// DataWarehouse is one generation of the variable store.
+type DataWarehouse = dw.DW
+
+// NewDataWarehouse creates an empty warehouse generation.
+var NewDataWarehouse = dw.New
+
+// Device is the simulated K20X-class GPU.
+type Device = gpu.Device
+
+// DeviceCostModel prices simulated device operations.
+type DeviceCostModel = gpu.CostModel
+
+// NewDevice creates a device with a memory capacity and cost model.
+var NewDevice = gpu.NewDevice
+
+// NewK20X returns the Titan device cost model.
+var NewK20X = gpu.NewK20X
+
+// K20XMemory is the 6 GB global memory of a Tesla K20X.
+const K20XMemory = gpu.K20XMemory
+
+// GPUDataWarehouse is the device-side warehouse with the shared
+// per-level database.
+type GPUDataWarehouse = gpudw.DW
+
+// NewGPUDataWarehouse binds a GPU warehouse to a device.
+var NewGPUDataWarehouse = gpudw.New
+
+// Comm is the in-process message-passing layer with MPI semantics.
+type Comm = simmpi.Comm
+
+// NewComm creates a communicator over n ranks.
+var NewComm = simmpi.NewComm
+
+// CommPool is the wait-free communication-record pool (Algorithm 1).
+type CommPool = commpool.Pool
+
+// CommRecord is one outstanding communication.
+type CommRecord = commpool.Record
+
+// NewCommPool returns an empty wait-free pool.
+var NewCommPool = commpool.NewPool
+
+// LegacyRequestVector is the pre-improvement container, for comparison.
+type LegacyRequestVector = commpool.LegacyVector
+
+// NewLegacyRequestVector returns an empty legacy container.
+var NewLegacyRequestVector = commpool.NewLegacyVector
+
+// GPURadiationSolve assembles the GPU multi-level RMCRT timestep as a
+// task graph over a scheduler (properties -> coarsen -> staged GPU ray
+// trace per patch).
+type GPURadiationSolve = rmcrt.GPURadiationSolve
+
+// PropsFunc supplies radiative properties to the radiation task graph.
+type PropsFunc = rmcrt.PropsFunc
+
+// Variable labels used by the radiation task graph.
+const (
+	LabelAbskg   = rmcrt.LabelAbskg
+	LabelSigmaT4 = rmcrt.LabelSigmaT4
+	LabelCellTyp = rmcrt.LabelCellTyp
+	LabelDivQ    = rmcrt.LabelDivQ
+)
+
+// --- Output archive and production driver --------------------------------
+
+// Archive is the UDA-style data archive (timestep output, checkpoints).
+type Archive = uda.Archive
+
+// CreateArchive makes a new archive directory; OpenArchive loads one.
+var (
+	CreateArchive = uda.Create
+	OpenArchive   = uda.Open
+)
+
+// ProductionConfig configures the coupled energy+radiation driver.
+type ProductionConfig = production.Config
+
+// ProductionResult carries a production run's history and final state.
+type ProductionResult = production.Result
+
+// DefaultProductionConfig returns a laptop-scale hot-box run.
+var DefaultProductionConfig = production.DefaultConfig
+
+// RunProduction executes the coupled multi-timestep simulation.
+var RunProduction = production.Run
+
+// Radiometer is a virtual solid-angle-limited flux instrument.
+type Radiometer = rmcrt.Radiometer
+
+// RadiometerReading is the instrument output.
+type RadiometerReading = rmcrt.RadiometerReading
+
+// MemoryTracker records per-tag allocation peaks across scaling runs.
+type MemoryTracker = alloc.Tracker
+
+// NewMemoryTracker returns an empty tracker; FindNonScaling compares
+// snapshots across node counts.
+var (
+	NewMemoryTracker = alloc.NewTracker
+	FindNonScaling   = alloc.FindNonScaling
+)
+
+// MemorySnapshot is one run's per-tag peaks.
+type MemorySnapshot = alloc.Snapshot
