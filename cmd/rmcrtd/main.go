@@ -1,0 +1,81 @@
+// Command rmcrtd is the radiation-as-a-service daemon: a long-running
+// HTTP server that accepts RMCRT solve jobs, runs them on a bounded
+// worker pool with admission control, serves repeated requests from a
+// content-addressed result cache, and exposes metrics.
+//
+// Usage:
+//
+//	rmcrtd                         # listen on :8372
+//	rmcrtd -addr :9000 -workers 4 -queue 32 -cache 128
+//
+// API:
+//
+//	POST   /v1/solve              submit a problem spec (JSON)
+//	GET    /v1/jobs/{id}          job status + timings
+//	GET    /v1/jobs/{id}/result   divQ field (JSON)
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /healthz               liveness
+//	GET    /metrics               plain-text metrics
+//
+// On SIGINT/SIGTERM the daemon stops accepting work and drains queued
+// and running solves under -drain; whatever is still running at the
+// deadline is cancelled cooperatively.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/uintah-repro/rmcrt/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address")
+	workers := flag.Int("workers", 0, "solve worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 16, "bounded submission queue depth")
+	cacheN := flag.Int("cache", 64, "result cache entries (negative disables)")
+	maxCells := flag.Int64("max-cells", 1<<21, "per-job fine-level cell budget")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
+	flag.Parse()
+
+	mgr := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheN,
+		MaxCells:     *maxCells,
+	})
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(mgr)}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("rmcrtd listening on %s (workers=%d queue=%d cache=%d)",
+		*addr, *workers, *queue, *cacheN)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatalf("rmcrtd: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("rmcrtd: shutting down, draining for up to %v", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("rmcrtd: http shutdown: %v", err)
+	}
+	if err := mgr.Close(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("rmcrtd: drain: %v", err)
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("rmcrtd: drain deadline hit; running solves were cancelled")
+	}
+	log.Printf("rmcrtd: stopped")
+}

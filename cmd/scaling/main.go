@@ -9,10 +9,12 @@
 //	scaling -problem large           # Figure 3: 512³/128³, 256..16384 GPUs
 //	scaling -table1                  # Table I / Figure 1
 //	scaling -problem large -csv      # machine-readable series
+//	scaling -problem large -json     # structured output (series + efficiencies)
 //	scaling -problem large -legacy   # pre-improvement infrastructure
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,10 +23,45 @@ import (
 	"github.com/uintah-repro/rmcrt/internal/sim"
 )
 
+// jsonPoint, jsonSeries, and jsonReport shape the -json output. The
+// field names mirror the -csv column headers so the two machine-readable
+// modes agree.
+type jsonPoint struct {
+	GPUs          int     `json:"gpus"`
+	PatchesPerGPU int     `json:"patches_per_gpu"`
+	CommSeconds   float64 `json:"comm_s"`
+	GPUSeconds    float64 `json:"gpu_s"`
+	TotalSeconds  float64 `json:"total_s"`
+}
+
+type jsonSeries struct {
+	PatchN int         `json:"patch"`
+	Points []jsonPoint `json:"points"`
+}
+
+type jsonReport struct {
+	Problem      string             `json:"problem"`
+	Rays         int                `json:"rays"`
+	WaitFreePool bool               `json:"wait_free_pool"`
+	CPU          bool               `json:"cpu"`
+	Series       []jsonSeries       `json:"series"`
+	Efficiency   map[string]float64 `json:"efficiency,omitempty"`
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "scaling:", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	problem := flag.String("problem", "large", "benchmark size: medium (Fig 2) or large (Fig 3)")
 	table1 := flag.Bool("table1", false, "regenerate Table I / Figure 1 instead of a scaling study")
 	csv := flag.Bool("csv", false, "emit CSV instead of a human-readable table")
+	jsonOut := flag.Bool("json", false, "emit structured JSON instead of a table")
 	legacy := flag.Bool("legacy", false, "use the pre-improvement (mutex+Testsome) communication layer")
 	cpu := flag.Bool("cpu", false, "run the CPU implementation (the predecessor result of [5])")
 	ablation := flag.Bool("ablation", false, "print the occupancy/halo ablations instead of a scaling study")
@@ -32,7 +69,7 @@ func main() {
 	flag.Parse()
 
 	if *table1 {
-		printTableI(*csv)
+		printTableI(*csv, *jsonOut)
 		return
 	}
 	if *ablation {
@@ -43,7 +80,7 @@ func main() {
 	cfg := sim.DefaultConfig()
 	cfg.WaitFreePool = !*legacy
 	cfg.CPU = *cpu
-	if *cpu {
+	if *cpu && !*jsonOut {
 		fmt.Println("# CPU implementation (16 Opteron cores per node, no GPU)")
 	}
 
@@ -52,12 +89,16 @@ func main() {
 	switch *problem {
 	case "medium":
 		mk, counts = perfmodel.Medium, sim.PowersOf2(16, 1024)
-		fmt.Println("# Figure 2 — MEDIUM 2-level benchmark: fine 256^3, coarse 64^3, RR 4,",
-			*rays, "rays/cell")
+		if !*jsonOut {
+			fmt.Println("# Figure 2 — MEDIUM 2-level benchmark: fine 256^3, coarse 64^3, RR 4,",
+				*rays, "rays/cell")
+		}
 	case "large":
 		mk, counts = perfmodel.Large, sim.PowersOf2(256, 16384)
-		fmt.Println("# Figure 3 — LARGE 2-level benchmark: fine 512^3, coarse 128^3, RR 4,",
-			*rays, "rays/cell")
+		if !*jsonOut {
+			fmt.Println("# Figure 3 — LARGE 2-level benchmark: fine 512^3, coarse 128^3, RR 4,",
+				*rays, "rays/cell")
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown problem %q (want medium or large)\n", *problem)
 		os.Exit(2)
@@ -74,6 +115,52 @@ func main() {
 			os.Exit(1)
 		}
 		series[pn] = s
+	}
+
+	if *jsonOut {
+		rep := jsonReport{
+			Problem:      *problem,
+			Rays:         *rays,
+			WaitFreePool: cfg.WaitFreePool,
+			CPU:          cfg.CPU,
+		}
+		for _, pn := range patchSizes {
+			js := jsonSeries{PatchN: pn}
+			for _, pt := range series[pn].Points {
+				js.Points = append(js.Points, jsonPoint{
+					GPUs:          pt.GPUs,
+					PatchesPerGPU: pt.PatchesPerGPU,
+					CommSeconds:   pt.CommSeconds,
+					GPUSeconds:    pt.GPUSeconds,
+					TotalSeconds:  pt.TotalSeconds,
+				})
+			}
+			rep.Series = append(rep.Series, js)
+		}
+		// Strong-scaling efficiencies from the first point of each
+		// series, plus the paper's headline 4096-base pairs when the
+		// large study covers them.
+		rep.Efficiency = map[string]float64{}
+		for _, pn := range patchSizes {
+			pts := series[pn].Points
+			if len(pts) >= 2 {
+				key := fmt.Sprintf("patch%d_%d_to_%d", pn, pts[0].GPUs, pts[len(pts)-1].GPUs)
+				rep.Efficiency[key] = sim.Efficiency(pts[0], pts[len(pts)-1])
+			}
+		}
+		if *problem == "large" {
+			pts := map[int]*sim.Point{}
+			s := series[16]
+			for i := range s.Points {
+				pts[s.Points[i].GPUs] = &s.Points[i]
+			}
+			if pts[4096] != nil && pts[8192] != nil && pts[16384] != nil {
+				rep.Efficiency["patch16_4096_to_8192"] = sim.Efficiency(*pts[4096], *pts[8192])
+				rep.Efficiency["patch16_4096_to_16384"] = sim.Efficiency(*pts[4096], *pts[16384])
+			}
+		}
+		emitJSON(rep)
+		return
 	}
 
 	if *csv {
@@ -161,9 +248,25 @@ func printAblation() {
 	}
 }
 
-func printTableI(csv bool) {
+func printTableI(csv, jsonOut bool) {
 	nodes := []int{512, 1024, 2048, 4096, 8192, 16384}
 	rows := sim.TableI(perfmodel.Titan(), nodes)
+	if jsonOut {
+		type jsonRow struct {
+			Nodes   int     `json:"nodes"`
+			Before  float64 `json:"before_s"`
+			After   float64 `json:"after_s"`
+			Speedup float64 `json:"speedup"`
+		}
+		out := struct {
+			Rows []jsonRow `json:"table1"`
+		}{}
+		for _, r := range rows {
+			out.Rows = append(out.Rows, jsonRow{r.Nodes, r.Before, r.After, r.Speedup})
+		}
+		emitJSON(out)
+		return
+	}
 	if csv {
 		fmt.Println("nodes,before_s,after_s,speedup")
 		for _, r := range rows {

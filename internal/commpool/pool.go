@@ -20,6 +20,7 @@ package commpool
 import (
 	"sync/atomic"
 
+	"github.com/uintah-repro/rmcrt/internal/metrics"
 	"github.com/uintah-repro/rmcrt/internal/simmpi"
 )
 
@@ -94,10 +95,26 @@ type segment struct {
 type Pool struct {
 	head atomic.Pointer[segment]
 	size atomic.Int64
+
+	// Optional observability hooks (see Publish). Nil when the pool is
+	// not instrumented; set before first use.
+	mAdded     *metrics.Counter
+	mProcessed *metrics.Counter
+	gLive      *metrics.Gauge
 }
 
 // NewPool returns an empty pool.
 func NewPool() *Pool { return &Pool{} }
+
+// Publish registers the pool's instrumentation in reg: records added,
+// records processed, and the live (in-flight) record gauge. Call before
+// the pool is shared between goroutines; the hooks are plain atomic
+// counters, so the wait-free progress guarantees are unaffected.
+func (p *Pool) Publish(reg *metrics.Registry) {
+	p.mAdded = reg.Counter("commpool_records_added_total", "communication records inserted into the wait-free pool")
+	p.mProcessed = reg.Counter("commpool_records_processed_total", "completed communications handled and erased")
+	p.gLive = reg.Gauge("commpool_records_live", "outstanding communication records")
+}
 
 // Len returns the number of live records (full + claimed).
 func (p *Pool) Len() int { return int(p.size.Load()) }
@@ -121,6 +138,10 @@ func (p *Pool) Add(rec *Record) {
 					s.val = rec
 					s.state.Store(slotFull)
 					p.size.Add(1)
+					if p.mAdded != nil {
+						p.mAdded.Inc()
+						p.gLive.Inc()
+					}
 					return
 				}
 			}
@@ -156,6 +177,9 @@ func (it *Iterator) Erase() {
 	it.slot.val = nil
 	it.slot.state.Store(slotEmpty)
 	it.pool.size.Add(-1)
+	if it.pool.gLive != nil {
+		it.pool.gLive.Dec()
+	}
 	it.slot = nil
 }
 
@@ -199,6 +223,9 @@ func (p *Pool) ProcessReady() bool {
 	rec := it.Value()
 	rec.handle()
 	it.Erase()
+	if p.mProcessed != nil {
+		p.mProcessed.Inc()
+	}
 	return true
 }
 

@@ -1,0 +1,114 @@
+package rmcrt
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSolveRegionCtxAlreadyCancelled: a dead context returns before any
+// tracing happens.
+func TestSolveRegionCtxAlreadyCancelled(t *testing.T) {
+	d, g, err := NewBenchmarkDomain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	out, err := d.SolveRegionCtx(ctx, g.Levels[0].IndexBox(), &opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatal("cancelled solve must not return a field")
+	}
+	if d.Rays.Load() != 0 {
+		t.Fatalf("traced %d rays before starting, want 0", d.Rays.Load())
+	}
+}
+
+// TestSolveRegionCtxCancelsPromptly: a solve sized to take several
+// seconds must return well under a second after cancellation.
+func TestSolveRegionCtxCancelsPromptly(t *testing.T) {
+	d, g, err := NewBenchmarkDomain(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.NRays = 2000 // ~28M rays over 24^3 cells: many seconds uncancelled
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = d.SolveRegionCtx(ctx, g.Levels[0].IndexBox(), &opts)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled solve took %v, want prompt return", elapsed)
+	}
+}
+
+// TestSolveRegionCtxMultiLevelCancel covers the multi-level trace path:
+// rays walk the fine patch ROI then the coarse level, and cancellation
+// still cuts the solve short.
+func TestSolveRegionCtxMultiLevelCancel(t *testing.T) {
+	g, mk, err := NewMultiLevelBenchmark(32, 16, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Levels[1].Patches[0]
+	d, err := mk(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.NRays = 2000
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = d.SolveRegionCtx(ctx, p.Cells, &opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled multi-level solve took %v, want prompt return", elapsed)
+	}
+}
+
+// TestSolveRegionCtxBackgroundMatchesSolveRegion: plumbing the context
+// through must not change results (determinism guarantee).
+func TestSolveRegionCtxBackgroundMatchesSolveRegion(t *testing.T) {
+	d1, g, err := NewBenchmarkDomain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := NewBenchmarkDomain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.NRays = 10
+	box := g.Levels[0].IndexBox()
+	a, err := d1.SolveRegion(box, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d2.SolveRegionCtx(context.Background(), box, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range a.Data() {
+		if b.Data()[i] != v {
+			t.Fatalf("divQ differs at flat index %d: %g vs %g", i, v, b.Data()[i])
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package rmcrt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/uintah-repro/rmcrt/internal/field"
 	"github.com/uintah-repro/rmcrt/internal/grid"
@@ -77,10 +79,28 @@ func (d *Domain) SolveCell(c grid.IntVector, opts *Options) float64 {
 // x-slabs; determinism is unaffected because every cell has its own RNG
 // stream.
 func (d *Domain) SolveRegion(region grid.Box, opts *Options) (*field.CC[float64], error) {
+	return d.SolveRegionCtx(context.Background(), region, opts)
+}
+
+// cancelCheckEvery is how many cells each worker solves between context
+// polls. A cell costs NRays full ray marches, so even a small stride
+// bounds cancellation latency to well under a second while keeping the
+// poll off the per-ray hot path.
+const cancelCheckEvery = 16
+
+// SolveRegionCtx is SolveRegion with cooperative cancellation: every
+// worker polls ctx every cancelCheckEvery cells (on both the single-
+// and multi-level trace paths — they share this loop) and the call
+// returns ctx.Err() promptly once the context is cancelled, discarding
+// partial results.
+func (d *Domain) SolveRegionCtx(ctx context.Context, region grid.Box, opts *Options) (*field.CC[float64], error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	ld := d.finest()
@@ -96,26 +116,42 @@ func (d *Domain) SolveRegion(region grid.Box, opts *Options) (*field.CC[float64]
 	if nw < 1 {
 		nw = 1
 	}
+	done := ctx.Done()
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			solved := 0
 			for x := region.Lo.X + w; x < region.Hi.X; x += nw {
-				slab := grid.Box{
-					Lo: grid.IV(x, region.Lo.Y, region.Lo.Z),
-					Hi: grid.IV(x+1, region.Hi.Y, region.Hi.Z),
-				}
-				slab.ForEach(func(c grid.IntVector) {
-					if ld.CellType.At(c) != field.Flow {
-						return
+				for y := region.Lo.Y; y < region.Hi.Y; y++ {
+					for z := region.Lo.Z; z < region.Hi.Z; z++ {
+						if solved%cancelCheckEvery == 0 {
+							select {
+							case <-done:
+								cancelled.Store(true)
+							default:
+							}
+							if cancelled.Load() {
+								return
+							}
+						}
+						solved++
+						c := grid.IV(x, y, z)
+						if ld.CellType.At(c) != field.Flow {
+							continue
+						}
+						out.Set(c, d.SolveCell(c, opts))
 					}
-					out.Set(c, d.SolveCell(c, opts))
-				})
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	if cancelled.Load() || ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
 	return out, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"github.com/uintah-repro/rmcrt/internal/gpu"
 	"github.com/uintah-repro/rmcrt/internal/gpudw"
 	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/metrics"
 	"github.com/uintah-repro/rmcrt/internal/simmpi"
 )
 
@@ -38,6 +39,9 @@ type Scheduler struct {
 
 	tasks     []*Task
 	externals []ExternalRecv
+
+	// metrics is the optional observability registry (PublishMetrics).
+	metrics *metrics.Registry
 
 	// run state
 	nodes     []*node
@@ -120,6 +124,29 @@ func (s *Scheduler) AttachGPU(dev *gpu.Device, gdw *gpudw.DW) {
 		s.GPUDW = gdw
 	}
 	s.gpus = append(s.gpus, gpuSlot{dev: dev, gdw: gdw})
+}
+
+// PublishMetrics instruments the scheduler (and its wait-free comm
+// pool) with the given registry: per-Execute task counts, local comm
+// time and makespan land there as counters/histograms. Call before
+// Execute.
+func (s *Scheduler) PublishMetrics(reg *metrics.Registry) {
+	s.metrics = reg
+	s.pool.Publish(reg)
+}
+
+// publishStats pushes one Execute's statistics into the registry.
+func (s *Scheduler) publishStats(st Stats, elapsed float64) {
+	reg := s.metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("sched_tasks_run_total", "tasks executed across timesteps").Add(st.TasksRun)
+	reg.Counter("sched_gpu_tasks_run_total", "GPU tasks executed").Add(st.GPUTasksRun)
+	reg.Counter("sched_mpi_processed_total", "communications completed through the wait-free pool").Add(st.MPIProcessed)
+	reg.Counter("sched_executes_total", "task-graph executions").Inc()
+	reg.Histogram("sched_execute_seconds", "wall time per task-graph execution", metrics.DefBuckets).Observe(elapsed)
+	reg.Histogram("sched_local_comm_seconds", "per-execution local communication time (Table I quantity)", metrics.DefBuckets).Observe(st.LocalCommSeconds)
 }
 
 // AddTask registers a task.
@@ -355,6 +382,7 @@ func (s *Scheduler) fail(err error) {
 // run statistics. It blocks until every task has executed (or a task
 // failed, in which case the first error is returned).
 func (s *Scheduler) Execute() (Stats, error) {
+	t0 := time.Now()
 	if err := s.compile(); err != nil {
 		return Stats{}, err
 	}
@@ -396,6 +424,7 @@ func (s *Scheduler) Execute() (Stats, error) {
 		}
 		st.DevicePeakMem += slot.dev.PeakUsed()
 	}
+	s.publishStats(st, time.Since(t0).Seconds())
 	if s.failed.Load() {
 		s.errMu.Lock()
 		defer s.errMu.Unlock()

@@ -1,0 +1,60 @@
+package service
+
+// Batcher coalesces concurrent requests for the same content key into
+// one solve (single-flight): the first submission for a key creates a
+// flight; identical submissions arriving while it is queued or running
+// attach to it and share its result instead of occupying workers.
+//
+// The Batcher is not self-locking — every method is called under the
+// owning Manager's mutex, which also guards the jobs attached to each
+// flight.
+type Batcher struct {
+	inflight map[string]*flight
+}
+
+func newBatcher() *Batcher {
+	return &Batcher{inflight: make(map[string]*flight)}
+}
+
+// Attach adds job to the in-flight solve for key if one exists,
+// returning it. The job inherits the flight's running state so its
+// lifecycle mirrors the solve it rides on.
+func (b *Batcher) Attach(key string, j *Job) (*flight, bool) {
+	fl, ok := b.inflight[key]
+	if !ok {
+		return nil, false
+	}
+	j.fl = fl
+	fl.jobs = append(fl.jobs, j)
+	fl.refs++
+	for _, lead := range fl.jobs {
+		if lead.state == StateRunning {
+			j.state = StateRunning
+			j.started = lead.started
+			break
+		}
+	}
+	return fl, true
+}
+
+// Start registers a fresh flight as the in-flight solve for its key.
+func (b *Batcher) Start(fl *flight) { b.inflight[fl.key] = fl }
+
+// Finish forgets the flight for key (solve completed or abandoned);
+// later identical submissions start fresh.
+func (b *Batcher) Finish(key string) { delete(b.inflight, key) }
+
+// Detach drops one job's interest in fl and reports whether it was the
+// last — at which point the caller cancels the solve's context and the
+// flight is forgotten.
+func (b *Batcher) Detach(fl *flight) (last bool) {
+	fl.refs--
+	if fl.refs > 0 {
+		return false
+	}
+	b.Finish(fl.key)
+	return true
+}
+
+// InFlight returns the number of distinct keys currently being solved.
+func (b *Batcher) InFlight() int { return len(b.inflight) }

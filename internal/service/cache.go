@@ -1,0 +1,74 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+)
+
+// cache is a content-addressed LRU of solve results keyed by Spec.Key.
+// Entries are immutable once inserted (the solver is deterministic, so
+// a key fully determines the field); readers share the stored pointer
+// and must not mutate it.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	divQ *field.CC[float64]
+}
+
+func newCache(capacity int) *cache {
+	return &cache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached field for key, bumping its recency.
+func (c *cache) get(key string) (*field.CC[float64], bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).divQ, true
+}
+
+// put inserts (or refreshes) key, evicting the least recently used
+// entry when over capacity. It returns the number of evictions.
+func (c *cache) put(key string, divQ *field.CC[float64]) int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).divQ = divQ
+		return 0
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, divQ: divQ})
+	evicted := 0
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len returns the live entry count.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+)
+
+// ResultPayload is the JSON form of a finished solve's divQ field:
+// the covered index box plus the data slice in the field's z-fastest
+// layout. float64 values survive the JSON round trip bitwise (Go emits
+// the shortest representation that parses back exactly).
+type ResultPayload struct {
+	ID    string    `json:"id"`
+	Key   string    `json:"key"`
+	Lo    [3]int    `json:"lo"`
+	Hi    [3]int    `json:"hi"`
+	DivQ  []float64 `json:"divq"`
+	Cells int       `json:"cells"`
+}
+
+func newResultPayload(id, key string, divQ *field.CC[float64]) ResultPayload {
+	b := divQ.Box()
+	return ResultPayload{
+		ID: id, Key: key,
+		Lo:    [3]int{b.Lo.X, b.Lo.Y, b.Lo.Z},
+		Hi:    [3]int{b.Hi.X, b.Hi.Y, b.Hi.Z},
+		DivQ:  divQ.Data(),
+		Cells: len(divQ.Data()),
+	}
+}
+
+// errorPayload is every non-2xx body.
+type errorPayload struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorPayload{Error: err.Error()})
+}
+
+// NewHandler exposes a Manager as the rmcrtd HTTP API:
+//
+//	POST   /v1/solve            submit a Spec (JSON); 202 + JobStatus,
+//	                            429 when the queue is full
+//	GET    /v1/jobs/{id}        job status + timings
+//	GET    /v1/jobs/{id}/result divQ field (JSON) once done
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness + job counts
+//	GET    /metrics             plain-text metrics exposition
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := m.Submit(spec)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, st)
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrTooLarge):
+			writeErr(w, http.StatusRequestEntityTooLarge, err)
+		case errors.Is(err, ErrClosed):
+			writeErr(w, http.StatusServiceUnavailable, err)
+		default: // SpecError and friends
+			writeErr(w, http.StatusBadRequest, err)
+		}
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Status(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		divQ, st, terminal, err := m.Result(id)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeErr(w, http.StatusNotFound, err)
+		case !terminal:
+			// Not finished yet: tell the client to keep polling.
+			writeJSON(w, http.StatusConflict, st)
+		case st.State != StateDone:
+			writeJSON(w, http.StatusGone, st)
+		default:
+			writeJSON(w, http.StatusOK, newResultPayload(st.ID, st.Key, divQ))
+		}
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Cancel(r.PathValue("id"))
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, st)
+		case errors.Is(err, ErrNotFound):
+			writeErr(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrJobFinished):
+			writeJSON(w, http.StatusConflict, st)
+		default:
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"jobs":   m.JobCount(),
+		})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = m.Registry().WriteText(w)
+	})
+
+	return mux
+}

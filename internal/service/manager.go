@@ -1,0 +1,483 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/metrics"
+)
+
+// Admission and lifecycle errors.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity — backpressure instead of unbounded growth. HTTP maps it
+	// to 429.
+	ErrQueueFull = errors.New("service: submission queue full")
+	// ErrClosed rejects submissions after Close has begun.
+	ErrClosed = errors.New("service: manager closed")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrJobFinished reports a cancel attempt on a terminal job.
+	ErrJobFinished = errors.New("service: job already finished")
+	// ErrTooLarge rejects a spec over the per-job cell budget.
+	ErrTooLarge = errors.New("service: problem exceeds per-job cell budget")
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle: queued → running → done | failed | cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one tracked solve request. All fields are guarded by the
+// manager's mutex; callers observe jobs through Status / Result /
+// Wait.
+type Job struct {
+	id   string
+	key  string
+	spec Spec
+
+	state     State
+	err       error
+	divQ      *field.CC[float64]
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	rays      int64
+	steps     int64
+	fromCache bool
+	coalesced bool
+
+	fl   *flight
+	done chan struct{} // closed on any terminal transition
+}
+
+// JobStatus is the externally visible snapshot of a job.
+type JobStatus struct {
+	ID        string    `json:"id"`
+	Key       string    `json:"key"`
+	State     State     `json:"state"`
+	Submitted time.Time `json:"submitted"`
+	// QueueSeconds is time from submission to solve start (or to now /
+	// terminal for jobs that never started).
+	QueueSeconds float64 `json:"queue_seconds"`
+	// RunSeconds is solve wall time (0 until started).
+	RunSeconds float64 `json:"run_seconds"`
+	Rays       int64   `json:"rays,omitempty"`
+	Steps      int64   `json:"steps,omitempty"`
+	FromCache  bool    `json:"from_cache,omitempty"`
+	Coalesced  bool    `json:"coalesced,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// flight is one in-flight solve shared by every job with the same key
+// (single-flight coalescing). refs counts attached non-terminal jobs;
+// when the last one cancels, the solve's context is cancelled too.
+type flight struct {
+	key    string
+	spec   Spec
+	ctx    context.Context
+	cancel context.CancelFunc
+	jobs   []*Job
+	refs   int
+}
+
+// Config sizes a Manager. Zero values take defaults.
+type Config struct {
+	// Workers is the solve worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the submission queue (default 16). Submissions
+	// beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 64; negative
+	// disables caching).
+	CacheEntries int
+	// MaxCells is the per-job fine-level cell budget (default 2²¹ ≈
+	// 2.1M cells, a 128³ problem); larger specs are rejected with
+	// ErrTooLarge.
+	MaxCells int64
+	// Metrics receives the service's instrumentation (a fresh registry
+	// is created when nil).
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 64
+	}
+	if c.MaxCells <= 0 {
+		c.MaxCells = 1 << 21
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	return c
+}
+
+// Manager runs solve jobs: bounded queue in front of a worker pool,
+// per-job lifecycle tracking, content-addressed result cache and
+// single-flight coalescing.
+type Manager struct {
+	cfg   Config
+	reg   *metrics.Registry
+	queue chan *flight
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	seq    int64
+	jobs   map[string]*Job
+	batch  *Batcher
+	cache  *cache
+
+	mSubmitted, mRejected, mTooLarge            *metrics.Counter
+	mDone, mFailed, mCancelled                  *metrics.Counter
+	mCacheHit, mCacheMiss, mEvicted, mCoalesced *metrics.Counter
+	mRays, mSteps                               *metrics.Counter
+	gQueued, gRunning                           *metrics.Gauge
+	hSolve                                      *metrics.Histogram
+}
+
+// New starts a Manager with cfg's worker pool running.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		reg:        cfg.Metrics,
+		queue:      make(chan *flight, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		batch:      newBatcher(),
+		cache:      newCache(cfg.CacheEntries),
+	}
+	r := m.reg
+	m.mSubmitted = r.Counter("rmcrtd_jobs_submitted_total", "jobs accepted into the queue")
+	m.mRejected = r.Counter("rmcrtd_jobs_rejected_total", "jobs rejected because the queue was full")
+	m.mTooLarge = r.Counter("rmcrtd_jobs_too_large_total", "jobs rejected by the per-job cell budget")
+	m.mDone = r.Counter("rmcrtd_jobs_done_total", "jobs completed successfully")
+	m.mFailed = r.Counter("rmcrtd_jobs_failed_total", "jobs that ended in error")
+	m.mCancelled = r.Counter("rmcrtd_jobs_cancelled_total", "jobs cancelled by the client or shutdown")
+	m.mCacheHit = r.Counter("rmcrtd_cache_hits_total", "submissions served from the result cache")
+	m.mCacheMiss = r.Counter("rmcrtd_cache_misses_total", "submissions that required a solve")
+	m.mEvicted = r.Counter("rmcrtd_cache_evictions_total", "result cache LRU evictions")
+	m.mCoalesced = r.Counter("rmcrtd_jobs_coalesced_total", "submissions coalesced onto an in-flight identical solve")
+	m.mRays = r.Counter("rmcrtd_rays_traced_total", "rays traced by completed solves")
+	m.mSteps = r.Counter("rmcrtd_cell_steps_total", "DDA cell steps taken by completed solves")
+	m.gQueued = r.Gauge("rmcrtd_queue_depth", "solves waiting in the submission queue")
+	m.gRunning = r.Gauge("rmcrtd_jobs_running", "solves currently executing")
+	m.hSolve = r.Histogram("rmcrtd_solve_seconds", "solve wall time", metrics.DefBuckets)
+
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for fl := range m.queue {
+				m.gQueued.Dec()
+				m.runFlight(fl)
+			}
+		}()
+	}
+	return m
+}
+
+// Registry returns the manager's metrics registry (for /metrics).
+func (m *Manager) Registry() *metrics.Registry { return m.reg }
+
+// Submit validates spec, applies admission control and returns the new
+// job's status. The submission is served from the result cache when
+// possible, attached to an identical in-flight solve when one exists
+// (single-flight), and otherwise enqueued — or rejected with
+// ErrQueueFull when the bounded queue is at capacity.
+func (m *Manager) Submit(spec Spec) (JobStatus, error) {
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	if spec.Cells() > m.cfg.MaxCells {
+		m.mTooLarge.Inc()
+		return JobStatus{}, fmt.Errorf("%w: %d cells > budget %d", ErrTooLarge, spec.Cells(), m.cfg.MaxCells)
+	}
+	key := spec.Key()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobStatus{}, ErrClosed
+	}
+	m.seq++
+	job := &Job{
+		id:        fmt.Sprintf("j-%06d", m.seq),
+		key:       key,
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+
+	// 1. Content-addressed cache: determinism means an equal key is the
+	// same answer; serve it without tracing a single ray.
+	if divQ, ok := m.cache.get(key); ok {
+		m.mCacheHit.Inc()
+		job.fromCache = true
+		m.jobs[job.id] = job
+		m.finishLocked(job, StateDone, divQ, nil)
+		return m.statusLocked(job), nil
+	}
+	m.mCacheMiss.Inc()
+
+	// 2. Single-flight: an identical solve is already queued or running
+	// — attach to it instead of burning a second worker.
+	if _, ok := m.batch.Attach(key, job); ok {
+		m.mCoalesced.Inc()
+		m.mSubmitted.Inc()
+		job.coalesced = true
+		m.jobs[job.id] = job
+		return m.statusLocked(job), nil
+	}
+
+	// 3. Fresh solve: admission-controlled enqueue.
+	fctx, fcancel := context.WithCancel(m.baseCtx)
+	fl := &flight{key: key, spec: spec, ctx: fctx, cancel: fcancel, jobs: []*Job{job}, refs: 1}
+	select {
+	case m.queue <- fl:
+	default:
+		fcancel()
+		m.mRejected.Inc()
+		return JobStatus{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
+	}
+	m.gQueued.Inc()
+	m.mSubmitted.Inc()
+	job.fl = fl
+	m.batch.Start(fl)
+	m.jobs[job.id] = job
+	return m.statusLocked(job), nil
+}
+
+// runFlight executes one queued solve and resolves every attached job.
+func (m *Manager) runFlight(fl *flight) {
+	defer fl.cancel()
+	if fl.ctx.Err() != nil {
+		// Every attached job was cancelled while queued; the flight was
+		// already detached from inflight by the last Cancel.
+		return
+	}
+	start := time.Now()
+	m.mu.Lock()
+	for _, j := range fl.jobs {
+		if j.state == StateQueued {
+			j.state = StateRunning
+			j.started = start
+		}
+	}
+	m.mu.Unlock()
+
+	m.gRunning.Inc()
+	divQ, rays, steps, err := fl.spec.Solve(fl.ctx)
+	m.gRunning.Dec()
+	elapsed := time.Since(start).Seconds()
+	m.mRays.Add(rays)
+	m.mSteps.Add(steps)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batch.Finish(fl.key)
+	switch {
+	case err == nil:
+		m.hSolve.Observe(elapsed)
+		m.mEvicted.Add(int64(m.cache.put(fl.key, divQ)))
+		for _, j := range fl.jobs {
+			if !j.state.terminal() {
+				j.rays, j.steps = rays, steps
+				m.finishLocked(j, StateDone, divQ, nil)
+			}
+		}
+	case errors.Is(err, context.Canceled):
+		for _, j := range fl.jobs {
+			if !j.state.terminal() {
+				m.finishLocked(j, StateCancelled, nil, context.Canceled)
+			}
+		}
+	default:
+		for _, j := range fl.jobs {
+			if !j.state.terminal() {
+				m.finishLocked(j, StateFailed, nil, err)
+			}
+		}
+	}
+}
+
+// finishLocked moves a job to a terminal state. Callers hold m.mu.
+func (m *Manager) finishLocked(j *Job, st State, divQ *field.CC[float64], err error) {
+	j.state = st
+	j.divQ = divQ
+	j.err = err
+	j.finished = time.Now()
+	close(j.done)
+	switch st {
+	case StateDone:
+		m.mDone.Inc()
+	case StateFailed:
+		m.mFailed.Inc()
+	case StateCancelled:
+		m.mCancelled.Inc()
+	}
+}
+
+// statusLocked snapshots a job. Callers hold m.mu.
+func (m *Manager) statusLocked(j *Job) JobStatus {
+	st := JobStatus{
+		ID: j.id, Key: j.key, State: j.state, Submitted: j.submitted,
+		Rays: j.rays, Steps: j.steps, FromCache: j.fromCache, Coalesced: j.coalesced,
+	}
+	now := time.Now()
+	switch {
+	case !j.started.IsZero():
+		st.QueueSeconds = j.started.Sub(j.submitted).Seconds()
+		end := now
+		if !j.finished.IsZero() {
+			end = j.finished
+		}
+		st.RunSeconds = end.Sub(j.started).Seconds()
+	case !j.finished.IsZero():
+		st.QueueSeconds = j.finished.Sub(j.submitted).Seconds()
+	default:
+		st.QueueSeconds = now.Sub(j.submitted).Seconds()
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Status returns a job's snapshot.
+func (m *Manager) Status(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return m.statusLocked(j), nil
+}
+
+// Result returns a finished job's divQ field (nil with the job's error
+// for failed/cancelled jobs). The boolean reports whether the job is
+// terminal yet.
+func (m *Manager) Result(id string) (*field.CC[float64], JobStatus, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, false, ErrNotFound
+	}
+	st := m.statusLocked(j)
+	if !j.state.terminal() {
+		return nil, st, false, nil
+	}
+	return j.divQ, st, true, j.err
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (m *Manager) Wait(ctx context.Context, id string) (JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+	return m.Status(id)
+}
+
+// Cancel stops a job. The job is marked cancelled immediately; the
+// underlying solve's context is cancelled only when no other coalesced
+// job still needs its result. Cancelling a terminal job returns
+// ErrJobFinished.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	if j.state.terminal() {
+		return m.statusLocked(j), ErrJobFinished
+	}
+	m.finishLocked(j, StateCancelled, nil, context.Canceled)
+	if fl := j.fl; fl != nil && m.batch.Detach(fl) {
+		// Last interested job: stop the solve. A still-queued flight is
+		// forgotten so later identical submissions start fresh.
+		fl.cancel()
+	}
+	return m.statusLocked(j), nil
+}
+
+// JobCount returns how many tracked jobs are in each state.
+func (m *Manager) JobCount() map[State]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counts := make(map[State]int, 5)
+	for _, j := range m.jobs {
+		counts[j.state]++
+	}
+	return counts
+}
+
+// Close stops accepting submissions and drains queued and running
+// solves. If ctx expires first, the remaining solves are cancelled
+// cooperatively and Close returns ctx.Err() once the workers exit.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}

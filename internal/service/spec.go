@@ -1,0 +1,264 @@
+// Package service is the radiation-as-a-service layer: a JobManager
+// with a bounded submission queue, a configurable solve worker pool,
+// admission control (typed rejection instead of unbounded growth),
+// cooperative cancellation, a content-addressed result cache, and
+// single-flight coalescing of identical concurrent requests.
+//
+// The paper turns RMCRT from a batch code into a radiation component
+// other physics call every timestep; this package gives the repo the
+// serving-side version of that move — many independent callers share
+// one solver installation, with backpressure and observability.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+	"github.com/uintah-repro/rmcrt/internal/rmcrt"
+)
+
+// Spec kinds.
+const (
+	// KindBenchmark is the Burns & Christon benchmark medium.
+	KindBenchmark = "benchmark"
+	// KindUniform is a homogeneous medium with configurable κ and σT⁴.
+	KindUniform = "uniform"
+)
+
+// Spec is the JSON problem description a client submits: what to solve
+// (grid size, levels, medium) and how (rays per cell, seed, threshold).
+// The zero value of every optional field means "use the default"; keys
+// are computed over the normalized form, so equivalent specs hash
+// identically.
+type Spec struct {
+	// Kind selects the medium: "benchmark" (default) or "uniform".
+	Kind string `json:"kind,omitempty"`
+	// N is the fine-level resolution (N³ cells). Required.
+	N int `json:"n"`
+	// Levels is 1 (single fine mesh, default) or 2 (the paper's AMR
+	// configuration: fine mesh per patch, coarse radiation mesh
+	// everywhere else).
+	Levels int `json:"levels,omitempty"`
+	// PatchN is the fine patch size for 2-level solves (default N: one
+	// patch). Must divide N.
+	PatchN int `json:"patch_n,omitempty"`
+	// RR is the fine→coarse refinement ratio for 2-level solves
+	// (default 2). Must divide N.
+	RR int `json:"rr,omitempty"`
+	// Halo is the fine-level region-of-interest halo (default 4).
+	Halo int `json:"halo,omitempty"`
+	// Kappa is the uniform absorption coefficient (KindUniform only,
+	// default 1).
+	Kappa float64 `json:"kappa,omitempty"`
+	// SigmaT4 is the uniform emissive power σT⁴ (KindUniform only,
+	// default 1).
+	SigmaT4 float64 `json:"sigma_t4,omitempty"`
+	// Rays is the ray count per cell (default 100, the paper's value).
+	Rays int `json:"rays,omitempty"`
+	// Seed drives the deterministic per-cell RNG streams (default 71).
+	Seed uint64 `json:"seed,omitempty"`
+	// Threshold is the ray extinction threshold (default 1e-4).
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// Normalized returns the spec with every defaulted field made explicit.
+func (s Spec) Normalized() Spec {
+	def := rmcrt.DefaultOptions()
+	if s.Kind == "" {
+		s.Kind = KindBenchmark
+	}
+	if s.Levels == 0 {
+		s.Levels = 1
+	}
+	if s.PatchN == 0 {
+		s.PatchN = s.N
+	}
+	if s.RR == 0 {
+		s.RR = 2
+	}
+	if s.Halo == 0 {
+		s.Halo = def.HaloCells
+	}
+	if s.Kind == KindUniform {
+		if s.Kappa == 0 {
+			s.Kappa = 1
+		}
+		if s.SigmaT4 == 0 {
+			s.SigmaT4 = 1
+		}
+	} else {
+		s.Kappa, s.SigmaT4 = 0, 0 // irrelevant for the benchmark medium
+	}
+	if s.Rays == 0 {
+		s.Rays = def.NRays
+	}
+	if s.Seed == 0 {
+		s.Seed = def.Seed
+	}
+	if s.Threshold == 0 {
+		s.Threshold = def.Threshold
+	}
+	return s
+}
+
+// SpecError is a rejected problem description.
+type SpecError string
+
+func (e SpecError) Error() string { return "service: invalid spec: " + string(e) }
+
+func specErrf(format string, args ...any) error {
+	return SpecError(fmt.Sprintf(format, args...))
+}
+
+// Validate checks the normalized spec.
+func (s Spec) Validate() error {
+	n := s.Normalized()
+	switch {
+	case n.Kind != KindBenchmark && n.Kind != KindUniform:
+		return specErrf("kind %q (want %q or %q)", n.Kind, KindBenchmark, KindUniform)
+	case n.N < 2:
+		return specErrf("n = %d (want >= 2)", n.N)
+	case n.Levels != 1 && n.Levels != 2:
+		return specErrf("levels = %d (want 1 or 2)", n.Levels)
+	case n.Rays <= 0:
+		return specErrf("rays = %d (want > 0)", n.Rays)
+	case n.Threshold <= 0 || n.Threshold >= 1:
+		return specErrf("threshold = %g (want in (0,1))", n.Threshold)
+	case n.Halo < 0:
+		return specErrf("halo = %d (want >= 0)", n.Halo)
+	case n.Kind == KindUniform && n.Kappa <= 0:
+		return specErrf("kappa = %g (want > 0)", n.Kappa)
+	case n.Kind == KindUniform && n.SigmaT4 < 0:
+		return specErrf("sigma_t4 = %g (want >= 0)", n.SigmaT4)
+	}
+	if n.Levels == 2 {
+		switch {
+		case n.N%n.PatchN != 0:
+			return specErrf("patch_n = %d does not divide n = %d", n.PatchN, n.N)
+		case n.RR < 2:
+			return specErrf("rr = %d (want >= 2)", n.RR)
+		case n.N%n.RR != 0:
+			return specErrf("rr = %d does not divide n = %d", n.RR, n.N)
+		}
+	}
+	return nil
+}
+
+// Cells returns the fine-level cell count, the admission-control cost
+// proxy.
+func (s Spec) Cells() int64 {
+	n := int64(s.N)
+	return n * n * n
+}
+
+// Options returns the solver options the spec maps to.
+func (s Spec) Options() rmcrt.Options {
+	n := s.Normalized()
+	opts := rmcrt.DefaultOptions()
+	opts.NRays = n.Rays
+	opts.Seed = n.Seed
+	opts.Threshold = n.Threshold
+	opts.HaloCells = n.Halo
+	return opts
+}
+
+// Key returns the content address of the solve: a hash over the
+// normalized spec. The solver is deterministic (per-(cell,ray)
+// counter-based RNG), so equal keys imply bitwise-equal divQ fields —
+// which is what makes result caching and single-flight coalescing
+// sound.
+func (s Spec) Key() string {
+	n := s.Normalized()
+	h := sha256.New()
+	fmt.Fprintf(h, "rmcrtd/v1|%s|%d|%d|%d|%d|%d|%x|%x|%d|%d|%x",
+		n.Kind, n.N, n.Levels, n.PatchN, n.RR, n.Halo,
+		math.Float64bits(n.Kappa), math.Float64bits(n.SigmaT4),
+		n.Rays, n.Seed, math.Float64bits(n.Threshold))
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// fill populates the radiative properties of the spec's medium over
+// window on lvl.
+func (s Spec) fill(lvl *grid.Level, window grid.Box) (abskg, sigT4OverPi *field.CC[float64], ct *field.CC[field.CellType]) {
+	if s.Kind == KindBenchmark {
+		return rmcrt.FillBenchmark(lvl, window)
+	}
+	abskg = field.NewCC[float64](window)
+	abskg.Fill(s.Kappa)
+	sigT4OverPi = field.NewCC[float64](window)
+	sigT4OverPi.Fill(s.SigmaT4 / math.Pi)
+	ct = field.NewCC[field.CellType](window)
+	ct.Fill(field.Flow)
+	return abskg, sigT4OverPi, ct
+}
+
+// Solve runs the spec to completion under ctx and returns the
+// fine-level divQ field plus the ray/cell-step counts. It is the
+// worker-pool body, but is exported so results can be recomputed
+// directly (the determinism tests do exactly that).
+func (s Spec) Solve(ctx context.Context) (divQ *field.CC[float64], rays, steps int64, err error) {
+	n := s.Normalized()
+	if err := n.Validate(); err != nil {
+		return nil, 0, 0, err
+	}
+	opts := n.Options()
+	if n.Levels == 1 {
+		g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+			grid.Spec{Resolution: grid.Uniform(n.N), PatchSize: grid.Uniform(n.N)})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		lvl := g.Levels[0]
+		a, sig, ct := n.fill(lvl, lvl.IndexBox())
+		d := &rmcrt.Domain{Levels: []rmcrt.LevelData{{
+			Level: lvl, ROI: lvl.IndexBox(), Abskg: a, SigmaT4OverPi: sig, CellType: ct,
+		}}}
+		out, err := d.SolveRegionCtx(ctx, lvl.IndexBox(), &opts)
+		if err != nil {
+			return nil, d.Rays.Load(), d.Steps.Load(), err
+		}
+		return out, d.Rays.Load(), d.Steps.Load(), nil
+	}
+
+	// 2-level AMR: fine mesh per patch (patch + halo ROI), coarse
+	// radiation mesh spanning the domain — the paper's configuration.
+	coarseN := n.N / n.RR
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(coarseN), PatchSize: grid.Uniform(coarseN)},
+		grid.Spec{Resolution: grid.Uniform(n.N), PatchSize: grid.Uniform(n.PatchN)})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	fine, coarse := g.Levels[1], g.Levels[0]
+	fa, fs, fc := n.fill(fine, fine.IndexBox())
+	ca := field.NewCC[float64](coarse.IndexBox())
+	cs := field.NewCC[float64](coarse.IndexBox())
+	cc := field.NewCC[field.CellType](coarse.IndexBox())
+	rrv := grid.Uniform(n.RR)
+	field.CoarsenAverage(ca, fa, rrv)
+	field.CoarsenAverage(cs, fs, rrv)
+	field.CoarsenCellType(cc, fc, rrv)
+
+	out := field.NewCC[float64](fine.IndexBox())
+	for _, p := range fine.Patches {
+		roi := p.Cells.Grow(n.Halo).Intersect(fine.IndexBox())
+		d := &rmcrt.Domain{Levels: []rmcrt.LevelData{
+			{Level: coarse, ROI: coarse.IndexBox(), Abskg: ca, SigmaT4OverPi: cs, CellType: cc},
+			{Level: fine, ROI: roi, Abskg: fa, SigmaT4OverPi: fs, CellType: fc},
+		}}
+		part, err := d.SolveRegionCtx(ctx, p.Cells, &opts)
+		rays += d.Rays.Load()
+		steps += d.Steps.Load()
+		if err != nil {
+			return nil, rays, steps, err
+		}
+		p.Cells.ForEach(func(c grid.IntVector) { out.Set(c, part.At(c)) })
+	}
+	return out, rays, steps, nil
+}

@@ -6,9 +6,11 @@ import (
 	"github.com/uintah-repro/rmcrt/internal/dw"
 	"github.com/uintah-repro/rmcrt/internal/gpu"
 	"github.com/uintah-repro/rmcrt/internal/gpudw"
+	"github.com/uintah-repro/rmcrt/internal/metrics"
 	"github.com/uintah-repro/rmcrt/internal/production"
 	"github.com/uintah-repro/rmcrt/internal/rmcrt"
 	"github.com/uintah-repro/rmcrt/internal/sched"
+	"github.com/uintah-repro/rmcrt/internal/service"
 	"github.com/uintah-repro/rmcrt/internal/simmpi"
 	"github.com/uintah-repro/rmcrt/internal/uda"
 )
@@ -157,3 +159,39 @@ var (
 
 // MemorySnapshot is one run's per-tag peaks.
 type MemorySnapshot = alloc.Snapshot
+
+// --- Radiation service and observability ---------------------------------
+//
+// These re-exports expose the rmcrtd serving layer: a job manager that
+// runs RMCRT solves on a bounded worker pool with admission control,
+// single-flight coalescing, and a content-addressed result cache, plus
+// the metrics registry the runtime publishes into.
+
+// SolveService runs radiation solves as managed jobs.
+type SolveService = service.Manager
+
+// SolveServiceConfig sizes the worker pool, queue, and cache.
+type SolveServiceConfig = service.Config
+
+// SolveSpec describes one solve request (benchmark or uniform medium,
+// one or two levels).
+type SolveSpec = service.Spec
+
+// SolveJobStatus is a point-in-time snapshot of a job.
+type SolveJobStatus = service.JobStatus
+
+// NewSolveService starts the worker pool.
+var NewSolveService = service.New
+
+// NewServiceHandler builds the rmcrtd HTTP API around a service.
+var NewServiceHandler = service.NewHandler
+
+// ErrQueueFull is the typed admission-control rejection.
+var ErrQueueFull = service.ErrQueueFull
+
+// MetricsRegistry holds named counters, gauges, and histograms with a
+// plain-text exposition format.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty registry.
+var NewMetricsRegistry = metrics.NewRegistry
