@@ -57,6 +57,98 @@ func emitJSON(v any) {
 	}
 }
 
+// patchSizes are the patch configurations every study sweeps (the three
+// curves of Figures 2 and 3).
+var patchSizes = []int{16, 32, 64}
+
+// problemSpec maps a -problem name to its problem factory and GPU
+// counts.
+func problemSpec(problem string) (func(int) perfmodel.Problem, []int, error) {
+	switch problem {
+	case "medium":
+		return perfmodel.Medium, sim.PowersOf2(16, 1024), nil
+	case "large":
+		return perfmodel.Large, sim.PowersOf2(256, 16384), nil
+	}
+	return nil, nil, fmt.Errorf("unknown problem %q (want medium or large)", problem)
+}
+
+// computeSeries runs the strong-scaling study for every patch size.
+func computeSeries(mk func(int) perfmodel.Problem, counts []int, rays int, cfg sim.Config) (map[int]sim.Series, error) {
+	series := make(map[int]sim.Series, len(patchSizes))
+	for _, pn := range patchSizes {
+		p := mk(pn)
+		p.Rays = rays
+		s, err := sim.StrongScaling(cfg, p, counts)
+		if err != nil {
+			return nil, err
+		}
+		series[pn] = s
+	}
+	return series, nil
+}
+
+// shapeReport turns computed series into the -json report structure.
+func shapeReport(problem string, rays int, cfg sim.Config, series map[int]sim.Series) *jsonReport {
+	rep := &jsonReport{
+		Problem:      problem,
+		Rays:         rays,
+		WaitFreePool: cfg.WaitFreePool,
+		CPU:          cfg.CPU,
+	}
+	for _, pn := range patchSizes {
+		js := jsonSeries{PatchN: pn}
+		for _, pt := range series[pn].Points {
+			js.Points = append(js.Points, jsonPoint{
+				GPUs:          pt.GPUs,
+				PatchesPerGPU: pt.PatchesPerGPU,
+				CommSeconds:   pt.CommSeconds,
+				GPUSeconds:    pt.GPUSeconds,
+				TotalSeconds:  pt.TotalSeconds,
+			})
+		}
+		rep.Series = append(rep.Series, js)
+	}
+	// Strong-scaling efficiencies from the first point of each series,
+	// plus the paper's headline 4096-base pairs when the large study
+	// covers them.
+	rep.Efficiency = map[string]float64{}
+	for _, pn := range patchSizes {
+		pts := series[pn].Points
+		if len(pts) >= 2 {
+			key := fmt.Sprintf("patch%d_%d_to_%d", pn, pts[0].GPUs, pts[len(pts)-1].GPUs)
+			rep.Efficiency[key] = sim.Efficiency(pts[0], pts[len(pts)-1])
+		}
+	}
+	if problem == "large" {
+		pts := map[int]*sim.Point{}
+		s := series[16]
+		for i := range s.Points {
+			pts[s.Points[i].GPUs] = &s.Points[i]
+		}
+		if pts[4096] != nil && pts[8192] != nil && pts[16384] != nil {
+			rep.Efficiency["patch16_4096_to_8192"] = sim.Efficiency(*pts[4096], *pts[8192])
+			rep.Efficiency["patch16_4096_to_16384"] = sim.Efficiency(*pts[4096], *pts[16384])
+		}
+	}
+	return rep
+}
+
+// buildReport is the whole -json pipeline in one call — what the golden
+// test locks down. The machine model is fully deterministic (modeled
+// costs, no wall clock), so the report is bit-stable across runs.
+func buildReport(problem string, rays int, cfg sim.Config) (*jsonReport, error) {
+	mk, counts, err := problemSpec(problem)
+	if err != nil {
+		return nil, err
+	}
+	series, err := computeSeries(mk, counts, rays, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return shapeReport(problem, rays, cfg, series), nil
+}
+
 func main() {
 	problem := flag.String("problem", "large", "benchmark size: medium (Fig 2) or large (Fig 3)")
 	table1 := flag.Bool("table1", false, "regenerate Table I / Figure 1 instead of a scaling study")
@@ -84,82 +176,30 @@ func main() {
 		fmt.Println("# CPU implementation (16 Opteron cores per node, no GPU)")
 	}
 
-	var mk func(int) perfmodel.Problem
-	var counts []int
-	switch *problem {
-	case "medium":
-		mk, counts = perfmodel.Medium, sim.PowersOf2(16, 1024)
-		if !*jsonOut {
+	mk, counts, err := problemSpec(*problem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if !*jsonOut {
+		switch *problem {
+		case "medium":
 			fmt.Println("# Figure 2 — MEDIUM 2-level benchmark: fine 256^3, coarse 64^3, RR 4,",
 				*rays, "rays/cell")
-		}
-	case "large":
-		mk, counts = perfmodel.Large, sim.PowersOf2(256, 16384)
-		if !*jsonOut {
+		case "large":
 			fmt.Println("# Figure 3 — LARGE 2-level benchmark: fine 512^3, coarse 128^3, RR 4,",
 				*rays, "rays/cell")
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown problem %q (want medium or large)\n", *problem)
-		os.Exit(2)
 	}
 
-	patchSizes := []int{16, 32, 64}
-	series := make(map[int]sim.Series, len(patchSizes))
-	for _, pn := range patchSizes {
-		p := mk(pn)
-		p.Rays = *rays
-		s, err := sim.StrongScaling(cfg, p, counts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "scaling:", err)
-			os.Exit(1)
-		}
-		series[pn] = s
+	series, err := computeSeries(mk, counts, *rays, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaling:", err)
+		os.Exit(1)
 	}
 
 	if *jsonOut {
-		rep := jsonReport{
-			Problem:      *problem,
-			Rays:         *rays,
-			WaitFreePool: cfg.WaitFreePool,
-			CPU:          cfg.CPU,
-		}
-		for _, pn := range patchSizes {
-			js := jsonSeries{PatchN: pn}
-			for _, pt := range series[pn].Points {
-				js.Points = append(js.Points, jsonPoint{
-					GPUs:          pt.GPUs,
-					PatchesPerGPU: pt.PatchesPerGPU,
-					CommSeconds:   pt.CommSeconds,
-					GPUSeconds:    pt.GPUSeconds,
-					TotalSeconds:  pt.TotalSeconds,
-				})
-			}
-			rep.Series = append(rep.Series, js)
-		}
-		// Strong-scaling efficiencies from the first point of each
-		// series, plus the paper's headline 4096-base pairs when the
-		// large study covers them.
-		rep.Efficiency = map[string]float64{}
-		for _, pn := range patchSizes {
-			pts := series[pn].Points
-			if len(pts) >= 2 {
-				key := fmt.Sprintf("patch%d_%d_to_%d", pn, pts[0].GPUs, pts[len(pts)-1].GPUs)
-				rep.Efficiency[key] = sim.Efficiency(pts[0], pts[len(pts)-1])
-			}
-		}
-		if *problem == "large" {
-			pts := map[int]*sim.Point{}
-			s := series[16]
-			for i := range s.Points {
-				pts[s.Points[i].GPUs] = &s.Points[i]
-			}
-			if pts[4096] != nil && pts[8192] != nil && pts[16384] != nil {
-				rep.Efficiency["patch16_4096_to_8192"] = sim.Efficiency(*pts[4096], *pts[8192])
-				rep.Efficiency["patch16_4096_to_16384"] = sim.Efficiency(*pts[4096], *pts[16384])
-			}
-		}
-		emitJSON(rep)
+		emitJSON(shapeReport(*problem, *rays, cfg, series))
 		return
 	}
 

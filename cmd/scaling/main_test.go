@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// encodeReport mirrors emitJSON's encoder settings so the golden file
+// is byte-for-byte what `scaling -json` prints.
+func encodeReport(t *testing.T, rep *jsonReport) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestScalingJSONGolden locks down the structured output of
+// `scaling -problem medium -json`. The machine model is fully
+// deterministic, so any byte change here is a real behavior change in
+// the performance model or the report shape — regenerate deliberately
+// with `go test ./cmd/scaling -run Golden -update`.
+func TestScalingJSONGolden(t *testing.T) {
+	rep, err := buildReport("medium", 100, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := encodeReport(t, rep)
+
+	golden := filepath.Join("testdata", "medium_json.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-json output drifted from golden file (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestScalingJSONDeterministic double-checks the property the golden
+// test rests on: two in-process runs produce identical bytes.
+func TestScalingJSONDeterministic(t *testing.T) {
+	a, err := buildReport("medium", 100, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildReport("medium", 100, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeReport(t, a), encodeReport(t, b)) {
+		t.Fatal("two identical runs produced different -json bytes")
+	}
+}
+
+// TestScalingUnknownProblem pins the typed rejection path.
+func TestScalingUnknownProblem(t *testing.T) {
+	if _, err := buildReport("gigantic", 100, sim.DefaultConfig()); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}

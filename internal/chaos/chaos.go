@@ -1,0 +1,262 @@
+// Package chaos sweeps seeded fault schedules through the distributed
+// 2-level radiation solve (experiment D1) and checks the invariant
+// that makes this repo's determinism valuable:
+//
+//   - under any *survivable* schedule (delay, reorder, duplication,
+//     finite stalls) the solve completes bitwise identical to the
+//     fault-free run — adversarial message timing must not change a
+//     single bit of divQ;
+//   - under an *unsurvivable* schedule (message loss, rank death) the
+//     solve fails with the typed sched.ErrRankLost and leaks nothing:
+//     every commpool slot is reclaimed and every posted receive is
+//     cancelled, verified by accounting.
+//
+// The paper's wait-free request pool exists because exactly this class
+// of bug — a race visible only under adversarial timing, leaking
+// receive buffers — escaped benign testing (§IV, Algorithm 1). The
+// chaos plane makes the adversary a reproducible unit test.
+package chaos
+
+import (
+	"fmt"
+
+	"github.com/uintah-repro/rmcrt/internal/dw"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+	"github.com/uintah-repro/rmcrt/internal/rmcrt"
+	"github.com/uintah-repro/rmcrt/internal/sched"
+	"github.com/uintah-repro/rmcrt/internal/simmpi"
+)
+
+// Schedule is one seeded fault schedule for a distributed solve. The
+// zero value is the fault-free baseline.
+type Schedule struct {
+	// Seed drives every per-message fault decision.
+	Seed uint64
+	// DelayFrac, DupFrac, DropFrac are per-message fault probabilities
+	// (see simmpi.FaultPlan). Drops make a schedule unsurvivable.
+	DelayFrac, DupFrac, DropFrac float64
+	// MaxDelayTicks bounds message delays (default 64 logical ticks).
+	MaxDelayTicks int64
+	// KillRank, when >= 0, kills that rank after KillAfterSends of its
+	// sends — unsurvivable.
+	KillRank       int
+	KillAfterSends int64
+	// StallRank, when >= 0, stalls that rank's sends for StallTicks
+	// after StallAfterSends — survivable (a stall is finite).
+	StallRank       int
+	StallAfterSends int64
+	StallTicks      int64
+}
+
+// Faulty reports whether the schedule injects anything at all.
+func (s Schedule) Faulty() bool {
+	return s.DelayFrac > 0 || s.DupFrac > 0 || s.DropFrac > 0 || s.KillRank >= 0 || s.StallRank >= 0
+}
+
+// Survivable classifies the schedule: delay, duplication and finite
+// stalls reorder traffic without losing it, so the deterministic solve
+// must still complete exactly; loss and rank death cannot be hidden.
+func (s Schedule) Survivable() bool {
+	return s.DropFrac == 0 && s.KillRank < 0
+}
+
+// Baseline returns the fault-free schedule.
+func Baseline() Schedule { return Schedule{KillRank: -1, StallRank: -1} }
+
+// Plan materializes the schedule as a simmpi fault plan (nil for the
+// fault-free baseline, leaving the hot path untouched).
+func (s Schedule) Plan() *simmpi.FaultPlan {
+	if !s.Faulty() {
+		return nil
+	}
+	p := &simmpi.FaultPlan{
+		Seed:      s.Seed,
+		DelayFrac: s.DelayFrac, DupFrac: s.DupFrac, DropFrac: s.DropFrac,
+		MaxDelayTicks: s.MaxDelayTicks,
+	}
+	if s.KillRank >= 0 {
+		p.Kills = map[int]int64{s.KillRank: s.KillAfterSends}
+	}
+	if s.StallRank >= 0 {
+		p.Stalls = map[int]simmpi.Stall{s.StallRank: {After: s.StallAfterSends, Ticks: s.StallTicks}}
+	}
+	return p
+}
+
+// Config sizes the distributed solve the schedules are swept through.
+type Config struct {
+	// Ranks is the communicator size (default 4).
+	Ranks int
+	// FineN and PatchN shape the fine level (default 16³ in 8³
+	// patches; the coarse radiation level is FineN/4 in 2³ patches).
+	FineN, PatchN int
+	// Workers per rank (default 4).
+	Workers int
+	// PollBudget is each external receive's poll budget (default
+	// 2,000,000 — far above any survivable wait, small enough that a
+	// lost rank surfaces in seconds).
+	PollBudget int64
+	// Opts are the solver options (zero value: DefaultOptions with
+	// NRays=4, HaloCells=2 — small enough for sweeps).
+	Opts rmcrt.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks == 0 {
+		c.Ranks = 4
+	}
+	if c.FineN == 0 {
+		c.FineN = 16
+	}
+	if c.PatchN == 0 {
+		c.PatchN = 8
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.PollBudget == 0 {
+		c.PollBudget = 2_000_000
+	}
+	if c.Opts.NRays == 0 {
+		c.Opts = rmcrt.DefaultOptions()
+		c.Opts.NRays = 4
+		c.Opts.HaloCells = 2
+	}
+	return c
+}
+
+// Accounting is the leak audit taken after a run. A correct run —
+// survivable or not — ends with zero LivePoolSlots and zero
+// PostedRecvs; failed runs get there through the abort path
+// (PoolDrained / RecvsCancelled say how much it had to reclaim).
+type Accounting struct {
+	LivePoolSlots  int
+	PostedRecvs    int
+	UnexpectedMsgs int
+	CommExpired    int64
+	PoolDrained    int64
+	RecvsCancelled int64
+}
+
+// Result is one swept schedule's outcome.
+type Result struct {
+	Schedule Schedule
+	Err      error
+	// DivQ is the assembled fine-level field (nil when Err != nil).
+	DivQ map[grid.IntVector]float64
+	// Faults is what the transport actually injected.
+	Faults simmpi.FaultStats
+	// Acct is the post-run leak audit summed over ranks.
+	Acct Accounting
+	// Stats are the per-rank scheduler statistics.
+	Stats []sched.Stats
+}
+
+// BitwiseEqual reports whether two completed runs produced the exact
+// same field.
+func BitwiseEqual(a, b *Result) bool {
+	if a.DivQ == nil || b.DivQ == nil || len(a.DivQ) != len(b.DivQ) {
+		return false
+	}
+	for c, v := range a.DivQ {
+		w, ok := b.DivQ[c]
+		if !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// buildGrid constructs the 2-level benchmark grid, SFC-distributed over
+// nRanks with ownership-aligned coarse patches.
+func buildGrid(cfg Config) (*grid.Grid, error) {
+	coarseN := cfg.FineN / 4
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(coarseN), PatchSize: grid.Uniform(coarseN / 2)},
+		grid.Spec{Resolution: grid.Uniform(cfg.FineN), PatchSize: grid.Uniform(cfg.PatchN)},
+	)
+	if err != nil {
+		return nil, err
+	}
+	g.AssignSFC(cfg.Ranks)
+	rmcrt.AlignCoarseOwnership(g)
+	return g, nil
+}
+
+// Run executes the distributed solve under one fault schedule and
+// audits the aftermath. The returned error is a *harness* error
+// (misconfiguration); the solve's own outcome lands in Result.Err.
+func Run(cfg Config, sch Schedule) (*Result, error) {
+	cfg = cfg.withDefaults()
+	g, err := buildGrid(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: building grid: %w", err)
+	}
+	comm := simmpi.NewComm(cfg.Ranks)
+	comm.SetFaultPlan(sch.Plan())
+
+	scheds := make([]*sched.Scheduler, cfg.Ranks)
+	stats, runErr := sched.RunRanks(cfg.Ranks, func(rank int) (*sched.Scheduler, error) {
+		s := sched.NewScheduler(rank, cfg.Workers, g, dw.New(1), dw.New(0), comm)
+		s.CommPollBudget = cfg.PollBudget
+		solve := &rmcrt.DistributedRadiationSolve{
+			Grid: g, Opts: cfg.Opts, Props: rmcrt.FillBenchmark,
+		}
+		if err := solve.Register(s); err != nil {
+			return nil, err
+		}
+		scheds[rank] = s
+		return s, nil
+	})
+
+	if runErr == nil {
+		// Completed: flush trailing duplicate copies through the dedup
+		// path before snapshotting stats — a clean transport leaves no
+		// residue, so Deduped must end equal to Duplicated.
+		comm.FlushDelayed()
+	}
+	res := &Result{Schedule: sch, Err: runErr, Stats: stats, Faults: comm.FaultStats()}
+
+	if runErr == nil {
+		fine := g.Levels[len(g.Levels)-1]
+		res.DivQ = make(map[grid.IntVector]float64, fine.NumCells())
+		for _, p := range fine.Patches {
+			v, err := scheds[p.Rank].DW.GetCC(rmcrt.LabelDivQ, p.ID)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: rank %d patch %d completed without divQ: %w", p.Rank, p.ID, err)
+			}
+			p.Cells.ForEach(func(c grid.IntVector) { res.DivQ[c] = v.At(c) })
+		}
+	}
+
+	for r := 0; r < cfg.Ranks; r++ {
+		res.Acct.LivePoolSlots += scheds[r].Pool().Len()
+		res.Acct.PostedRecvs += comm.PendingPosted(r)
+		res.Acct.UnexpectedMsgs += comm.PendingUnexpected(r)
+	}
+	for _, st := range stats {
+		res.Acct.CommExpired += st.CommExpired
+		res.Acct.PoolDrained += st.PoolDrained
+		res.Acct.RecvsCancelled += st.RecvsCancelled
+	}
+	return res, nil
+}
+
+// Sweep runs one schedule per seed with the given fault fractions, all
+// survivable-by-construction (no drops, no kills).
+func Sweep(cfg Config, seeds []uint64, delayFrac, dupFrac float64) ([]*Result, error) {
+	out := make([]*Result, 0, len(seeds))
+	for _, seed := range seeds {
+		sch := Baseline()
+		sch.Seed = seed
+		sch.DelayFrac = delayFrac
+		sch.DupFrac = dupFrac
+		r, err := Run(cfg, sch)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,204 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/sched"
+)
+
+func mustRun(t *testing.T, cfg Config, sch Schedule) *Result {
+	t.Helper()
+	res, err := Run(cfg, sch)
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	return res
+}
+
+func assertNoLeaks(t *testing.T, res *Result) {
+	t.Helper()
+	if res.Acct.LivePoolSlots != 0 {
+		t.Errorf("%d commpool slots leaked", res.Acct.LivePoolSlots)
+	}
+	if res.Acct.PostedRecvs != 0 {
+		t.Errorf("%d posted receives leaked", res.Acct.PostedRecvs)
+	}
+}
+
+// TestBaselineCompletes: the fault-free schedule solves and leaves a
+// clean transport — the reference everything else is compared against.
+func TestBaselineCompletes(t *testing.T) {
+	res := mustRun(t, Config{}, Baseline())
+	if res.Err != nil {
+		t.Fatalf("baseline failed: %v", res.Err)
+	}
+	if len(res.DivQ) == 0 {
+		t.Fatal("baseline produced no divQ")
+	}
+	if res.Faults.Delayed+res.Faults.Dropped+res.Faults.Duplicated != 0 {
+		t.Errorf("baseline injected faults: %+v", res.Faults)
+	}
+	assertNoLeaks(t, res)
+	if res.Acct.UnexpectedMsgs != 0 {
+		t.Errorf("%d unexpected messages left buffered", res.Acct.UnexpectedMsgs)
+	}
+}
+
+// TestSurvivableSweepBitwiseIdentical is the tentpole invariant: seeded
+// delay/duplication schedules across several seeds all complete with
+// divQ bitwise identical to the fault-free run, leaking nothing.
+func TestSurvivableSweepBitwiseIdentical(t *testing.T) {
+	cfg := Config{}
+	base := mustRun(t, cfg, Baseline())
+	if base.Err != nil {
+		t.Fatalf("baseline failed: %v", base.Err)
+	}
+
+	results, err := Sweep(cfg, []uint64{1, 42, 0xdeadbeef}, 0.25, 0.10)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	var injected int64
+	for _, res := range results {
+		if !res.Schedule.Survivable() {
+			t.Fatalf("sweep produced unsurvivable schedule %+v", res.Schedule)
+		}
+		if res.Err != nil {
+			t.Errorf("seed %d: survivable schedule failed: %v", res.Schedule.Seed, res.Err)
+			continue
+		}
+		if !BitwiseEqual(base, res) {
+			t.Errorf("seed %d: divQ differs from fault-free run", res.Schedule.Seed)
+		}
+		if res.Faults.Deduped != res.Faults.Duplicated {
+			t.Errorf("seed %d: %d duplicates injected but %d deduped",
+				res.Schedule.Seed, res.Faults.Duplicated, res.Faults.Deduped)
+		}
+		assertNoLeaks(t, res)
+		injected += res.Faults.Delayed + res.Faults.Duplicated
+	}
+	if injected == 0 {
+		t.Fatal("sweep injected no faults at all — vacuous pass")
+	}
+}
+
+// TestSameSeedSameFaultSequence: the injected fault counts are a pure
+// function of the seed — rerunning a schedule reproduces them exactly
+// (the message set is fixed, so deterministic per-message verdicts
+// imply deterministic totals).
+func TestSameSeedSameFaultSequence(t *testing.T) {
+	sch := Baseline()
+	sch.Seed = 7
+	sch.DelayFrac, sch.DupFrac = 0.3, 0.15
+
+	a := mustRun(t, Config{}, sch)
+	b := mustRun(t, Config{}, sch)
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("survivable runs failed: %v / %v", a.Err, b.Err)
+	}
+	if a.Faults != b.Faults {
+		t.Errorf("same seed, different fault sequence: %+v vs %+v", a.Faults, b.Faults)
+	}
+	if !BitwiseEqual(a, b) {
+		t.Error("same seed, different divQ")
+	}
+}
+
+// TestStallIsSurvivable: a rank that goes dark for a finite stretch
+// delays the solve but cannot change it.
+func TestStallIsSurvivable(t *testing.T) {
+	cfg := Config{}
+	base := mustRun(t, cfg, Baseline())
+
+	sch := Baseline()
+	sch.Seed = 3
+	sch.StallRank = 1
+	sch.StallAfterSends = 2
+	sch.StallTicks = 500
+	res := mustRun(t, cfg, sch)
+	if res.Err != nil {
+		t.Fatalf("stalled run failed: %v", res.Err)
+	}
+	if res.Faults.Delayed == 0 {
+		t.Fatal("stall injected no delays — vacuous pass")
+	}
+	if !BitwiseEqual(base, res) {
+		t.Error("stalled run's divQ differs from fault-free run")
+	}
+	assertNoLeaks(t, res)
+}
+
+// TestDropScheduleFailsTypedNoLeaks: message loss is unsurvivable — the
+// solve must fail with sched.ErrRankLost, and the abort path must
+// reclaim every commpool slot and posted receive (the accounting the
+// paper's pool makes auditable).
+func TestDropScheduleFailsTypedNoLeaks(t *testing.T) {
+	sch := Baseline()
+	sch.Seed = 11
+	sch.DropFrac = 0.3
+	if sch.Survivable() {
+		t.Fatal("drop schedule misclassified as survivable")
+	}
+	res := mustRun(t, Config{PollBudget: 100_000}, sch)
+	if res.Err == nil {
+		t.Fatal("solve completed despite dropped messages")
+	}
+	if !errors.Is(res.Err, sched.ErrRankLost) {
+		t.Fatalf("failure is not typed as ErrRankLost: %v", res.Err)
+	}
+	if res.Faults.Dropped == 0 {
+		t.Error("no messages actually dropped")
+	}
+	if res.Acct.CommExpired == 0 {
+		t.Error("no receives recorded as expired")
+	}
+	assertNoLeaks(t, res)
+}
+
+// TestKilledRankFailsTypedNoLeaks: a rank dying mid-timestep surfaces
+// as the same typed rank-loss error on the surviving ranks, again with
+// zero leaked requests.
+func TestKilledRankFailsTypedNoLeaks(t *testing.T) {
+	sch := Baseline()
+	sch.Seed = 5
+	sch.KillRank = 1
+	sch.KillAfterSends = 3
+	if sch.Survivable() {
+		t.Fatal("kill schedule misclassified as survivable")
+	}
+	res := mustRun(t, Config{PollBudget: 100_000}, sch)
+	if res.Err == nil {
+		t.Fatal("solve completed despite a dead rank")
+	}
+	if !errors.Is(res.Err, sched.ErrRankLost) {
+		t.Fatalf("failure is not typed as ErrRankLost: %v", res.Err)
+	}
+	if res.Acct.CommExpired == 0 {
+		t.Error("no receives recorded as expired")
+	}
+	assertNoLeaks(t, res)
+}
+
+// TestClassification pins the survivability table.
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Schedule)
+		want bool
+	}{
+		{"baseline", func(s *Schedule) {}, true},
+		{"delay", func(s *Schedule) { s.DelayFrac = 0.5 }, true},
+		{"duplicate", func(s *Schedule) { s.DupFrac = 0.5 }, true},
+		{"stall", func(s *Schedule) { s.StallRank = 2; s.StallTicks = 100 }, true},
+		{"drop", func(s *Schedule) { s.DropFrac = 0.01 }, false},
+		{"kill", func(s *Schedule) { s.KillRank = 0 }, false},
+	}
+	for _, c := range cases {
+		sch := Baseline()
+		c.mut(&sch)
+		if got := sch.Survivable(); got != c.want {
+			t.Errorf("%s: Survivable() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

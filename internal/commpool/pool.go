@@ -35,6 +35,18 @@ type Record struct {
 	Buf     []byte
 	OnDone  func(*Record)
 	Handled atomic.Int32
+
+	// MaxPolls bounds how many times the record may be found
+	// not-ready before it is declared expired (0 = poll forever).
+	// Expiry is the pool's bounded-wait semantic: a dropped message or
+	// dead peer must surface as a typed event instead of an infinite
+	// poll loop.
+	MaxPolls int64
+	// OnExpire runs (instead of OnDone) when the poll budget is
+	// exhausted; the record is erased either way, so expiry never
+	// leaks a slot.
+	OnExpire func(*Record)
+	polls    atomic.Int64
 }
 
 // handle runs the completion callback exactly as a worker thread would.
@@ -100,7 +112,10 @@ type Pool struct {
 	// not instrumented; set before first use.
 	mAdded     *metrics.Counter
 	mProcessed *metrics.Counter
+	mExpired   *metrics.Counter
 	gLive      *metrics.Gauge
+
+	expired atomic.Int64
 }
 
 // NewPool returns an empty pool.
@@ -113,8 +128,12 @@ func NewPool() *Pool { return &Pool{} }
 func (p *Pool) Publish(reg *metrics.Registry) {
 	p.mAdded = reg.Counter("commpool_records_added_total", "communication records inserted into the wait-free pool")
 	p.mProcessed = reg.Counter("commpool_records_processed_total", "completed communications handled and erased")
+	p.mExpired = reg.Counter("commpool_records_expired_total", "records erased after exhausting their poll budget")
 	p.gLive = reg.Gauge("commpool_records_live", "outstanding communication records")
 }
+
+// Expired returns how many records ran out of poll budget.
+func (p *Pool) Expired() int64 { return p.expired.Load() }
 
 // Len returns the number of live records (full + claimed).
 func (p *Pool) Len() int { return int(p.size.Load()) }
@@ -214,13 +233,36 @@ func (p *Pool) FindAny(pred func(*Record) bool) *Iterator {
 
 // ProcessReady implements Container using Algorithm 1 verbatim: find any
 // record whose request tests complete (MPI_Test on each request
-// individually), finish the communication, erase it.
+// individually), finish the communication, erase it. A record found
+// not-ready more than its MaxPolls budget is expired instead: erased
+// with OnExpire, never handled — bounded waiting in place of an
+// infinite poll on a message that will never come.
 func (p *Pool) ProcessReady() bool {
-	it := p.FindAny(func(r *Record) bool { return r.Req.Test() })
+	it := p.FindAny(func(r *Record) bool {
+		if r.Req.Test() {
+			return true
+		}
+		if r.MaxPolls > 0 && r.polls.Add(1) >= r.MaxPolls {
+			return true
+		}
+		return false
+	})
 	if it == nil {
 		return false
 	}
 	rec := it.Value()
+	if !rec.Req.Test() {
+		// Claimed for expiry, not completion.
+		it.Erase()
+		p.expired.Add(1)
+		if p.mExpired != nil {
+			p.mExpired.Inc()
+		}
+		if rec.OnExpire != nil {
+			rec.OnExpire(rec)
+		}
+		return true
+	}
 	rec.handle()
 	it.Erase()
 	if p.mProcessed != nil {

@@ -1,0 +1,114 @@
+package commpool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"github.com/uintah-repro/rmcrt/internal/simmpi"
+)
+
+// propDrain is the quick property behind the pool's two contracts,
+// exercised under concurrency:
+//
+//  1. no slot is ever double-claimed — every completed record's handler
+//     runs exactly once no matter how many workers race on it;
+//  2. every inserted request is eventually erased — completed records
+//     through OnDone, never-completed ones through the MaxPolls expiry
+//     path — so the pool always drains to Len() == 0.
+//
+// Each quick iteration inserts a random set of records (odd mask byte =
+// a send exists and the receive will complete; even = the message never
+// arrives and the record must expire), races four workers on
+// ProcessReady, and audits the aftermath.
+func propDrain(readyMask []byte) error {
+	if len(readyMask) == 0 {
+		return nil
+	}
+	if len(readyMask) > 96 {
+		readyMask = readyMask[:96] // bound iteration cost; spans >1 segment
+	}
+	c := simmpi.NewComm(2)
+	p := NewPool()
+	recs := make([]*Record, len(readyMask))
+	var expiredCalls atomic.Int64
+	wantExpired := 0
+	for i, b := range readyMask {
+		rec := &Record{Req: c.Irecv(1, 0, i)}
+		if b&1 == 0 {
+			// No matching send will ever be posted: the record can
+			// only leave the pool through its poll budget.
+			rec.MaxPolls = 32 + int64(b)
+			rec.OnExpire = func(*Record) { expiredCalls.Add(1) }
+			wantExpired++
+		}
+		recs[i] = rec
+		p.Add(rec)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p.Len() > 0 {
+				p.ProcessReady()
+				runtime.Gosched()
+			}
+		}()
+	}
+	// Post the completing sends while the workers are already racing.
+	for i, b := range readyMask {
+		if b&1 == 1 {
+			c.Isend(0, 1, i, []byte{b})
+		}
+	}
+	wg.Wait()
+
+	if n := p.Len(); n != 0 {
+		return fmt.Errorf("pool drained to Len() = %d, want 0", n)
+	}
+	for i, b := range readyMask {
+		h := recs[i].Handled.Load()
+		if b&1 == 1 && h != 1 {
+			return fmt.Errorf("record %d handled %d times, want exactly 1", i, h)
+		}
+		if b&1 == 0 && h != 0 {
+			return fmt.Errorf("expired record %d ran its completion handler %d times", i, h)
+		}
+	}
+	if got := expiredCalls.Load(); got != int64(wantExpired) {
+		return fmt.Errorf("OnExpire ran %d times for %d never-completing records", got, wantExpired)
+	}
+	if got := p.Expired(); got != int64(wantExpired) {
+		return fmt.Errorf("Expired() = %d, want %d", got, wantExpired)
+	}
+	return nil
+}
+
+// TestPoolPropertiesAcrossProcs runs the drain property under
+// GOMAXPROCS 1, 4 and 16 — single-threaded interleaving, the typical
+// case, and heavy oversubscription all have to satisfy the same
+// exactly-once / eventually-erased contract.
+func TestPoolPropertiesAcrossProcs(t *testing.T) {
+	for _, procs := range []int{1, 4, 16} {
+		procs := procs
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			f := func(readyMask []byte) bool {
+				if err := propDrain(readyMask); err != nil {
+					t.Log(err)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -18,6 +18,12 @@ import (
 	"github.com/uintah-repro/rmcrt/internal/simmpi"
 )
 
+// ErrRankLost is the typed failure of a timestep whose external
+// receives timed out: the peer rank is unreachable (dead, or its
+// messages were lost in transit). Execute wraps it with the specific
+// receive that expired; callers match with errors.Is.
+var ErrRankLost = errors.New("sched: rank unreachable (external receive timed out)")
+
 // Scheduler executes one rank's task graph for one timestep. Create it,
 // add tasks and external receives, then call Execute. A fresh Scheduler
 // is built per timestep, matching Uintah's per-generation task graphs.
@@ -28,6 +34,15 @@ type Scheduler struct {
 	DW      *dw.DW
 	OldDW   *dw.DW
 	Comm    *simmpi.Comm
+
+	// CommPollBudget bounds how many times an external receive may be
+	// polled not-ready before the timestep fails with ErrRankLost
+	// (0 = wait forever, the fault-free default). The budget is a count
+	// of poll events, not wall time, so fault schedules stay
+	// deterministic. On failure the scheduler drains its pool and
+	// cancels posted receives — a lost rank degrades the timestep to a
+	// typed error, never to leaked requests or buffers.
+	CommPollBudget int64
 
 	// Device and GPUDW are the rank's first attached device and its
 	// warehouse (nil for CPU-only ranks). Additional devices attached
@@ -47,6 +62,7 @@ type Scheduler struct {
 	nodes     []*node
 	producers map[prodKey][]*node
 	pool      *commpool.Pool
+	recvReqs  []*simmpi.Request
 	ready     chan *node
 	remaining atomic.Int64
 	done      chan struct{}
@@ -145,6 +161,8 @@ func (s *Scheduler) publishStats(st Stats, elapsed float64) {
 	reg.Counter("sched_gpu_tasks_run_total", "GPU tasks executed").Add(st.GPUTasksRun)
 	reg.Counter("sched_mpi_processed_total", "communications completed through the wait-free pool").Add(st.MPIProcessed)
 	reg.Counter("sched_executes_total", "task-graph executions").Inc()
+	reg.Counter("sched_comm_expired_total", "external receives that exhausted their poll budget (rank lost)").Add(st.CommExpired)
+	reg.Counter("sched_recvs_cancelled_total", "posted receives cancelled by the abort path").Add(st.RecvsCancelled)
 	reg.Histogram("sched_execute_seconds", "wall time per task-graph execution", metrics.DefBuckets).Observe(elapsed)
 	reg.Histogram("sched_local_comm_seconds", "per-execution local communication time (Table I quantity)", metrics.DefBuckets).Observe(st.LocalCommSeconds)
 }
@@ -349,7 +367,13 @@ func (s *Scheduler) postExternals() {
 		t0 := time.Now()
 		req := s.Comm.Irecv(s.Rank, r.Source, r.Tag)
 		s.commNanos.Add(time.Since(t0).Nanoseconds())
-		rec := &commpool.Record{Req: req}
+		s.recvReqs = append(s.recvReqs, req)
+		rec := &commpool.Record{Req: req, MaxPolls: s.CommPollBudget}
+		rec.OnExpire = func(*commpool.Record) {
+			atomic.AddInt64(&s.stats.CommExpired, 1)
+			s.fail(fmt.Errorf("sched: rank %d: recv %q patch %d from rank %d tag %d expired after %d polls: %w",
+				s.Rank, r.Label, r.PatchID, r.Source, r.Tag, s.CommPollBudget, ErrRankLost))
+		}
 		rec.OnDone = func(rc *commpool.Record) {
 			v := field.NewCC[float64](r.Region)
 			if err := dw.DecodeRegion(v, r.Region, rc.Req.Data()); err != nil {
@@ -424,6 +448,20 @@ func (s *Scheduler) Execute() (Stats, error) {
 		}
 		st.DevicePeakMem += slot.dev.PeakUsed()
 	}
+	if s.failed.Load() {
+		// Abort hygiene: a failed timestep must not strand requests —
+		// the exact leak class the paper's race produced. Unprocessed
+		// pool records are drained (their slots reclaimed) and posted
+		// receives that never matched are cancelled out of the
+		// communicator.
+		st.PoolDrained = int64(s.pool.Drain(nil))
+		for _, rq := range s.recvReqs {
+			if s.Comm.Cancel(rq) {
+				st.RecvsCancelled++
+			}
+		}
+	}
+	st.CommExpired = atomic.LoadInt64(&s.stats.CommExpired)
 	s.publishStats(st, time.Since(t0).Seconds())
 	if s.failed.Load() {
 		s.errMu.Lock()

@@ -144,6 +144,15 @@ type Stats struct {
 	// its load balancer feeds on.
 	TaskSeconds map[string]float64
 
+	// Degradation accounting (all zero on a clean run). CommExpired
+	// counts external receives that exhausted their poll budget
+	// (ErrRankLost); PoolDrained and RecvsCancelled count the requests
+	// reclaimed by the abort path — together they prove a failed
+	// timestep leaked nothing.
+	CommExpired    int64
+	PoolDrained    int64
+	RecvsCancelled int64
+
 	// Device accounting (zero without a GPU).
 	DeviceMakespan float64
 	DevicePeakMem  int64

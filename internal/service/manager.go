@@ -10,6 +10,7 @@ import (
 
 	"github.com/uintah-repro/rmcrt/internal/field"
 	"github.com/uintah-repro/rmcrt/internal/metrics"
+	"github.com/uintah-repro/rmcrt/internal/sched"
 )
 
 // Admission and lifecycle errors.
@@ -26,7 +27,22 @@ var (
 	ErrJobFinished = errors.New("service: job already finished")
 	// ErrTooLarge rejects a spec over the per-job cell budget.
 	ErrTooLarge = errors.New("service: problem exceeds per-job cell budget")
+	// ErrDeadlineExceeded fails a job whose solve outran the
+	// per-job deadline (Config.JobDeadline) — the job is failed, not
+	// cancelled: the client did not ask for it to stop.
+	ErrDeadlineExceeded = errors.New("service: job deadline exceeded")
+	// ErrRankLost is the distributed backend's typed rank-loss
+	// failure, re-exported so clients of the service layer can match
+	// it without importing the scheduler.
+	ErrRankLost = sched.ErrRankLost
 )
+
+// IsTransient reports whether err is a transient backend failure worth
+// one retry: a lost rank (the peer may return next timestep) rather
+// than a bad spec or a cancelled context.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrRankLost)
+}
 
 // State is a job's lifecycle phase.
 type State string
@@ -112,6 +128,19 @@ type Config struct {
 	// 2.1M cells, a 128³ problem); larger specs are rejected with
 	// ErrTooLarge.
 	MaxCells int64
+	// JobDeadline bounds one solve attempt's wall time (0 = none).
+	// A job whose solve outruns it fails with ErrDeadlineExceeded —
+	// typed degradation instead of a worker pinned forever.
+	JobDeadline time.Duration
+	// DisableRetry turns off the retry-once-on-transient-failure
+	// policy (see IsTransient). Retries are on by default: a lost rank
+	// is transient, and the solver is deterministic, so a retry that
+	// succeeds yields the exact answer the first attempt would have.
+	DisableRetry bool
+	// Solver overrides how a spec is solved (default Spec.Solve). The
+	// hook is the seam for alternate backends and for fault-injection
+	// tests; it must preserve Spec.Solve's determinism contract.
+	Solver func(ctx context.Context, spec Spec) (*field.CC[float64], int64, int64, error)
 	// Metrics receives the service's instrumentation (a fresh registry
 	// is created when nil).
 	Metrics *metrics.Registry
@@ -129,6 +158,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCells <= 0 {
 		c.MaxCells = 1 << 21
+	}
+	if c.Solver == nil {
+		c.Solver = func(ctx context.Context, spec Spec) (*field.CC[float64], int64, int64, error) {
+			return spec.Solve(ctx)
+		}
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
@@ -159,6 +193,7 @@ type Manager struct {
 	mDone, mFailed, mCancelled                  *metrics.Counter
 	mCacheHit, mCacheMiss, mEvicted, mCoalesced *metrics.Counter
 	mRays, mSteps                               *metrics.Counter
+	mRetried, mDeadline                         *metrics.Counter
 	gQueued, gRunning                           *metrics.Gauge
 	hSolve                                      *metrics.Histogram
 }
@@ -188,6 +223,8 @@ func New(cfg Config) *Manager {
 	m.mCacheMiss = r.Counter("rmcrtd_cache_misses_total", "submissions that required a solve")
 	m.mEvicted = r.Counter("rmcrtd_cache_evictions_total", "result cache LRU evictions")
 	m.mCoalesced = r.Counter("rmcrtd_jobs_coalesced_total", "submissions coalesced onto an in-flight identical solve")
+	m.mRetried = r.Counter("rmcrtd_jobs_retried_total", "solves retried once after a transient backend failure")
+	m.mDeadline = r.Counter("rmcrtd_jobs_deadline_exceeded_total", "jobs failed by the per-job deadline")
 	m.mRays = r.Counter("rmcrtd_rays_traced_total", "rays traced by completed solves")
 	m.mSteps = r.Counter("rmcrtd_cell_steps_total", "DDA cell steps taken by completed solves")
 	m.gQueued = r.Gauge("rmcrtd_queue_depth", "solves waiting in the submission queue")
@@ -299,7 +336,14 @@ func (m *Manager) runFlight(fl *flight) {
 	m.mu.Unlock()
 
 	m.gRunning.Inc()
-	divQ, rays, steps, err := fl.spec.Solve(fl.ctx)
+	divQ, rays, steps, err := m.solveAttempt(fl)
+	if err != nil && IsTransient(err) && !m.cfg.DisableRetry && fl.ctx.Err() == nil {
+		// Transient backend failure (rank lost): retry exactly once.
+		// Determinism makes the retry safe — success yields the same
+		// bits the first attempt would have produced.
+		m.mRetried.Inc()
+		divQ, rays, steps, err = m.solveAttempt(fl)
+	}
 	m.gRunning.Dec()
 	elapsed := time.Since(start).Seconds()
 	m.mRays.Add(rays)
@@ -331,6 +375,25 @@ func (m *Manager) runFlight(fl *flight) {
 			}
 		}
 	}
+}
+
+// solveAttempt runs one solve attempt under the flight's context,
+// bounded by the per-job deadline when one is configured. Deadline
+// expiry (as opposed to client cancellation) is translated into the
+// typed ErrDeadlineExceeded.
+func (m *Manager) solveAttempt(fl *flight) (*field.CC[float64], int64, int64, error) {
+	ctx := fl.ctx
+	cancel := context.CancelFunc(func() {})
+	if d := m.cfg.JobDeadline; d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	defer cancel()
+	divQ, rays, steps, err := m.cfg.Solver(ctx, fl.spec)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && fl.ctx.Err() == nil {
+		m.mDeadline.Inc()
+		err = fmt.Errorf("%w (budget %s)", ErrDeadlineExceeded, m.cfg.JobDeadline)
+	}
+	return divQ, rays, steps, err
 }
 
 // finishLocked moves a job to a terminal state. Callers hold m.mu.

@@ -1,0 +1,432 @@
+// Fault injection. The paper's wait-free request pool exists because a
+// race in the mutex+Testsome path silently leaked receive buffers under
+// adversarial message timing — exactly the regime a benign, in-order
+// simulated transport never produces. FaultPlan is a deterministic,
+// seeded adversary for that transport: per-message delay, reordering,
+// duplication and loss, plus whole-rank stalls and kills, all derived
+// from (seed, src, dst, tag, seq) with no wall clock, so the same seed
+// always yields the same fault sequence.
+//
+// Mechanics:
+//
+//   - Every message on a (src, dst, tag) channel gets a sequence
+//     number. Faulty delivery reassembles channel order at the
+//     destination (MPI's non-overtaking rule survives the faults), and
+//     discards duplicate sequence numbers, so delay/reorder/duplicate
+//     schedules are *survivable*: the application observes the exact
+//     fault-free payload sequence, only later.
+//   - Time is a logical tick: it advances on every send and on every
+//     Request.Test poll. Delayed envelopes carry a release tick; polling
+//     drains them. No wall clock anywhere.
+//   - Dropped messages and dead ranks leave a permanent gap in the
+//     channel; receivers can only discover this by bounded polling
+//     (commpool's MaxPolls / sched's CommPollBudget), which is the
+//     robustness code this plane forces into existence.
+package simmpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// FaultPlan is a deterministic fault schedule for one Comm. Configure
+// it and attach it with Comm.SetFaultPlan before any traffic; it must
+// not be mutated afterwards.
+type FaultPlan struct {
+	// Seed drives every per-message decision.
+	Seed uint64
+
+	// DelayFrac, DupFrac and DropFrac are per-message fault
+	// probabilities in [0,1], evaluated in the order drop, duplicate,
+	// delay (at most one fault per message).
+	DelayFrac float64
+	DupFrac   float64
+	DropFrac  float64
+
+	// MaxDelayTicks bounds the logical-tick delay of delayed messages
+	// (and of the trailing copy of duplicated messages). Default 64.
+	MaxDelayTicks int64
+
+	// Kills maps rank -> send-event index: once the rank has posted
+	// that many sends it is dead — subsequent messages from and to it
+	// vanish. A dead rank is only observable through bounded polling.
+	Kills map[int]int64
+
+	// Stalls maps rank -> stall window: after the rank has posted
+	// After sends, its next sends are held for Ticks logical ticks (a
+	// long but finite delay — survivable, unlike a kill).
+	Stalls map[int]Stall
+
+	// runtime state (owned by the attached Comm).
+	mu      sync.Mutex
+	tick    atomic.Int64
+	chans   map[chanKey]*channelState
+	delayed delayQueue
+	dead    []atomic.Bool
+	sends   []atomic.Int64
+
+	stats faultCounters
+}
+
+// Stall describes one rank's stall window.
+type Stall struct {
+	// After is the send-event index at which the stall begins.
+	After int64
+	// Ticks is how many logical ticks each stalled send is held.
+	Ticks int64
+}
+
+// FaultStats counts what the plan did to the traffic. For a fixed seed
+// and workload the counts are reproducible.
+type FaultStats struct {
+	Delayed    int64 // messages held for a nonzero tick delay
+	Dropped    int64 // messages lost by the transport
+	Duplicated int64 // messages delivered twice by the transport
+	Deduped    int64 // duplicate deliveries discarded at the receiver
+	DeadLetter int64 // messages from/to a killed rank
+}
+
+type faultCounters struct {
+	delayed, dropped, duplicated, deduped, deadLetter atomic.Int64
+}
+
+// chanKey identifies one ordered message channel.
+type chanKey struct{ src, dst, tag int }
+
+// channelState reassembles one channel's order at the destination.
+type channelState struct {
+	nextSend int64 // sender side: next sequence number to assign
+	nextRecv int64 // receiver side: next sequence number to deliver
+	held     []*envelope
+}
+
+// delayedEnv is a message waiting for its release tick.
+type delayedEnv struct {
+	release int64
+	order   int64 // insertion order, tie-break for determinism
+	dst     int
+	env     *envelope
+}
+
+// delayQueue is a min-heap on (release, order).
+type delayQueue struct {
+	items []delayedEnv
+	next  int64
+}
+
+func (q *delayQueue) push(d delayedEnv) {
+	d.order = q.next
+	q.next++
+	q.items = append(q.items, d)
+	sort.Slice(q.items, func(i, j int) bool {
+		if q.items[i].release != q.items[j].release {
+			return q.items[i].release < q.items[j].release
+		}
+		return q.items[i].order < q.items[j].order
+	})
+}
+
+func (q *delayQueue) popReady(tick int64) (delayedEnv, bool) {
+	if len(q.items) == 0 || q.items[0].release > tick {
+		return delayedEnv{}, false
+	}
+	d := q.items[0]
+	q.items = q.items[1:]
+	return d, true
+}
+
+// faultAction is the transport's verdict for one message.
+type faultAction int
+
+const (
+	actDeliver faultAction = iota
+	actDelay
+	actDrop
+	actDuplicate
+)
+
+// splitmix64 is the standard SplitMix64 finalizer — the same family the
+// tracer's deterministic RNG streams use.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash mixes the message identity into one deterministic word.
+func (p *FaultPlan) hash(src, dst, tag int, seq int64) uint64 {
+	h := splitmix64(p.Seed ^ 0x6368616f73) // "chaos"
+	h = splitmix64(h ^ uint64(src)<<32 ^ uint64(uint32(dst)))
+	h = splitmix64(h ^ uint64(tag))
+	h = splitmix64(h ^ uint64(seq))
+	return h
+}
+
+// Decide returns the fault verdict and tick delay for one message,
+// purely from the plan's seed and the message identity. Exposed so the
+// chaos harness can prove seed-determinism directly.
+func (p *FaultPlan) Decide(src, dst, tag int, seq int64) (action string, delay int64) {
+	a, d := p.decide(src, dst, tag, seq)
+	switch a {
+	case actDrop:
+		return "drop", 0
+	case actDuplicate:
+		return "duplicate", d
+	case actDelay:
+		return "delay", d
+	}
+	return "deliver", 0
+}
+
+func (p *FaultPlan) decide(src, dst, tag int, seq int64) (faultAction, int64) {
+	h := p.hash(src, dst, tag, seq)
+	u := float64(h>>11) / float64(1<<53)
+	maxDelay := p.MaxDelayTicks
+	if maxDelay <= 0 {
+		maxDelay = 64
+	}
+	delay := 1 + int64(splitmix64(h)%uint64(maxDelay))
+	switch {
+	case u < p.DropFrac:
+		return actDrop, 0
+	case u < p.DropFrac+p.DupFrac:
+		return actDuplicate, delay
+	case u < p.DropFrac+p.DupFrac+p.DelayFrac:
+		return actDelay, delay
+	}
+	return actDeliver, 0
+}
+
+// SetFaultPlan attaches plan to the communicator. It must be called
+// before any traffic and at most once; the plan's runtime state is
+// bound to this Comm.
+func (c *Comm) SetFaultPlan(plan *FaultPlan) {
+	if c.plan != nil {
+		panic("simmpi: fault plan already attached")
+	}
+	if plan == nil {
+		return
+	}
+	plan.chans = make(map[chanKey]*channelState)
+	plan.dead = make([]atomic.Bool, c.size)
+	plan.sends = make([]atomic.Int64, c.size)
+	c.plan = plan
+}
+
+// FaultStats snapshots the attached plan's fault counters (zero value
+// when no plan is attached).
+func (c *Comm) FaultStats() FaultStats {
+	p := c.plan
+	if p == nil {
+		return FaultStats{}
+	}
+	return FaultStats{
+		Delayed:    p.stats.delayed.Load(),
+		Dropped:    p.stats.dropped.Load(),
+		Duplicated: p.stats.duplicated.Load(),
+		Deduped:    p.stats.deduped.Load(),
+		DeadLetter: p.stats.deadLetter.Load(),
+	}
+}
+
+// PendingDelayed returns the number of messages still held by the fault
+// plane (in-flight at the time of the call).
+func (c *Comm) PendingDelayed() int {
+	p := c.plan
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	held := len(p.delayed.items)
+	for _, ch := range p.chans {
+		held += len(ch.held)
+	}
+	return held
+}
+
+// FlushDelayed releases every delayed message immediately, delivering
+// it through the ordinary reassembly path (duplicates are still
+// discarded). Used by shutdown accounting: after a completed solve the
+// only held messages are trailing duplicate copies, so flushing must
+// leave no unexpected messages behind.
+func (c *Comm) FlushDelayed() {
+	p := c.plan
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		d, ok := p.delayed.popReady(1 << 62)
+		if !ok {
+			return
+		}
+		c.deliverOrderedLocked(d.dst, d.env)
+	}
+}
+
+// channel returns (creating if needed) the state for key. Caller holds
+// p.mu.
+func (p *FaultPlan) channel(key chanKey) *channelState {
+	ch, ok := p.chans[key]
+	if !ok {
+		ch = &channelState{}
+		p.chans[key] = ch
+	}
+	return ch
+}
+
+// faultySend runs one send through the fault plane. It is the
+// plan-attached counterpart of the direct delivery in Isend.
+func (c *Comm) faultySend(src, dst, tag int, env *envelope) {
+	p := c.plan
+	sendIdx := p.sends[src].Add(1) - 1
+
+	// Kill check: crossing the kill threshold marks the rank dead
+	// forever; dead ranks neither send nor receive.
+	if k, ok := p.Kills[src]; ok && sendIdx >= k {
+		p.dead[src].Store(true)
+	}
+	if p.dead[src].Load() || p.dead[dst].Load() {
+		p.stats.deadLetter.Add(1)
+		return
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := chanKey{src, dst, tag}
+	ch := p.channel(key)
+	env.seq = ch.nextSend
+	ch.nextSend++
+
+	tick := p.tick.Add(1)
+	action, delay := p.decide(src, dst, tag, env.seq)
+
+	// A stalled rank holds its sends for the stall window regardless of
+	// the per-message verdict (drops still drop).
+	if st, ok := p.Stalls[src]; ok && sendIdx >= st.After && action != actDrop {
+		if action == actDeliver {
+			action = actDelay
+		}
+		if delay < st.Ticks {
+			delay = st.Ticks
+		}
+	}
+
+	switch action {
+	case actDrop:
+		p.stats.dropped.Add(1)
+	case actDuplicate:
+		p.stats.duplicated.Add(1)
+		c.deliverOrderedLocked(dst, env)
+		dup := &envelope{source: env.source, tag: env.tag, data: env.data, seq: env.seq}
+		p.delayed.push(delayedEnv{release: tick + delay, dst: dst, env: dup})
+	case actDelay:
+		p.stats.delayed.Add(1)
+		p.delayed.push(delayedEnv{release: tick + delay, dst: dst, env: env})
+	default:
+		c.deliverOrderedLocked(dst, env)
+	}
+}
+
+// deliverOrderedLocked pushes env through the channel-order
+// reassembly: in-sequence envelopes are delivered (plus any successors
+// they unblock), early ones are held, and repeats are discarded. Caller
+// holds p.mu; mailbox locks nest inside it.
+func (c *Comm) deliverOrderedLocked(dst int, env *envelope) {
+	p := c.plan
+	key := chanKey{env.source, dst, env.tag}
+	ch := p.channel(key)
+	switch {
+	case env.seq < ch.nextRecv:
+		p.stats.deduped.Add(1)
+		return
+	case env.seq > ch.nextRecv:
+		for _, h := range ch.held {
+			if h.seq == env.seq {
+				p.stats.deduped.Add(1)
+				return
+			}
+		}
+		ch.held = append(ch.held, env)
+		return
+	}
+	c.deliver(dst, env)
+	ch.nextRecv++
+	// Flush any held successors that are now in sequence.
+	for {
+		found := false
+		for i, h := range ch.held {
+			if h.seq == ch.nextRecv {
+				ch.held = append(ch.held[:i], ch.held[i+1:]...)
+				c.deliver(dst, h)
+				ch.nextRecv++
+				found = true
+				break
+			}
+		}
+		if !found {
+			return
+		}
+	}
+}
+
+// pump advances the logical clock by one tick and delivers any delayed
+// messages that have come due. Called from Request.Test, so any polling
+// loop doubles as the transport's progress engine.
+func (c *Comm) pump() {
+	p := c.plan
+	tick := p.tick.Add(1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		d, ok := p.delayed.popReady(tick)
+		if !ok {
+			return
+		}
+		if p.dead[d.dst].Load() || p.dead[d.env.source].Load() {
+			p.stats.deadLetter.Add(1)
+			continue
+		}
+		c.deliverOrderedLocked(d.dst, d.env)
+	}
+}
+
+// Cancel removes a posted, still-unmatched receive from its mailbox and
+// completes it with a negative Count so Wait never hangs on it. It
+// returns true if the receive was cancelled, false if it had already
+// matched (or is not a receive). This is the MPI_Cancel analogue the
+// scheduler's abort path uses so a failed timestep leaks no requests.
+func (c *Comm) Cancel(r *Request) bool {
+	if r == nil || r.kind != kindRecv || r.Test() {
+		return false
+	}
+	box := &c.boxes[r.rank]
+	box.mu.Lock()
+	for i, pr := range box.posted {
+		if pr == r {
+			box.posted = append(box.posted[:i], box.posted[i+1:]...)
+			box.mu.Unlock()
+			r.complete(nil, Status{Source: -1, Tag: -1, Count: -1})
+			return true
+		}
+	}
+	box.mu.Unlock()
+	return false
+}
+
+// Cancelled reports whether the request was completed by Cancel rather
+// than by a matching message.
+func (r *Request) Cancelled() bool {
+	return r.Test() && r.Status().Count < 0
+}
+
+// String renders the plan for logs.
+func (p *FaultPlan) String() string {
+	return fmt.Sprintf("FaultPlan{seed=%d delay=%g dup=%g drop=%g kills=%d stalls=%d}",
+		p.Seed, p.DelayFrac, p.DupFrac, p.DropFrac, len(p.Kills), len(p.Stalls))
+}

@@ -1,0 +1,219 @@
+package simmpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pollDone spins Test (which pumps the fault plane's clock) until the
+// request completes or the poll budget runs out.
+func pollDone(r *Request, budget int) bool {
+	for i := 0; i < budget; i++ {
+		if r.Test() {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFaultDecisionsDeterministic: the per-message verdict is a pure
+// function of (seed, src, dst, tag, seq) — the chaos invariant's "same
+// seed => same fault sequence" leg.
+func TestFaultDecisionsDeterministic(t *testing.T) {
+	mk := func(seed uint64) *FaultPlan {
+		return &FaultPlan{Seed: seed, DelayFrac: 0.3, DupFrac: 0.2, DropFrac: 0.1}
+	}
+	a, b := mk(7), mk(7)
+	other := mk(8)
+	differs := false
+	for src := 0; src < 3; src++ {
+		for tag := 0; tag < 5; tag++ {
+			for seq := int64(0); seq < 40; seq++ {
+				actA, delayA := a.Decide(src, 1, tag, seq)
+				actB, delayB := b.Decide(src, 1, tag, seq)
+				if actA != actB || delayA != delayB {
+					t.Fatalf("seed 7 disagrees with itself at (%d,%d,%d): %s/%d vs %s/%d",
+						src, tag, seq, actA, delayA, actB, delayB)
+				}
+				if actO, delayO := other.Decide(src, 1, tag, seq); actO != actA || delayO != delayA {
+					differs = true
+				}
+			}
+		}
+	}
+	if !differs {
+		t.Error("seeds 7 and 8 produced identical fault sequences over 600 messages")
+	}
+}
+
+// TestDelayAndDuplicateAreSurvivable: a delay+duplicate schedule must
+// deliver every payload exactly once, in channel order, with duplicates
+// discarded — the property that makes such schedules survivable.
+func TestDelayAndDuplicateAreSurvivable(t *testing.T) {
+	c := NewComm(2)
+	c.SetFaultPlan(&FaultPlan{Seed: 42, DelayFrac: 0.5, DupFrac: 0.4, MaxDelayTicks: 16})
+
+	const perTag, tags = 8, 4
+	var reqs []*Request
+	for tag := 0; tag < tags; tag++ {
+		for i := 0; i < perTag; i++ {
+			c.Isend(0, 1, tag, []byte(fmt.Sprintf("t%d-m%d", tag, i)))
+		}
+		for i := 0; i < perTag; i++ {
+			reqs = append(reqs, c.Irecv(1, 0, tag))
+		}
+	}
+	for i, r := range reqs {
+		if !pollDone(r, 10000) {
+			t.Fatalf("recv %d never completed under a survivable schedule", i)
+		}
+	}
+	// Non-overtaking survives the faults: payloads arrive in per-tag
+	// send order.
+	for tag := 0; tag < tags; tag++ {
+		for i := 0; i < perTag; i++ {
+			want := fmt.Sprintf("t%d-m%d", tag, i)
+			if got := string(reqs[tag*perTag+i].Data()); got != want {
+				t.Fatalf("tag %d recv %d: got %q want %q", tag, i, got, want)
+			}
+		}
+	}
+	st := c.FaultStats()
+	if st.Delayed == 0 || st.Duplicated == 0 {
+		t.Errorf("schedule injected nothing: %+v", st)
+	}
+	if st.Dropped != 0 || st.DeadLetter != 0 {
+		t.Errorf("survivable schedule dropped traffic: %+v", st)
+	}
+	// Trailing duplicate copies are the only thing still in flight;
+	// flushing them must leave the mailboxes clean.
+	c.FlushDelayed()
+	if n := c.PendingDelayed(); n != 0 {
+		t.Errorf("%d messages still held after flush", n)
+	}
+	if n := c.PendingUnexpected(1); n != 0 {
+		t.Errorf("%d unexpected messages leaked (duplicates not deduped)", n)
+	}
+	if got := c.FaultStats().Deduped; got != st.Duplicated {
+		t.Errorf("deduped %d of %d duplicated deliveries", got, st.Duplicated)
+	}
+}
+
+// TestDroppedMessageNeverArrivesAndCancelReclaims: a dropped message
+// leaves its receive pending forever; Cancel reclaims the posted
+// request so shutdown accounting sees no leak.
+func TestDroppedMessageNeverArrivesAndCancelReclaims(t *testing.T) {
+	c := NewComm(2)
+	c.SetFaultPlan(&FaultPlan{Seed: 1, DropFrac: 1})
+	c.Isend(0, 1, 5, []byte("lost"))
+	r := c.Irecv(1, 0, 5)
+	if pollDone(r, 2000) {
+		t.Fatal("receive completed although every message is dropped")
+	}
+	if st := c.FaultStats(); st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
+	}
+	if c.PendingPosted(1) != 1 {
+		t.Fatalf("posted = %d, want 1", c.PendingPosted(1))
+	}
+	if !c.Cancel(r) {
+		t.Fatal("Cancel refused a pending receive")
+	}
+	if c.PendingPosted(1) != 0 {
+		t.Error("cancelled receive still posted")
+	}
+	if !r.Cancelled() {
+		t.Error("request does not report cancellation")
+	}
+	if c.Cancel(r) {
+		t.Error("Cancel succeeded twice on one request")
+	}
+	// A completed receive cannot be cancelled.
+	c2 := NewComm(2)
+	c2.Isend(0, 1, 0, []byte("x"))
+	done := c2.Irecv(1, 0, 0)
+	if c2.Cancel(done) {
+		t.Error("Cancel succeeded on a matched receive")
+	}
+	if done.Cancelled() {
+		t.Error("matched receive reports cancellation")
+	}
+}
+
+// TestKilledRankGoesSilent: after the kill threshold the rank's
+// messages (outbound and inbound) vanish, observable only as missing
+// traffic.
+func TestKilledRankGoesSilent(t *testing.T) {
+	c := NewComm(3)
+	c.SetFaultPlan(&FaultPlan{Seed: 3, Kills: map[int]int64{1: 2}})
+
+	// First two sends from rank 1 get through.
+	c.Isend(1, 0, 0, []byte("a"))
+	c.Isend(1, 0, 1, []byte("b"))
+	if !pollDone(c.Irecv(0, 1, 0), 100) || !pollDone(c.Irecv(0, 1, 1), 100) {
+		t.Fatal("pre-kill messages did not arrive")
+	}
+	// The third send crosses the threshold: rank 1 is dead.
+	c.Isend(1, 0, 2, []byte("c"))
+	if pollDone(c.Irecv(0, 1, 2), 500) {
+		t.Fatal("post-kill send arrived")
+	}
+	// Inbound traffic to the dead rank vanishes too.
+	c.Isend(2, 1, 3, []byte("d"))
+	if pollDone(c.Irecv(1, 2, 3), 500) {
+		t.Fatal("send to a dead rank arrived")
+	}
+	if st := c.FaultStats(); st.DeadLetter != 2 {
+		t.Errorf("dead letters = %d, want 2", st.DeadLetter)
+	}
+}
+
+// TestStalledRankRecovers: a stall is a long finite delay — traffic
+// resumes and completes, unlike a kill.
+func TestStalledRankRecovers(t *testing.T) {
+	c := NewComm(2)
+	c.SetFaultPlan(&FaultPlan{Seed: 9, Stalls: map[int]Stall{0: {After: 1, Ticks: 200}}})
+	c.Isend(0, 1, 0, []byte("before"))
+	c.Isend(0, 1, 1, []byte("stalled"))
+	r0 := c.Irecv(1, 0, 0)
+	r1 := c.Irecv(1, 0, 1)
+	if !pollDone(r0, 100) {
+		t.Fatal("pre-stall message did not arrive")
+	}
+	if r1.Test() {
+		t.Fatal("stalled message arrived instantly")
+	}
+	if !pollDone(r1, 5000) {
+		t.Fatal("stalled message never released")
+	}
+	if string(r1.Data()) != "stalled" {
+		t.Fatalf("stalled payload corrupted: %q", r1.Data())
+	}
+	if st := c.FaultStats(); st.Delayed != 1 {
+		t.Errorf("delayed = %d, want 1", st.Delayed)
+	}
+}
+
+// TestWaitPollsUnderFaults: Wait must not park forever when completion
+// needs clock ticks.
+func TestWaitPollsUnderFaults(t *testing.T) {
+	c := NewComm(2)
+	c.SetFaultPlan(&FaultPlan{Seed: 5, DelayFrac: 1, MaxDelayTicks: 8})
+	c.Isend(0, 1, 0, []byte("late"))
+	r := c.Irecv(1, 0, 0)
+	if st := r.Wait(); st.Count != 4 {
+		t.Fatalf("Wait returned count %d", st.Count)
+	}
+}
+
+// TestSetFaultPlanTwicePanics documents the attach-once contract.
+func TestSetFaultPlanTwicePanics(t *testing.T) {
+	c := NewComm(1)
+	c.SetFaultPlan(&FaultPlan{Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("second SetFaultPlan did not panic")
+		}
+	}()
+	c.SetFaultPlan(&FaultPlan{Seed: 2})
+}

@@ -24,6 +24,7 @@ package simmpi
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -71,10 +72,27 @@ type Request struct {
 }
 
 // Test reports whether the operation has completed. It never blocks.
-func (r *Request) Test() bool { return r.done.Load() }
+// Under an attached FaultPlan each Test also advances the transport's
+// logical clock one tick, so polling loops drive delayed deliveries.
+func (r *Request) Test() bool {
+	if r.done.Load() {
+		return true
+	}
+	if c := r.comm; c != nil && c.plan != nil {
+		c.pump()
+	}
+	return r.done.Load()
+}
 
 // Wait blocks until the operation completes and returns its status.
+// Under a FaultPlan it polls (deliveries need clock ticks); otherwise
+// it parks on the completion channel.
 func (r *Request) Wait() Status {
+	if c := r.comm; c != nil && c.plan != nil {
+		for !r.Test() {
+			runtime.Gosched()
+		}
+	}
 	<-r.doneCh
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -107,10 +125,13 @@ func (r *Request) complete(data []byte, st Status) {
 	}
 }
 
-// envelope is an in-flight message buffered at the destination.
+// envelope is an in-flight message buffered at the destination. seq is
+// the per-(source, dst, tag) channel sequence number, assigned and
+// consumed only by the fault plane (zero otherwise).
 type envelope struct {
 	source, tag int
 	data        []byte
+	seq         int64
 }
 
 // mailbox holds a destination rank's unmatched messages and posted
@@ -143,6 +164,10 @@ type Comm struct {
 
 	collOnce sync.Once
 	coll     *collectiveState
+
+	// plan is the optional fault-injection plane (SetFaultPlan). It is
+	// written once before any traffic and read-only afterwards.
+	plan *FaultPlan
 }
 
 // NewComm creates a communicator with size ranks.
@@ -186,22 +211,34 @@ func (c *Comm) Isend(src, dst, tag int, data []byte) *Request {
 	c.sentBytes[src].Add(int64(len(buf)))
 
 	env := &envelope{source: src, tag: tag, data: buf}
+	if c.plan != nil {
+		// Faulty transport: the plan decides whether (and when) the
+		// envelope reaches the destination; the eager send request is
+		// complete either way — the sender cannot observe the fault.
+		c.faultySend(src, dst, tag, env)
+		return req
+	}
+	c.deliver(dst, env)
+	return req
+}
+
+// deliver lands env at rank dst: match a posted receive in post order
+// (non-overtaking) or buffer it as unexpected.
+func (c *Comm) deliver(dst int, env *envelope) {
 	box := &c.boxes[dst]
 	box.mu.Lock()
-	// Try to match a posted receive, in post order (non-overtaking).
 	for i, pr := range box.posted {
 		if matches(pr, env) {
 			box.posted = append(box.posted[:i], box.posted[i+1:]...)
 			box.mu.Unlock()
 			c.recvMsgs[dst].Add(1)
-			c.recvBytes[dst].Add(int64(len(buf)))
+			c.recvBytes[dst].Add(int64(len(env.data)))
 			pr.complete(env.data, Status{Source: env.source, Tag: env.tag, Count: len(env.data)})
-			return req
+			return
 		}
 	}
 	box.unexpected = append(box.unexpected, env)
 	box.mu.Unlock()
-	return req
 }
 
 // Irecv posts a nonblocking receive on rank dst for a message from
