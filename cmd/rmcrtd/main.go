@@ -20,6 +20,13 @@
 // On SIGINT/SIGTERM the daemon stops accepting work and drains queued
 // and running solves under -drain; whatever is still running at the
 // deadline is cancelled cooperatively.
+//
+// With -journal the daemon keeps a write-ahead job journal: every
+// accepted job is durably recorded before it runs, and a restart
+// replays the journal so jobs that were queued or running at a crash
+// are re-enqueued with their original IDs. With -ckpt-dir, solves
+// additionally checkpoint per-patch progress so a recovered job resumes
+// from its last finished patch instead of re-solving from scratch.
 package main
 
 import (
@@ -43,14 +50,26 @@ func main() {
 	cacheN := flag.Int("cache", 64, "result cache entries (negative disables)")
 	maxCells := flag.Int64("max-cells", 1<<21, "per-job fine-level cell budget")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
+	journal := flag.String("journal", "", "write-ahead job journal path (empty = jobs do not survive restarts)")
+	ckptDir := flag.String("ckpt-dir", "", "per-job solve checkpoint directory (empty = no mid-solve checkpoints)")
 	flag.Parse()
 
-	mgr := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheN,
-		MaxCells:     *maxCells,
+	mgr, err := service.Recover(service.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheEntries:  *cacheN,
+		MaxCells:      *maxCells,
+		JournalPath:   *journal,
+		CheckpointDir: *ckptDir,
 	})
+	if err != nil {
+		log.Fatalf("rmcrtd: recover: %v", err)
+	}
+	if *journal != "" {
+		rs := mgr.Recovery()
+		log.Printf("rmcrtd: journal %s: replayed %d records, recovered %d jobs (torn tail: %v)",
+			*journal, rs.RecordsReplayed, rs.JobsRecovered, rs.TornTail)
+	}
 	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(mgr)}
 
 	errCh := make(chan error, 1)

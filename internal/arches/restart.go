@@ -1,7 +1,9 @@
 package arches
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 
 	"github.com/uintah-repro/rmcrt/internal/field"
 	"github.com/uintah-repro/rmcrt/internal/grid"
@@ -57,4 +59,99 @@ func Restart(cfg Config, lvl *grid.Level, abskg *field.CC[float64], a *uda.Archi
 	s.DivQ = dq
 	s.step = ts
 	return s, nil
+}
+
+// CheckpointPolicy says when Run snapshots the solver state into the
+// archive. The zero value never checkpoints.
+type CheckpointPolicy struct {
+	// Every checkpoints after every Every-th completed timestep (0 =
+	// never). A crash then costs at most Every-1 recomputed steps plus
+	// the step in flight.
+	Every int
+	// OnFailure additionally checkpoints the last *completed* step when
+	// Advance fails (e.g. a transient sched.ErrRankLost from the
+	// radiation backend), so a resume pays zero recomputation. The
+	// failed step itself never modified T or the step counter, so the
+	// snapshot is consistent.
+	OnFailure bool
+	// Keep bounds how many checkpoints are retained (0 = all); older
+	// ones are pruned oldest-first after each new snapshot.
+	Keep int
+}
+
+// Run advances the solver up to n steps of length dt, checkpointing into
+// a per the policy (a may be nil when the policy never checkpoints). It
+// returns how many steps completed. On an Advance error the solver is
+// left at its last consistent state — already persisted when
+// pol.OnFailure is set — and the error is returned unwrapped for
+// errors.Is matching.
+func (s *Solver) Run(a *uda.Archive, n int, dt float64, pol CheckpointPolicy) (int, error) {
+	ckpt := func() error {
+		if err := s.Checkpoint(a); err != nil {
+			return err
+		}
+		return pruneCheckpoints(a, pol.Keep)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Advance(dt); err != nil {
+			if pol.OnFailure && a != nil {
+				if cerr := ckpt(); cerr != nil {
+					return i, errors.Join(err, cerr)
+				}
+			}
+			return i, err
+		}
+		if a != nil && pol.Every > 0 && s.step%pol.Every == 0 {
+			if err := ckpt(); err != nil {
+				return i + 1, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// pruneCheckpoints drops the oldest checkpoints beyond the retention
+// bound.
+func pruneCheckpoints(a *uda.Archive, keep int) error {
+	if keep <= 0 {
+		return nil
+	}
+	ts := a.Timesteps()
+	for len(ts) > keep {
+		if err := a.RemoveTimestep(ts[0]); err != nil {
+			return err
+		}
+		ts = ts[1:]
+	}
+	return nil
+}
+
+// ResumeFrom reopens the checkpoint archive at dir after a crash,
+// quarantines any torn timesteps (uda.OpenRepair), and restarts from the
+// newest checkpoint that loads whole — falling back to older ones past
+// any that are corrupt, so a crash mid-checkpoint-write never loses the
+// run. It returns the resumed solver and the quarantined timesteps.
+// Configuration and grid must match the original run, as with Restart.
+func ResumeFrom(cfg Config, lvl *grid.Level, abskg *field.CC[float64], dir string) (*Solver, []int, error) {
+	a, torn, err := uda.OpenRepair(dir)
+	if err != nil {
+		return nil, torn, fmt.Errorf("arches: resume: %w", err)
+	}
+	a.Strict = true // a NaN in a restart field would poison the whole resumed run
+	tss := a.Timesteps()
+	for i := len(tss) - 1; i >= 0; i-- {
+		s, err := Restart(cfg, lvl, abskg, a, tss[i])
+		if err == nil {
+			return s, torn, nil
+		}
+		// Fall back past damage a crash can cause: corrupt payloads and
+		// half-written checkpoints (one of the two labels missing when
+		// the crash hit between the payload writes). Anything else —
+		// grid mismatch, real I/O failure — is a misconfigured resume
+		// that older checkpoints cannot fix.
+		if !errors.Is(err, uda.ErrCorrupt) && !errors.Is(err, uda.ErrNonFinite) && !errors.Is(err, fs.ErrNotExist) {
+			return nil, torn, err
+		}
+	}
+	return nil, torn, fmt.Errorf("arches: resume: no loadable checkpoint in %s", dir)
 }

@@ -1,0 +1,240 @@
+package arches
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/uda"
+)
+
+// ckptConfig is the shared configuration for the checkpoint-policy
+// tests: radiation on (so the period phase matters) but cheap.
+func ckptConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RadPeriod = 3
+	cfg.Radiation.NRays = 8
+	return cfg
+}
+
+func hotInit(x, y, z float64) float64 { return 900 + 200*x }
+
+// TestRunCheckpointEvery: Run with Every=2 leaves checkpoints at steps
+// 2, 4, ... and the final state equals step-by-step Advance.
+func TestRunCheckpointEvery(t *testing.T) {
+	cfg := ckptConfig()
+	s := newSolver(t, cfg, 6, hotInit)
+	a, err := uda.Create(t.TempDir(), "every")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := s.Run(a, 7, 1e-3, CheckpointPolicy{Every: 2})
+	if err != nil || done != 7 {
+		t.Fatalf("Run = %d, %v", done, err)
+	}
+	got := a.Timesteps()
+	want := []int{2, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("checkpoints at %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("checkpoints at %v, want %v", got, want)
+		}
+	}
+
+	ref := newSolver(t, cfg, 6, hotInit)
+	for i := 0; i < 7; i++ {
+		if err := ref.Advance(1e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range ref.T.Data() {
+		if v != s.T.Data()[i] {
+			t.Fatalf("Run diverged from Advance loop at cell %d", i)
+		}
+	}
+}
+
+// TestRunKeepPrunes: retention bound Keep=2 holds only the newest two
+// checkpoints.
+func TestRunKeepPrunes(t *testing.T) {
+	s := newSolver(t, ckptConfig(), 4, hotInit)
+	a, err := uda.Create(t.TempDir(), "keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(a, 8, 1e-3, CheckpointPolicy{Every: 2, Keep: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Timesteps()
+	if len(got) != 2 || got[0] != 6 || got[1] != 8 {
+		t.Fatalf("retained checkpoints %v, want [6 8]", got)
+	}
+}
+
+// TestResumeFromNewestBitwise: crash after step 7 with checkpoints every
+// 2 resumes from step 6 and finishes bit-identical to an uninterrupted
+// run — the resume recomputes exactly one step.
+func TestResumeFromNewestBitwise(t *testing.T) {
+	cfg := ckptConfig()
+	const steps, crashAt = 12, 7
+	dt := 1e-3
+
+	ref := newSolver(t, cfg, 6, hotInit)
+	for i := 0; i < steps; i++ {
+		if err := ref.Advance(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir := t.TempDir()
+	victim := newSolver(t, cfg, 6, hotInit)
+	a, err := uda.Create(dir, "crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := victim.Run(a, crashAt, dt, CheckpointPolicy{Every: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated SIGKILL: the in-memory solver is abandoned; only the
+	// archive survives.
+	resumed, torn, err := ResumeFrom(cfg, victim.level, victim.Abskg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(torn) != 0 {
+		t.Fatalf("clean archive quarantined %v", torn)
+	}
+	if resumed.Step() != 6 {
+		t.Fatalf("resumed from step %d, want 6", resumed.Step())
+	}
+	if _, err := resumed.Run(nil, steps-resumed.Step(), dt, CheckpointPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ref.T.Data() {
+		if v != resumed.T.Data()[i] {
+			t.Fatalf("resume diverged at cell %d: %v vs %v", i, v, resumed.T.Data()[i])
+		}
+	}
+}
+
+// TestResumeFromSkipsTornCheckpoint: tearing the newest checkpoint makes
+// ResumeFrom quarantine it and fall back to the previous one; the run
+// still finishes bit-identical.
+func TestResumeFromSkipsTornCheckpoint(t *testing.T) {
+	cfg := ckptConfig()
+	dir := t.TempDir()
+	victim := newSolver(t, cfg, 6, hotInit)
+	a, err := uda.Create(dir, "torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := victim.Run(a, 6, 1e-3, CheckpointPolicy{Every: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the newest checkpoint (t0006) mid-payload.
+	p := filepath.Join(dir, "t0006", "checkpoint_T.p0.bin")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data[:len(data)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, torn, err := ResumeFrom(cfg, victim.level, victim.Abskg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(torn) != 1 || torn[0] != 6 {
+		t.Fatalf("quarantined %v, want [6]", torn)
+	}
+	if resumed.Step() != 4 {
+		t.Fatalf("resumed from step %d, want 4", resumed.Step())
+	}
+
+	ref := newSolver(t, cfg, 6, hotInit)
+	for i := 0; i < 10; i++ {
+		if err := ref.Advance(1e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := resumed.Run(nil, 10-resumed.Step(), 1e-3, CheckpointPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ref.T.Data() {
+		if v != resumed.T.Data()[i] {
+			t.Fatalf("resume-after-quarantine diverged at cell %d", i)
+		}
+	}
+}
+
+// TestResumeFromHalfWrittenCheckpoint: a crash between the two payload
+// writes of one checkpoint (divQ missing) falls back to the previous
+// checkpoint instead of failing.
+func TestResumeFromHalfWrittenCheckpoint(t *testing.T) {
+	cfg := ckptConfig()
+	dir := t.TempDir()
+	victim := newSolver(t, cfg, 6, hotInit)
+	a, err := uda.Create(dir, "half")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := victim.Run(a, 6, 1e-3, CheckpointPolicy{Every: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "t0006", "checkpoint_divQ.p0.bin")); err != nil {
+		t.Fatal(err)
+	}
+	resumed, _, err := ResumeFrom(cfg, victim.level, victim.Abskg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Step() != 4 {
+		t.Fatalf("resumed from step %d, want 4", resumed.Step())
+	}
+}
+
+// TestResumeFromRejectsNonFinite: a checkpoint whose bytes are intact
+// but whose values are NaN is rejected by the strict resume reader and
+// skipped.
+func TestResumeFromRejectsNonFinite(t *testing.T) {
+	cfg := ckptConfig()
+	dir := t.TempDir()
+	victim := newSolver(t, cfg, 6, hotInit)
+	a, err := uda.Create(dir, "nan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := victim.Run(a, 4, 1e-3, CheckpointPolicy{Every: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the newest T checkpoint with a NaN-poisoned field,
+	// through the archive so the CRC is valid.
+	bad := newSolver(t, cfg, 6, func(x, y, z float64) float64 { return math.NaN() })
+	if err := a.SaveCC(4, "checkpoint_T", 0, bad.T); err != nil {
+		t.Fatal(err)
+	}
+	resumed, _, err := ResumeFrom(cfg, victim.level, victim.Abskg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Step() != 2 {
+		t.Fatalf("resumed from step %d, want 2 (NaN checkpoint skipped)", resumed.Step())
+	}
+}
+
+// TestResumeFromEmptyArchiveFails: no checkpoints means no resume.
+func TestResumeFromEmptyArchiveFails(t *testing.T) {
+	cfg := ckptConfig()
+	dir := t.TempDir()
+	s := newSolver(t, cfg, 6, hotInit)
+	if _, err := uda.Create(dir, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ResumeFrom(cfg, s.level, s.Abskg, dir); err == nil {
+		t.Error("resume from an empty archive should fail")
+	}
+}

@@ -1,0 +1,374 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/uintah-repro/rmcrt/internal/arches"
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+	"github.com/uintah-repro/rmcrt/internal/service"
+	"github.com/uintah-repro/rmcrt/internal/uda"
+)
+
+// Kill-and-recover scenarios (experiment C3). The fault schedules in
+// chaos.go attack the transport mid-solve; these attack the *process* —
+// a simulated SIGKILL of the solver loop or the rmcrtd daemon at a
+// seeded point — and assert the crash-consistency contract:
+//
+//   - the resumed run finishes bitwise identical to a fault-free run
+//     (determinism + durable checkpoints);
+//   - recovery never loads a torn artifact: damaged checkpoints are
+//     quarantined or recomputed via typed errors, never half-read;
+//   - the recovered daemon's queue is exactly the pre-crash queue (same
+//     job IDs, journal replay).
+
+// SolverCrash scripts one kill-and-recover run of the arches solver
+// loop. The zero value takes the defaults noted per field.
+type SolverCrash struct {
+	// N is the grid resolution (default 6).
+	N int
+	// Steps is the full run length (default 12).
+	Steps int
+	// CrashAt is how many steps complete before the SIGKILL (default 7).
+	CrashAt int
+	// Every is the checkpoint interval (default 2).
+	Every int
+	// TearBytes, when > 0, truncates the newest checkpoint payload by
+	// that many bytes after the crash — the torn-write case on top of
+	// the plain kill.
+	TearBytes int
+	// Dt is the timestep (default 1e-3).
+	Dt float64
+}
+
+func (c SolverCrash) withDefaults() SolverCrash {
+	if c.N == 0 {
+		c.N = 6
+	}
+	if c.Steps == 0 {
+		c.Steps = 12
+	}
+	if c.CrashAt == 0 {
+		c.CrashAt = 7
+	}
+	if c.Every == 0 {
+		c.Every = 2
+	}
+	if c.Dt == 0 {
+		c.Dt = 1e-3
+	}
+	return c
+}
+
+// SolverRecovery is a solver kill-and-recover run's outcome.
+type SolverRecovery struct {
+	// ResumedFromStep is the checkpoint the recovery restarted from.
+	ResumedFromStep int
+	// RecomputedSteps is the crash's recomputation cost in timesteps.
+	RecomputedSteps int
+	// Quarantined lists checkpoint timesteps set aside as torn.
+	Quarantined []int
+	// Bitwise reports whether the resumed run's final temperature and
+	// divQ fields equal the uninterrupted run's exactly.
+	Bitwise bool
+}
+
+// solverRig builds the deterministic solver the scenario kills.
+func solverRig(n int) (arches.Config, *grid.Level, *field.CC[float64], error) {
+	cfg := arches.DefaultConfig()
+	cfg.RadPeriod = 3
+	cfg.Radiation.NRays = 8
+	g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(n), PatchSize: grid.Uniform(n)})
+	if err != nil {
+		return cfg, nil, nil, err
+	}
+	lvl := g.Levels[0]
+	abskg := field.NewCC[float64](lvl.IndexBox())
+	abskg.Fill(0.5)
+	return cfg, lvl, abskg, nil
+}
+
+func crashInit(x, y, z float64) float64 { return 900 + 200*x }
+
+// KillRecoverSolver runs the solver-loop scenario in dir: run with
+// checkpoints, kill at the scripted step (optionally tearing the newest
+// checkpoint), resume from the archive, finish, and compare bitwise
+// against an uninterrupted reference run.
+func KillRecoverSolver(dir string, sc SolverCrash) (*SolverRecovery, error) {
+	sc = sc.withDefaults()
+	if sc.CrashAt >= sc.Steps {
+		return nil, fmt.Errorf("chaos: crash at step %d is not inside the %d-step run", sc.CrashAt, sc.Steps)
+	}
+	cfg, lvl, abskg, err := solverRig(sc.N)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+
+	// Reference: the run the crash never happens to.
+	ref, err := arches.NewSolver(cfg, lvl, crashInit, abskg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	if _, err := ref.Run(nil, sc.Steps, sc.Dt, arches.CheckpointPolicy{}); err != nil {
+		return nil, fmt.Errorf("chaos: reference run: %w", err)
+	}
+
+	// Victim: checkpoints every sc.Every steps, then the process "dies" —
+	// the in-memory solver is abandoned and only the archive survives.
+	victim, err := arches.NewSolver(cfg, lvl, crashInit, abskg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	a, err := uda.Create(dir, "chaos kill-recover")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	if _, err := victim.Run(a, sc.CrashAt, sc.Dt, arches.CheckpointPolicy{Every: sc.Every}); err != nil {
+		return nil, fmt.Errorf("chaos: victim run: %w", err)
+	}
+	if sc.TearBytes > 0 {
+		if err := tearNewestPayload(dir, sc.TearBytes); err != nil {
+			return nil, err
+		}
+	}
+
+	resumed, torn, err := arches.ResumeFrom(cfg, lvl, abskg, dir)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: resume: %w", err)
+	}
+	out := &SolverRecovery{
+		ResumedFromStep: resumed.Step(),
+		RecomputedSteps: sc.CrashAt - resumed.Step(),
+		Quarantined:     torn,
+	}
+	if _, err := resumed.Run(nil, sc.Steps-resumed.Step(), sc.Dt, arches.CheckpointPolicy{}); err != nil {
+		return out, fmt.Errorf("chaos: resumed run: %w", err)
+	}
+	out.Bitwise = fieldsEqual(ref.T, resumed.T) && fieldsEqual(ref.DivQ, resumed.DivQ)
+	return out, nil
+}
+
+func fieldsEqual(a, b *field.CC[float64]) bool {
+	if a.Box() != b.Box() {
+		return false
+	}
+	for i, v := range a.Data() {
+		if b.Data()[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// tearNewestPayload truncates one payload of the newest timestep
+// directory under dir by n bytes — the torn write a mid-checkpoint
+// SIGKILL leaves when the filesystem never saw the fsync complete.
+func tearNewestPayload(dir string, n int) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("chaos: tear: %w", err)
+	}
+	var tsDirs []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "t") {
+			tsDirs = append(tsDirs, e.Name())
+		}
+	}
+	if len(tsDirs) == 0 {
+		return fmt.Errorf("chaos: tear: no timestep directories in %s", dir)
+	}
+	sort.Strings(tsDirs)
+	newest := filepath.Join(dir, tsDirs[len(tsDirs)-1])
+	payloads, err := filepath.Glob(filepath.Join(newest, "*.bin"))
+	if err != nil || len(payloads) == 0 {
+		return fmt.Errorf("chaos: tear: no payloads in %s (%v)", newest, err)
+	}
+	sort.Strings(payloads)
+	p := payloads[0]
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return fmt.Errorf("chaos: tear: %w", err)
+	}
+	if n >= len(data) {
+		n = len(data) - 1
+	}
+	if err := os.WriteFile(p, data[:len(data)-n], 0o644); err != nil {
+		return fmt.Errorf("chaos: tear: %w", err)
+	}
+	return nil
+}
+
+// DaemonCrash scripts one kill-and-recover run of the rmcrtd job
+// manager. The zero value takes the defaults noted per field.
+type DaemonCrash struct {
+	// Spec is the job in flight at the crash (default: 2-level 8³ in 4³
+	// patches — 8 independently checkpointed problems).
+	Spec service.Spec
+	// CrashAfterProblems is how many per-patch problems finish (and
+	// checkpoint) before the SIGKILL (default 5).
+	CrashAfterProblems int
+	// TearBytes, when > 0, truncates one per-patch checkpoint payload by
+	// that many bytes after the crash.
+	TearBytes int
+}
+
+func (c DaemonCrash) withDefaults() DaemonCrash {
+	if c.Spec.N == 0 {
+		c.Spec = service.Spec{Kind: service.KindBenchmark, N: 8, Levels: 2, PatchN: 4, Rays: 6, Seed: 71}
+	}
+	if c.CrashAfterProblems == 0 {
+		c.CrashAfterProblems = 5
+	}
+	return c
+}
+
+// DaemonRecovery is a daemon kill-and-recover run's outcome.
+type DaemonRecovery struct {
+	// JobID is the job's ID, identical before and after the crash.
+	JobID string
+	// JobsRecovered is how many jobs the journal replay re-enqueued.
+	JobsRecovered int
+	// TornJournalTail reports whether recovery had to cut a torn record.
+	TornJournalTail bool
+	// ResumedProblems is how many per-patch results the recovered solve
+	// loaded from checkpoints instead of recomputing.
+	ResumedProblems int
+	// Bitwise reports whether the recovered job's divQ equals a clean
+	// in-process Spec.Solve exactly.
+	Bitwise bool
+}
+
+// KillRecoverDaemon runs the daemon scenario under root: start a
+// journaling, checkpointing manager, park its solve mid-job at the
+// scripted point, abandon the manager without shutdown (the in-process
+// stand-in for SIGKILL), optionally tear a checkpoint, then Recover a
+// fresh manager from the journal and let it finish the job.
+func KillRecoverDaemon(root string, dc DaemonCrash) (*DaemonRecovery, error) {
+	dc = dc.withDefaults()
+	journal := filepath.Join(root, "jobs.wal")
+	ckpts := filepath.Join(root, "ckpt")
+	spec := dc.Spec.Normalized()
+
+	// The victim daemon's solver checkpoints each problem, then parks on
+	// a gate once the scripted number have finished — frozen mid-solve,
+	// exactly where a SIGKILL catches a daemon. The gate opens only
+	// during cleanup, and then the parked solve aborts instead of
+	// finishing: the victim must never produce the answer.
+	gate := make(chan struct{})
+	errAbandoned := fmt.Errorf("chaos: victim daemon killed")
+	victim, err := service.Recover(service.Config{
+		Workers: 1, CacheEntries: -1, JournalPath: journal,
+		Solver: func(ctx context.Context, sp service.Spec) (*field.CC[float64], int64, int64, error) {
+			divQ, rays, steps, _, err := sp.SolveCheckpointed(ctx, service.CheckpointOptions{
+				Dir: filepath.Join(ckpts, sp.Key()),
+				BeforeProblem: func(done int) error {
+					if done >= dc.CrashAfterProblems {
+						select {
+						case <-gate:
+						case <-ctx.Done():
+						}
+						return errAbandoned
+					}
+					return nil
+				},
+			})
+			return divQ, rays, steps, err
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: victim daemon: %w", err)
+	}
+	defer func() {
+		close(gate)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		victim.Close(ctx)
+	}()
+	st, err := victim.Submit(spec)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: submit: %w", err)
+	}
+	if err := waitCheckpoints(filepath.Join(ckpts, spec.Key()), dc.CrashAfterProblems); err != nil {
+		return nil, err
+	}
+	// SIGKILL stand-in: the victim manager is abandoned un-Closed — its
+	// worker is parked inside the solve, its journal holds the job's
+	// submit record with no terminal record, its checkpoint archive
+	// holds the finished problems. Nothing is flushed or released.
+	if dc.TearBytes > 0 {
+		if err := tearNewestPayload(filepath.Join(ckpts, spec.Key()), dc.TearBytes); err != nil {
+			return nil, err
+		}
+	}
+
+	m, err := service.Recover(service.Config{
+		Workers: 1, CacheEntries: -1,
+		JournalPath:   journal,
+		CheckpointDir: ckpts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: recover daemon: %w", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	}()
+	rs := m.Recovery()
+	out := &DaemonRecovery{
+		JobID:           st.ID,
+		JobsRecovered:   rs.JobsRecovered,
+		TornJournalTail: rs.TornTail,
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	fin, err := m.Wait(ctx, st.ID)
+	if err != nil {
+		return out, fmt.Errorf("chaos: recovered job: %w", err)
+	}
+	if fin.State != service.StateDone {
+		return out, fmt.Errorf("chaos: recovered job ended %s: %s", fin.State, fin.Error)
+	}
+	// Counter registration is idempotent: this hands back the manager's
+	// own resumed-problems counter.
+	out.ResumedProblems = int(m.Registry().Counter(
+		"rmcrtd_ckpt_problems_resumed_total",
+		"solve problems restored from checkpoints instead of recomputed").Value())
+
+	got, _, _, err := m.Result(st.ID)
+	if err != nil {
+		return out, fmt.Errorf("chaos: result: %w", err)
+	}
+	want, _, _, err := spec.Solve(context.Background())
+	if err != nil {
+		return out, fmt.Errorf("chaos: clean solve: %w", err)
+	}
+	out.Bitwise = fieldsEqual(got, want)
+	return out, nil
+}
+
+// waitCheckpoints polls until the checkpoint archive holds n per-patch
+// payloads — the deterministic signal that the victim solve has reached
+// its parking point.
+func waitCheckpoints(dir string, n int) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		payloads, _ := filepath.Glob(filepath.Join(dir, "t0000", "*.bin"))
+		if len(payloads) >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: victim solve never checkpointed %d problems (have %d)", n, len(payloads))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestKillRecoverSolverBitwise: SIGKILL the solver loop at step 7 with
+// checkpoints every 2; the resumed run restarts from step 6 (resume
+// cost: 1 recomputed step) and finishes bitwise identical.
+func TestKillRecoverSolverBitwise(t *testing.T) {
+	out, err := KillRecoverSolver(t.TempDir(), SolverCrash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ResumedFromStep != 6 || out.RecomputedSteps != 1 {
+		t.Errorf("resumed from step %d (recomputed %d), want 6 (1)", out.ResumedFromStep, out.RecomputedSteps)
+	}
+	if len(out.Quarantined) != 0 {
+		t.Errorf("clean kill quarantined %v", out.Quarantined)
+	}
+	if !out.Bitwise {
+		t.Error("resumed run diverged from the uninterrupted run")
+	}
+}
+
+// TestKillRecoverSolverTornCheckpoint: the kill also tears the newest
+// checkpoint; recovery quarantines it (typed corruption, never loaded),
+// falls back one checkpoint, and still finishes bitwise identical.
+func TestKillRecoverSolverTornCheckpoint(t *testing.T) {
+	out, err := KillRecoverSolver(t.TempDir(), SolverCrash{TearBytes: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Quarantined) != 1 || out.Quarantined[0] != 6 {
+		t.Errorf("quarantined %v, want [6]", out.Quarantined)
+	}
+	if out.ResumedFromStep != 4 || out.RecomputedSteps != 3 {
+		t.Errorf("resumed from step %d (recomputed %d), want 4 (3)", out.ResumedFromStep, out.RecomputedSteps)
+	}
+	if !out.Bitwise {
+		t.Error("resume after quarantine diverged from the uninterrupted run")
+	}
+}
+
+// TestKillRecoverDaemonBitwise: SIGKILL the daemon with a job mid-solve
+// (5 of 8 patches checkpointed); the recovered daemon replays the
+// journal (same job ID), resumes the 5 finished patches from disk, and
+// serves the exact fault-free answer.
+func TestKillRecoverDaemonBitwise(t *testing.T) {
+	out, err := KillRecoverDaemon(t.TempDir(), DaemonCrash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.JobsRecovered != 1 {
+		t.Errorf("recovered %d jobs, want 1", out.JobsRecovered)
+	}
+	if out.TornJournalTail {
+		t.Error("clean kill reported a torn journal tail")
+	}
+	if out.ResumedProblems != 5 {
+		t.Errorf("resumed %d problems from checkpoints, want 5", out.ResumedProblems)
+	}
+	if !out.Bitwise {
+		t.Error("recovered daemon's answer differs from the fault-free solve")
+	}
+}
+
+// TestKillRecoverDaemonTornCheckpoint: the kill also tears one patch
+// checkpoint; the recovered daemon recomputes exactly that patch (typed
+// corruption, never loaded) and the answer is still exact.
+func TestKillRecoverDaemonTornCheckpoint(t *testing.T) {
+	out, err := KillRecoverDaemon(t.TempDir(), DaemonCrash{TearBytes: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.JobsRecovered != 1 {
+		t.Errorf("recovered %d jobs, want 1", out.JobsRecovered)
+	}
+	if out.ResumedProblems != 4 {
+		t.Errorf("resumed %d problems, want 4 (one torn checkpoint recomputed)", out.ResumedProblems)
+	}
+	if !out.Bitwise {
+		t.Error("recovered daemon's answer differs from the fault-free solve")
+	}
+}

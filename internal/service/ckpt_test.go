@@ -1,0 +1,264 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+)
+
+// ckptSpec is a 2-level spec that decomposes into 8 fine patches —
+// enough structure for partial-progress checkpointing to matter.
+func ckptSpec(seed uint64) Spec {
+	return Spec{Kind: KindBenchmark, N: 8, Levels: 2, PatchN: 4, Rays: 6, Seed: seed}
+}
+
+var errCrash = errors.New("injected crash")
+
+// crashAfter returns a BeforeProblem hook that fails once done problems
+// have finished.
+func crashAfter(n int) func(int) error {
+	return func(done int) error {
+		if done >= n {
+			return errCrash
+		}
+		return nil
+	}
+}
+
+// TestSolveCheckpointedMatchesSolve: with no prior state the
+// checkpointed solve returns exactly Solve's bits and cleans up after
+// itself.
+func TestSolveCheckpointedMatchesSolve(t *testing.T) {
+	spec := ckptSpec(11)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	got, _, _, resumed, err := spec.SolveCheckpointed(context.Background(), CheckpointOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 0 {
+		t.Fatalf("fresh solve resumed %d problems", resumed)
+	}
+	want, _, _, err := spec.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want.Data() {
+		if got.Data()[i] != w {
+			t.Fatalf("checkpointed solve differs at cell %d", i)
+		}
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Errorf("checkpoint dir survives a successful solve: %v", err)
+	}
+}
+
+// TestSolveCheckpointedResumesBitwise: crash after 3 of 8 problems; the
+// second attempt resumes those 3 from disk and still produces Solve's
+// exact bits.
+func TestSolveCheckpointedResumesBitwise(t *testing.T) {
+	spec := ckptSpec(12)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	_, _, _, _, err := spec.SolveCheckpointed(context.Background(), CheckpointOptions{
+		Dir:           dir,
+		BeforeProblem: crashAfter(3),
+	})
+	if !errors.Is(err, errCrash) {
+		t.Fatalf("crashed attempt error = %v", err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("checkpoint dir missing after crash: %v", err)
+	}
+
+	got, _, _, resumed, err := spec.SolveCheckpointed(context.Background(), CheckpointOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 3 {
+		t.Fatalf("resumed %d problems, want 3", resumed)
+	}
+	want, _, _, err := spec.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want.Data() {
+		if got.Data()[i] != w {
+			t.Fatalf("resumed solve differs at cell %d", i)
+		}
+	}
+}
+
+// TestSolveCheckpointedTornPatchRecomputed: tearing one saved patch
+// payload demotes exactly that problem back to recompute — never a
+// wrong or partial load.
+func TestSolveCheckpointedTornPatchRecomputed(t *testing.T) {
+	spec := ckptSpec(13)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	_, _, _, _, err := spec.SolveCheckpointed(context.Background(), CheckpointOptions{
+		Dir:           dir,
+		BeforeProblem: crashAfter(4),
+	})
+	if !errors.Is(err, errCrash) {
+		t.Fatal(err)
+	}
+	// Tear one checkpointed patch mid-payload.
+	torn := false
+	entries, err := os.ReadDir(filepath.Join(dir, "t0000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".bin") && !torn {
+			p := filepath.Join(dir, "t0000", e.Name())
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, data[:len(data)-9], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			torn = true
+		}
+	}
+	if !torn {
+		t.Fatal("no checkpointed payload to tear")
+	}
+
+	got, _, _, resumed, err := spec.SolveCheckpointed(context.Background(), CheckpointOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 3 {
+		t.Fatalf("resumed %d problems, want 3 (one torn checkpoint recomputed)", resumed)
+	}
+	want, _, _, err := spec.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want.Data() {
+		if got.Data()[i] != w {
+			t.Fatalf("post-tear solve differs at cell %d", i)
+		}
+	}
+}
+
+// TestSolveCheckpointedUnreadableArchiveReset: a trashed checkpoint
+// index is discarded and the solve starts clean — a checkpoint is never
+// a correctness input.
+func TestSolveCheckpointedUnreadableArchiveReset(t *testing.T) {
+	spec := ckptSpec(14)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, resumed, err := spec.SolveCheckpointed(context.Background(), CheckpointOptions{Dir: dir})
+	if err != nil || resumed != 0 {
+		t.Fatalf("solve over trashed archive = resumed %d, %v", resumed, err)
+	}
+	want, _, _, err := spec.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want.Data() {
+		if got.Data()[i] != w {
+			t.Fatalf("solve differs at cell %d", i)
+		}
+	}
+}
+
+// TestManagerCheckpointDirRecovery: end to end through the Manager — a
+// daemon dies mid-solve with checkpoints on; the recovered daemon
+// resumes the job from its checkpoints (observable in the resumed-
+// problems metric) and serves the exact answer.
+func TestManagerCheckpointDirRecovery(t *testing.T) {
+	root := t.TempDir()
+	journal := filepath.Join(root, "jobs.wal")
+	ckpts := filepath.Join(root, "ckpt")
+	spec := ckptSpec(15)
+
+	// Crashed incarnation: checkpoint each problem, then die (typed
+	// crash) after 5 of 8. Its solver mirrors checkpointedSolver with a
+	// fault injected — the Solver seam is exactly the place a SIGKILL
+	// would interrupt the real one.
+	crashed, err := Recover(Config{
+		Workers: 1, CacheEntries: -1, JournalPath: journal,
+		Solver: func(ctx context.Context, sp Spec) (out *field.CC[float64], rays, steps int64, err error) {
+			out, rays, steps, _, err = sp.SolveCheckpointed(ctx, CheckpointOptions{
+				Dir:           filepath.Join(ckpts, sp.Key()),
+				BeforeProblem: crashAfter(5),
+			})
+			return out, rays, steps, err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		crashed.Close(ctx)
+	})
+	st, err := crashed.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The injected crash is not transient, so the flight fails fast; the
+	// journal still holds the submit record because we do not Close —
+	// the daemon "died" before any terminal record could matter. To
+	// model the SIGKILL precisely, snapshot the journal *now* (post-
+	// submit) and restore it after the failure lands.
+	pre, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, crashed, st.ID, StateFailed)
+	if err := os.WriteFile(journal, pre, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := Recover(Config{
+		Workers: 1, CacheEntries: -1,
+		JournalPath:   journal,
+		CheckpointDir: ckpts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	if rs := m.Recovery(); rs.JobsRecovered != 1 {
+		t.Fatalf("recovery stats = %+v, want 1 job", rs)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fin, err := m.Wait(ctx, st.ID)
+	if err != nil || fin.State != StateDone {
+		t.Fatalf("recovered job = %+v, %v", fin, err)
+	}
+	if v := m.mResumedPatches.Value(); v != 5 {
+		t.Errorf("resumed-problems metric = %d, want 5", v)
+	}
+	got, _, _, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _, err := spec.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want.Data() {
+		if got.Data()[i] != w {
+			t.Fatalf("recovered result differs at cell %d", i)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(ckpts, spec.Key())); !os.IsNotExist(err) {
+		t.Errorf("checkpoint dir survives the completed job: %v", err)
+	}
+}

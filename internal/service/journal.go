@@ -1,0 +1,244 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The write-ahead job journal. rmcrtd's queue lives in memory; the
+// journal makes it survive the daemon: every accepted job appends a
+// submit record *before* it becomes runnable, every terminal transition
+// appends a matching close record, and startup replays the file to
+// rebuild exactly the queued + running set that existed at the crash.
+// Records are length-prefixed, CRC32-guarded, and fsync'd, so a torn
+// tail (the record being written when the daemon died) is detected as
+// the typed ErrTornJournal and cut off — never half-parsed into a
+// phantom job.
+
+// Journal record operations.
+const (
+	// OpSubmit records an accepted job: ID, Key and the normalized Spec.
+	OpSubmit = "submit"
+	// OpDone / OpFailed / OpCancelled close a job; a submit without a
+	// close is replayed at startup.
+	OpDone      = "done"
+	OpFailed    = "failed"
+	OpCancelled = "cancelled"
+)
+
+// JournalRecord is one journal entry.
+type JournalRecord struct {
+	Op  string `json:"op"`
+	ID  string `json:"id"`
+	Key string `json:"key,omitempty"`
+	// Spec rides along on submit records so replay can re-run the job.
+	Spec *Spec `json:"spec,omitempty"`
+	// Error carries the failure cause on failed records (diagnostic
+	// only; replay does not interpret it).
+	Error string `json:"error,omitempty"`
+}
+
+// ErrTornJournal marks a journal whose tail record is truncated or
+// corrupt — the expected signature of a crash mid-append. The valid
+// prefix is still returned alongside it.
+var ErrTornJournal = errors.New("service: torn journal record")
+
+// journal framing: [u32 length][u32 crc32(payload)][payload JSON].
+const (
+	journalHeaderLen = 8
+	maxJournalRecord = 1 << 20
+)
+
+// Journal is an append-only, fsync'd record log. Appends are
+// goroutine-safe.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// OpenJournal opens (creating if needed) the journal at path for
+// appending.
+func OpenJournal(path string) (*Journal, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: journal: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: journal: %w", err)
+	}
+	return &Journal{path: path, f: f}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append durably appends one record: the write is followed by an fsync,
+// so once Append returns the record survives a crash.
+func (j *Journal) Append(rec JournalRecord) error {
+	buf, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("service: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("service: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("service: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Compact atomically rewrites the journal to hold exactly recs (the
+// live set after a replay), via temp file + fsync + rename, and swaps
+// the append handle to the new file. Startup runs it so the journal
+// stays bounded by the live job set instead of growing forever.
+func (j *Journal) Compact(recs []JournalRecord) error {
+	var buf []byte
+	for _, rec := range recs {
+		b, err := encodeRecord(rec)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, b...)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(j.path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("service: journal compact: %w", err)
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(buf)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(name, j.path)
+	}
+	if werr != nil {
+		os.Remove(name)
+		return fmt.Errorf("service: journal compact: %w", werr)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	// Swap the append handle onto the compacted file; the old handle
+	// points at the unlinked inode (a zombie pre-crash process still
+	// holding it appends into the void, not into our live journal).
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: journal compact: %w", err)
+	}
+	if j.f != nil {
+		j.f.Close()
+	}
+	j.f = f
+	return nil
+}
+
+// Close releases the append handle. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+func encodeRecord(rec JournalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("service: journal encode: %w", err)
+	}
+	if len(payload) > maxJournalRecord {
+		return nil, fmt.Errorf("service: journal record %d bytes exceeds %d", len(payload), maxJournalRecord)
+	}
+	buf := make([]byte, journalHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[journalHeaderLen:], payload)
+	return buf, nil
+}
+
+// ReplayJournal reads the journal at path and returns every whole,
+// checksum-valid record in order. A missing file is an empty journal. A
+// torn or corrupt tail returns the valid prefix together with an error
+// wrapping ErrTornJournal — the caller decides whether that is the
+// expected crash residue (recover and compact) or a reason to refuse.
+func ReplayJournal(path string) ([]JournalRecord, error) {
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: journal replay: %w", err)
+	}
+	var recs []JournalRecord
+	off := 0
+	for off < len(buf) {
+		if len(buf)-off < journalHeaderLen {
+			return recs, fmt.Errorf("%w: %d-byte tail at offset %d", ErrTornJournal, len(buf)-off, off)
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off:]))
+		sum := binary.LittleEndian.Uint32(buf[off+4:])
+		if n > maxJournalRecord {
+			return recs, fmt.Errorf("%w: impossible record length %d at offset %d", ErrTornJournal, n, off)
+		}
+		if len(buf)-off-journalHeaderLen < n {
+			return recs, fmt.Errorf("%w: record at offset %d wants %d bytes, %d remain", ErrTornJournal, off, n, len(buf)-off-journalHeaderLen)
+		}
+		payload := buf[off+journalHeaderLen : off+journalHeaderLen+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, fmt.Errorf("%w: checksum mismatch at offset %d", ErrTornJournal, off)
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, fmt.Errorf("%w: undecodable record at offset %d: %v", ErrTornJournal, off, err)
+		}
+		recs = append(recs, rec)
+		off += journalHeaderLen + n
+	}
+	return recs, nil
+}
+
+// pendingAfter reduces a replayed record stream to the jobs that were
+// still queued or running at the crash: submits without a later close,
+// in submission order.
+func pendingAfter(recs []JournalRecord) []JournalRecord {
+	closed := make(map[string]bool)
+	for _, r := range recs {
+		if r.Op != OpSubmit {
+			closed[r.ID] = true
+		}
+	}
+	var pending []JournalRecord
+	for _, r := range recs {
+		if r.Op == OpSubmit && !closed[r.ID] && r.Spec != nil {
+			pending = append(pending, r)
+		}
+	}
+	return pending
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -137,13 +138,25 @@ type Config struct {
 	// is transient, and the solver is deterministic, so a retry that
 	// succeeds yields the exact answer the first attempt would have.
 	DisableRetry bool
-	// Solver overrides how a spec is solved (default Spec.Solve). The
-	// hook is the seam for alternate backends and for fault-injection
-	// tests; it must preserve Spec.Solve's determinism contract.
+	// Solver overrides how a spec is solved (default Spec.Solve, or the
+	// checkpointed solver when CheckpointDir is set). The hook is the
+	// seam for alternate backends and for fault-injection tests; it must
+	// preserve Spec.Solve's determinism contract.
 	Solver func(ctx context.Context, spec Spec) (*field.CC[float64], int64, int64, error)
 	// Metrics receives the service's instrumentation (a fresh registry
 	// is created when nil).
 	Metrics *metrics.Registry
+	// JournalPath, when set, enables the write-ahead job journal: every
+	// accepted job is durably recorded before it runs, and Recover
+	// replays the journal so queued and running jobs survive a daemon
+	// crash ("" = no journal).
+	JournalPath string
+	// CheckpointDir, when set (and Solver is not overridden), makes
+	// solves checkpoint per-problem progress under
+	// CheckpointDir/<spec key>, so a recovered job resumes from its last
+	// finished patch instead of re-solving from scratch ("" = no
+	// checkpoints).
+	CheckpointDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -182,35 +195,90 @@ type Manager struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
-	seq    int64
-	jobs   map[string]*Job
-	batch  *Batcher
-	cache  *cache
+	mu      sync.Mutex
+	closed  bool
+	seq     int64
+	jobs    map[string]*Job
+	batch   *Batcher
+	cache   *cache
+	journal *Journal
+
+	recovery RecoveryStats
 
 	mSubmitted, mRejected, mTooLarge            *metrics.Counter
 	mDone, mFailed, mCancelled                  *metrics.Counter
 	mCacheHit, mCacheMiss, mEvicted, mCoalesced *metrics.Counter
 	mRays, mSteps                               *metrics.Counter
 	mRetried, mDeadline                         *metrics.Counter
-	gQueued, gRunning                           *metrics.Gauge
+	mReplayed, mTornRecords, mRecovered         *metrics.Counter
+	mResumedPatches                             *metrics.Counter
+	gQueued, gRunning, gLastCkpt                *metrics.Gauge
 	hSolve                                      *metrics.Histogram
 }
 
-// New starts a Manager with cfg's worker pool running.
+// RecoveryStats describes what Recover rebuilt from the journal.
+type RecoveryStats struct {
+	// RecordsReplayed counts the whole, checksum-valid journal records.
+	RecordsReplayed int
+	// JobsRecovered counts the jobs re-enqueued because they were still
+	// queued or running at the crash.
+	JobsRecovered int
+	// TornTail reports that the journal ended in a torn record — the
+	// normal residue of a crash mid-append; the record was discarded.
+	TornTail bool
+}
+
+// New starts a Manager with cfg's worker pool running. It is
+// Recover with journal problems treated as fatal; daemons that
+// want to handle them use Recover directly.
 func New(cfg Config) *Manager {
+	m, err := Recover(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("service: %v", err))
+	}
+	return m
+}
+
+// Recover starts a Manager, first replaying cfg.JournalPath (when set):
+// jobs that were queued or running when the previous process died are
+// re-created with their original IDs and re-enqueued — coalescing and
+// the result cache apply as usual — before any worker starts. A torn
+// journal tail (crash mid-append) is discarded and noted in
+// RecoveryStats; any deeper journal damage is returned as an error. The
+// journal is compacted to the live job set on the way up.
+func Recover(cfg Config) (*Manager, error) {
+	useCkptSolver := cfg.Solver == nil && cfg.CheckpointDir != ""
 	cfg = cfg.withDefaults()
+
+	var recs []JournalRecord
+	tornTail := false
+	if cfg.JournalPath != "" {
+		var err error
+		recs, err = ReplayJournal(cfg.JournalPath)
+		if err != nil {
+			if !errors.Is(err, ErrTornJournal) {
+				return nil, err
+			}
+			tornTail = true
+		}
+	}
+	pending := pendingAfter(recs)
+
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
 		reg:        cfg.Metrics,
-		queue:      make(chan *flight, cfg.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
 		batch:      newBatcher(),
 		cache:      newCache(cfg.CacheEntries),
+	}
+	// The queue must hold every recovered flight on top of the normal
+	// depth, or replay would deadlock before the workers exist.
+	m.queue = make(chan *flight, cfg.QueueDepth+len(pending))
+	if useCkptSolver {
+		m.cfg.Solver = m.checkpointedSolver
 	}
 	r := m.reg
 	m.mSubmitted = r.Counter("rmcrtd_jobs_submitted_total", "jobs accepted into the queue")
@@ -227,9 +295,41 @@ func New(cfg Config) *Manager {
 	m.mDeadline = r.Counter("rmcrtd_jobs_deadline_exceeded_total", "jobs failed by the per-job deadline")
 	m.mRays = r.Counter("rmcrtd_rays_traced_total", "rays traced by completed solves")
 	m.mSteps = r.Counter("rmcrtd_cell_steps_total", "DDA cell steps taken by completed solves")
+	m.mReplayed = r.Counter("rmcrtd_journal_records_replayed_total", "journal records replayed at startup")
+	m.mTornRecords = r.Counter("rmcrtd_journal_torn_records_total", "torn journal tail records discarded at startup")
+	m.mRecovered = r.Counter("rmcrtd_jobs_recovered_total", "jobs re-enqueued from the journal at startup")
+	m.mResumedPatches = r.Counter("rmcrtd_ckpt_problems_resumed_total", "solve problems restored from checkpoints instead of recomputed")
 	m.gQueued = r.Gauge("rmcrtd_queue_depth", "solves waiting in the submission queue")
 	m.gRunning = r.Gauge("rmcrtd_jobs_running", "solves currently executing")
+	m.gLastCkpt = r.Gauge("rmcrtd_checkpoint_last_unix_seconds", "unix time of the most recent checkpoint write")
 	m.hSolve = r.Histogram("rmcrtd_solve_seconds", "solve wall time", metrics.DefBuckets)
+
+	// Restore the pre-crash queue before workers exist, so recovered
+	// flights run in their original submission order.
+	m.recovery = RecoveryStats{RecordsReplayed: len(recs), JobsRecovered: len(pending), TornTail: tornTail}
+	m.mReplayed.Add(int64(len(recs)))
+	if tornTail {
+		m.mTornRecords.Inc()
+	}
+	m.mRecovered.Add(int64(len(pending)))
+	for _, rec := range pending {
+		m.restoreJob(rec)
+	}
+	if cfg.JournalPath != "" {
+		j, err := OpenJournal(cfg.JournalPath)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		// Compact away closed jobs (and the torn tail, if any); the live
+		// submits were re-appended whole.
+		if err := j.Compact(pending); err != nil {
+			j.Close()
+			cancel()
+			return nil, err
+		}
+		m.journal = j
+	}
 
 	for w := 0; w < cfg.Workers; w++ {
 		m.wg.Add(1)
@@ -241,7 +341,64 @@ func New(cfg Config) *Manager {
 			}
 		}()
 	}
-	return m
+	return m, nil
+}
+
+// Recovery reports what the startup journal replay rebuilt.
+func (m *Manager) Recovery() RecoveryStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovery
+}
+
+// restoreJob re-creates one journaled job with its original ID and
+// enqueues (or coalesces) it. Runs during Recover, before any worker or
+// caller exists, so no locking is needed.
+func (m *Manager) restoreJob(rec JournalRecord) {
+	spec := rec.Spec.Normalized()
+	key := rec.Key
+	if key == "" {
+		key = spec.Key()
+	}
+	var n int64
+	if _, err := fmt.Sscanf(rec.ID, "j-%d", &n); err == nil && n > m.seq {
+		m.seq = n // later fresh submissions must not reuse recovered IDs
+	}
+	job := &Job{
+		id:        rec.ID,
+		key:       key,
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	if _, ok := m.batch.Attach(key, job); ok {
+		job.coalesced = true
+		m.jobs[job.id] = job
+		return
+	}
+	fctx, fcancel := context.WithCancel(m.baseCtx)
+	fl := &flight{key: key, spec: spec, ctx: fctx, cancel: fcancel, jobs: []*Job{job}, refs: 1}
+	m.queue <- fl // capacity was sized to hold every recovered flight
+	m.gQueued.Inc()
+	job.fl = fl
+	m.batch.Start(fl)
+	m.jobs[job.id] = job
+}
+
+// checkpointedSolver is the default solver when Config.CheckpointDir is
+// set: per-problem progress persists under CheckpointDir/<key>, so a
+// recovered job re-solves only the problems its previous incarnation
+// had not finished.
+func (m *Manager) checkpointedSolver(ctx context.Context, spec Spec) (*field.CC[float64], int64, int64, error) {
+	divQ, rays, steps, resumed, err := spec.SolveCheckpointed(ctx, CheckpointOptions{
+		Dir: filepath.Join(m.cfg.CheckpointDir, spec.Key()),
+		OnCheckpoint: func(int) {
+			m.gLastCkpt.Set(time.Now().Unix())
+		},
+	})
+	m.mResumedPatches.Add(int64(resumed))
+	return divQ, rays, steps, err
 }
 
 // Registry returns the manager's metrics registry (for /metrics).
@@ -289,6 +446,17 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 	}
 	m.mCacheMiss.Inc()
 
+	// Write-ahead: the job is durably journaled before it can run, so a
+	// crash between here and its terminal record replays it. A journal
+	// that cannot take the record refuses the job — accepting work the
+	// crash story cannot cover would be a silent downgrade.
+	if m.journal != nil {
+		sp := spec
+		if err := m.journal.Append(JournalRecord{Op: OpSubmit, ID: job.id, Key: key, Spec: &sp}); err != nil {
+			return JobStatus{}, err
+		}
+	}
+
 	// 2. Single-flight: an identical solve is already queued or running
 	// — attach to it instead of burning a second worker.
 	if _, ok := m.batch.Attach(key, job); ok {
@@ -307,6 +475,11 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 	default:
 		fcancel()
 		m.mRejected.Inc()
+		if m.journal != nil {
+			// Compensate the submit record so the rejected job is not
+			// resurrected by a replay.
+			_ = m.journal.Append(JournalRecord{Op: OpCancelled, ID: job.id, Key: key})
+		}
 		return JobStatus{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
 	}
 	m.gQueued.Inc()
@@ -410,6 +583,25 @@ func (m *Manager) finishLocked(j *Job, st State, divQ *field.CC[float64], err er
 		m.mFailed.Inc()
 	case StateCancelled:
 		m.mCancelled.Inc()
+	}
+	// Close the job's journal entry. Best-effort: a failed append only
+	// means the (terminal, already-answered) job is replayed and
+	// re-solved after a restart — wasted work, not a wrong answer.
+	// Cache-hit jobs were never journaled (they finish inside Submit).
+	if m.journal != nil && !j.fromCache {
+		rec := JournalRecord{ID: j.id, Key: j.key}
+		switch st {
+		case StateDone:
+			rec.Op = OpDone
+		case StateCancelled:
+			rec.Op = OpCancelled
+		default:
+			rec.Op = OpFailed
+			if err != nil {
+				rec.Error = err.Error()
+			}
+		}
+		_ = m.journal.Append(rec)
 	}
 }
 
@@ -535,12 +727,18 @@ func (m *Manager) Close(ctx context.Context) error {
 		m.wg.Wait()
 		close(drained)
 	}()
+	var err error
 	select {
 	case <-drained:
-		return nil
 	case <-ctx.Done():
 		m.baseCancel()
 		<-drained
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if m.journal != nil {
+		if jerr := m.journal.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
 }

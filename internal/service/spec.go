@@ -198,32 +198,39 @@ func (s Spec) fill(lvl *grid.Level, window grid.Box) (abskg, sigT4OverPi *field.
 	return abskg, sigT4OverPi, ct
 }
 
-// Solve runs the spec to completion under ctx and returns the
-// fine-level divQ field plus the ray/cell-step counts. It is the
-// worker-pool body, but is exported so results can be recomputed
-// directly (the determinism tests do exactly that).
-func (s Spec) Solve(ctx context.Context) (divQ *field.CC[float64], rays, steps int64, err error) {
+// problem is one independently solvable unit of a spec: a region of
+// the fine level plus the ray-tracing domain that computes it. Regions
+// of distinct problems are disjoint and their union covers the output
+// field, and each problem's result depends only on the (deterministic)
+// spec — which is what makes per-problem checkpointing sound.
+type problem struct {
+	id     int
+	region grid.Box
+	domain *rmcrt.Domain
+}
+
+// problems builds the output field and the ordered list of independent
+// solve units for the normalized, validated spec. Both Solve and
+// SolveCheckpointed run exactly this decomposition, so a resumed solve
+// recomputes the same problems an uninterrupted one would.
+func (s Spec) problems() (out *field.CC[float64], probs []problem, err error) {
 	n := s.Normalized()
 	if err := n.Validate(); err != nil {
-		return nil, 0, 0, err
+		return nil, nil, err
 	}
-	opts := n.Options()
 	if n.Levels == 1 {
 		g, err := grid.New(mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
 			grid.Spec{Resolution: grid.Uniform(n.N), PatchSize: grid.Uniform(n.N)})
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, nil, err
 		}
 		lvl := g.Levels[0]
 		a, sig, ct := n.fill(lvl, lvl.IndexBox())
 		d := &rmcrt.Domain{Levels: []rmcrt.LevelData{{
 			Level: lvl, ROI: lvl.IndexBox(), Abskg: a, SigmaT4OverPi: sig, CellType: ct,
 		}}}
-		out, err := d.SolveRegionCtx(ctx, lvl.IndexBox(), &opts)
-		if err != nil {
-			return nil, d.Rays.Load(), d.Steps.Load(), err
-		}
-		return out, d.Rays.Load(), d.Steps.Load(), nil
+		out = field.NewCC[float64](lvl.IndexBox())
+		return out, []problem{{id: 0, region: lvl.IndexBox(), domain: d}}, nil
 	}
 
 	// 2-level AMR: fine mesh per patch (patch + halo ROI), coarse
@@ -233,7 +240,7 @@ func (s Spec) Solve(ctx context.Context) (divQ *field.CC[float64], rays, steps i
 		grid.Spec{Resolution: grid.Uniform(coarseN), PatchSize: grid.Uniform(coarseN)},
 		grid.Spec{Resolution: grid.Uniform(n.N), PatchSize: grid.Uniform(n.PatchN)})
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, nil, err
 	}
 	fine, coarse := g.Levels[1], g.Levels[0]
 	fa, fs, fc := n.fill(fine, fine.IndexBox())
@@ -245,20 +252,47 @@ func (s Spec) Solve(ctx context.Context) (divQ *field.CC[float64], rays, steps i
 	field.CoarsenAverage(cs, fs, rrv)
 	field.CoarsenCellType(cc, fc, rrv)
 
-	out := field.NewCC[float64](fine.IndexBox())
-	for _, p := range fine.Patches {
+	out = field.NewCC[float64](fine.IndexBox())
+	for i, p := range fine.Patches {
 		roi := p.Cells.Grow(n.Halo).Intersect(fine.IndexBox())
 		d := &rmcrt.Domain{Levels: []rmcrt.LevelData{
 			{Level: coarse, ROI: coarse.IndexBox(), Abskg: ca, SigmaT4OverPi: cs, CellType: cc},
 			{Level: fine, ROI: roi, Abskg: fa, SigmaT4OverPi: fs, CellType: fc},
 		}}
-		part, err := d.SolveRegionCtx(ctx, p.Cells, &opts)
-		rays += d.Rays.Load()
-		steps += d.Steps.Load()
+		probs = append(probs, problem{id: i, region: p.Cells, domain: d})
+	}
+	return out, probs, nil
+}
+
+// solve runs one problem and copies its result into out, returning the
+// ray/cell-step counts of the attempt.
+func (pr problem) solve(ctx context.Context, opts *rmcrt.Options, out *field.CC[float64]) (rays, steps int64, err error) {
+	part, err := pr.domain.SolveRegionCtx(ctx, pr.region, opts)
+	rays, steps = pr.domain.Rays.Load(), pr.domain.Steps.Load()
+	if err != nil {
+		return rays, steps, err
+	}
+	pr.region.ForEach(func(c grid.IntVector) { out.Set(c, part.At(c)) })
+	return rays, steps, nil
+}
+
+// Solve runs the spec to completion under ctx and returns the
+// fine-level divQ field plus the ray/cell-step counts. It is the
+// worker-pool body, but is exported so results can be recomputed
+// directly (the determinism tests do exactly that).
+func (s Spec) Solve(ctx context.Context) (divQ *field.CC[float64], rays, steps int64, err error) {
+	out, probs, err := s.problems()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	opts := s.Options()
+	for _, pr := range probs {
+		r, st, err := pr.solve(ctx, &opts, out)
+		rays += r
+		steps += st
 		if err != nil {
 			return nil, rays, steps, err
 		}
-		p.Cells.ForEach(func(c grid.IntVector) { out.Set(c, part.At(c)) })
 	}
 	return out, rays, steps, nil
 }

@@ -1,0 +1,299 @@
+package uda
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+// mustSave writes a payload or fails the test.
+func mustSave(t *testing.T, a *Archive, ts int, label string, patch int, v *field.CC[float64]) {
+	t.Helper()
+	if err := a.SaveCC(ts, label, patch, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripSpecialValues: NaN, ±Inf and an empty window survive the
+// archive bit-exactly under the default (non-strict) reader.
+func TestRoundTripSpecialValues(t *testing.T) {
+	a, err := Create(t.TempDir(), "specials")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	box := grid.NewBox(grid.IV(0, 0, 0), grid.IV(2, 1, 2))
+	vals := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.0}
+	v := field.NewCCFrom(box, append([]float64(nil), vals...))
+	mustSave(t, a, 0, "specials", 0, v)
+	got, err := a.LoadCC(0, "specials", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range vals {
+		if math.Float64bits(got.Data()[i]) != math.Float64bits(want) {
+			t.Errorf("cell %d: got bits %x, want bits %x", i, math.Float64bits(got.Data()[i]), math.Float64bits(want))
+		}
+	}
+
+	// Empty window: zero cells, still a valid payload.
+	empty := field.NewCCFrom[float64](grid.NewBox(grid.IV(3, 3, 3), grid.IV(3, 5, 5)), nil)
+	mustSave(t, a, 1, "empty", 0, empty)
+	got, err = a.LoadCC(1, "empty", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Box() != empty.Box() || len(got.Data()) != 0 {
+		t.Errorf("empty window came back as %v with %d cells", got.Box(), len(got.Data()))
+	}
+}
+
+// TestStrictRejectsNonFinite: the same payload loads normally but fails
+// with ErrNonFinite once Strict is set.
+func TestStrictRejectsNonFinite(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Create(dir, "strict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := grid.NewBox(grid.IV(0, 0, 0), grid.IV(2, 2, 2))
+	for name, bad := range map[string]float64{"nan": math.NaN(), "posinf": math.Inf(1), "neginf": math.Inf(-1)} {
+		v := field.NewCC[float64](box)
+		v.Fill(1)
+		v.Set(grid.IV(1, 1, 1), bad)
+		mustSave(t, a, 0, name, 0, v)
+		if _, err := a.LoadCC(0, name, 0); err != nil {
+			t.Errorf("%s: non-strict load failed: %v", name, err)
+		}
+		a.Strict = true
+		if _, err := a.LoadCC(0, name, 0); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: strict load error = %v, want ErrNonFinite", name, err)
+		}
+		a.Strict = false
+	}
+	// Strict must not reject ordinary finite payloads.
+	v := field.NewCC[float64](box)
+	v.Fill(4.25)
+	mustSave(t, a, 1, "fine", 0, v)
+	a.Strict = true
+	if _, err := a.LoadCC(1, "fine", 0); err != nil {
+		t.Errorf("strict load of finite payload failed: %v", err)
+	}
+}
+
+// TestTruncationTyped: a torn payload fails with ErrTruncated, which is
+// also an ErrCorrupt.
+func TestTruncationTyped(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Create(dir, "torn")
+	box := grid.NewBox(grid.IV(0, 0, 0), grid.IV(3, 3, 3))
+	mustSave(t, a, 2, "v", 1, testVar(box))
+	p := filepath.Join(dir, "t0002", "v.p1.bin")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 9, len(data) - payloadHeaderLen, len(data) - 3} {
+		if err := os.WriteFile(p, data[:len(data)-n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := a.LoadCC(2, "v", 1)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("cut %d bytes: error %v is not ErrCorrupt", n, err)
+		}
+	}
+	// A clean header-only truncation is specifically ErrTruncated.
+	if err := os.WriteFile(p, data[:payloadHeaderLen+8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.LoadCC(2, "v", 1); !errors.Is(err, ErrTruncated) {
+		t.Errorf("mid-data truncation error = %v, want ErrTruncated", err)
+	}
+}
+
+// TestChecksumDetectsBitFlip: flipping one data byte fails the CRC with
+// the typed ErrChecksum.
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Create(dir, "flip")
+	box := grid.NewBox(grid.IV(0, 0, 0), grid.IV(2, 2, 2))
+	mustSave(t, a, 0, "v", 0, testVar(box))
+	p := filepath.Join(dir, "t0000", "v.p0.bin")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[payloadHeaderLen+5] ^= 0x40
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.LoadCC(0, "v", 0)
+	if !errors.Is(err, ErrChecksum) {
+		t.Errorf("error = %v, want ErrChecksum", err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("ErrChecksum does not wrap ErrCorrupt: %v", err)
+	}
+}
+
+// TestLegacyPayloadWithoutCRCLoads: payloads written before the CRC
+// trailer (exactly header+data long) still load.
+func TestLegacyPayloadWithoutCRCLoads(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Create(dir, "legacy")
+	box := grid.NewBox(grid.IV(0, 0, 0), grid.IV(2, 2, 2))
+	want := testVar(box)
+	mustSave(t, a, 0, "v", 0, want)
+	p := filepath.Join(dir, "t0000", "v.p0.bin")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the 4-byte CRC trailer to reconstruct the legacy framing.
+	if err := os.WriteFile(p, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.LoadCC(0, "v", 0)
+	if err != nil {
+		t.Fatalf("legacy payload rejected: %v", err)
+	}
+	box.ForEach(func(c grid.IntVector) {
+		if got.At(c) != want.At(c) {
+			t.Fatalf("legacy payload value mismatch at %v", c)
+		}
+	})
+}
+
+// TestVerifyRepairQuarantines: corrupting one of three timesteps makes
+// Verify report it and Repair quarantine exactly that one, after which
+// the archive is clean and the survivors still load.
+func TestVerifyRepairQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Create(dir, "repair")
+	box := grid.NewBox(grid.IV(0, 0, 0), grid.IV(2, 2, 2))
+	for _, ts := range []int{1, 2, 3} {
+		mustSave(t, a, ts, "T", 0, testVar(box))
+	}
+	p := filepath.Join(dir, "t0002", "T.p0.bin")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := a.Verify()
+	if len(bad) != 1 || bad[0].Timestep != 2 {
+		t.Fatalf("Verify = %v, want one finding at timestep 2", bad)
+	}
+	if !errors.Is(bad[0], ErrCorrupt) {
+		t.Errorf("finding %v is not ErrCorrupt", bad[0])
+	}
+
+	b, q, err := OpenRepair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 1 || q[0] != 2 {
+		t.Fatalf("quarantined %v, want [2]", q)
+	}
+	if got := b.Timesteps(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("timesteps after repair = %v, want [1 3]", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "t0002"+tornSuffix)); err != nil {
+		t.Errorf("torn timestep not quarantined aside: %v", err)
+	}
+	if bad := b.Verify(); len(bad) != 0 {
+		t.Errorf("archive still dirty after repair: %v", bad)
+	}
+	for _, ts := range []int{1, 3} {
+		if _, err := b.LoadCC(ts, "T", 0); err != nil {
+			t.Errorf("surviving timestep %d unloadable: %v", ts, err)
+		}
+	}
+}
+
+// TestVerifyFlagsMissingTimestepDir: an indexed timestep with no payload
+// directory on disk is a finding, not a panic.
+func TestVerifyFlagsMissingTimestepDir(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Create(dir, "missing")
+	box := grid.NewBox(grid.IV(0, 0, 0), grid.IV(2, 2, 2))
+	mustSave(t, a, 4, "T", 0, testVar(box))
+	if err := os.RemoveAll(filepath.Join(dir, "t0004")); err != nil {
+		t.Fatal(err)
+	}
+	bad := a.Verify()
+	if len(bad) != 1 || bad[0].Timestep != 4 {
+		t.Fatalf("Verify = %v, want one finding at timestep 4", bad)
+	}
+	if q, err := a.Repair(); err != nil || len(q) != 1 {
+		t.Fatalf("Repair = %v, %v", q, err)
+	}
+	if len(a.Timesteps()) != 0 {
+		t.Errorf("timesteps after repair = %v", a.Timesteps())
+	}
+}
+
+// TestRemoveTimestep: pruning drops the index entry and the payloads.
+func TestRemoveTimestep(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Create(dir, "prune")
+	box := grid.NewBox(grid.IV(0, 0, 0), grid.IV(2, 2, 2))
+	for _, ts := range []int{1, 2} {
+		mustSave(t, a, ts, "T", 0, testVar(box))
+	}
+	if err := a.RemoveTimestep(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Timesteps(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("timesteps = %v, want [2]", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "t0001")); !os.IsNotExist(err) {
+		t.Error("pruned timestep directory still on disk")
+	}
+	if err := a.RemoveTimestep(9); err == nil {
+		t.Error("removing an unknown timestep should fail")
+	}
+	// The change is durable: a fresh Open sees it.
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Timesteps(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("reopened timesteps = %v, want [2]", got)
+	}
+}
+
+// TestNoLingeringTempFiles: the atomic-write discipline never leaves
+// temp files behind on the happy path.
+func TestNoLingeringTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Create(dir, "tmp")
+	box := grid.NewBox(grid.IV(0, 0, 0), grid.IV(2, 2, 2))
+	for ts := 0; ts < 3; ts++ {
+		mustSave(t, a, ts, "T", 0, testVar(box))
+	}
+	if err := a.RemoveTimestep(1); err != nil {
+		t.Fatal(err)
+	}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if strings.Contains(d.Name(), ".tmp-") {
+			t.Errorf("lingering temp file %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

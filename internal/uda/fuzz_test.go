@@ -1,0 +1,64 @@
+package uda
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+// FuzzOpenPayload feeds arbitrary bytes — seeded with valid payloads,
+// truncations, and targeted mutations — through the payload decoder and
+// asserts the crash-consistency contract: the decoder never panics, and
+// every rejection is the typed ErrCorrupt (or ErrNonFinite in strict
+// mode). This is the read path a restart takes over a possibly-torn
+// archive, so "garbage in, typed error out" is a safety property.
+func FuzzOpenPayload(f *testing.F) {
+	valid := func(lo, hi grid.IntVector, vals ...float64) []byte {
+		box := grid.NewBox(lo, hi)
+		v := field.NewCC[float64](box)
+		for i := range vals {
+			if i < len(v.Data()) {
+				v.Data()[i] = vals[i]
+			}
+		}
+		return encodePayload(v)
+	}
+	whole := valid(grid.IV(0, 0, 0), grid.IV(2, 2, 2), 1.5, -3, math.NaN(), math.Inf(1))
+	f.Add(whole)
+	f.Add(whole[:len(whole)-4])       // legacy framing (no CRC)
+	f.Add(whole[:len(whole)-9])       // torn mid-data
+	f.Add(whole[:payloadHeaderLen-1]) // torn mid-header
+	f.Add([]byte{})
+	f.Add([]byte("UDA1"))
+	f.Add([]byte("XXXX garbage that is long enough to cover the header region ok"))
+	huge := append([]byte(nil), whole...)
+	for i := 4; i < payloadHeaderLen; i++ {
+		huge[i] = 0xff // absurd window coordinates and cell count
+	}
+	f.Add(huge)
+	empty := valid(grid.IV(1, 1, 1), grid.IV(2, 2, 2))
+	empty[payloadHeaderLen-8] = 0 // lie about the count: 0 cells for a 1-cell box
+	f.Add(empty)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, strict := range []bool{false, true} {
+			v, err := decodePayload(data, strict)
+			switch {
+			case err == nil:
+				if v == nil {
+					t.Fatalf("nil field with nil error (strict=%v)", strict)
+				}
+				if int64(len(v.Data())) != int64(v.Box().Volume()) {
+					t.Fatalf("decoded %d cells for box %v (strict=%v)", len(v.Data()), v.Box(), strict)
+				}
+			case errors.Is(err, ErrCorrupt) || errors.Is(err, ErrNonFinite):
+				// The contract: rejection is always typed.
+			default:
+				t.Fatalf("untyped decode error %v (strict=%v)", err, strict)
+			}
+		}
+	})
+}

@@ -12,15 +12,18 @@
 //	<dir>/t<NNNN>/<label>.p<patch>.bin   per-patch variable payloads
 //
 // Payload format (little-endian): magic "UDA1", the window box (6
-// int64s), the cell count (int64), then count float64s in the canonical
-// z-fastest order.
+// int64s), the cell count (int64), count float64s in the canonical
+// z-fastest order, then a CRC32 (IEEE) trailer over everything before
+// it. Payloads and the index are written crash-consistently (temp file
+// + fsync + rename + directory fsync; see durable.go), and torn or
+// corrupt payloads surface as typed errors (ErrCorrupt, ErrTruncated,
+// ErrChecksum) instead of bad data.
 package uda
 
 import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -30,6 +33,15 @@ import (
 )
 
 const magic = "UDA1"
+
+// payloadHeaderLen is magic + window box + cell count.
+const payloadHeaderLen = 4 + 6*8 + 8
+
+// Little-endian accessors shared by the payload codec.
+func putU64(b []byte, x uint64) { binary.LittleEndian.PutUint64(b, x) }
+func getU64(b []byte) uint64    { return binary.LittleEndian.Uint64(b) }
+func putU32(b []byte, x uint32) { binary.LittleEndian.PutUint32(b, x) }
+func getU32(b []byte) uint32    { return binary.LittleEndian.Uint32(b) }
 
 // Index is the archive's top-level metadata.
 type Index struct {
@@ -45,6 +57,11 @@ type Index struct {
 type Archive struct {
 	dir   string
 	index Index
+
+	// Strict, when set, makes every read reject NaN and ±Inf cells with
+	// ErrNonFinite. Checkpoint consumers set it: a non-finite value in a
+	// restart field poisons everything downstream of the resume.
+	Strict bool
 }
 
 // Create makes a new archive directory (which must not already contain
@@ -89,11 +106,10 @@ func (a *Archive) writeIndex() error {
 	if err != nil {
 		return fmt.Errorf("uda: %w", err)
 	}
-	tmp := filepath.Join(a.dir, "index.json.tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(filepath.Join(a.dir, "index.json"), data, 0o644); err != nil {
 		return fmt.Errorf("uda: %w", err)
 	}
-	return os.Rename(tmp, filepath.Join(a.dir, "index.json"))
+	return nil
 }
 
 func (a *Archive) tsDir(ts int) string { return filepath.Join(a.dir, fmt.Sprintf("t%04d", ts)) }
@@ -102,28 +118,17 @@ func payloadName(label string, patch int) string {
 	return fmt.Sprintf("%s.p%d.bin", label, patch)
 }
 
-// SaveCC writes a variable's patch window into timestep ts.
+// SaveCC writes a variable's patch window into timestep ts. The payload
+// is CRC-framed and written atomically (temp + fsync + rename), and the
+// index is updated the same way afterwards — so a crash at any point
+// leaves the archive loadable: either without the new payload, or with
+// it whole.
 func (a *Archive) SaveCC(ts int, label string, patch int, v *field.CC[float64]) error {
 	dir := a.tsDir(ts)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("uda: %w", err)
 	}
-	box := v.Box()
-	data := v.Data()
-	buf := make([]byte, 4+6*8+8+8*len(data))
-	copy(buf, magic)
-	off := 4
-	for _, x := range []int{box.Lo.X, box.Lo.Y, box.Lo.Z, box.Hi.X, box.Hi.Y, box.Hi.Z} {
-		binary.LittleEndian.PutUint64(buf[off:], uint64(int64(x)))
-		off += 8
-	}
-	binary.LittleEndian.PutUint64(buf[off:], uint64(len(data)))
-	off += 8
-	for _, x := range data {
-		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(x))
-		off += 8
-	}
-	if err := os.WriteFile(filepath.Join(dir, payloadName(label, patch)), buf, 0o644); err != nil {
+	if err := writeFileSync(filepath.Join(dir, payloadName(label, patch)), encodePayload(v), 0o644); err != nil {
 		return fmt.Errorf("uda: %w", err)
 	}
 	a.noteTimestep(ts)
@@ -131,36 +136,20 @@ func (a *Archive) SaveCC(ts int, label string, patch int, v *field.CC[float64]) 
 	return a.writeIndex()
 }
 
-// LoadCC reads a variable's patch window from timestep ts.
+// LoadCC reads a variable's patch window from timestep ts, verifying the
+// framing and CRC32 trailer. Torn or damaged payloads fail with a typed
+// error (ErrTruncated / ErrChecksum / ErrCorrupt); with Archive.Strict
+// set, non-finite cells fail with ErrNonFinite.
 func (a *Archive) LoadCC(ts int, label string, patch int) (*field.CC[float64], error) {
 	buf, err := os.ReadFile(filepath.Join(a.tsDir(ts), payloadName(label, patch)))
 	if err != nil {
 		return nil, fmt.Errorf("uda: %w", err)
 	}
-	if len(buf) < 4+6*8+8 || string(buf[:4]) != magic {
-		return nil, fmt.Errorf("uda: bad payload header for %s patch %d", label, patch)
+	v, err := decodePayload(buf, a.Strict)
+	if err != nil {
+		return nil, fmt.Errorf("%s patch %d at t%04d: %w", label, patch, ts, err)
 	}
-	off := 4
-	xs := make([]int, 6)
-	for i := range xs {
-		xs[i] = int(int64(binary.LittleEndian.Uint64(buf[off:])))
-		off += 8
-	}
-	box := grid.NewBox(grid.IV(xs[0], xs[1], xs[2]), grid.IV(xs[3], xs[4], xs[5]))
-	n := int(binary.LittleEndian.Uint64(buf[off:]))
-	off += 8
-	if n != box.Volume() {
-		return nil, fmt.Errorf("uda: payload count %d != box volume %d", n, box.Volume())
-	}
-	if len(buf) != off+8*n {
-		return nil, fmt.Errorf("uda: truncated payload (%d bytes, want %d)", len(buf), off+8*n)
-	}
-	data := make([]float64, n)
-	for i := range data {
-		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
-		off += 8
-	}
-	return field.NewCCFrom(box, data), nil
+	return v, nil
 }
 
 // SaveLevel writes every patch of a level's variable map in one call.

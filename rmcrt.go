@@ -201,6 +201,16 @@ var NewEnergySolver = arches.NewSolver
 // DefaultEnergyConfig returns furnace-gas-like defaults.
 func DefaultEnergyConfig() EnergyConfig { return arches.DefaultConfig() }
 
+// CheckpointPolicy says when EnergySolver.Run snapshots state into an
+// archive (every N steps, on failure, with a retention bound).
+type CheckpointPolicy = arches.CheckpointPolicy
+
+// ResumeSolverFrom reopens a checkpoint archive after a crash,
+// quarantines torn checkpoints, and restarts from the newest loadable
+// one — the resumed run continues bit-identical to an uninterrupted
+// run.
+var ResumeSolverFrom = arches.ResumeFrom
+
 // --- Performance models and scaling studies ------------------------------
 
 // Machine is a node/interconnect model; Titan returns the paper's

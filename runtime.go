@@ -123,10 +123,24 @@ const (
 // Archive is the UDA-style data archive (timestep output, checkpoints).
 type Archive = uda.Archive
 
-// CreateArchive makes a new archive directory; OpenArchive loads one.
+// CreateArchive makes a new archive directory; OpenArchive loads one;
+// OpenRepairArchive additionally quarantines torn timesteps (the
+// crash-recovery open path).
 var (
-	CreateArchive = uda.Create
-	OpenArchive   = uda.Open
+	CreateArchive     = uda.Create
+	OpenArchive       = uda.Open
+	OpenRepairArchive = uda.OpenRepair
+)
+
+// Typed archive corruption errors: a torn or damaged payload always
+// fails as ErrArchiveCorrupt (with ErrArchiveTruncated /
+// ErrArchiveChecksum as the specific causes); a strict reader rejects
+// non-finite cells with ErrArchiveNonFinite.
+var (
+	ErrArchiveCorrupt   = uda.ErrCorrupt
+	ErrArchiveTruncated = uda.ErrTruncated
+	ErrArchiveChecksum  = uda.ErrChecksum
+	ErrArchiveNonFinite = uda.ErrNonFinite
 )
 
 // ProductionConfig configures the coupled energy+radiation driver.
@@ -180,8 +194,32 @@ type SolveSpec = service.Spec
 // SolveJobStatus is a point-in-time snapshot of a job.
 type SolveJobStatus = service.JobStatus
 
-// NewSolveService starts the worker pool.
-var NewSolveService = service.New
+// NewSolveService starts the worker pool; RecoverSolveService is the
+// same start with journal replay surfaced as an error instead of a
+// panic.
+var (
+	NewSolveService     = service.New
+	RecoverSolveService = service.Recover
+)
+
+// SolveRecoveryStats reports what a journal replay rebuilt at startup.
+type SolveRecoveryStats = service.RecoveryStats
+
+// JobJournal is the service's write-ahead job journal; JournalRecord is
+// one entry; ErrTornJournal marks a journal with a truncated or corrupt
+// tail record (the residue of a crash mid-append).
+type (
+	JobJournal    = service.Journal
+	JournalRecord = service.JournalRecord
+)
+
+// OpenJobJournal opens (creating if needed) a journal for appending;
+// ReplayJobJournal reads one back.
+var (
+	OpenJobJournal   = service.OpenJournal
+	ReplayJobJournal = service.ReplayJournal
+	ErrTornJournal   = service.ErrTornJournal
+)
 
 // NewServiceHandler builds the rmcrtd HTTP API around a service.
 var NewServiceHandler = service.NewHandler
