@@ -9,7 +9,9 @@
 package rmcrt_test
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"testing"
@@ -360,6 +362,51 @@ func BenchmarkStratifiedVsPlain(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Performance gate: pinned end-to-end + calibration ------------------
+//
+// These two are part of cmd/perfgate's pinned set (with the engine
+// benchmarks in internal/rmcrt). BenchmarkServiceSolveEndToEnd covers
+// the whole serving path — admission, worker pool, tile-scheduled
+// solve, result handling; BenchmarkPerfCalibration is a fixed scalar
+// workload perfgate uses to normalize host speed when comparing runs
+// from different machines. Renames are baseline-breaking: regenerate
+// BENCH_rmcrt.json in the same commit.
+
+func BenchmarkServiceSolveEndToEnd(b *testing.B) {
+	m := rmcrt.NewSolveService(rmcrt.SolveServiceConfig{Workers: 2})
+	defer m.Close(context.Background())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh seed per iteration defeats the result cache, so every
+		// iteration pays for a real solve.
+		spec := rmcrt.SolveSpec{Kind: "benchmark", N: 12, Rays: 4, Seed: uint64(i) + 1}
+		st, err := m.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final, err := m.Wait(context.Background(), st.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if final.Error != "" {
+			b.Fatalf("solve failed: %s", final.Error)
+		}
+	}
+}
+
+func BenchmarkPerfCalibration(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		x := 1.0
+		for j := 0; j < 1000; j++ {
+			x = math.Exp(-x) + 0.5
+		}
+		sink += x
+	}
+	_ = sink
 }
 
 func BenchmarkDOM_SweepSerialVsParallel(b *testing.B) {

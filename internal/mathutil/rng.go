@@ -36,14 +36,21 @@ func NewRNG(seed uint64) *RNG {
 // identical sequences. This is the reproducibility contract RMCRT's
 // per-cell ray sampling relies on.
 func NewStream(seed, id uint64) *RNG {
-	x := seed ^ (id * 0x9e3779b97f4a7c15)
 	r := &RNG{}
+	r.SeedStream(seed, id)
+	return r
+}
+
+// SeedStream resets r in place to the start of stream id under seed —
+// the exact state NewStream(seed, id) would return, without the
+// allocation, so hot loops can reuse one generator across many streams.
+func (r *RNG) SeedStream(seed, id uint64) {
+	x := seed ^ (id * 0x9e3779b97f4a7c15)
 	r.s0 = splitmix64(&x)
 	r.s1 = splitmix64(&x)
 	r.s2 = splitmix64(&x)
 	r.s3 = splitmix64(&x)
 	r.init = true
-	return r
 }
 
 // Seed resets the generator state from seed.

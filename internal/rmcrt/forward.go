@@ -60,6 +60,9 @@ func (d *Domain) SolveForward(bundlesPerCell int, opts *Options) (*ForwardResult
 
 	res := &ForwardResult{DivQ: field.NewCC[float64](box)}
 	absorbed := field.NewCC[float64](box)
+	tc := newTraceCtx(opts)
+	var cnt traceCounters
+	defer cnt.flushTo(d)
 
 	// --- Volume emission --------------------------------------------
 	box.ForEach(func(c grid.IntVector) {
@@ -83,13 +86,13 @@ func (d *Domain) SolveForward(bundlesPerCell int, opts *Options) (*ForwardResult
 				Y: lo.Y + rng.Float64()*dx.Y,
 				Z: lo.Z + rng.Float64()*dx.Z,
 			}
-			d.traceForward(ld, origin, rng.UnitSphere(), perBundle, absorbed, res, opts)
+			d.traceForward(ld, origin, rng.UnitSphere(), perBundle, absorbed, res, &tc, &cnt)
 		}
 	})
 
 	// --- Wall emission ------------------------------------------------
 	if opts.WallSigmaT4 > 0 && opts.WallEmissivity > 0 {
-		d.emitFromWalls(ld, bundlesPerCell, absorbed, res, opts)
+		d.emitFromWalls(ld, bundlesPerCell, absorbed, res, opts, &tc, &cnt)
 	}
 
 	// divQ = (emitted − absorbed)/V per cell.
@@ -105,26 +108,26 @@ func (d *Domain) SolveForward(bundlesPerCell int, opts *Options) (*ForwardResult
 }
 
 // traceForward marches one photon bundle, depositing absorbed energy
-// into the tally until extinction or a wall.
+// into the tally until extinction or a wall. Ray/step tallies land in
+// the caller-private cnt, flushed once per solve.
 func (d *Domain) traceForward(ld *LevelData, origin, dir mathutil.Vec3, energy float64,
-	absorbed *field.CC[float64], res *ForwardResult, opts *Options) {
+	absorbed *field.CC[float64], res *ForwardResult, tc *traceCtx, cnt *traceCounters) {
 
 	res.Bundles++
-	d.Rays.Add(1)
+	cnt.rays++
 	lvl := ld.Level
 	cell := lvl.CellContaining(origin)
 	st := initMarch(lvl, cell, origin, dir, 0)
 	tCur := 0.0
-	maxSteps := opts.maxSteps()
 
-	for step := 0; step < maxSteps; step++ {
+	for step := 0; step < tc.maxSteps; step++ {
 		ax := st.nextAxis()
 		tNext := st.tMax.Component(ax)
 		ds := tNext - tCur
 		if ds < 0 {
 			ds = 0
 		}
-		d.Steps.Add(1)
+		cnt.steps++
 		kappa := ld.Abskg.At(st.cell)
 		// Fraction of the bundle absorbed across this segment.
 		f := 1 - math.Exp(-kappa*ds)
@@ -132,7 +135,7 @@ func (d *Domain) traceForward(ld *LevelData, origin, dir mathutil.Vec3, energy f
 		absorbed.Set(st.cell, absorbed.At(st.cell)+dep)
 		res.AbsorbedWatts += dep
 		energy -= dep
-		if energy < opts.Threshold*1e-3 {
+		if energy < tc.threshold*1e-3 {
 			// Deposit the residual where the bundle dies to conserve
 			// energy exactly.
 			absorbed.Set(st.cell, absorbed.At(st.cell)+energy)
@@ -158,7 +161,8 @@ func (d *Domain) traceForward(ld *LevelData, origin, dir mathutil.Vec3, energy f
 // emitFromWalls launches cosine-distributed bundles from every face
 // cell of the six enclosure walls.
 func (d *Domain) emitFromWalls(ld *LevelData, bundlesPerCell int,
-	absorbed *field.CC[float64], res *ForwardResult, opts *Options) {
+	absorbed *field.CC[float64], res *ForwardResult, opts *Options,
+	tc *traceCtx, cnt *traceCounters) {
 
 	lvl := ld.Level
 	n := lvl.Resolution
@@ -196,7 +200,7 @@ func (d *Domain) emitFromWalls(ld *LevelData, bundlesPerCell int,
 					default:
 						p = p.WithComponent(ax, lvl.DomainHi.Component(ax)-eps)
 					}
-					d.traceForward(ld, p, rng.CosineHemisphere(normal), perBundle, absorbed, res, opts)
+					d.traceForward(ld, p, rng.CosineHemisphere(normal), perBundle, absorbed, res, tc, cnt)
 				}
 			}
 		}

@@ -65,6 +65,11 @@ type Options struct {
 	// MaxSteps bounds the DDA loop as a safety net against degenerate
 	// directions; 0 means a generous default.
 	MaxSteps int
+	// TileSize is the edge length of the cubic work tiles the region
+	// solver schedules across workers; 0 means the default (8). Results
+	// are bitwise independent of the tile size — it only shapes
+	// scheduling granularity.
+	TileSize int
 }
 
 // DefaultOptions mirrors the paper's benchmark configuration: 100 rays
@@ -107,8 +112,23 @@ func (o Options) validate() error {
 		return errOpt("ScatterCoeff must be non-negative")
 	case o.HaloCells < 0:
 		return errOpt("HaloCells must be non-negative")
+	case o.TileSize < 0:
+		return errOpt("TileSize must be non-negative")
 	}
 	return nil
+}
+
+// defaultTileSize is the work-tile edge used when Options.TileSize is
+// zero: 8³ = 512 cells per tile keeps scheduling overhead negligible
+// (one atomic fetch-add per ~512·NRays ray marches) while giving even a
+// 32³ region 64 tiles to balance across workers.
+const defaultTileSize = 8
+
+func (o Options) tileSize() int {
+	if o.TileSize > 0 {
+		return o.TileSize
+	}
+	return defaultTileSize
 }
 
 type optErr string

@@ -67,9 +67,14 @@ func (d *Domain) SolveRadiometer(r Radiometer, opts *Options) (RadiometerReading
 	if err := d.Validate(); err != nil {
 		return RadiometerReading{}, err
 	}
-	id := math.Float64bits(r.Pos.X*3+r.Pos.Y*5+r.Pos.Z*7) ^ math.Float64bits(r.HalfAngle)
-	rng := mathutil.NewStream(opts.Seed^0x4ad10, id)
+	// Instrument streams live in the tagged non-cell namespace
+	// (streams.go), so a radiometer can never share a stream with a
+	// cell's rays.
+	rng := mathutil.NewStream(opts.Seed, radiometerStreamID(r))
 	cosH := math.Cos(r.HalfAngle)
+	tc := newTraceCtx(opts)
+	var cnt traceCounters
+	defer cnt.flushTo(d)
 
 	var sumI, sumCos float64
 	for i := 0; i < opts.NRays; i++ {
@@ -79,7 +84,7 @@ func (d *Domain) SolveRadiometer(r Radiometer, opts *Options) (RadiometerReading
 		phi := 2 * math.Pi * rng.Float64()
 		local := mathutil.Vec3{X: sinT * math.Cos(phi), Y: sinT * math.Sin(phi), Z: cosT}
 		dir := rotateTo(local, r.Dir)
-		I := d.TraceRay(r.Pos, dir, rng, opts)
+		I := d.traceRay(r.Pos, dir, rng, &tc, &cnt)
 		sumI += I
 		sumCos += I * cosT
 	}

@@ -1,0 +1,215 @@
+package rmcrt
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// Frozen copy of the seed tracing engine, kept verbatim (modulo
+// receiver plumbing) as the reference the tile engine is measured
+// against:
+//
+//   - seedTraceRay bumps the shared Domain.Steps/Rays atomics once per
+//     DDA step — the contended hot path the refactor removed — and
+//     re-reads the option-derived invariants per ray;
+//   - seedSolveRegion schedules x-slabs, clamping parallelism to
+//     region.Extent().X.
+//
+// The bitwise-identity tests prove the tile engine computes the exact
+// same divQ; the contention benchmarks keep the atomics here so the
+// before/after comparison measures what actually changed. Do not
+// "fix" or modernize this file — its value is being the seed.
+
+func seedTraceRay(d *Domain, origin, dir mathutil.Vec3, rng *mathutil.RNG, opts *Options) float64 {
+	d.Rays.Add(1)
+	li := len(d.Levels) - 1
+	ld := &d.Levels[li]
+	cell := ld.Level.CellContaining(origin)
+	st := initMarch(ld.Level, cell, origin, dir, 0)
+
+	sumI := 0.0
+	tau := 0.0
+	trans := 1.0
+	tCur := 0.0
+
+	scatterT := math.Inf(1)
+	if opts.ScatterCoeff > 0 && rng != nil {
+		scatterT = sampleScatterDistance(rng, opts.ScatterCoeff)
+	}
+	reflections := 0
+
+	maxSteps := opts.maxSteps()
+	for step := 0; step < maxSteps; step++ {
+		ax := st.nextAxis()
+		tNext := st.tMax.Component(ax)
+		ds := tNext - tCur
+		if ds < 0 {
+			ds = 0
+		}
+
+		if tCur+ds > scatterT && !math.IsInf(scatterT, 1) {
+			d.Steps.Add(1)
+			dsScat := scatterT - tCur
+			tauNew := tau + ld.Abskg.At(st.cell)*dsScat
+			transNew := math.Exp(-tauNew)
+			sumI += ld.SigmaT4OverPi.At(st.cell) * (trans - transNew)
+			tau, trans = tauNew, transNew
+
+			p := origin.Add(dir.Scale(scatterT))
+			dir = rng.UnitSphere()
+			origin = p
+			tCur = 0
+			st = initMarch(ld.Level, st.cell, origin, dir, 0)
+			scatterT = math.Inf(1)
+			continue
+		}
+
+		d.Steps.Add(1)
+		tauNew := tau + ld.Abskg.At(st.cell)*ds
+		transNew := math.Exp(-tauNew)
+		sumI += ld.SigmaT4OverPi.At(st.cell) * (trans - transNew)
+		tau, trans = tauNew, transNew
+
+		if trans < opts.Threshold {
+			return sumI
+		}
+
+		tCur = tNext
+		st.cell = st.cell.WithComponent(ax, st.cell.Component(ax)+st.step.Component(ax))
+		st.tMax = st.tMax.WithComponent(ax, st.tMax.Component(ax)+st.tDelta.Component(ax))
+
+		if !ld.ROI.Contains(st.cell) {
+			if li == 0 {
+				sumI += opts.wallIntensity() * trans
+				if !opts.Reflections || opts.WallEmissivity >= 1 ||
+					reflections >= opts.maxReflections() {
+					return sumI
+				}
+				trans *= 1 - opts.WallEmissivity
+				tau -= math.Log(1 - opts.WallEmissivity)
+				if trans < opts.Threshold {
+					return sumI
+				}
+				reflections++
+				inside := st.cell.WithComponent(ax, st.cell.Component(ax)-st.step.Component(ax))
+				p := origin.Add(dir.Scale(tCur))
+				dir = dir.WithComponent(ax, -dir.Component(ax))
+				origin, tCur = p, 0
+				st = initMarch(ld.Level, inside, origin, dir, 0)
+				continue
+			}
+			li--
+			ld = &d.Levels[li]
+			eps := 1e-9 * ld.Level.CellSize().MinComponent()
+			p := origin.Add(dir.Scale(tCur + eps))
+			ncell := ld.Level.CellContaining(p)
+			st = initMarch(ld.Level, ncell, p, dir, tCur)
+		}
+
+		if ld.CellType.At(st.cell) != field.Flow {
+			sumI += opts.WallEmissivity * ld.SigmaT4OverPi.At(st.cell) * trans
+			if !opts.Reflections || opts.WallEmissivity >= 1 ||
+				reflections >= opts.maxReflections() {
+				return sumI
+			}
+			trans *= 1 - opts.WallEmissivity
+			tau -= math.Log(1 - opts.WallEmissivity)
+			if trans < opts.Threshold {
+				return sumI
+			}
+			reflections++
+			inside := st.cell.WithComponent(ax, st.cell.Component(ax)-st.step.Component(ax))
+			p := origin.Add(dir.Scale(tCur))
+			dir = dir.WithComponent(ax, -dir.Component(ax))
+			origin, tCur = p, 0
+			st = initMarch(ld.Level, inside, origin, dir, 0)
+		}
+	}
+	return sumI
+}
+
+func seedSolveCell(d *Domain, c grid.IntVector, opts *Options) float64 {
+	ld := d.finest()
+	rng := mathutil.NewStream(opts.Seed, cellStreamID(c))
+	lvl := ld.Level
+	dx := lvl.CellSize()
+	lo := lvl.CellLo(c)
+
+	var shift1, shift2 float64
+	if opts.Stratified {
+		shift1, shift2 = rng.Float64(), rng.Float64()
+	}
+
+	sum := 0.0
+	for r := 0; r < opts.NRays; r++ {
+		var origin mathutil.Vec3
+		if opts.CellCenteredRays {
+			origin = lvl.CellCenter(c)
+		} else {
+			origin = mathutil.Vec3{
+				X: lo.X + rng.Float64()*dx.X,
+				Y: lo.Y + rng.Float64()*dx.Y,
+				Z: lo.Z + rng.Float64()*dx.Z,
+			}
+		}
+		var dir mathutil.Vec3
+		if opts.Stratified {
+			u1 := frac(mathutil.Halton(r, 2) + shift1)
+			u2 := frac(mathutil.Halton(r, 3) + shift2)
+			cosTheta := 2*u1 - 1
+			sinTheta := math.Sqrt(1 - cosTheta*cosTheta)
+			phi := 2 * math.Pi * u2
+			dir = mathutil.Vec3{X: sinTheta * math.Cos(phi), Y: sinTheta * math.Sin(phi), Z: cosTheta}
+		} else {
+			dir = rng.UnitSphere()
+		}
+		sum += seedTraceRay(d, origin, dir, rng, opts)
+	}
+	meanI := sum / float64(opts.NRays)
+	kappa := ld.Abskg.At(c)
+	return 4 * math.Pi * kappa * (ld.SigmaT4OverPi.At(c) - meanI)
+}
+
+func seedSolveRegion(d *Domain, region grid.Box, opts *Options) (*field.CC[float64], error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	ld := d.finest()
+	out := field.NewCC[float64](region)
+
+	nw := runtime.GOMAXPROCS(0)
+	if ext := region.Extent().X; nw > ext {
+		nw = ext
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for x := region.Lo.X + w; x < region.Hi.X; x += nw {
+				for y := region.Lo.Y; y < region.Hi.Y; y++ {
+					for z := region.Lo.Z; z < region.Hi.Z; z++ {
+						c := grid.IV(x, y, z)
+						if ld.CellType.At(c) != field.Flow {
+							continue
+						}
+						out.Set(c, seedSolveCell(d, c, opts))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out, nil
+}

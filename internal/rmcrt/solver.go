@@ -2,11 +2,7 @@ package rmcrt
 
 import (
 	"context"
-	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"github.com/uintah-repro/rmcrt/internal/field"
 	"github.com/uintah-repro/rmcrt/internal/grid"
@@ -16,22 +12,26 @@ import (
 // frac returns the fractional part of x in [0,1).
 func frac(x float64) float64 { return x - math.Floor(x) }
 
-// cellStreamID derives the deterministic RNG stream id for a cell, so a
-// cell's rays are identical regardless of which goroutine, patch
-// decomposition or machine traces them.
-func cellStreamID(c grid.IntVector) uint64 {
-	// Pack with generous per-axis ranges; offsets keep negatives away.
-	const off = 1 << 20
-	return (uint64(c.X+off) << 42) | (uint64(c.Y+off) << 21) | uint64(c.Z+off)
-}
-
 // SolveCell traces opts.NRays rays from cell c on the finest level and
 // returns the cell's divergence of the heat flux:
 //
 //	divQ(c) = 4π κ(c) (σT⁴(c)/π − mean sumI)
 func (d *Domain) SolveCell(c grid.IntVector, opts *Options) float64 {
+	tc := newTraceCtx(opts)
+	var cnt traceCounters
+	divQ := d.solveCell(c, &tc, &cnt)
+	cnt.flushTo(d)
+	return divQ
+}
+
+// solveCell is the engine-internal form of SolveCell: trace invariants
+// come precomputed in tc and ray/step tallies land in the worker-private
+// cnt (flushed by the caller once per tile, not per cell).
+func (d *Domain) solveCell(c grid.IntVector, tc *traceCtx, cnt *traceCounters) float64 {
 	ld := d.finest()
-	rng := mathutil.NewStream(opts.Seed, cellStreamID(c))
+	opts := tc.opts
+	rng := &tc.rng
+	rng.SeedStream(opts.Seed, cellStreamID(c))
 	lvl := ld.Level
 	dx := lvl.CellSize()
 	lo := lvl.CellLo(c)
@@ -66,7 +66,7 @@ func (d *Domain) SolveCell(c grid.IntVector, opts *Options) float64 {
 		} else {
 			dir = rng.UnitSphere()
 		}
-		sum += d.TraceRay(origin, dir, rng, opts)
+		sum += d.traceRay(origin, dir, rng, tc, cnt)
 	}
 	meanI := sum / float64(opts.NRays)
 	kappa := ld.Abskg.At(c)
@@ -75,84 +75,18 @@ func (d *Domain) SolveCell(c grid.IntVector, opts *Options) float64 {
 
 // SolveRegion computes divQ for every flow cell in region (finest-level
 // indices) into a new variable windowed on region. Opaque cells get 0.
-// Work is split across min(GOMAXPROCS, region thickness) goroutines by
-// x-slabs; determinism is unaffected because every cell has its own RNG
-// stream.
+// Work is tile-scheduled across GOMAXPROCS goroutines (see engine.go);
+// determinism is unaffected because every cell has its own RNG stream.
 func (d *Domain) SolveRegion(region grid.Box, opts *Options) (*field.CC[float64], error) {
 	return d.SolveRegionCtx(context.Background(), region, opts)
 }
 
-// cancelCheckEvery is how many cells each worker solves between context
-// polls. A cell costs NRays full ray marches, so even a small stride
-// bounds cancellation latency to well under a second while keeping the
-// poll off the per-ray hot path.
-const cancelCheckEvery = 16
-
-// SolveRegionCtx is SolveRegion with cooperative cancellation: every
-// worker polls ctx every cancelCheckEvery cells (on both the single-
-// and multi-level trace paths — they share this loop) and the call
-// returns ctx.Err() promptly once the context is cancelled, discarding
-// partial results.
+// SolveRegionCtx is SolveRegion with cooperative cancellation: workers
+// poll ctx between cells and the call returns a non-nil error promptly
+// once the context is cancelled, discarding partial results.
 func (d *Domain) SolveRegionCtx(ctx context.Context, region grid.Box, opts *Options) (*field.CC[float64], error) {
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	ld := d.finest()
-	if ld.ROI.Intersect(region) != region {
-		return nil, fmt.Errorf("rmcrt: region %v outside finest ROI %v", region, ld.ROI)
-	}
-	out := field.NewCC[float64](region)
-
-	nw := runtime.GOMAXPROCS(0)
-	if ext := region.Extent().X; nw > ext {
-		nw = ext
-	}
-	if nw < 1 {
-		nw = 1
-	}
-	done := ctx.Done()
-	var cancelled atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			solved := 0
-			for x := region.Lo.X + w; x < region.Hi.X; x += nw {
-				for y := region.Lo.Y; y < region.Hi.Y; y++ {
-					for z := region.Lo.Z; z < region.Hi.Z; z++ {
-						if solved%cancelCheckEvery == 0 {
-							select {
-							case <-done:
-								cancelled.Store(true)
-							default:
-							}
-							if cancelled.Load() {
-								return
-							}
-						}
-						solved++
-						c := grid.IV(x, y, z)
-						if ld.CellType.At(c) != field.Flow {
-							continue
-						}
-						out.Set(c, d.SolveCell(c, opts))
-					}
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	if cancelled.Load() || ctx.Err() != nil {
-		return nil, ctx.Err()
-	}
-	return out, nil
+	out, _, err := d.solveRegionTiled(ctx, region, opts)
+	return out, err
 }
 
 // Boundary flux -------------------------------------------------------
@@ -216,11 +150,17 @@ func (d *Domain) SolveWallFlux(face WallFace, opts *Options) (float64, error) {
 	eps := lvl.CellSize().MinComponent() * 1e-6
 	p = p.Add(n.Scale(eps))
 
-	rng := mathutil.NewStream(opts.Seed, uint64(face)+0xface)
+	// The face stream lives in the tagged non-cell namespace; the seed
+	// tracer used uint64(face)+0xface, which collides with the cell
+	// stream of (−2²⁰, −2²⁰, face+0xface−2²⁰) — see streams.go.
+	rng := mathutil.NewStream(opts.Seed, wallFaceStreamID(face))
+	tc := newTraceCtx(opts)
+	var cnt traceCounters
 	sum := 0.0
 	for r := 0; r < opts.NRays; r++ {
 		dir := rng.CosineHemisphere(n)
-		sum += d.TraceRay(p, dir, rng, opts)
+		sum += d.traceRay(p, dir, rng, &tc, &cnt)
 	}
+	cnt.flushTo(d)
 	return math.Pi * sum / float64(opts.NRays), nil
 }

@@ -1,0 +1,86 @@
+package rmcrt
+
+import (
+	"math"
+
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+// Deterministic RNG stream namespaces.
+//
+// Every random decision in the solver draws from a stream derived from
+// (Options.Seed, stream id). Determinism — and therefore patch-
+// decomposition invariance, result caching and bitwise-reproducible
+// restarts — rests on two properties of the id space:
+//
+//  1. distinct cells never share a stream (collision freedom), and
+//  2. non-cell consumers (wall flux, flux maps, radiometers) live in a
+//     namespace disjoint from every possible cell id.
+//
+// Cell ids pack the three axis indices into bits 0..62 (three 21-bit
+// fields), leaving bit 63 clear; every non-cell stream sets bit 63 and
+// a sub-namespace tag in bits 56..62, so the two spaces cannot collide
+// by construction. Historically SolveWallFlux seeded its rays with the
+// untagged id face+0xface, which is also the cell id of the valid cell
+// (−2²⁰, −2²⁰, face+0xface−2²⁰) — a genuine stream collision.
+
+// streamIndexLimit bounds the per-axis cell index range representable
+// in a 21-bit stream field: indices must lie in [−2²⁰, 2²⁰). Outside
+// it the packing would silently alias distinct cells onto one stream,
+// so Domain.Validate rejects level ROIs that exceed it.
+const streamIndexLimit = 1 << 20
+
+// Non-cell stream namespaces: bit 63 tags "not a cell", bits 56..62
+// carry the sub-namespace.
+const (
+	streamTagNonCell = uint64(1) << 63
+
+	streamSubWallFace   = uint64(0) << 56
+	streamSubWallMap    = uint64(1) << 56
+	streamSubRadiometer = uint64(2) << 56
+)
+
+// cellStreamID derives the deterministic RNG stream id for a cell, so a
+// cell's rays are identical regardless of which goroutine, patch
+// decomposition or machine traces them. Layout: three 21-bit fields at
+// bits 42..62 (x), 21..41 (y) and 0..20 (z), each offset by 2²⁰ to keep
+// negatives non-wrapping; bit 63 stays clear (the cell namespace).
+// Collision-free for indices in [−streamIndexLimit, streamIndexLimit),
+// which Domain.Validate enforces.
+func cellStreamID(c grid.IntVector) uint64 {
+	const off = streamIndexLimit
+	return (uint64(c.X+off) << 42) | (uint64(c.Y+off) << 21) | uint64(c.Z+off)
+}
+
+// streamIndexInRange reports whether every component of c is
+// representable in a 21-bit stream field.
+func streamIndexInRange(c grid.IntVector) bool {
+	for ax := 0; ax < 3; ax++ {
+		if v := c.Component(ax); v < -streamIndexLimit || v >= streamIndexLimit {
+			return false
+		}
+	}
+	return true
+}
+
+// wallFaceStreamID is the stream for SolveWallFlux's rays at one
+// enclosure face — tagged, so it can never coincide with a cell stream.
+func wallFaceStreamID(f WallFace) uint64 {
+	return streamTagNonCell | streamSubWallFace | uint64(f)
+}
+
+// wallMapStreamID is the per-face-cell stream for SolveWallFluxMap,
+// packing (face, u, v) into the tagged namespace with the same 21-bit
+// fields cells use.
+func wallMapStreamID(f WallFace, u, v int) uint64 {
+	return streamTagNonCell | streamSubWallMap |
+		uint64(f)<<42 | uint64(u)<<21 | uint64(v)
+}
+
+// radiometerStreamID derives a tagged stream from the instrument
+// definition (position and cone), folded into the 56 payload bits.
+func radiometerStreamID(r Radiometer) uint64 {
+	h := math.Float64bits(r.Pos.X*3+r.Pos.Y*5+r.Pos.Z*7) ^ math.Float64bits(r.HalfAngle)
+	h ^= h >> 33
+	return streamTagNonCell | streamSubRadiometer | (h &^ (uint64(0xff) << 56))
+}

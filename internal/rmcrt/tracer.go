@@ -35,17 +35,26 @@ type Domain struct {
 	Levels []LevelData
 
 	// Steps counts DDA cell-steps across all traced rays; the scaling
-	// study calibrates the simulated GPU's throughput with it.
+	// study calibrates the simulated GPU's throughput with it. Workers
+	// accumulate privately and merge here once per tile (or per public
+	// call), never once per step — the counter is off the hot path.
 	Steps atomic.Int64
-	// Rays counts rays traced.
+	// Rays counts rays traced, merged with the same cadence as Steps.
 	Rays atomic.Int64
+
+	// Metrics, when non-nil, receives the same per-tile merges plus
+	// tile-level timings (see TraceMetrics). Set it before solving;
+	// the engine reads it without synchronization.
+	Metrics *TraceMetrics
 }
 
 // finest returns the finest level's data.
 func (d *Domain) finest() *LevelData { return &d.Levels[len(d.Levels)-1] }
 
 // Validate checks the domain is usable: at least one level, property
-// windows covering each ROI.
+// windows covering each ROI, and every ROI index within the RNG stream
+// packing range (indices outside [−2²⁰, 2²⁰) would silently alias
+// per-cell streams — see streams.go).
 func (d *Domain) Validate() error {
 	if len(d.Levels) == 0 {
 		return fmt.Errorf("rmcrt: domain has no levels")
@@ -63,12 +72,70 @@ func (d *Domain) Validate() error {
 				return fmt.Errorf("rmcrt: level %d window %v does not cover ROI %v", i, w, ld.ROI)
 			}
 		}
+		if !streamIndexInRange(ld.ROI.Lo) || !streamIndexInRange(ld.ROI.Hi.Sub(grid.Uniform(1))) {
+			return fmt.Errorf("rmcrt: level %d ROI %v exceeds the RNG stream index range [%d, %d)",
+				i, ld.ROI, -streamIndexLimit, streamIndexLimit)
+		}
 	}
 	if d.Levels[0].ROI != d.Levels[0].Level.IndexBox() {
 		return fmt.Errorf("rmcrt: coarsest level ROI %v must span the level %v (the replicated copy)",
 			d.Levels[0].ROI, d.Levels[0].Level.IndexBox())
 	}
 	return nil
+}
+
+// traceCounters is a worker-private tally of rays and DDA steps. The
+// trace loop bumps plain integers; flushTo merges them into the shared
+// atomic counters (and the optional metrics family) once per tile or
+// per public call — the fix for the seed tracer's contended
+// atomic-per-step hot path.
+type traceCounters struct {
+	rays, steps int64
+}
+
+// flushTo merges and resets the tally.
+func (c *traceCounters) flushTo(d *Domain) {
+	if c.rays == 0 && c.steps == 0 {
+		return
+	}
+	d.Rays.Add(c.rays)
+	d.Steps.Add(c.steps)
+	if m := d.Metrics; m != nil {
+		m.Rays.Add(c.rays)
+		m.Steps.Add(c.steps)
+	}
+	c.rays, c.steps = 0, 0
+}
+
+// traceCtx carries the per-solve invariants of the ray march, hoisted
+// out of the per-ray path: option-derived scalars that the seed tracer
+// recomputed inside TraceRay on every call.
+type traceCtx struct {
+	opts           *Options
+	maxSteps       int
+	maxReflections int
+	wallIntensity  float64
+	threshold      float64
+	scatterCoeff   float64
+	wallEmissivity float64
+	reflections    bool
+	// rng is worker-private scratch reseeded per cell (SeedStream), so
+	// the hot loop pays no allocation per stream.
+	rng mathutil.RNG
+}
+
+// newTraceCtx precomputes the trace invariants for opts.
+func newTraceCtx(opts *Options) traceCtx {
+	return traceCtx{
+		opts:           opts,
+		maxSteps:       opts.maxSteps(),
+		maxReflections: opts.maxReflections(),
+		wallIntensity:  opts.wallIntensity(),
+		threshold:      opts.Threshold,
+		scatterCoeff:   opts.ScatterCoeff,
+		wallEmissivity: opts.WallEmissivity,
+		reflections:    opts.Reflections,
+	}
 }
 
 // marchState is the DDA (Amanatides–Woo) state of one ray on one level.
@@ -130,7 +197,19 @@ func (st *marchState) nextAxis() int {
 // coarser levels outside, and terminates at opaque cells, at the domain
 // boundary, or when the transmittance falls below opts.Threshold.
 func (d *Domain) TraceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, opts *Options) float64 {
-	d.Rays.Add(1)
+	tc := newTraceCtx(opts)
+	var cnt traceCounters
+	sumI := d.traceRay(origin, dir, rng, &tc, &cnt)
+	cnt.flushTo(d)
+	return sumI
+}
+
+// traceRay is the hot path: identical physics to the public TraceRay,
+// but with the per-solve invariants read from tc and the ray/step
+// tallies accumulated into the worker-private cnt — zero shared atomics
+// inside the march loop.
+func (d *Domain) traceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, tc *traceCtx, cnt *traceCounters) float64 {
+	cnt.rays++
 	li := len(d.Levels) - 1
 	ld := &d.Levels[li]
 	cell := ld.Level.CellContaining(origin)
@@ -142,13 +221,12 @@ func (d *Domain) TraceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, opts *Op
 	tCur := 0.0  // distance travelled along the ray
 
 	scatterT := math.Inf(1)
-	if opts.ScatterCoeff > 0 && rng != nil {
-		scatterT = sampleScatterDistance(rng, opts.ScatterCoeff)
+	if tc.scatterCoeff > 0 && rng != nil {
+		scatterT = sampleScatterDistance(rng, tc.scatterCoeff)
 	}
 	reflections := 0
 
-	maxSteps := opts.maxSteps()
-	for step := 0; step < maxSteps; step++ {
+	for step := 0; step < tc.maxSteps; step++ {
 		ax := st.nextAxis()
 		tNext := st.tMax.Component(ax)
 		ds := tNext - tCur
@@ -160,7 +238,7 @@ func (d *Domain) TraceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, opts *Op
 		// partial segment, redirect the ray, and continue from the
 		// scatter point with a fresh march.
 		if tCur+ds > scatterT && !math.IsInf(scatterT, 1) {
-			d.Steps.Add(1)
+			cnt.steps++
 			dsScat := scatterT - tCur
 			tauNew := tau + ld.Abskg.At(st.cell)*dsScat
 			transNew := math.Exp(-tauNew)
@@ -180,13 +258,13 @@ func (d *Domain) TraceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, opts *Op
 
 		// Accumulate this cell's emission over the segment:
 		// sumI += I_b(cell) * (e^{-τ_prev} - e^{-τ}).
-		d.Steps.Add(1)
+		cnt.steps++
 		tauNew := tau + ld.Abskg.At(st.cell)*ds
 		transNew := math.Exp(-tauNew)
 		sumI += ld.SigmaT4OverPi.At(st.cell) * (trans - transNew)
 		tau, trans = tauNew, transNew
 
-		if trans < opts.Threshold {
+		if trans < tc.threshold {
 			return sumI // extinction
 		}
 
@@ -200,18 +278,18 @@ func (d *Domain) TraceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, opts *Op
 			if li == 0 {
 				// Leaving the coarsest level means leaving the domain:
 				// the ray hits the enclosure wall.
-				sumI += opts.wallIntensity() * trans
-				if !opts.Reflections || opts.WallEmissivity >= 1 ||
-					reflections >= opts.maxReflections() {
+				sumI += tc.wallIntensity * trans
+				if !tc.reflections || tc.wallEmissivity >= 1 ||
+					reflections >= tc.maxReflections {
 					return sumI
 				}
 				// Specular reflection: the surviving (1−ε) weight
 				// continues back into the domain. The weight is folded
 				// into the optical depth so later segments (which
 				// recompute trans from tau) keep it.
-				trans *= 1 - opts.WallEmissivity
-				tau -= math.Log(1 - opts.WallEmissivity)
-				if trans < opts.Threshold {
+				trans *= 1 - tc.wallEmissivity
+				tau -= math.Log(1 - tc.wallEmissivity)
+				if trans < tc.threshold {
 					return sumI
 				}
 				reflections++
@@ -237,14 +315,14 @@ func (d *Domain) TraceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, opts *Op
 		// either terminates (black or reflections off) or reflects
 		// specularly about the crossed face.
 		if ld.CellType.At(st.cell) != field.Flow {
-			sumI += opts.WallEmissivity * ld.SigmaT4OverPi.At(st.cell) * trans
-			if !opts.Reflections || opts.WallEmissivity >= 1 ||
-				reflections >= opts.maxReflections() {
+			sumI += tc.wallEmissivity * ld.SigmaT4OverPi.At(st.cell) * trans
+			if !tc.reflections || tc.wallEmissivity >= 1 ||
+				reflections >= tc.maxReflections {
 				return sumI
 			}
-			trans *= 1 - opts.WallEmissivity
-			tau -= math.Log(1 - opts.WallEmissivity)
-			if trans < opts.Threshold {
+			trans *= 1 - tc.wallEmissivity
+			tau -= math.Log(1 - tc.wallEmissivity)
+			if trans < tc.threshold {
 				return sumI
 			}
 			reflections++

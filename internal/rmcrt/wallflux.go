@@ -79,11 +79,15 @@ func (d *Domain) SolveWallFluxMap(face WallFace, opts *Options) (*FluxMap, error
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			tc := newTraceCtx(opts)
+			var cnt traceCounters
+			defer cnt.flushTo(d)
+			rng := &tc.rng
 			for u := w; u < fm.NU; u += nw {
 				for v := 0; v < fm.NV; v++ {
-					// Deterministic stream per (face, u, v).
-					id := uint64(face)<<60 ^ uint64(u)<<30 ^ uint64(v)
-					rng := mathutil.NewStream(opts.Seed^0xfaceb0, id)
+					// Deterministic stream per (face, u, v), in the
+					// tagged non-cell namespace (streams.go).
+					rng.SeedStream(opts.Seed, wallMapStreamID(face, u, v))
 					sum := 0.0
 					for r := 0; r < opts.NRays; r++ {
 						// Random point on the face cell.
@@ -93,7 +97,7 @@ func (d *Domain) SolveWallFluxMap(face WallFace, opts *Options) (*FluxMap, error
 							lvl.DomainLo.Component(a1)+(float64(u)+rng.Float64())*dx.Component(a1))
 						p = p.WithComponent(a2,
 							lvl.DomainLo.Component(a2)+(float64(v)+rng.Float64())*dx.Component(a2))
-						sum += d.TraceRay(p, rng.CosineHemisphere(normal), rng, opts)
+						sum += d.traceRay(p, rng.CosineHemisphere(normal), rng, &tc, &cnt)
 					}
 					fm.Q[u*fm.NV+v] = math.Pi * sum / float64(opts.NRays)
 				}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/uintah-repro/rmcrt/internal/field"
 	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/rmcrt"
 	"github.com/uintah-repro/rmcrt/internal/uda"
 )
 
@@ -38,6 +39,10 @@ type CheckpointOptions struct {
 	// error aborts the solve — the chaos harness uses it to park a solve
 	// at a chosen point and simulate a SIGKILL.
 	BeforeProblem func(done int) error
+	// Trace, if set, receives the tracing engine's tile/ray/step metrics
+	// for every recomputed problem (resumed problems trace no rays and
+	// report nothing).
+	Trace *rmcrt.TraceMetrics
 }
 
 // SolveCheckpointed is Solve with durable per-problem progress. Already
@@ -48,7 +53,7 @@ type CheckpointOptions struct {
 // problems were restored from the archive rather than solved.
 func (s Spec) SolveCheckpointed(ctx context.Context, opt CheckpointOptions) (divQ *field.CC[float64], rays, steps int64, resumed int, err error) {
 	if opt.Dir == "" {
-		divQ, rays, steps, err = s.Solve(ctx)
+		divQ, rays, steps, err = s.SolveObserved(ctx, opt.Trace)
 		return divQ, rays, steps, 0, err
 	}
 	out, probs, err := s.problems()
@@ -76,7 +81,7 @@ func (s Spec) SolveCheckpointed(ctx context.Context, opt CheckpointOptions) (div
 				return nil, rays, steps, resumed, err
 			}
 		}
-		r, st, err := pr.solve(ctx, &opts, out)
+		r, st, err := pr.solve(ctx, &opts, out, opt.Trace)
 		rays += r
 		steps += st
 		if err != nil {

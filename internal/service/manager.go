@@ -11,6 +11,7 @@ import (
 
 	"github.com/uintah-repro/rmcrt/internal/field"
 	"github.com/uintah-repro/rmcrt/internal/metrics"
+	"github.com/uintah-repro/rmcrt/internal/rmcrt"
 	"github.com/uintah-repro/rmcrt/internal/sched"
 )
 
@@ -214,6 +215,7 @@ type Manager struct {
 	mResumedPatches                             *metrics.Counter
 	gQueued, gRunning, gLastCkpt                *metrics.Gauge
 	hSolve                                      *metrics.Histogram
+	trace                                       *rmcrt.TraceMetrics
 }
 
 // RecoveryStats describes what Recover rebuilt from the journal.
@@ -248,6 +250,7 @@ func New(cfg Config) *Manager {
 // journal is compacted to the live job set on the way up.
 func Recover(cfg Config) (*Manager, error) {
 	useCkptSolver := cfg.Solver == nil && cfg.CheckpointDir != ""
+	useObservedSolver := cfg.Solver == nil && cfg.CheckpointDir == ""
 	cfg = cfg.withDefaults()
 
 	var recs []JournalRecord
@@ -280,6 +283,14 @@ func Recover(cfg Config) (*Manager, error) {
 	if useCkptSolver {
 		m.cfg.Solver = m.checkpointedSolver
 	}
+	if useObservedSolver {
+		// Default in-process solver, observed: the tracing engine's
+		// tile/ray/step series land in the manager's registry alongside
+		// the job-level rmcrtd_* metrics.
+		m.cfg.Solver = func(ctx context.Context, spec Spec) (*field.CC[float64], int64, int64, error) {
+			return spec.SolveObserved(ctx, m.trace)
+		}
+	}
 	r := m.reg
 	m.mSubmitted = r.Counter("rmcrtd_jobs_submitted_total", "jobs accepted into the queue")
 	m.mRejected = r.Counter("rmcrtd_jobs_rejected_total", "jobs rejected because the queue was full")
@@ -303,6 +314,7 @@ func Recover(cfg Config) (*Manager, error) {
 	m.gRunning = r.Gauge("rmcrtd_jobs_running", "solves currently executing")
 	m.gLastCkpt = r.Gauge("rmcrtd_checkpoint_last_unix_seconds", "unix time of the most recent checkpoint write")
 	m.hSolve = r.Histogram("rmcrtd_solve_seconds", "solve wall time", metrics.DefBuckets)
+	m.trace = rmcrt.NewTraceMetrics(r)
 
 	// Restore the pre-crash queue before workers exist, so recovered
 	// flights run in their original submission order.
@@ -396,6 +408,7 @@ func (m *Manager) checkpointedSolver(ctx context.Context, spec Spec) (*field.CC[
 		OnCheckpoint: func(int) {
 			m.gLastCkpt.Set(time.Now().Unix())
 		},
+		Trace: m.trace,
 	})
 	m.mResumedPatches.Add(int64(resumed))
 	return divQ, rays, steps, err

@@ -287,3 +287,31 @@ func TestCloseDeadlineCancelsRunningJobs(t *testing.T) {
 		t.Fatalf("job state after deadline close = %s, want cancelled", st.State)
 	}
 }
+
+// TestTraceMetricsFlowIntoRegistry: the manager's default solver runs
+// observed — the tracing engine's rmcrt_trace_* series land in the same
+// registry as the rmcrtd_* job metrics, and the per-tile-merged ray and
+// step counters agree exactly with the job-level accounting.
+func TestTraceMetricsFlowIntoRegistry(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 2})
+	st, err := m.Submit(fastSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := m.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("state = %s (err %q), want done", final.State, final.Error)
+	}
+	if tiles := m.reg.Counter("rmcrt_trace_tiles_total", "").Value(); tiles == 0 {
+		t.Fatal("no tiles recorded by the tracing engine")
+	}
+	if rays := m.reg.Counter("rmcrt_trace_rays_total", "").Value(); rays != final.Rays {
+		t.Fatalf("trace rays = %d, job rays = %d", rays, final.Rays)
+	}
+	if steps := m.reg.Counter("rmcrt_trace_steps_total", "").Value(); steps != final.Steps {
+		t.Fatalf("trace steps = %d, job steps = %d", steps, final.Steps)
+	}
+}

@@ -265,8 +265,11 @@ func (s Spec) problems() (out *field.CC[float64], probs []problem, err error) {
 }
 
 // solve runs one problem and copies its result into out, returning the
-// ray/cell-step counts of the attempt.
-func (pr problem) solve(ctx context.Context, opts *rmcrt.Options, out *field.CC[float64]) (rays, steps int64, err error) {
+// ray/cell-step counts of the attempt. A non-nil tm is attached to the
+// problem's domain so the tracing engine reports tile/ray/step series
+// into the service's metrics registry.
+func (pr problem) solve(ctx context.Context, opts *rmcrt.Options, out *field.CC[float64], tm *rmcrt.TraceMetrics) (rays, steps int64, err error) {
+	pr.domain.Metrics = tm
 	part, err := pr.domain.SolveRegionCtx(ctx, pr.region, opts)
 	rays, steps = pr.domain.Rays.Load(), pr.domain.Steps.Load()
 	if err != nil {
@@ -281,13 +284,21 @@ func (pr problem) solve(ctx context.Context, opts *rmcrt.Options, out *field.CC[
 // worker-pool body, but is exported so results can be recomputed
 // directly (the determinism tests do exactly that).
 func (s Spec) Solve(ctx context.Context) (divQ *field.CC[float64], rays, steps int64, err error) {
+	return s.SolveObserved(ctx, nil)
+}
+
+// SolveObserved is Solve with the tracing-engine metrics family
+// attached: tile, ray and step counts from every problem of this solve
+// land in tm (nil = unobserved, identical to Solve). Metrics are
+// side-channel only — divQ is bitwise independent of tm.
+func (s Spec) SolveObserved(ctx context.Context, tm *rmcrt.TraceMetrics) (divQ *field.CC[float64], rays, steps int64, err error) {
 	out, probs, err := s.problems()
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	opts := s.Options()
 	for _, pr := range probs {
-		r, st, err := pr.solve(ctx, &opts, out)
+		r, st, err := pr.solve(ctx, &opts, out, tm)
 		rays += r
 		steps += st
 		if err != nil {

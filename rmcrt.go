@@ -82,6 +82,15 @@ var FillBenchmark = rmcrt.FillBenchmark
 // FluxMap is a 2-D incident-flux map over one enclosure face.
 type FluxMap = rmcrt.FluxMap
 
+// TraceMetrics is the tracing engine's metrics family (tiles, rays,
+// steps, per-tile timings); attach one to Domain.Metrics to observe a
+// solve.
+type TraceMetrics = rmcrt.TraceMetrics
+
+// NewTraceMetrics registers the tracing family in a metrics registry
+// (idempotently, so many domains can share one registry).
+var NewTraceMetrics = rmcrt.NewTraceMetrics
+
 // SpectralDomain runs the banded (non-gray) RMCRT — the paper's
 // future-work wavelength loop.
 type SpectralDomain = rmcrt.SpectralDomain
