@@ -28,7 +28,9 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 )
 
@@ -38,7 +40,11 @@ import (
 var pinnedSets = []benchSet{
 	{
 		Pkg:   "./internal/rmcrt/",
-		Match: "^(BenchmarkSolveRegion|BenchmarkTraceRayPinned|BenchmarkMultiLevelWalk|BenchmarkCounterContention)$",
+		Match: "^(BenchmarkSolveRegion|BenchmarkTraceRayPinned|BenchmarkMultiLevelWalk|BenchmarkCounterContention|BenchmarkPackedDDA)$",
+	},
+	{
+		Pkg:   "./internal/service/",
+		Match: "^BenchmarkPackedCacheAcquire$",
 	},
 	{
 		Pkg:   ".",
@@ -119,6 +125,20 @@ func defaultRatioGuards() []RatioGuard {
 			Min:  0.70,
 			Desc: "per-worker counters not grossly slower than atomic-per-step under parallel load",
 		},
+		{
+			Name: "packed_dda_cpu1",
+			Num:  "rmcrt/internal/rmcrt:BenchmarkPackedDDA/layout=unpacked",
+			Den:  "rmcrt/internal/rmcrt:BenchmarkPackedDDA/layout=packed",
+			Min:  1.0,
+			Desc: "packed stride-incremental march beats the frozen seed per-field march (measured ~1.5x)",
+		},
+		{
+			Name: "packed_cache_hit_cpu1",
+			Num:  "rmcrt/internal/service:BenchmarkPackedCacheAcquire/acquire=build",
+			Den:  "rmcrt/internal/service:BenchmarkPackedCacheAcquire/acquire=hit",
+			Min:  10,
+			Desc: "a shared-cache hit is at least an order of magnitude cheaper than re-packing the level (measured ~100x)",
+		},
 	}
 }
 
@@ -131,6 +151,8 @@ func main() {
 		cpus      = flag.String("cpus", "", "GOMAXPROCS sweep (default 1,4,16; short mode 1,4)")
 		benchtime = flag.String("benchtime", "", "per-benchmark time (default 1s; short mode 0.3s)")
 		verbose   = flag.Bool("v", false, "print every benchmark line as it is parsed")
+		pprofdir  = flag.String("pprofdir", "", "write per-package cpu/mem profiles and test binaries into this directory")
+		summary   = flag.Bool("summary", false, "with -compare: print a benchstat-style before/after table")
 	)
 	flag.Parse()
 	if (*update == "") == (*compare == "") {
@@ -155,7 +177,7 @@ func main() {
 		}
 	}
 
-	results, err := runPinned(sweep, bt, *verbose)
+	results, err := runPinned(sweep, bt, *pprofdir, *verbose)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
 		os.Exit(1)
@@ -189,6 +211,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
 		os.Exit(1)
 	}
+	if *summary {
+		printSummary(base, results)
+	}
 	problems := compareResults(base, results, *tolerance)
 	problems = append(problems, checkRatioGuards(base.RatioGuards, results)...)
 	if len(problems) > 0 {
@@ -203,8 +228,15 @@ func main() {
 }
 
 // runPinned executes every pinned benchmark set and merges the parsed
-// results.
-func runPinned(cpus, benchtime string, verbose bool) (map[string]*Result, error) {
+// results. A non-empty pprofdir additionally captures a cpu and heap
+// profile (and the test binary pprof needs to symbolize them) per
+// package, for offline analysis of a gate failure.
+func runPinned(cpus, benchtime, pprofdir string, verbose bool) (map[string]*Result, error) {
+	if pprofdir != "" {
+		if err := os.MkdirAll(pprofdir, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	merged := make(map[string]*Result)
 	for _, set := range pinnedSets {
 		args := []string{
@@ -213,8 +245,17 @@ func runPinned(cpus, benchtime string, verbose bool) (map[string]*Result, error)
 			"-benchmem",
 			"-benchtime", benchtime,
 			"-cpu", cpus,
-			set.Pkg,
 		}
+		if pprofdir != "" {
+			name := profileName(set.Pkg)
+			args = append(args,
+				"-cpuprofile", name+".cpu.pprof",
+				"-memprofile", name+".mem.pprof",
+				"-outputdir", pprofdir,
+				"-o", filepath.Join(pprofdir, name+".test"),
+			)
+		}
+		args = append(args, set.Pkg)
 		cmd := exec.Command("go", args...)
 		out, err := cmd.CombinedOutput()
 		if err != nil {
@@ -232,6 +273,43 @@ func runPinned(cpus, benchtime string, verbose bool) (map[string]*Result, error)
 		}
 	}
 	return merged, nil
+}
+
+// profileName flattens a package path into a profile file stem:
+// "./internal/rmcrt/" → "internal_rmcrt", "." → "root".
+func profileName(pkg string) string {
+	p := strings.Trim(strings.TrimPrefix(pkg, "./"), "/.")
+	if p == "" {
+		return "root"
+	}
+	return strings.ReplaceAll(p, "/", "_")
+}
+
+// printSummary emits a benchstat-style before/after table for every
+// benchmark present in both the baseline and the current run. Current
+// times are divided by the calibration scale so the delta column reads
+// as a same-host change; the gate's pass/fail stays with
+// compareResults.
+func printSummary(base *Baseline, cur map[string]*Result) {
+	scale := calibrationScale(base, cur)
+	var names []string
+	for name := range base.Benchmarks {
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("perfgate summary vs baseline (calibration scale %.2f):\n", scale)
+	fmt.Printf("  %-72s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		b, c := base.Benchmarks[name], cur[name]
+		norm := c.NsPerOp / scale
+		delta := "~"
+		if b.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (norm-b.NsPerOp)/b.NsPerOp*100)
+		}
+		fmt.Printf("  %-72s %12.0f %12.0f %8s\n", name, b.NsPerOp, norm, delta)
+	}
 }
 
 // parseBenchOutput parses `go test -bench` output into named results,

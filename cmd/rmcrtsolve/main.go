@@ -37,8 +37,16 @@ func main() {
 	withP1 := flag.Bool("p1", false, "also solve with the P1 moment-closure baseline")
 	radiometer := flag.Bool("radiometer", false, "read virtual radiometers aimed at the domain center")
 	udaDir := flag.String("uda", "", "archive divQ to this UDA directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	solveFlags = solveOptions{radiometer: *radiometer, udaDir: *udaDir}
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	opts := rmcrt.DefaultOptions()
 	opts.NRays = *rays

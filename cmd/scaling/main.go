@@ -158,7 +158,16 @@ func main() {
 	cpu := flag.Bool("cpu", false, "run the CPU implementation (the predecessor result of [5])")
 	ablation := flag.Bool("ablation", false, "print the occupancy/halo ablations instead of a scaling study")
 	rays := flag.Int("rays", 100, "rays per cell")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaling:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *table1 {
 		printTableI(*csv, *jsonOut)

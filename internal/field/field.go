@@ -87,6 +87,27 @@ func (v *CC[T]) offset(c grid.IntVector) int {
 	return (r.X*v.ext.Y+r.Y)*v.ext.Z + r.Z
 }
 
+// Strides returns the flat-index strides (sx, sy, sz) of the z-fastest
+// layout, so that for any cell c in the box
+//
+//	OffsetOf(c) == (c.X-lo.X)*sx + (c.Y-lo.Y)*sy + (c.Z-lo.Z)*sz
+//
+// with lo = Box().Lo and sz always 1. Stride-incremental walkers (the
+// packed DDA in internal/rmcrt) advance a flat index by one signed
+// stride per cell step instead of recomputing the 3-D offset.
+func (v *CC[T]) Strides() (sx, sy, sz int) {
+	return v.ext.Y * v.ext.Z, v.ext.Z, 1
+}
+
+// OffsetOf returns cell c's flat offset into Data(). It panics if c is
+// outside the box, matching At.
+func (v *CC[T]) OffsetOf(c grid.IntVector) int {
+	if !v.box.Contains(c) {
+		panic(fmt.Sprintf("field: offset of %v outside window %v", c, v.box))
+	}
+	return v.offset(c)
+}
+
 // At returns the value at cell c. It panics if c is outside the box —
 // out-of-window access is always a ghost-cell bug upstream.
 func (v *CC[T]) At(c grid.IntVector) T {

@@ -1,0 +1,168 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+// The packed-table builder (internal/rmcrt) and any other flat-index
+// consumer depend on Strides/OffsetOf agreeing exactly with At over
+// the whole window, for origin and non-origin boxes alike. These tests
+// pin that contract property-style: random windows, every cell.
+
+func randomBox(rng *rand.Rand) grid.Box {
+	lo := grid.IV(rng.Intn(9)-4, rng.Intn(9)-4, rng.Intn(9)-4)
+	ext := grid.IV(1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6))
+	return grid.NewBox(lo, lo.Add(ext))
+}
+
+func TestOffsetOfMatchesAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		b := randomBox(rng)
+		v := NewCC[float64](b)
+		v.FillFunc(func(c grid.IntVector) float64 {
+			return float64(c.X) + 1000*float64(c.Y) + 1e6*float64(c.Z)
+		})
+		data := v.Data()
+		b.ForEach(func(c grid.IntVector) {
+			if got, want := data[v.OffsetOf(c)], v.At(c); got != want {
+				t.Fatalf("box %v: Data[OffsetOf(%v)] = %g, At = %g", b, c, got, want)
+			}
+		})
+	}
+}
+
+func TestStridesMatchOffsetOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		b := randomBox(rng)
+		v := NewCC[float64](b)
+		sx, sy, sz := v.Strides()
+		if sz != 1 {
+			t.Fatalf("box %v: sz = %d, layout is documented z-fastest", b, sz)
+		}
+		base := v.OffsetOf(b.Lo)
+		if base != 0 {
+			t.Fatalf("box %v: OffsetOf(Lo) = %d, want 0", b, base)
+		}
+		b.ForEach(func(c grid.IntVector) {
+			rel := c.Sub(b.Lo)
+			if got, want := v.OffsetOf(c), rel.X*sx+rel.Y*sy+rel.Z*sz; got != want {
+				t.Fatalf("box %v: OffsetOf(%v) = %d, want %d from strides (%d,%d,%d)",
+					b, c, got, want, sx, sy, sz)
+			}
+		})
+	}
+}
+
+func TestOffsetOfOutsideWindowPanics(t *testing.T) {
+	v := NewCC[float64](box(0, 4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OffsetOf outside the window did not panic")
+		}
+	}()
+	v.OffsetOf(grid.IV(4, 0, 0))
+}
+
+// --- CopyRegion edge cases --------------------------------------------
+
+func fillCoords(v *CC[float64]) {
+	v.FillFunc(func(c grid.IntVector) float64 {
+		return float64(c.X) + 100*float64(c.Y) + 1e4*float64(c.Z)
+	})
+}
+
+func checkRegionCopied(t *testing.T, dst, src *CC[float64], region grid.Box) {
+	t.Helper()
+	region.ForEach(func(c grid.IntVector) {
+		if dst.At(c) != src.At(c) {
+			t.Fatalf("mismatch at %v: %g vs %g", c, dst.At(c), src.At(c))
+		}
+	})
+	dst.Box().ForEach(func(c grid.IntVector) {
+		if !region.Contains(c) && dst.At(c) != 0 {
+			t.Fatalf("wrote outside region at %v: %g", c, dst.At(c))
+		}
+	})
+}
+
+func TestCopyRegionOneCellThick(t *testing.T) {
+	src := NewCC[float64](box(0, 6))
+	fillCoords(src)
+	// A region one cell thick along each axis in turn, including the
+	// degenerate z-run (length-1 copies).
+	for ax := 0; ax < 3; ax++ {
+		lo, hi := grid.IV(1, 1, 1), grid.IV(5, 5, 5)
+		hi = hi.WithComponent(ax, lo.Component(ax)+1)
+		region := grid.NewBox(lo, hi)
+		dst := NewCC[float64](box(0, 6))
+		dst.CopyRegion(src, region)
+		checkRegionCopied(t, dst, src, region)
+	}
+}
+
+func TestCopyRegionWholeWindow(t *testing.T) {
+	b := grid.NewBox(grid.IV(-2, 3, 1), grid.IV(4, 7, 5)) // non-origin
+	src := NewCC[float64](b)
+	fillCoords(src)
+	dst := NewCC[float64](b)
+	dst.CopyRegion(src, b) // region == box: a straight full copy
+	checkRegionCopied(t, dst, src, b)
+}
+
+func TestCopyRegionNonOriginDisjointWindows(t *testing.T) {
+	// Windows with different non-origin corners; the region is their
+	// overlap. Offsets differ between src and dst for the same cell.
+	src := NewCC[float64](grid.NewBox(grid.IV(-3, -3, -3), grid.IV(5, 5, 5)))
+	fillCoords(src)
+	dst := NewCC[float64](grid.NewBox(grid.IV(1, -1, 0), grid.IV(9, 7, 8)))
+	region := src.Box().Intersect(dst.Box())
+	if region.Empty() {
+		t.Fatal("test windows do not overlap")
+	}
+	dst.CopyRegion(src, region)
+	checkRegionCopied(t, dst, src, region)
+}
+
+// --- CoarsenAverage edge cases ----------------------------------------
+
+func TestCoarsenAverageOneCellThickSlab(t *testing.T) {
+	// Coarse window one cell thick in z; fine covers exactly rr times it.
+	rr := grid.IV(2, 2, 2)
+	coarse := NewCC[float64](grid.NewBox(grid.IV(0, 0, 0), grid.IV(3, 3, 1)))
+	fine := NewCC[float64](grid.NewBox(grid.IV(0, 0, 0), grid.IV(6, 6, 2)))
+	fillCoords(fine)
+	CoarsenAverage(coarse, fine, rr)
+	coarse.Box().ForEach(func(c grid.IntVector) {
+		sum := 0.0
+		grid.NewBox(c.Mul(rr), c.Add(grid.IV(1, 1, 1)).Mul(rr)).ForEach(func(f grid.IntVector) {
+			sum += fine.At(f)
+		})
+		if got, want := coarse.At(c), sum/float64(rr.Volume()); got != want {
+			t.Fatalf("coarse %v = %g, want %g", c, got, want)
+		}
+	})
+}
+
+func TestCoarsenAverageAnisotropicRatio(t *testing.T) {
+	// rr = 1 along z: coarsening only in x and y must still average
+	// exactly the right children.
+	rr := grid.IV(2, 2, 1)
+	coarse := NewCC[float64](grid.NewBox(grid.IV(0, 0, 0), grid.IV(2, 2, 4)))
+	fine := NewCC[float64](grid.NewBox(grid.IV(0, 0, 0), grid.IV(4, 4, 4)))
+	fillCoords(fine)
+	CoarsenAverage(coarse, fine, rr)
+	coarse.Box().ForEach(func(c grid.IntVector) {
+		want := (fine.At(grid.IV(2*c.X, 2*c.Y, c.Z)) +
+			fine.At(grid.IV(2*c.X+1, 2*c.Y, c.Z)) +
+			fine.At(grid.IV(2*c.X, 2*c.Y+1, c.Z)) +
+			fine.At(grid.IV(2*c.X+1, 2*c.Y+1, c.Z))) / 4
+		if got := coarse.At(c); got != want {
+			t.Fatalf("coarse %v = %g, want %g", c, got, want)
+		}
+	})
+}

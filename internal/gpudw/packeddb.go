@@ -1,0 +1,198 @@
+package gpudw
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PackedDB is the host-side sibling of the level database: a
+// content-keyed, refcounted cache of packed per-level property tables
+// (internal/rmcrt's PackedLevel), so concurrent radiation jobs over
+// the same coarse level share one read-only copy instead of re-packing
+// per solve. The same accounting story as AcquireLevelVar applies:
+// builds are the packs actually performed, saved bytes are what a
+// pack-per-solve design would have built again.
+//
+// The table type itself lives in internal/rmcrt; this package only
+// needs its byte size, so entries are stored behind PackedTable.
+type PackedTable interface {
+	SizeBytes() int64
+}
+
+type packedEntry struct {
+	table PackedTable
+	refs  int
+	size  int64
+	done  bool
+	err   error
+	ready chan struct{}
+}
+
+// PackedDB methods are safe for concurrent use. Builds are
+// single-flight: the first acquirer of a key packs, racing acquirers
+// wait and share the result. Entries whose refcount drops to zero are
+// retained (oldest evicted first) while their total size fits
+// retainBytes, so back-to-back jobs over the same level also share.
+type PackedDB struct {
+	mu          sync.Mutex
+	retainBytes int64
+	entries     map[string]*packedEntry
+	idle        []string // keys with refs == 0, oldest first
+
+	builds, hits   int64
+	resident, save int64
+	idleBytes      int64
+}
+
+// NewPackedDB creates a database retaining up to retainBytes of
+// unreferenced tables; 0 evicts tables as soon as the last reference
+// drops (the AcquireLevelVar lifetime).
+func NewPackedDB(retainBytes int64) *PackedDB {
+	if retainBytes < 0 {
+		retainBytes = 0
+	}
+	return &PackedDB{retainBytes: retainBytes, entries: make(map[string]*packedEntry)}
+}
+
+// Acquire returns the table for key, calling build at most once per
+// residency. Callers must balance with Release. A failed build is not
+// cached: the error goes to every waiter of that flight, and the next
+// Acquire retries.
+func (db *PackedDB) Acquire(key string, build func() (PackedTable, error)) (PackedTable, error) {
+	db.mu.Lock()
+	for {
+		e, ok := db.entries[key]
+		if !ok {
+			break
+		}
+		if !e.done {
+			// A build is in flight; wait and re-check (the build may
+			// have failed and removed the entry).
+			ready := e.ready
+			db.mu.Unlock()
+			<-ready
+			db.mu.Lock()
+			continue
+		}
+		e.refs++
+		db.hits++
+		db.save += e.size
+		db.unidleLocked(key, e)
+		db.mu.Unlock()
+		return e.table, nil
+	}
+	e := &packedEntry{ready: make(chan struct{})}
+	db.entries[key] = e
+	db.builds++
+	db.mu.Unlock()
+
+	t, err := build()
+
+	db.mu.Lock()
+	if err != nil || t == nil {
+		if err == nil {
+			err = fmt.Errorf("gpudw: packed build for %q returned no table", key)
+		}
+		delete(db.entries, key)
+		e.err = err
+		e.done = true
+		close(e.ready)
+		db.mu.Unlock()
+		return nil, err
+	}
+	e.table = t
+	e.size = t.SizeBytes()
+	e.refs = 1
+	e.done = true
+	db.resident += e.size
+	close(e.ready)
+	db.mu.Unlock()
+	return t, nil
+}
+
+// Release drops one reference to key. The last release parks the entry
+// on the idle list, evicting oldest idle entries past the retention
+// budget.
+func (db *PackedDB) Release(key string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.entries[key]
+	if !ok || !e.done || e.refs <= 0 {
+		panic(fmt.Sprintf("gpudw: release of unacquired packed table %q", key))
+	}
+	e.refs--
+	if e.refs > 0 {
+		return
+	}
+	db.idle = append(db.idle, key)
+	db.idleBytes += e.size
+	db.evictLocked()
+}
+
+// unidleLocked removes key from the idle list after a re-acquisition.
+func (db *PackedDB) unidleLocked(key string, e *packedEntry) {
+	if e.refs != 1 {
+		return // was already referenced; never idled
+	}
+	for i, k := range db.idle {
+		if k == key {
+			db.idle = append(db.idle[:i], db.idle[i+1:]...)
+			db.idleBytes -= e.size
+			return
+		}
+	}
+}
+
+// evictLocked drops oldest idle entries until the idle set fits the
+// retention budget.
+func (db *PackedDB) evictLocked() {
+	for db.idleBytes > db.retainBytes && len(db.idle) > 0 {
+		key := db.idle[0]
+		db.idle = db.idle[1:]
+		e := db.entries[key]
+		delete(db.entries, key)
+		db.idleBytes -= e.size
+		db.resident -= e.size
+	}
+}
+
+// Builds returns how many table packs were actually performed.
+func (db *PackedDB) Builds() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.builds
+}
+
+// Hits returns how many acquisitions were served from a resident table.
+func (db *PackedDB) Hits() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.hits
+}
+
+// ResidentBytes returns the bytes of tables currently resident
+// (referenced or retained idle).
+func (db *PackedDB) ResidentBytes() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.resident
+}
+
+// SavedBytes returns the table bytes a pack-per-solve design would
+// have rebuilt but the database shared.
+func (db *PackedDB) SavedBytes() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.save
+}
+
+// Refs returns the current reference count for key, 0 if absent. For
+// tests.
+func (db *PackedDB) Refs(key string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if e, ok := db.entries[key]; ok {
+		return e.refs
+	}
+	return 0
+}

@@ -1,0 +1,209 @@
+package gpudw
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type fakeTable struct{ size int64 }
+
+func (t *fakeTable) SizeBytes() int64 { return t.size }
+
+func TestPackedDBSingleFlight(t *testing.T) {
+	db := NewPackedDB(0)
+	var packs atomic.Int64
+	start := make(chan struct{})
+	const workers = 16
+	var wg sync.WaitGroup
+	tables := make([]PackedTable, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			tab, err := db.Acquire("k", func() (PackedTable, error) {
+				packs.Add(1)
+				return &fakeTable{size: 100}, nil
+			})
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+			}
+			tables[i] = tab
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := packs.Load(); got != 1 {
+		t.Fatalf("build ran %d times, want 1", got)
+	}
+	if db.Builds() != 1 || db.Hits() != workers-1 {
+		t.Fatalf("builds=%d hits=%d, want 1 and %d", db.Builds(), db.Hits(), workers-1)
+	}
+	for i := 1; i < workers; i++ {
+		if tables[i] != tables[0] {
+			t.Fatalf("worker %d got a different table", i)
+		}
+	}
+	if db.Refs("k") != workers {
+		t.Fatalf("refs = %d, want %d", db.Refs("k"), workers)
+	}
+	if db.SavedBytes() != 100*(workers-1) {
+		t.Fatalf("saved = %d, want %d", db.SavedBytes(), 100*(workers-1))
+	}
+}
+
+func TestPackedDBRetentionAndEviction(t *testing.T) {
+	db := NewPackedDB(250) // room for two 100-byte idle tables
+	build := func(size int64) func() (PackedTable, error) {
+		return func() (PackedTable, error) { return &fakeTable{size: size}, nil }
+	}
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, err := db.Acquire(key, build(100)); err != nil {
+			t.Fatalf("acquire %s: %v", key, err)
+		}
+		db.Release(key)
+	}
+	// k0 (oldest idle) must have been evicted to fit the 250-byte budget.
+	if got := db.ResidentBytes(); got != 200 {
+		t.Fatalf("resident = %d, want 200", got)
+	}
+	if _, err := db.Acquire("k0", build(100)); err != nil {
+		t.Fatal(err)
+	}
+	if db.Builds() != 4 {
+		t.Fatalf("builds = %d, want 4 (k0 was evicted and rebuilt)", db.Builds())
+	}
+	// k1 and k2 are still resident: re-acquiring them is a hit.
+	if _, err := db.Acquire("k2", build(100)); err != nil {
+		t.Fatal(err)
+	}
+	if db.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", db.Hits())
+	}
+	db.Release("k0")
+	db.Release("k2")
+}
+
+func TestPackedDBZeroRetentionEvictsOnRelease(t *testing.T) {
+	db := NewPackedDB(0)
+	if _, err := db.Acquire("k", func() (PackedTable, error) {
+		return &fakeTable{size: 64}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.ResidentBytes() != 64 {
+		t.Fatalf("resident = %d, want 64", db.ResidentBytes())
+	}
+	db.Release("k")
+	if db.ResidentBytes() != 0 {
+		t.Fatalf("resident = %d after last release, want 0", db.ResidentBytes())
+	}
+	// A second acquisition is a fresh build, not a hit.
+	if _, err := db.Acquire("k", func() (PackedTable, error) {
+		return &fakeTable{size: 64}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Builds() != 2 || db.Hits() != 0 {
+		t.Fatalf("builds=%d hits=%d, want 2 and 0", db.Builds(), db.Hits())
+	}
+}
+
+func TestPackedDBReacquireWhileIdle(t *testing.T) {
+	db := NewPackedDB(1 << 20)
+	if _, err := db.Acquire("k", func() (PackedTable, error) {
+		return &fakeTable{size: 8}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Release("k")
+	// Still retained: re-acquire must hit and un-idle the entry.
+	if _, err := db.Acquire("k", func() (PackedTable, error) {
+		t.Fatal("build ran for a retained table")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", db.Hits())
+	}
+	if db.Refs("k") != 1 {
+		t.Fatalf("refs = %d, want 1", db.Refs("k"))
+	}
+	db.Release("k")
+}
+
+func TestPackedDBFailedBuildRetries(t *testing.T) {
+	db := NewPackedDB(0)
+	boom := errors.New("boom")
+	if _, err := db.Acquire("k", func() (PackedTable, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Failure is not cached; the next acquire rebuilds.
+	tab, err := db.Acquire("k", func() (PackedTable, error) {
+		return &fakeTable{size: 8}, nil
+	})
+	if err != nil || tab == nil {
+		t.Fatalf("retry: table=%v err=%v", tab, err)
+	}
+	if db.Builds() != 2 {
+		t.Fatalf("builds = %d, want 2", db.Builds())
+	}
+	db.Release("k")
+}
+
+func TestPackedDBNilTableIsError(t *testing.T) {
+	db := NewPackedDB(0)
+	if _, err := db.Acquire("k", func() (PackedTable, error) {
+		return nil, nil
+	}); err == nil {
+		t.Fatal("nil table accepted")
+	}
+}
+
+func TestPackedDBFailedBuildUnblocksWaiters(t *testing.T) {
+	db := NewPackedDB(0)
+	inBuild := make(chan struct{})
+	finish := make(chan struct{})
+	go func() {
+		db.Acquire("k", func() (PackedTable, error) {
+			close(inBuild)
+			<-finish
+			return nil, errors.New("boom")
+		})
+	}()
+	<-inBuild
+	done := make(chan error, 1)
+	go func() {
+		// This waiter arrives mid-flight; after the flight fails it
+		// becomes the builder and succeeds.
+		_, err := db.Acquire("k", func() (PackedTable, error) {
+			return &fakeTable{size: 8}, nil
+		})
+		done <- err
+	}()
+	close(finish)
+	if err := <-done; err != nil {
+		t.Fatalf("waiter-turned-builder: %v", err)
+	}
+	if db.Builds() != 2 {
+		t.Fatalf("builds = %d, want 2", db.Builds())
+	}
+	db.Release("k")
+}
+
+func TestPackedDBReleasePanics(t *testing.T) {
+	db := NewPackedDB(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release of unacquired key did not panic")
+		}
+	}()
+	db.Release("nope")
+}

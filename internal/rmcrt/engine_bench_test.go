@@ -108,6 +108,50 @@ func BenchmarkMultiLevelWalk(b *testing.B) {
 	b.ReportMetric(float64(d.Steps.Load()-start)/b.Elapsed().Seconds()/1e6, "Msteps/s")
 }
 
+// BenchmarkPackedDDA marches the same fixed diagonal ray with the
+// packed stride-incremental march (fused per-cell records, one integer
+// add per step) vs the frozen seed march (three separate field lookups
+// recomputing the flat offset from the cell coordinate every step) —
+// the pure per-step cost of the fused record layout. perfgate guards
+// the unpacked/packed ratio in-run.
+func BenchmarkPackedDDA(b *testing.B) {
+	d, _, err := NewBenchmarkDomain(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchSolveOpts()
+	origin := mathutil.V3(0.01, 0.02, 0.03)
+	dir := mathutil.V3(1, 1, 1).Normalized()
+
+	b.Run("layout=packed", func(b *testing.B) {
+		b.ReportAllocs()
+		tc := newTraceCtx(&opts)
+		var cnt traceCounters
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += d.traceRay(origin, dir, nil, &tc, &cnt)
+		}
+		_ = sink
+		if cnt.steps > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cnt.steps), "ns/step")
+		}
+	})
+	b.Run("layout=unpacked", func(b *testing.B) {
+		b.ReportAllocs()
+		start := d.Steps.Load()
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += seedTraceRay(d, origin, dir, nil, &opts)
+		}
+		_ = sink
+		if steps := d.Steps.Load() - start; steps > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps), "ns/step")
+		}
+	})
+}
+
 // BenchmarkCounterContention isolates the bug the tentpole fixes: many
 // goroutines marching rays while tallying steps, with the seed's
 // shared-atomic-per-step scheme vs the worker-private merge. The gap

@@ -1,0 +1,249 @@
+package rmcrt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"unsafe"
+
+	"github.com/uintah-repro/rmcrt/internal/alloc"
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/metrics"
+)
+
+// The packed record must stay exactly three 8-byte words: the stride
+// arithmetic and the arena byte accounting both assume it.
+func TestPackedCellRecordSize(t *testing.T) {
+	if got := unsafe.Sizeof(PackedCell{}); got != packedCellBytes {
+		t.Fatalf("PackedCell is %d bytes, want %d", got, packedCellBytes)
+	}
+}
+
+// Every packed record must be a bit-copy of the level fields — the
+// foundation of the bitwise-identity contract with the seed engine.
+func TestPackLevelBitwiseVsFields(t *testing.T) {
+	g, mk, err := NewMultiLevelBenchmark(16, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mk(g.Levels[1].Patches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := PackDomain(d, nil)
+	for li := range d.Levels {
+		ld := &d.Levels[li]
+		pl := pd.Level(li)
+		if pl.Box() != ld.ROI {
+			t.Fatalf("level %d table box %v, want ROI %v", li, pl.Box(), ld.ROI)
+		}
+		ld.ROI.ForEach(func(c grid.IntVector) {
+			rec := pl.At(c)
+			if math.Float64bits(rec.Abskg) != math.Float64bits(ld.Abskg.At(c)) {
+				t.Fatalf("level %d cell %v abskg %v != %v", li, c, rec.Abskg, ld.Abskg.At(c))
+			}
+			if math.Float64bits(rec.SigmaT4OverPi) != math.Float64bits(ld.SigmaT4OverPi.At(c)) {
+				t.Fatalf("level %d cell %v sigmaT4 %v != %v", li, c, rec.SigmaT4OverPi, ld.SigmaT4OverPi.At(c))
+			}
+			opaque := ld.CellType.At(c) != field.Flow
+			if (rec.Flags != 0) != opaque {
+				t.Fatalf("level %d cell %v flags %d, opaque %v", li, c, rec.Flags, opaque)
+			}
+		})
+	}
+	want := int64(0)
+	for li := range d.Levels {
+		want += int64(d.Levels[li].ROI.Volume()) * packedCellBytes
+	}
+	if pd.SizeBytes() != want {
+		t.Fatalf("SizeBytes %d, want %d", pd.SizeBytes(), want)
+	}
+}
+
+// The flat cursor must agree with OffsetOf/At under random walks —
+// property test for the stride-incremental indexing.
+func TestPackedCursorMatchesOffsetOf(t *testing.T) {
+	d, _, err := NewBenchmarkDomain(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := d.finest()
+	pl := PackLevel(ld, alloc.NewArena(1<<12))
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		c := grid.IV(rng.Intn(12), rng.Intn(12), rng.Intn(12))
+		st := marchState{cell: c, step: grid.IV(rng.Intn(3)-1, rng.Intn(3)-1, rng.Intn(3)-1)}
+		cur := pl.cursor(&st)
+		if cur.idx != pl.OffsetOf(c) {
+			t.Fatalf("cursor idx %d != OffsetOf %d at %v", cur.idx, pl.OffsetOf(c), c)
+		}
+		// Walk a few steps, staying inside the box, checking the
+		// incremental index against the recomputed one.
+		for k := 0; k < 20; k++ {
+			ax := rng.Intn(3)
+			if st.step.Component(ax) == 0 {
+				continue
+			}
+			next := st.cell.WithComponent(ax, st.cell.Component(ax)+st.step.Component(ax))
+			if !pl.Box().Contains(next) {
+				break
+			}
+			st.cell = next
+			cur.idx += cur.d[ax]
+			if cur.idx != pl.OffsetOf(st.cell) {
+				t.Fatalf("after step on axis %d: idx %d != OffsetOf %d at %v",
+					ax, cur.idx, pl.OffsetOf(st.cell), st.cell)
+			}
+		}
+	}
+}
+
+// A domain solving through tables attached from outside (the service's
+// shared-cache path) must produce bitwise identical divQ to a domain
+// that packed privately.
+func TestAttachPackedBitwiseVsPrivatePack(t *testing.T) {
+	g, mk, err := NewMultiLevelBenchmark(16, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Levels[1].Patches[0]
+	opts := DefaultOptions()
+	opts.NRays = 6
+
+	base, err := mk(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.SolveRegion(p.Cells, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared, err := mk(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := alloc.NewArena(1 << 16)
+	levels := make([]*PackedLevel, len(shared.Levels))
+	for i := range shared.Levels {
+		levels[i] = PackLevel(&shared.Levels[i], a)
+	}
+	if err := shared.AttachPacked(NewPackedDomain(levels)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := shared.SolveRegion(p.Cells, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitwiseEqual(t, p.Cells, want, got, "attached tables")
+}
+
+func TestAttachPackedValidates(t *testing.T) {
+	d, _, err := NewBenchmarkDomain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachPacked(nil); err == nil {
+		t.Fatal("nil packed domain accepted")
+	}
+	pd := PackDomain(d, nil)
+	if err := d.AttachPacked(NewPackedDomain(nil)); err == nil {
+		t.Fatal("level-count mismatch accepted")
+	}
+	// A table packed over a shrunken ROI must be rejected by a domain
+	// whose ROI it does not cover.
+	shrunk, _, err := NewBenchmarkDomain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk.Levels[0].ROI = grid.NewBox(grid.IV(0, 0, 0), grid.IV(4, 8, 8))
+	pdSmall := PackDomain(shrunk, nil)
+	if err := d.AttachPacked(pdSmall); err == nil {
+		t.Fatal("non-covering table accepted")
+	}
+	if err := d.AttachPacked(pd); err != nil {
+		t.Fatalf("valid attach rejected: %v", err)
+	}
+	if d.Packed() != pd {
+		t.Fatal("Packed() does not return the attached tables")
+	}
+	d.InvalidatePacked()
+	if d.Packed() != nil {
+		t.Fatal("InvalidatePacked left tables attached")
+	}
+}
+
+// Satellite: resetting the arena between domain rebuilds must not
+// corrupt tables still in use — typed arena allocations live in
+// dedicated slabs, so Reset only drops the accounting. Quick-check
+// style: random sample cells, then rebuild over the reset arena with
+// different values and re-verify the original table.
+func TestArenaResetDoesNotAliasLiveTables(t *testing.T) {
+	a := alloc.NewArena(1 << 10)
+	d, _, err := NewBenchmarkDomain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := PackDomain(d, a)
+	pl := pd.Level(0)
+
+	rng := rand.New(rand.NewSource(7))
+	type sample struct {
+		c   grid.IntVector
+		rec PackedCell
+	}
+	samples := make([]sample, 0, 64)
+	for i := 0; i < 64; i++ {
+		c := grid.IV(rng.Intn(8), rng.Intn(8), rng.Intn(8))
+		samples = append(samples, sample{c, pl.At(c)})
+	}
+
+	// Rebuild: reset the arena and pack a different domain into it.
+	a.Reset()
+	d2, _, err := NewBenchmarkDomain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Levels[0].Abskg.Fill(1234.5)
+	d2.Levels[0].SigmaT4OverPi.Fill(-8.25)
+	d2.Levels[0].CellType.Fill(field.Intrusion)
+	_ = PackDomain(d2, a)
+
+	for _, s := range samples {
+		got := pl.At(s.c)
+		if got != s.rec {
+			t.Fatalf("cell %v changed after arena reset+rebuild: %+v != %+v", s.c, got, s.rec)
+		}
+	}
+}
+
+// Satellite: the arena's byte accounting must be visible through the
+// metrics registry, and packing must be what moves it.
+func TestArenaPublishReportsPackedBytes(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a := alloc.NewArena(1 << 10)
+	a.Publish(reg, "rmcrt_packed_arena")
+
+	gAlloc := reg.Gauge("rmcrt_packed_arena_allocated_bytes", "")
+	gRes := reg.Gauge("rmcrt_packed_arena_reserved_bytes", "")
+	if gAlloc.Value() != 0 {
+		t.Fatalf("allocated gauge %d before any packing", gAlloc.Value())
+	}
+
+	d, _, err := NewBenchmarkDomain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := PackDomain(d, a)
+	if gAlloc.Value() < pd.SizeBytes() {
+		t.Fatalf("allocated gauge %d < table bytes %d", gAlloc.Value(), pd.SizeBytes())
+	}
+	if gRes.Value() < pd.SizeBytes() {
+		t.Fatalf("reserved gauge %d < table bytes %d", gRes.Value(), pd.SizeBytes())
+	}
+	a.Reset()
+	if gAlloc.Value() != 0 || gRes.Value() != 0 {
+		t.Fatalf("gauges (%d, %d) nonzero after Reset", gAlloc.Value(), gRes.Value())
+	}
+}

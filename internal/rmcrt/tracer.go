@@ -46,6 +46,13 @@ type Domain struct {
 	// tile-level timings (see TraceMetrics). Set it before solving;
 	// the engine reads it without synchronization.
 	Metrics *TraceMetrics
+
+	// packed holds the fused per-level property tables the march reads
+	// (see packed.go): built lazily on first trace, or installed by
+	// AttachPacked when the service shares tables across jobs. Property
+	// fields are frozen once tracing begins; call InvalidatePacked
+	// after mutating them on a reused domain.
+	packed atomic.Pointer[PackedDomain]
 }
 
 // finest returns the finest level's data.
@@ -208,12 +215,22 @@ func (d *Domain) TraceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, opts *Op
 // but with the per-solve invariants read from tc and the ray/step
 // tallies accumulated into the worker-private cnt — zero shared atomics
 // inside the march loop.
+//
+// Properties are read from the packed per-level tables (packed.go)
+// through a flat-index cursor: one stride add and one 24-byte record
+// load per DDA step, instead of three 3-D offset computations on three
+// separate arrays. The record values are bit-copies of the level
+// fields and the arithmetic order is unchanged, so the result stays
+// bitwise identical to the seed engine.
 func (d *Domain) traceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, tc *traceCtx, cnt *traceCounters) float64 {
 	cnt.rays++
+	pd := d.ensurePacked()
 	li := len(d.Levels) - 1
 	ld := &d.Levels[li]
+	pl := pd.levels[li]
 	cell := ld.Level.CellContaining(origin)
 	st := initMarch(ld.Level, cell, origin, dir, 0)
+	cur := pl.cursor(&st)
 
 	sumI := 0.0
 	tau := 0.0   // accumulated optical thickness
@@ -240,9 +257,10 @@ func (d *Domain) traceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, tc *trac
 		if tCur+ds > scatterT && !math.IsInf(scatterT, 1) {
 			cnt.steps++
 			dsScat := scatterT - tCur
-			tauNew := tau + ld.Abskg.At(st.cell)*dsScat
+			rec := &pl.recs[cur.idx]
+			tauNew := tau + rec.Abskg*dsScat
 			transNew := math.Exp(-tauNew)
-			sumI += ld.SigmaT4OverPi.At(st.cell) * (trans - transNew)
+			sumI += rec.SigmaT4OverPi * (trans - transNew)
 			tau, trans = tauNew, transNew
 
 			p := origin.Add(dir.Scale(scatterT))
@@ -250,6 +268,7 @@ func (d *Domain) traceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, tc *trac
 			origin = p
 			tCur = 0
 			st = initMarch(ld.Level, st.cell, origin, dir, 0)
+			cur = pl.cursor(&st)
 			// One scattering generation keeps variance bounded; the
 			// benchmark runs with scattering off.
 			scatterT = math.Inf(1)
@@ -259,21 +278,25 @@ func (d *Domain) traceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, tc *trac
 		// Accumulate this cell's emission over the segment:
 		// sumI += I_b(cell) * (e^{-τ_prev} - e^{-τ}).
 		cnt.steps++
-		tauNew := tau + ld.Abskg.At(st.cell)*ds
+		rec := &pl.recs[cur.idx]
+		tauNew := tau + rec.Abskg*ds
 		transNew := math.Exp(-tauNew)
-		sumI += ld.SigmaT4OverPi.At(st.cell) * (trans - transNew)
+		sumI += rec.SigmaT4OverPi * (trans - transNew)
 		tau, trans = tauNew, transNew
 
 		if trans < tc.threshold {
 			return sumI // extinction
 		}
 
-		// Move into the next cell.
+		// Move into the next cell: one stride add advances the flat
+		// record index alongside the DDA state.
 		tCur = tNext
 		st.cell = st.cell.WithComponent(ax, st.cell.Component(ax)+st.step.Component(ax))
 		st.tMax = st.tMax.WithComponent(ax, st.tMax.Component(ax)+st.tDelta.Component(ax))
+		cur.idx += cur.d[ax]
 
 		// Left this level's region of interest?
+		dropped := false
 		if !ld.ROI.Contains(st.cell) {
 			if li == 0 {
 				// Leaving the coarsest level means leaving the domain:
@@ -298,6 +321,7 @@ func (d *Domain) traceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, tc *trac
 				dir = dir.WithComponent(ax, -dir.Component(ax))
 				origin, tCur = p, 0
 				st = initMarch(ld.Level, inside, origin, dir, 0)
+				cur = pl.cursor(&st)
 				continue
 			}
 			// Drop to the next coarser level at the current position,
@@ -305,17 +329,20 @@ func (d *Domain) traceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, tc *trac
 			// cell ahead of the crossing.
 			li--
 			ld = &d.Levels[li]
+			pl = pd.levels[li]
 			eps := 1e-9 * ld.Level.CellSize().MinComponent()
 			p := origin.Add(dir.Scale(tCur + eps))
 			ncell := ld.Level.CellContaining(p)
 			st = initMarch(ld.Level, ncell, p, dir, tCur)
+			cur = pl.cursor(&st)
+			dropped = true
 		}
 
 		// Opaque cell: the ray picks up the surface's emission and
 		// either terminates (black or reflections off) or reflects
 		// specularly about the crossed face.
-		if ld.CellType.At(st.cell) != field.Flow {
-			sumI += tc.wallEmissivity * ld.SigmaT4OverPi.At(st.cell) * trans
+		if rec := &pl.recs[cur.idx]; rec.Flags != 0 {
+			sumI += tc.wallEmissivity * rec.SigmaT4OverPi * trans
 			if !tc.reflections || tc.wallEmissivity >= 1 ||
 				reflections >= tc.maxReflections {
 				return sumI
@@ -326,14 +353,43 @@ func (d *Domain) traceRay(origin, dir mathutil.Vec3, rng *mathutil.RNG, tc *trac
 				return sumI
 			}
 			reflections++
+			// The reflected face is perpendicular to ax even after a
+			// level drop: a drop happens when the ray crosses the fine
+			// ROI face on axis ax, and that crossing is what exposed
+			// this opaque coarse cell. The restart cell, however, is
+			// only "one cell back along ax" when the ray actually
+			// entered through a face of this cell. After a drop onto a
+			// coarse cell that the fine ROI face straddles, the hit
+			// point lies strictly inside the opaque cell; stepping a
+			// whole coarse cell back would teleport the march into a
+			// cell that does not contain it. Reflect in place instead:
+			// the ray re-traverses the remaining thickness of the wall
+			// material it is inside.
 			inside := st.cell.WithComponent(ax, st.cell.Component(ax)-st.step.Component(ax))
 			p := origin.Add(dir.Scale(tCur))
+			if dropped && !enteredThroughFace(ld.Level, st.cell, ax, st.step.Component(ax), p) {
+				inside = st.cell
+			}
 			dir = dir.WithComponent(ax, -dir.Component(ax))
 			origin, tCur = p, 0
 			st = initMarch(ld.Level, inside, origin, dir, 0)
+			cur = pl.cursor(&st)
 		}
 	}
 	return sumI
+}
+
+// enteredThroughFace reports whether p lies on cell's entry face along
+// ax for a ray stepping in direction step (within a relative
+// tolerance). The level-drop nudge is 1e-9·dx, far inside the 1e-6·dx
+// tolerance, so face-aligned drops always count as through-the-face.
+func enteredThroughFace(l *grid.Level, cell grid.IntVector, ax, step int, p mathutil.Vec3) bool {
+	dx := l.CellSize().Component(ax)
+	face := l.CellLo(cell).Component(ax)
+	if step < 0 {
+		face += dx
+	}
+	return math.Abs(p.Component(ax)-face) <= 1e-6*dx
 }
 
 // sampleScatterDistance draws the free path to the next scattering

@@ -1,0 +1,178 @@
+package rmcrt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// Regression coverage for the level-drop/opaque-cell interaction.
+//
+// When a ray leaves the fine ROI on axis ax and drops to the coarse
+// level, the opaque check that follows reuses ax to pick the reflected
+// face. The axis itself is correct — the surface the ray crossed is
+// the fine ROI face, perpendicular to ax — but the restart cell used
+// to be wrong when the fine ROI face does not coincide with a coarse
+// cell face: the drop lands *strictly inside* an opaque coarse cell,
+// and stepping a whole coarse cell back along ax teleported the march
+// into a cell that does not contain the reflection point, silently
+// mis-attributing about one coarse cell's worth of optical path.
+//
+// These tests pin both cases with hand-computed expected intensities:
+// the straddling drop (reflect in place) and the face-aligned drop
+// (classic step-back restart, unchanged behavior).
+
+// dropDomain builds a unit-cube two-level domain: coarse 4³ (dx 0.25),
+// fine 8³ (dx 0.125), fine ROI truncated at x < roiHiX so rays going +x
+// drop mid-domain, with the coarse x-column opaqueX (all y, z) marked
+// Intrusion. Property fields are distinct per cell column so any
+// mis-attributed segment changes the answer.
+func dropDomain(t *testing.T, roiHiX, opaqueX int) *Domain {
+	t.Helper()
+	g, err := grid.New(
+		mathutil.V3(0, 0, 0), mathutil.V3(1, 1, 1),
+		grid.Spec{Resolution: grid.Uniform(4), PatchSize: grid.Uniform(4)},
+		grid.Spec{Resolution: grid.Uniform(8), PatchSize: grid.Uniform(8)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, fine := g.Levels[0], g.Levels[1]
+
+	fa := field.NewCC[float64](fine.IndexBox())
+	fs := field.NewCC[float64](fine.IndexBox())
+	fc := field.NewCC[field.CellType](fine.IndexBox())
+	fa.FillFunc(func(c grid.IntVector) float64 { return 0.2 + 0.05*float64(c.X) })
+	fs.FillFunc(func(c grid.IntVector) float64 { return 0.5 + 0.125*float64(c.X) })
+	fc.Fill(field.Flow)
+
+	ca := field.NewCC[float64](coarse.IndexBox())
+	cs := field.NewCC[float64](coarse.IndexBox())
+	cc := field.NewCC[field.CellType](coarse.IndexBox())
+	ca.FillFunc(func(c grid.IntVector) float64 { return 0.1 * float64(c.X+1) })
+	cs.FillFunc(func(c grid.IntVector) float64 { return 2 + float64(c.X) })
+	cc.FillFunc(func(c grid.IntVector) field.CellType {
+		if c.X == opaqueX {
+			return field.Intrusion
+		}
+		return field.Flow
+	})
+
+	d := &Domain{Levels: []LevelData{
+		{Level: coarse, ROI: coarse.IndexBox(), Abskg: ca, SigmaT4OverPi: cs, CellType: cc},
+		{Level: fine, ROI: grid.NewBox(grid.IV(0, 0, 0), grid.IV(roiHiX, 8, 8)), Abskg: fa, SigmaT4OverPi: fs, CellType: fc},
+	}}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// segAccum mirrors the tracer's per-segment arithmetic, in the same
+// operation order, so expected values match to float64 rounding.
+type segAccum struct {
+	tau, trans, sumI float64
+}
+
+func (a *segAccum) seg(kappa, sig, ds float64) {
+	tauNew := a.tau + kappa*ds
+	transNew := math.Exp(-tauNew)
+	a.sumI += sig * (a.trans - transNew)
+	a.tau, a.trans = tauNew, transNew
+}
+
+func (a *segAccum) surface(eps, sig float64) {
+	a.sumI += eps * sig * a.trans
+	a.trans *= 1 - eps
+	a.tau -= math.Log(1 - eps)
+}
+
+func dropOpts() Options {
+	opts := DefaultOptions()
+	opts.NRays = 1
+	opts.Threshold = 1e-9
+	opts.Reflections = true
+	opts.WallEmissivity = 0.5
+	opts.MaxReflections = 1
+	return opts
+}
+
+// Straddling case: fine ROI ends at x-index 5, so its face sits at
+// x = 0.625 — the middle of opaque coarse cell 2 ([0.5, 0.75)). The
+// correct reflection restarts *in* cell 2 and re-traverses its
+// remaining 0.125 of wall material; the old code restarted in cell 1
+// while standing at x = 0.625, mis-attributing a 0.375-long segment to
+// cell 1's properties.
+func TestDropOntoStraddlingOpaqueCellReflection(t *testing.T) {
+	d := dropDomain(t, 5, 2)
+	opts := dropOpts()
+
+	// +x ray from the center of fine cell (0,4,4): y and z never cross
+	// a face, so the entire march is the x-column.
+	origin := d.Levels[1].Level.CellCenter(grid.IV(0, 4, 4))
+	got := d.TraceRay(origin, mathutil.V3(1, 0, 0), nil, &opts)
+
+	fineK := func(x int) float64 { return 0.2 + 0.05*float64(x) }
+	fineS := func(x int) float64 { return 0.5 + 0.125*float64(x) }
+	coarseK := func(x int) float64 { return 0.1 * float64(x+1) }
+	coarseS := func(x int) float64 { return 2 + float64(x) }
+
+	var a segAccum
+	a.trans = 1
+	a.seg(fineK(0), fineS(0), 0.0625) // center of cell 0 to its face
+	for x := 1; x < 5; x++ {
+		a.seg(fineK(x), fineS(x), 0.125)
+	}
+	// Drop at x = 0.625 into opaque coarse cell 2: surface emission,
+	// then the reflected ray re-crosses cell 2's remaining thickness
+	// and marches back out through cells 1 and 0 to the x=0 wall
+	// (cold, so the wall term vanishes).
+	a.surface(opts.WallEmissivity, coarseS(2))
+	a.seg(coarseK(2), coarseS(2), 0.125)
+	a.seg(coarseK(1), coarseS(1), 0.25)
+	a.seg(coarseK(0), coarseS(0), 0.25)
+
+	if math.Abs(got-a.sumI) > 1e-12*math.Abs(a.sumI) {
+		t.Fatalf("straddling drop reflection: got %.17g, want %.17g (diff %g)",
+			got, a.sumI, got-a.sumI)
+	}
+}
+
+// Face-aligned case: fine ROI ends at x-index 6, so its face x = 0.75
+// coincides with the face of opaque coarse cell 3. The classic
+// step-back restart (reflect from cell 2) is correct and must be
+// unchanged.
+func TestDropOntoFaceAlignedOpaqueCellReflection(t *testing.T) {
+	d := dropDomain(t, 6, 3)
+	opts := dropOpts()
+
+	origin := d.Levels[1].Level.CellCenter(grid.IV(0, 4, 4))
+	got := d.TraceRay(origin, mathutil.V3(1, 0, 0), nil, &opts)
+
+	fineK := func(x int) float64 { return 0.2 + 0.05*float64(x) }
+	fineS := func(x int) float64 { return 0.5 + 0.125*float64(x) }
+	coarseK := func(x int) float64 { return 0.1 * float64(x+1) }
+	coarseS := func(x int) float64 { return 2 + float64(x) }
+
+	var a segAccum
+	a.trans = 1
+	a.seg(fineK(0), fineS(0), 0.0625)
+	for x := 1; x < 6; x++ {
+		a.seg(fineK(x), fineS(x), 0.125)
+	}
+	// Drop lands exactly on cell 3's entry face: surface emission, then
+	// the reflected ray restarts in flow cell 2 and marches back to the
+	// cold x=0 wall.
+	a.surface(opts.WallEmissivity, coarseS(3))
+	a.seg(coarseK(2), coarseS(2), 0.25)
+	a.seg(coarseK(1), coarseS(1), 0.25)
+	a.seg(coarseK(0), coarseS(0), 0.25)
+
+	if math.Abs(got-a.sumI) > 1e-12*math.Abs(a.sumI) {
+		t.Fatalf("face-aligned drop reflection: got %.17g, want %.17g (diff %g)",
+			got, a.sumI, got-a.sumI)
+	}
+}

@@ -43,6 +43,10 @@ type CheckpointOptions struct {
 	// for every recomputed problem (resumed problems trace no rays and
 	// report nothing).
 	Trace *rmcrt.TraceMetrics
+	// Packed, if set, draws each recomputed problem's packed property
+	// tables from the shared cache instead of packing privately. Like
+	// Trace, it is side-channel only: divQ is bitwise independent of it.
+	Packed *PackedCache
 }
 
 // SolveCheckpointed is Solve with durable per-problem progress. Already
@@ -53,7 +57,7 @@ type CheckpointOptions struct {
 // problems were restored from the archive rather than solved.
 func (s Spec) SolveCheckpointed(ctx context.Context, opt CheckpointOptions) (divQ *field.CC[float64], rays, steps int64, resumed int, err error) {
 	if opt.Dir == "" {
-		divQ, rays, steps, err = s.SolveObserved(ctx, opt.Trace)
+		divQ, rays, steps, err = s.SolveShared(ctx, opt.Trace, opt.Packed)
 		return divQ, rays, steps, 0, err
 	}
 	out, probs, err := s.problems()
@@ -81,7 +85,16 @@ func (s Spec) SolveCheckpointed(ctx context.Context, opt CheckpointOptions) (div
 				return nil, rays, steps, resumed, err
 			}
 		}
+		var release func()
+		if opt.Packed != nil {
+			if release, err = opt.Packed.attach(s.Normalized(), pr.domain); err != nil {
+				return nil, rays, steps, resumed, err
+			}
+		}
 		r, st, err := pr.solve(ctx, &opts, out, opt.Trace)
+		if release != nil {
+			release()
+		}
 		rays += r
 		steps += st
 		if err != nil {

@@ -144,6 +144,12 @@ type Config struct {
 	// seam for alternate backends and for fault-injection tests; it must
 	// preserve Spec.Solve's determinism contract.
 	Solver func(ctx context.Context, spec Spec) (*field.CC[float64], int64, int64, error)
+	// PackedRetainBytes bounds the idle-table retention of the shared
+	// packed property-table cache — the level-database analog that lets
+	// concurrent and back-to-back jobs over the same level share one
+	// read-only packed copy (0 = default 64 MiB, negative disables the
+	// cache entirely; solves then pack privately).
+	PackedRetainBytes int64
 	// Metrics receives the service's instrumentation (a fresh registry
 	// is created when nil).
 	Metrics *metrics.Registry
@@ -216,6 +222,7 @@ type Manager struct {
 	gQueued, gRunning, gLastCkpt                *metrics.Gauge
 	hSolve                                      *metrics.Histogram
 	trace                                       *rmcrt.TraceMetrics
+	packed                                      *PackedCache
 }
 
 // RecoveryStats describes what Recover rebuilt from the journal.
@@ -288,7 +295,7 @@ func Recover(cfg Config) (*Manager, error) {
 		// tile/ray/step series land in the manager's registry alongside
 		// the job-level rmcrtd_* metrics.
 		m.cfg.Solver = func(ctx context.Context, spec Spec) (*field.CC[float64], int64, int64, error) {
-			return spec.SolveObserved(ctx, m.trace)
+			return spec.SolveShared(ctx, m.trace, m.packed)
 		}
 	}
 	r := m.reg
@@ -315,6 +322,11 @@ func Recover(cfg Config) (*Manager, error) {
 	m.gLastCkpt = r.Gauge("rmcrtd_checkpoint_last_unix_seconds", "unix time of the most recent checkpoint write")
 	m.hSolve = r.Histogram("rmcrtd_solve_seconds", "solve wall time", metrics.DefBuckets)
 	m.trace = rmcrt.NewTraceMetrics(r)
+	if cfg.PackedRetainBytes >= 0 {
+		// The shared packed-table cache (the level-database analog);
+		// the default solvers below draw per-level tables from it.
+		m.packed = NewPackedCache(cfg.PackedRetainBytes, r)
+	}
 
 	// Restore the pre-crash queue before workers exist, so recovered
 	// flights run in their original submission order.
@@ -408,7 +420,8 @@ func (m *Manager) checkpointedSolver(ctx context.Context, spec Spec) (*field.CC[
 		OnCheckpoint: func(int) {
 			m.gLastCkpt.Set(time.Now().Unix())
 		},
-		Trace: m.trace,
+		Trace:  m.trace,
+		Packed: m.packed,
 	})
 	m.mResumedPatches.Add(int64(resumed))
 	return divQ, rays, steps, err
@@ -416,6 +429,10 @@ func (m *Manager) checkpointedSolver(ctx context.Context, spec Spec) (*field.CC[
 
 // Registry returns the manager's metrics registry (for /metrics).
 func (m *Manager) Registry() *metrics.Registry { return m.reg }
+
+// Packed returns the manager's shared packed-table cache, nil when
+// disabled (Config.PackedRetainBytes < 0).
+func (m *Manager) Packed() *PackedCache { return m.packed }
 
 // Submit validates spec, applies admission control and returns the new
 // job's status. The submission is served from the result cache when

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uintah-repro/rmcrt/internal/alloc"
+	"github.com/uintah-repro/rmcrt/internal/gpudw"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/metrics"
+	"github.com/uintah-repro/rmcrt/internal/rmcrt"
+)
+
+// PackedCache is the service-layer analog of the paper's GPU
+// DataWarehouse level database (internal/gpudw): a content-keyed,
+// refcounted cache of the tracer's packed per-level property tables,
+// so concurrent jobs over the same coarse level march through one
+// shared read-only copy instead of re-packing per solve. Tables are
+// keyed by the property-shaping spec fields only — jobs that differ
+// in ray count, seed or threshold still share.
+type PackedCache struct {
+	db    *gpudw.PackedDB
+	arena *alloc.Arena
+
+	mBuilds *metrics.Counter
+	mHits   *metrics.Counter
+	gBytes  *metrics.Gauge
+}
+
+// defaultPackedRetainBytes is how much idle (unreferenced) table data
+// the cache keeps resident so back-to-back jobs share too: 64 MiB, a
+// few coarse 128³ levels.
+const defaultPackedRetainBytes = 64 << 20
+
+// NewPackedCache creates a cache retaining up to retainBytes of idle
+// tables (0 = default 64 MiB) and, when reg is non-nil, registers the
+// rmcrt_packed_{builds,hits,bytes} series plus the backing arena's
+// byte gauges.
+func NewPackedCache(retainBytes int64, reg *metrics.Registry) *PackedCache {
+	if retainBytes == 0 {
+		retainBytes = defaultPackedRetainBytes
+	}
+	if retainBytes < 0 {
+		retainBytes = 0
+	}
+	pc := &PackedCache{
+		db:    gpudw.NewPackedDB(retainBytes),
+		arena: alloc.NewArena(1 << 16),
+	}
+	if reg != nil {
+		pc.mBuilds = reg.Counter("rmcrt_packed_builds", "packed property tables built (shared-cache misses)")
+		pc.mHits = reg.Counter("rmcrt_packed_hits", "packed property table acquisitions served from the shared cache")
+		pc.gBytes = reg.Gauge("rmcrt_packed_bytes", "bytes of packed property tables resident in the shared cache")
+		pc.arena.Publish(reg, "rmcrt_packed_arena")
+	}
+	return pc
+}
+
+// tableKey is the content address of one level's packed table: every
+// spec field that shapes the property values, plus the level index and
+// the ROI the table covers. Sampling fields (rays, seed, threshold)
+// are deliberately absent.
+func tableKey(n Spec, level int, roi grid.Box) string {
+	return fmt.Sprintf("%s|n%d|l%d|rr%d|k%x|s%x|L%d|%v",
+		n.Kind, n.N, n.Levels, n.RR,
+		math.Float64bits(n.Kappa), math.Float64bits(n.SigmaT4), level, roi)
+}
+
+// acquireLevel returns the (possibly shared) packed table for one
+// level, building it at most once per residency.
+func (pc *PackedCache) acquireLevel(key string, ld *rmcrt.LevelData) (*rmcrt.PackedLevel, error) {
+	built := false
+	t, err := pc.db.Acquire(key, func() (gpudw.PackedTable, error) {
+		built = true
+		return rmcrt.PackLevel(ld, pc.arena), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if built {
+		if pc.mBuilds != nil {
+			pc.mBuilds.Inc()
+		}
+	} else if pc.mHits != nil {
+		pc.mHits.Inc()
+	}
+	pc.syncBytes()
+	return t.(*rmcrt.PackedLevel), nil
+}
+
+func (pc *PackedCache) syncBytes() {
+	if pc.gBytes != nil {
+		pc.gBytes.Set(pc.db.ResidentBytes())
+	}
+}
+
+// attach acquires the packed table of every level of d (building each
+// at most once across all concurrent holders) and installs them on d.
+// The returned release drops the table references; the solve must
+// finish before calling it. n must be the normalized spec that shaped
+// d's property fields — it is what makes the content key sound.
+func (pc *PackedCache) attach(n Spec, d *rmcrt.Domain) (release func(), err error) {
+	keys := make([]string, 0, len(d.Levels))
+	levels := make([]*rmcrt.PackedLevel, 0, len(d.Levels))
+	releaseAcquired := func() {
+		for _, k := range keys {
+			pc.db.Release(k)
+		}
+		pc.syncBytes()
+	}
+	for li := range d.Levels {
+		key := tableKey(n, li, d.Levels[li].ROI)
+		pl, err := pc.acquireLevel(key, &d.Levels[li])
+		if err != nil {
+			releaseAcquired()
+			return nil, err
+		}
+		keys = append(keys, key)
+		levels = append(levels, pl)
+	}
+	if err := d.AttachPacked(rmcrt.NewPackedDomain(levels)); err != nil {
+		releaseAcquired()
+		return nil, err
+	}
+	return releaseAcquired, nil
+}
+
+// Builds returns how many tables were actually packed. For tests.
+func (pc *PackedCache) Builds() int64 { return pc.db.Builds() }
+
+// Hits returns how many acquisitions shared a resident table. For
+// tests.
+func (pc *PackedCache) Hits() int64 { return pc.db.Hits() }
+
+// ResidentBytes returns the bytes of tables currently resident.
+func (pc *PackedCache) ResidentBytes() int64 { return pc.db.ResidentBytes() }

@@ -1,0 +1,49 @@
+package service
+
+import "testing"
+
+// BenchmarkPackedCacheAcquire measures the shared table cache on both
+// sides of the hit/miss divide: acquire=hit re-attaches a retained
+// table (a map lookup and a refcount), acquire=build re-packs the 32³
+// level every iteration (retention disabled, so each release evicts).
+// The gap is what a job saves when a concurrent or recent job already
+// packed its level; perfgate guards the build/hit ratio in-run. Part
+// of the pinned perf-gate matrix — renames are baseline-breaking.
+func BenchmarkPackedCacheAcquire(b *testing.B) {
+	n := Spec{Kind: KindBenchmark, N: 32, Rays: 1}.Normalized()
+	_, probs, err := n.problems()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := probs[0].domain
+
+	b.Run("acquire=hit", func(b *testing.B) {
+		pc := NewPackedCache(0, nil) // default retention: table stays resident
+		release, err := pc.attach(n, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		release()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			release, err := pc.attach(n, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			release()
+		}
+	})
+	b.Run("acquire=build", func(b *testing.B) {
+		pc := NewPackedCache(-1, nil) // zero retention: every release evicts
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			release, err := pc.attach(n, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			release()
+		}
+	})
+}

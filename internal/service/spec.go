@@ -292,13 +292,32 @@ func (s Spec) Solve(ctx context.Context) (divQ *field.CC[float64], rays, steps i
 // land in tm (nil = unobserved, identical to Solve). Metrics are
 // side-channel only — divQ is bitwise independent of tm.
 func (s Spec) SolveObserved(ctx context.Context, tm *rmcrt.TraceMetrics) (divQ *field.CC[float64], rays, steps int64, err error) {
+	return s.SolveShared(ctx, tm, nil)
+}
+
+// SolveShared is SolveObserved with the packed property tables drawn
+// from the shared cache pc instead of packed privately per solve (nil
+// pc = private tables, identical to SolveObserved). Sharing is
+// side-channel only: the tables are bit-copies of the same fields, so
+// divQ is bitwise independent of pc.
+func (s Spec) SolveShared(ctx context.Context, tm *rmcrt.TraceMetrics, pc *PackedCache) (divQ *field.CC[float64], rays, steps int64, err error) {
 	out, probs, err := s.problems()
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	opts := s.Options()
+	n := s.Normalized()
 	for _, pr := range probs {
+		var release func()
+		if pc != nil {
+			if release, err = pc.attach(n, pr.domain); err != nil {
+				return nil, rays, steps, err
+			}
+		}
 		r, st, err := pr.solve(ctx, &opts, out, tm)
+		if release != nil {
+			release()
+		}
 		rays += r
 		steps += st
 		if err != nil {
