@@ -34,7 +34,6 @@ import (
 	"errors"
 	"flag"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +51,7 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
 	journal := flag.String("journal", "", "write-ahead job journal path (empty = jobs do not survive restarts)")
 	ckptDir := flag.String("ckpt-dir", "", "per-job solve checkpoint directory (empty = no mid-solve checkpoints)")
+	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "submit request body byte limit (413 beyond it)")
 	flag.Parse()
 
 	mgr, err := service.Recover(service.Config{
@@ -70,7 +70,10 @@ func main() {
 		log.Printf("rmcrtd: journal %s: replayed %d records, recovered %d jobs (torn tail: %v)",
 			*journal, rs.RecordsReplayed, rs.JobsRecovered, rs.TornTail)
 	}
-	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(mgr)}
+	// Hardened server: header/read/write/idle timeouts plus bounded
+	// header and submit-body sizes, so slow or oversized clients are
+	// shed instead of accumulating.
+	srv := service.NewHTTPServer(*addr, service.NewHandlerLimit(mgr, *maxBody))
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

@@ -1,0 +1,138 @@
+// Command rmcrtrouter is the cluster front-end for a fleet of rmcrtd
+// shards: it accepts the same job API as a single daemon and fans the
+// work out across backends with pluggable routing, SLO-aware
+// scheduling, and retry-with-reroute when a shard dies mid-job.
+//
+// Usage:
+//
+//	rmcrtrouter -shard http://node0:8372 -shard http://node1:8372
+//	rmcrtrouter -shard gpu0=http://node0:8372 -shard gpu1=http://node1:8372 \
+//	            -policy affinity -sched priority -max-inflight 4
+//
+// Routing policies (-policy):
+//
+//	affinity     rendezvous-hash the spec's property-shaping fields so
+//	             jobs that share a packed-table build land on the same
+//	             shard, spilling to the least-loaded shard when the
+//	             home shard is hot (default)
+//	roundrobin   cycle placements across healthy shards
+//	leastloaded  place on the shard with the fewest inflight jobs
+//
+// Scheduling policies (-sched): priority (SLO class order, default),
+// fcfs, sjf (perfmodel-estimated cheapest solve first).
+//
+// API: the rmcrtd job surface (POST /v1/solve, GET/DELETE
+// /v1/jobs/{id}, GET /v1/jobs/{id}/result, /healthz, /metrics) plus
+// GET /v1/shards and POST /v1/shards/{name}/drain|/undrain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/uintah-repro/rmcrt/internal/cluster"
+	"github.com/uintah-repro/rmcrt/internal/service"
+)
+
+// shardFlag collects repeated -shard values: either a bare base URL or
+// name=url.
+type shardFlag struct {
+	cfgs []cluster.ShardConfig
+}
+
+func (f *shardFlag) String() string {
+	parts := make([]string, 0, len(f.cfgs))
+	for _, c := range f.cfgs {
+		if c.Name != "" {
+			parts = append(parts, c.Name+"="+c.URL)
+		} else {
+			parts = append(parts, c.URL)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *shardFlag) Set(v string) error {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return fmt.Errorf("empty -shard value")
+	}
+	var c cluster.ShardConfig
+	if name, url, ok := strings.Cut(v, "="); ok && !strings.Contains(name, "/") {
+		c = cluster.ShardConfig{Name: name, URL: url}
+	} else {
+		c = cluster.ShardConfig{URL: v}
+	}
+	f.cfgs = append(f.cfgs, c)
+	return nil
+}
+
+func main() {
+	var shards shardFlag
+	flag.Var(&shards, "shard", "rmcrtd backend as url or name=url (repeatable, required)")
+	addr := flag.String("addr", ":8371", "listen address")
+	policy := flag.String("policy", cluster.PolicyAffinity, "routing policy: affinity, roundrobin, leastloaded")
+	sched := flag.String("sched", cluster.SchedPriority, "dispatch scheduling: priority, fcfs, sjf")
+	queue := flag.Int("queue", 256, "router dispatch queue depth")
+	maxInflight := flag.Int("max-inflight", 4, "max jobs dispatched per shard at a time (0 = unbounded)")
+	attempts := flag.Int("max-attempts", 3, "max placements per job across shard losses")
+	poll := flag.Duration("poll", 250*time.Millisecond, "per-job shard status poll interval")
+	healthEvery := flag.Duration("health-interval", time.Second, "shard health probe interval")
+	shardTimeout := flag.Duration("shard-timeout", 10*time.Second, "per-request timeout for backend calls")
+	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "submit request body byte limit (413 beyond it)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
+	flag.Parse()
+
+	if len(shards.cfgs) == 0 {
+		log.Fatalf("rmcrtrouter: at least one -shard is required")
+	}
+	c, err := cluster.New(cluster.Config{
+		Shards:              shards.cfgs,
+		Policy:              *policy,
+		Sched:               *sched,
+		QueueDepth:          *queue,
+		MaxInflightPerShard: *maxInflight,
+		MaxAttempts:         *attempts,
+		PollInterval:        *poll,
+		HealthInterval:      *healthEvery,
+		Client:              &http.Client{Timeout: *shardTimeout},
+	})
+	if err != nil {
+		log.Fatalf("rmcrtrouter: %v", err)
+	}
+	// Same hardened server profile as rmcrtd: bounded header size plus
+	// header/read/write/idle timeouts.
+	srv := service.NewHTTPServer(*addr, cluster.NewHandlerLimit(c, *maxBody))
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("rmcrtrouter listening on %s (%d shards, policy=%s sched=%s)",
+		*addr, len(shards.cfgs), *policy, *sched)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatalf("rmcrtrouter: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("rmcrtrouter: shutting down, draining for up to %v", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("rmcrtrouter: http shutdown: %v", err)
+	}
+	if err := c.Close(shutCtx); err != nil {
+		log.Printf("rmcrtrouter: drain: %v", err)
+	}
+	log.Printf("rmcrtrouter: stopped")
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/uintah-repro/rmcrt/internal/perfmodel"
+	"github.com/uintah-repro/rmcrt/internal/service"
+)
+
+// Scheduling policy names for the dispatch queue.
+const (
+	// SchedFCFS dispatches in submission order regardless of class.
+	SchedFCFS = "fcfs"
+	// SchedPriority dispatches by SLO class (interactive before batch
+	// before best-effort), FCFS within a class.
+	SchedPriority = "priority"
+	// SchedSJF dispatches the cheapest predicted solve first (estimated
+	// DDA cell-steps from the perfmodel cost model), FCFS on ties —
+	// minimizing mean wait when job sizes vary widely.
+	SchedSJF = "sjf"
+)
+
+// EstimateCost predicts the total DDA cell-step count of a spec's
+// solve — the cluster's shortest-job-first ordering key and per-class
+// cost proxy. It is seeded from internal/perfmodel's mean-chord model:
+// for the paper's 2-level configuration the per-patch kernel work times
+// the patch count, and for single-level solves cells × rays × the
+// mean-chord step count of the cube. Only relative order matters for
+// scheduling, so the constants are the model's, uncalibrated.
+func EstimateCost(spec service.Spec) float64 {
+	n := spec.Normalized()
+	if n.Levels == 2 && n.RR > 0 && n.N%n.RR == 0 && n.PatchN > 0 && n.N%n.PatchN == 0 {
+		p := perfmodel.Problem{
+			FineN: n.N, CoarseN: n.N / n.RR, PatchN: n.PatchN,
+			Rays: n.Rays, Props: 3, Halo: n.Halo,
+		}
+		// Guard the model output: extreme-but-valid specs can overflow
+		// the integer patch count, and a poisoned ordering key would
+		// corrupt the SJF heap invariant.
+		if p.Validate() == nil {
+			if w := p.KernelWork() * float64(p.FinePatches()); w > 0 && !math.IsInf(w, 0) {
+				return w
+			}
+		}
+	}
+	// Single level: rays originate anywhere in the cube and march to a
+	// wall — half the mean chord, 1.5 axis steps per chord cell. All
+	// float math: N³ in int64 overflows long before float64 loses the
+	// ordering.
+	steps := 0.66 * 1.5 * float64(n.N) / 2
+	cells := float64(n.N) * float64(n.N) * float64(n.N)
+	return cells * float64(n.Rays) * steps
+}
+
+// validSched reports whether name is a known scheduling policy,
+// defaulting "" to priority.
+func validSched(name string) (string, error) {
+	switch name {
+	case "":
+		return SchedPriority, nil
+	case SchedFCFS, SchedPriority, SchedSJF:
+		return name, nil
+	}
+	return "", fmt.Errorf("cluster: unknown scheduling policy %q (want %s, %s or %s)",
+		name, SchedFCFS, SchedPriority, SchedSJF)
+}
+
+// dispatchQueue is the router-side priority queue of jobs awaiting
+// placement. Ordering depends on the scheduling policy; submission
+// sequence always breaks ties, so no ordering is ever ambiguous and
+// FCFS-within-equals prevents same-class starvation.
+type dispatchQueue struct {
+	mu sync.Mutex
+	h  jobHeap
+}
+
+func newDispatchQueue(sched string) *dispatchQueue {
+	return &dispatchQueue{h: jobHeap{sched: sched}}
+}
+
+func (q *dispatchQueue) push(j *Job) {
+	q.mu.Lock()
+	heap.Push(&q.h, j)
+	q.mu.Unlock()
+}
+
+// pop removes and returns the next job per policy, skipping jobs that
+// went terminal while queued (cancellation leaves them in place). nil
+// when empty.
+func (q *dispatchQueue) pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.h.Len() > 0 {
+		j := heap.Pop(&q.h).(*Job)
+		if !j.terminalQueued.Load() {
+			return j
+		}
+	}
+	return nil
+}
+
+func (q *dispatchQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.h.Len()
+}
+
+type jobHeap struct {
+	sched string
+	jobs  []*Job
+}
+
+func (h *jobHeap) Len() int { return len(h.jobs) }
+
+func (h *jobHeap) Less(i, j int) bool {
+	a, b := h.jobs[i], h.jobs[j]
+	switch h.sched {
+	case SchedPriority:
+		if ra, rb := service.ClassRank(a.class), service.ClassRank(b.class); ra != rb {
+			return ra < rb
+		}
+	case SchedSJF:
+		if a.cost != b.cost {
+			return a.cost < b.cost
+		}
+	}
+	return a.seq < b.seq
+}
+
+func (h *jobHeap) Swap(i, j int) { h.jobs[i], h.jobs[j] = h.jobs[j], h.jobs[i] }
+
+func (h *jobHeap) Push(x any) { h.jobs = append(h.jobs, x.(*Job)) }
+
+func (h *jobHeap) Pop() any {
+	old := h.jobs
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	h.jobs = old[:n-1]
+	return j
+}
+
+// JainIndex is Jain's fairness index over per-class goodput fractions
+// x_i = done_i / submitted_i: (Σx)² / (n·Σx²). It is 1 when every class
+// completes the same fraction of what it asked for and approaches 1/n
+// as one class monopolizes the cluster. Classes with no submissions are
+// excluded; an empty sample reads as 1 (nothing is unfair yet).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/service"
+)
+
+func testRegistry(t *testing.T, n int) *ShardRegistry {
+	t.Helper()
+	cfgs := make([]ShardConfig, n)
+	for i := range cfgs {
+		cfgs[i] = ShardConfig{URL: fmt.Sprintf("http://shard%d.invalid", i)}
+	}
+	r, err := NewShardRegistry(cfgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func testJob(affinityKey string) *Job {
+	return &Job{affinityKey: affinityKey}
+}
+
+// Round-robin distributes placements evenly across a stable candidate
+// set.
+func TestRoundRobinEvenDistribution(t *testing.T) {
+	reg := testRegistry(t, 3)
+	r := &roundRobinRouter{}
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		counts[r.Pick(testJob("k"), reg.Shards()).Name()]++
+	}
+	for _, s := range reg.Shards() {
+		if counts[s.Name()] != 100 {
+			t.Fatalf("distribution %v, want 100 per shard", counts)
+		}
+	}
+}
+
+// Least-loaded always picks a minimum-inflight shard, breaking ties in
+// configuration order.
+func TestLeastLoadedPicksMin(t *testing.T) {
+	reg := testRegistry(t, 3)
+	shards := reg.Shards()
+	shards[0].addInflight(3)
+	shards[1].addInflight(1)
+	shards[2].addInflight(2)
+	var l leastLoadedRouter
+	if got := l.Pick(testJob("k"), shards); got != shards[1] {
+		t.Fatalf("picked %s, want s1 (load 1)", got.Name())
+	}
+	shards[1].addInflight(2) // now loads are 3,3,2
+	if got := l.Pick(testJob("k"), shards); got != shards[2] {
+		t.Fatalf("picked %s, want s2 (load 2)", got.Name())
+	}
+	shards[2].addInflight(1) // all equal: config order wins
+	if got := l.Pick(testJob("k"), shards); got != shards[0] {
+		t.Fatalf("picked %s, want s0 on tie", got.Name())
+	}
+}
+
+// Affinity routing is a pure function of the key: same key, same shard,
+// every time — and distinct keys spread across the fleet.
+func TestAffinityStableAndSpread(t *testing.T) {
+	reg := testRegistry(t, 3)
+	a := &affinityRouter{shards: reg, hot: 0}
+	homes := map[string]string{}
+	used := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		first := a.Pick(testJob(key), reg.Shards()).Name()
+		homes[key] = first
+		used[first] = true
+		for rep := 0; rep < 5; rep++ {
+			if got := a.Pick(testJob(key), reg.Shards()).Name(); got != first {
+				t.Fatalf("key %s moved from %s to %s", key, first, got)
+			}
+		}
+	}
+	if len(used) != 3 {
+		t.Fatalf("64 keys landed on %d of 3 shards: %v", len(used), used)
+	}
+}
+
+// Rendezvous hashing's defining property: removing one shard remaps
+// only the keys that lived on it.
+func TestAffinityMinimalRemapOnShardLoss(t *testing.T) {
+	full := testRegistry(t, 3)
+	a3 := &affinityRouter{shards: full}
+
+	// The 2-shard registry reuses the names s0 and s1, so surviving
+	// rendezvous weights are identical.
+	reduced := testRegistry(t, 2)
+	a2 := &affinityRouter{shards: reduced}
+
+	moved := 0
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := a3.home(key).Name()
+		after := a2.home(key).Name()
+		if before != "s2" && before != after {
+			t.Fatalf("key %s moved %s -> %s though its shard survived", key, before, after)
+		}
+		if before == "s2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key hashed to s2; test lost its teeth")
+	}
+}
+
+// A hot home shard spills to least-loaded; a cool one keeps its jobs.
+func TestAffinitySpillWhenHot(t *testing.T) {
+	reg := testRegistry(t, 3)
+	a := &affinityRouter{shards: reg, hot: 2}
+	key := "spill-key"
+	home := a.home(key)
+	if home == nil {
+		t.Fatal("no home shard")
+	}
+	if got := a.Pick(testJob(key), reg.Shards()); got != home {
+		t.Fatalf("cool home: picked %s, want %s", got.Name(), home.Name())
+	}
+	home.addInflight(2) // at the hot threshold
+	if got := a.Pick(testJob(key), reg.Shards()); got == home {
+		t.Fatal("hot home still took the job; want spill to least-loaded")
+	}
+	home.addInflight(-2)
+	if got := a.Pick(testJob(key), reg.Shards()); got != home {
+		t.Fatalf("cooled home: picked %s, want %s back", got.Name(), home.Name())
+	}
+}
+
+// A draining home is skipped without disturbing other keys' homes.
+func TestAffinitySkipsDrainingHome(t *testing.T) {
+	reg := testRegistry(t, 3)
+	a := &affinityRouter{shards: reg}
+	key := "drain-key"
+	home := a.home(key)
+	if err := reg.Drain(home.Name()); err != nil {
+		t.Fatal(err)
+	}
+	candidates := reg.Placeable(0)
+	if len(candidates) != 2 {
+		t.Fatalf("placeable = %d shards, want 2 while one drains", len(candidates))
+	}
+	if got := a.Pick(testJob(key), candidates); got == home {
+		t.Fatal("picked the draining home")
+	}
+}
+
+// The affinity key covers exactly the property-shaping fields: sampling
+// parameters and SLO class must not move a job off its warm shard.
+func TestAffinityKeyCoversPropertyShape(t *testing.T) {
+	base := service.Spec{Kind: service.KindBenchmark, N: 8, Rays: 10, Seed: 1}
+	same := []service.Spec{
+		{Kind: service.KindBenchmark, N: 8, Rays: 999, Seed: 7},
+		{Kind: service.KindBenchmark, N: 8, Rays: 10, Seed: 1, Class: service.ClassInteractive},
+	}
+	for _, s := range same {
+		if s.AffinityKey() != base.AffinityKey() {
+			t.Fatalf("sampling/class change moved affinity key: %+v", s)
+		}
+	}
+	diff := []service.Spec{
+		{Kind: service.KindBenchmark, N: 10, Rays: 10, Seed: 1},
+		{Kind: service.KindUniform, N: 8, Rays: 10, Seed: 1, Kappa: 2},
+	}
+	for _, s := range diff {
+		if s.AffinityKey() == base.AffinityKey() {
+			t.Fatalf("property change kept affinity key: %+v", s)
+		}
+	}
+}
+
+// Unknown policies are rejected with a listing of the valid ones.
+func TestNewRouterUnknownPolicy(t *testing.T) {
+	reg := testRegistry(t, 1)
+	if _, err := NewRouter("random", reg, 0, nil); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	for _, p := range []string{"", PolicyRoundRobin, PolicyLeastLoaded, PolicyAffinity} {
+		if _, err := NewRouter(p, reg, 0, nil); err != nil {
+			t.Fatalf("policy %q rejected: %v", p, err)
+		}
+	}
+}

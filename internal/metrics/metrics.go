@@ -52,6 +52,19 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a gauge holding a float64 (stored as bits in an atomic
+// word), for ratios and indices that live in [0,1] where an integer
+// gauge would round everything away — e.g. the cluster router's Jain
+// fairness index and affinity hit ratio. The zero value is ready to
+// use and reads as 0.
+type FloatGauge struct{ v atomic.Uint64 }
+
+// Set stores x.
+func (g *FloatGauge) Set(x float64) { g.v.Store(math.Float64bits(x)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Histogram counts observations into fixed cumulative buckets. Observe
 // is lock-free and allocation-free: one binary search, two atomic adds
 // and a CAS loop for the running sum.
@@ -94,15 +107,17 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
 // metric kinds for the exposition format.
 const (
-	kindCounter = "counter"
-	kindGauge   = "gauge"
-	kindHist    = "histogram"
+	kindCounter    = "counter"
+	kindGauge      = "gauge"
+	kindFloatGauge = "floatgauge" // internal; exposed as "gauge"
+	kindHist       = "histogram"
 )
 
 type metric struct {
 	name, help, kind string
 	c                *Counter
 	g                *Gauge
+	fg               *FloatGauge
 	h                *Histogram
 }
 
@@ -156,6 +171,18 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return m.g
 }
 
+// FloatGauge returns the named float gauge, registering it on first
+// use. It renders as TYPE gauge with a %g value.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name, help, kindFloatGauge)
+	if m.fg == nil {
+		m.fg = &FloatGauge{}
+	}
+	return m.fg
+}
+
 // Histogram returns the named histogram, registering it with the given
 // bucket upper bounds on first use (later calls reuse the original
 // buckets).
@@ -182,7 +209,11 @@ func (r *Registry) WriteText(w io.Writer) error {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+		kind := m.kind
+		if kind == kindFloatGauge {
+			kind = kindGauge
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, kind); err != nil {
 			return err
 		}
 		var err error
@@ -191,6 +222,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
 		case kindGauge:
 			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value())
+		case kindFloatGauge:
+			_, err = fmt.Fprintf(w, "%s %g\n", m.name, m.fg.Value())
 		case kindHist:
 			cum := int64(0)
 			for i, b := range m.h.bounds {

@@ -76,6 +76,38 @@ func TestWriteTextFormat(t *testing.T) {
 	}
 }
 
+// FloatGauge holds fractional values exactly and renders as a plain
+// gauge with %g formatting — integer gauges would round a [0,1] ratio
+// like a fairness index to nothing.
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.FloatGauge("ratio", "a ratio in [0,1]")
+	if g.Value() != 0 {
+		t.Fatalf("zero value = %g, want 0", g.Value())
+	}
+	g.Set(0.375)
+	if g.Value() != 0.375 {
+		t.Fatalf("value = %g, want 0.375", g.Value())
+	}
+	if again := r.FloatGauge("ratio", ""); again != g {
+		t.Fatal("re-registration returned a different instance")
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE ratio gauge\nratio 0.375\n") {
+		t.Fatalf("exposition:\n%s", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering an int gauge over a float gauge did not panic")
+		}
+	}()
+	r.Gauge("ratio", "")
+}
+
 // TestConcurrentObserve exercises the atomic paths under the race
 // detector.
 func TestConcurrentObserve(t *testing.T) {

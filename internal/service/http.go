@@ -3,10 +3,63 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"regexp"
+	"time"
 
 	"github.com/uintah-repro/rmcrt/internal/field"
 )
+
+// HTTP-plane hardening errors (ROADMAP item 5).
+var (
+	// ErrBodyTooLarge rejects a submit body over the configured limit;
+	// HTTP maps it to 413.
+	ErrBodyTooLarge = errors.New("service: request body exceeds limit")
+	// ErrBadJobID rejects a job ID that does not match the generated
+	// format; HTTP maps it to 400 before the ID reaches any lookup.
+	ErrBadJobID = errors.New("service: malformed job id")
+)
+
+// DefaultMaxBodyBytes bounds a submit request body. Specs are a few
+// hundred bytes of JSON; 1 MiB is generous headroom, not an invitation.
+const DefaultMaxBodyBytes int64 = 1 << 20
+
+// jobIDPattern is the generated job-ID alphabet: daemon IDs are
+// j-NNNNNN, cluster-router IDs are r-NNNNNN. Anything else — path
+// dots, slashes, escapes — is rejected at the HTTP edge.
+var jobIDPattern = regexp.MustCompile(`^[jr]-[0-9]{6,20}$`)
+
+// ValidJobID reports whether id matches the generated job-ID format.
+func ValidJobID(id string) bool { return jobIDPattern.MatchString(id) }
+
+// pathJobID extracts and validates the {id} path segment, answering 400
+// with the typed error itself when the ID could not have been issued by
+// a daemon or router.
+func pathJobID(w http.ResponseWriter, r *http.Request) (string, bool) {
+	id := r.PathValue("id")
+	if !ValidJobID(id) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("%w: %q", ErrBadJobID, id))
+		return "", false
+	}
+	return id, true
+}
+
+// NewHTTPServer returns an http.Server hardened for the serving plane:
+// header/read/write/idle timeouts and a bounded header size, so a slow
+// or malicious client cannot pin a connection (or its memory) forever.
+// Both rmcrtd and rmcrtrouter serve through it.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
 
 // ResultPayload is the JSON form of a finished solve's divQ field:
 // the covered index box plus the data slice in the field's z-fastest
@@ -58,13 +111,29 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 //	GET    /healthz             liveness + job counts
 //	GET    /metrics             plain-text metrics exposition
 func NewHandler(m *Manager) http.Handler {
+	return NewHandlerLimit(m, DefaultMaxBodyBytes)
+}
+
+// NewHandlerLimit is NewHandler with an explicit submit-body byte
+// limit; bodies over it are refused with 413 and ErrBodyTooLarge.
+func NewHandlerLimit(m *Manager, maxBody int64) http.Handler {
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 		var spec Spec
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&spec); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeErr(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("%w (limit %d bytes)", ErrBodyTooLarge, mbe.Limit))
+				return
+			}
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
@@ -85,7 +154,11 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		st, err := m.Status(r.PathValue("id"))
+		id, ok := pathJobID(w, r)
+		if !ok {
+			return
+		}
+		st, err := m.Status(id)
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
 			return
@@ -94,7 +167,10 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
+		id, ok := pathJobID(w, r)
+		if !ok {
+			return
+		}
 		divQ, st, terminal, err := m.Result(id)
 		switch {
 		case errors.Is(err, ErrNotFound):
@@ -110,7 +186,11 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		st, err := m.Cancel(r.PathValue("id"))
+		id, ok := pathJobID(w, r)
+		if !ok {
+			return
+		}
+		st, err := m.Cancel(id)
 		switch {
 		case err == nil:
 			writeJSON(w, http.StatusOK, st)

@@ -207,6 +207,16 @@ func TestE2EErrorsAndHealth(t *testing.T) {
 		t.Fatal(err)
 	} else {
 		resp.Body.Close()
+		// "nope" is not a generated ID shape, so the hardened edge
+		// rejects it before any lookup.
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("malformed job id: %d, want 400", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(srv.URL + "/v1/jobs/j-999999"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
 		if resp.StatusCode != http.StatusNotFound {
 			t.Fatalf("unknown job: %d, want 404", resp.StatusCode)
 		}

@@ -63,13 +63,19 @@ func (s State) terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// Terminal reports whether the state is final (done, failed or
+// cancelled). Exported for layers that mirror job lifecycles, like the
+// cluster router.
+func (s State) Terminal() bool { return s.terminal() }
+
 // Job is one tracked solve request. All fields are guarded by the
 // manager's mutex; callers observe jobs through Status / Result /
 // Wait.
 type Job struct {
-	id   string
-	key  string
-	spec Spec
+	id    string
+	key   string
+	spec  Spec
+	class string
 
 	state     State
 	err       error
@@ -88,8 +94,11 @@ type Job struct {
 
 // JobStatus is the externally visible snapshot of a job.
 type JobStatus struct {
-	ID        string    `json:"id"`
-	Key       string    `json:"key"`
+	ID  string `json:"id"`
+	Key string `json:"key"`
+	// Class is the job's SLO class ("interactive" / "batch" /
+	// "best-effort"); the cluster router schedules on it.
+	Class     string    `json:"class,omitempty"`
 	State     State     `json:"state"`
 	Submitted time.Time `json:"submitted"`
 	// QueueSeconds is time from submission to solve start (or to now /
@@ -392,6 +401,7 @@ func (m *Manager) restoreJob(rec JournalRecord) {
 		id:        rec.ID,
 		key:       key,
 		spec:      spec,
+		class:     spec.Class,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
@@ -460,6 +470,7 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 		id:        fmt.Sprintf("j-%06d", m.seq),
 		key:       key,
 		spec:      spec,
+		class:     spec.Class,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
@@ -638,7 +649,7 @@ func (m *Manager) finishLocked(j *Job, st State, divQ *field.CC[float64], err er
 // statusLocked snapshots a job. Callers hold m.mu.
 func (m *Manager) statusLocked(j *Job) JobStatus {
 	st := JobStatus{
-		ID: j.id, Key: j.key, State: j.state, Submitted: j.submitted,
+		ID: j.id, Key: j.key, Class: j.class, State: j.state, Submitted: j.submitted,
 		Rays: j.rays, Steps: j.steps, FromCache: j.fromCache, Coalesced: j.coalesced,
 	}
 	now := time.Now()

@@ -31,6 +31,35 @@ const (
 	KindUniform = "uniform"
 )
 
+// SLO classes. The class never changes what a solve computes — divQ is
+// bitwise class-independent — only how urgently the serving plane
+// schedules it, so Key deliberately excludes it (jobs of different
+// classes still share the result cache and coalesce).
+const (
+	// ClassInteractive is latency-sensitive work: a physics code
+	// blocked on divQ for its current timestep.
+	ClassInteractive = "interactive"
+	// ClassBatch is throughput work with a deadline measured in
+	// minutes (the default).
+	ClassBatch = "batch"
+	// ClassBestEffort is scavenger work that yields to everything else.
+	ClassBestEffort = "best-effort"
+)
+
+// ClassRank orders SLO classes for priority scheduling: lower is more
+// urgent. Unknown classes rank last.
+func ClassRank(class string) int {
+	switch class {
+	case ClassInteractive:
+		return 0
+	case ClassBatch:
+		return 1
+	case ClassBestEffort:
+		return 2
+	}
+	return 3
+}
+
 // Spec is the JSON problem description a client submits: what to solve
 // (grid size, levels, medium) and how (rays per cell, seed, threshold).
 // The zero value of every optional field means "use the default"; keys
@@ -65,6 +94,10 @@ type Spec struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Threshold is the ray extinction threshold (default 1e-4).
 	Threshold float64 `json:"threshold,omitempty"`
+	// Class is the job's SLO class: "interactive", "batch" (default) or
+	// "best-effort". It shapes scheduling only, never the answer, and is
+	// therefore excluded from Key.
+	Class string `json:"class,omitempty"`
 }
 
 // Normalized returns the spec with every defaulted field made explicit.
@@ -104,6 +137,9 @@ func (s Spec) Normalized() Spec {
 	if s.Threshold == 0 {
 		s.Threshold = def.Threshold
 	}
+	if s.Class == "" {
+		s.Class = ClassBatch
+	}
 	return s
 }
 
@@ -136,6 +172,8 @@ func (s Spec) Validate() error {
 		return specErrf("kappa = %g (want > 0)", n.Kappa)
 	case n.Kind == KindUniform && n.SigmaT4 < 0:
 		return specErrf("sigma_t4 = %g (want >= 0)", n.SigmaT4)
+	case n.Class != ClassInteractive && n.Class != ClassBatch && n.Class != ClassBestEffort:
+		return specErrf("class %q (want %q, %q or %q)", n.Class, ClassInteractive, ClassBatch, ClassBestEffort)
 	}
 	if n.Levels == 2 {
 		switch {
@@ -181,6 +219,24 @@ func (s Spec) Key() string {
 		math.Float64bits(n.Kappa), math.Float64bits(n.SigmaT4),
 		n.Rays, n.Seed, math.Float64bits(n.Threshold))
 	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// AffinityKey is the content address of the spec's property-shaping
+// fields only — the same fields the packed-table cache keys its
+// per-level tables by (see tableKey). Jobs with equal affinity keys can
+// march through one warm PackedCache entry, so a cluster router that
+// co-locates them turns N private table builds into one shared build —
+// the distributed analog of the paper's per-node level database.
+// Sampling fields (rays, seed, threshold) and the SLO class are
+// deliberately absent: they change the answer or the urgency, not the
+// property tables.
+func (s Spec) AffinityKey() string {
+	n := s.Normalized()
+	h := sha256.New()
+	fmt.Fprintf(h, "rmcrt-affinity/v1|%s|%d|%d|%d|%d|%d|%x|%x",
+		n.Kind, n.N, n.Levels, n.PatchN, n.RR, n.Halo,
+		math.Float64bits(n.Kappa), math.Float64bits(n.SigmaT4))
+	return hex.EncodeToString(h.Sum(nil)[:8])
 }
 
 // fill populates the radiative properties of the spec's medium over
