@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/workload"
+	"github.com/uintah-repro/rmcrt/internal/workload/scenarios"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// runLoadgen invokes the real CLI entry point and returns what it
+// printed to stdout.
+func runLoadgen(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("loadgen %v: %v", args, err)
+	}
+	return out.String()
+}
+
+// TestLoadgenDeterministicAcceptance is the PR's central acceptance
+// criterion: running the same scenario with the same seed twice — each
+// run against its own freshly-started in-process daemon — produces a
+// byte-identical trace file and a byte-identical normalized report.
+func TestLoadgenDeterministicAcceptance(t *testing.T) {
+	dir := t.TempDir()
+	paths := func(i int) (string, string) {
+		return filepath.Join(dir, "run"+string(rune('0'+i))+".trace"),
+			filepath.Join(dir, "run"+string(rune('0'+i))+".report.json")
+	}
+	for i := 0; i < 2; i++ {
+		trace, report := paths(i)
+		runLoadgen(t, "-scenario", "smoke", "-seed", "7", "-inproc", "1",
+			"-asap", "-normalize", "-trace", trace, "-report", report)
+	}
+	t1, r1 := paths(0)
+	t2, r2 := paths(1)
+	traceA, err := os.ReadFile(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceB, err := os.ReadFile(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceA, traceB) {
+		t.Fatal("same scenario+seed produced different trace bytes")
+	}
+	repA, err := os.ReadFile(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := os.ReadFile(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(repA, repB) {
+		t.Fatalf("same scenario+seed produced different normalized reports:\n--- run 0\n%s\n--- run 1\n%s", repA, repB)
+	}
+}
+
+// TestLoadgenReplayMatchesGenerate replays a recorded trace against a
+// fresh daemon: the normalized report must match the original modulo
+// the replayed marker.
+func TestLoadgenReplayMatchesGenerate(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "orig.trace")
+	origPath := filepath.Join(dir, "orig.json")
+	replayPath := filepath.Join(dir, "replay.json")
+	runLoadgen(t, "-scenario", "smoke", "-seed", "21", "-inproc", "1",
+		"-asap", "-normalize", "-trace", trace, "-report", origPath)
+	runLoadgen(t, "-replay", trace, "-inproc", "1",
+		"-asap", "-normalize", "-report", replayPath)
+
+	load := func(path string) map[string]any {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	orig, replay := load(origPath), load(replayPath)
+	if replay["replayed"] != true {
+		t.Fatal("replay run not marked replayed")
+	}
+	delete(replay, "replayed")
+	a, _ := json.Marshal(orig)
+	b, _ := json.Marshal(replay)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("replay report diverged from generate report:\n--- generate\n%s\n--- replay\n%s", a, b)
+	}
+}
+
+// TestLoadgenGoldenTrace locks down the mixed scenario's trace bytes —
+// the full generator surface (all arrival processes, modes, classes,
+// hot spots, scattering) serialized through the CRC framing. Any byte
+// change is a workload-compatibility break; regenerate deliberately
+// with `go test ./cmd/loadgen -run Golden -update`.
+func TestLoadgenGoldenTrace(t *testing.T) {
+	s, ok := scenarios.Get("mixed")
+	if !ok {
+		t.Fatal("mixed scenario missing")
+	}
+	plan, err := workload.Generate(s.Spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := workload.EncodeTrace(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "mixed_seed5.trace.golden", buf.Bytes())
+}
+
+// TestLoadgenGoldenReport locks down the smoke scenario's normalized
+// report against a fresh in-process daemon: outcome accounting plus
+// the server counter deltas (jobs, packed builds/hits, per-class
+// totals) — all deterministic because distinct per-job solver seeds
+// defeat the result cache and the packed table store single-flights
+// builds.
+func TestLoadgenGoldenReport(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "report.json")
+	runLoadgen(t, "-scenario", "smoke", "-seed", "7", "-inproc", "1",
+		"-asap", "-normalize", "-report", report)
+	got, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "smoke_seed7.report.golden", got)
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestLoadgenList prints every registered scenario.
+func TestLoadgenList(t *testing.T) {
+	out := runLoadgen(t, "-list")
+	for _, name := range scenarios.Names() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("-list output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestLoadgenRecordOnly records a trace without driving any server.
+func TestLoadgenRecordOnly(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "rec.trace")
+	out := runLoadgen(t, "-scenario", "smoke", "-seed", "3", "-trace", trace)
+	if !strings.Contains(out, "recorded") {
+		t.Fatalf("record-only run did not report recording: %q", out)
+	}
+	plan, err := workload.ReadTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Subs) != 18 {
+		t.Fatalf("recorded %d submissions, want 18", len(plan.Subs))
+	}
+}

@@ -203,6 +203,16 @@ type Cluster struct {
 	gQueued                            *metrics.Gauge
 	hClass                             map[string]*metrics.Histogram
 	gJain                              *metrics.FloatGauge
+
+	// Per-class overload accounting: which SLO class absorbed the
+	// queue-full rejections, deadline failures and cancellations. Load
+	// reports diff these to show class differentiation under overload.
+	mClassSubmitted map[string]*metrics.Counter
+	mClassDone      map[string]*metrics.Counter
+	mClassFailed    map[string]*metrics.Counter
+	mClassCancelled map[string]*metrics.Counter
+	mClassRejected  map[string]*metrics.Counter
+	mClassDeadline  map[string]*metrics.Counter
 }
 
 type classStat struct{ submitted, completed int64 }
@@ -253,6 +263,21 @@ func New(cfg Config) (*Cluster, error) {
 	c.gQueued = reg.Gauge("router_queue_depth", "jobs waiting in the dispatch queue")
 	c.gJain = reg.FloatGauge("router_class_fairness_jain", "Jain fairness index over per-class goodput fractions (1 = perfectly fair)")
 	c.gJain.Set(1)
+	classCounters := func(what, help string) map[string]*metrics.Counter {
+		out := make(map[string]*metrics.Counter, len(sloClasses))
+		for _, class := range sloClasses {
+			out[class] = reg.Counter(
+				"router_class_"+what+"_total_"+strings.ReplaceAll(class, "-", "_"),
+				help+" ("+class+")")
+		}
+		return out
+	}
+	c.mClassSubmitted = classCounters("submitted", "jobs accepted by the router")
+	c.mClassDone = classCounters("done", "jobs completed successfully")
+	c.mClassFailed = classCounters("failed", "jobs that ended in error")
+	c.mClassCancelled = classCounters("cancelled", "jobs cancelled")
+	c.mClassRejected = classCounters("rejected", "jobs rejected queue-full by router admission control")
+	c.mClassDeadline = classCounters("deadline", "jobs that failed with a deadline-exceeded error")
 	for _, class := range sloClasses {
 		c.classStats[class] = &classStat{}
 		c.hClass[class] = reg.Histogram(
@@ -289,6 +314,9 @@ func (c *Cluster) Submit(spec service.Spec) (JobStatus, error) {
 	}
 	if c.queue.len() >= c.cfg.QueueDepth {
 		c.mRejected.Inc()
+		if m, ok := c.mClassRejected[spec.Class]; ok {
+			m.Inc()
+		}
 		return JobStatus{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, c.cfg.QueueDepth)
 	}
 	c.seq++
@@ -307,6 +335,9 @@ func (c *Cluster) Submit(spec service.Spec) (JobStatus, error) {
 	c.jobs[job.id] = job
 	c.queue.push(job)
 	c.mSubmitted.Inc()
+	if m, ok := c.mClassSubmitted[job.class]; ok {
+		m.Inc()
+	}
 	if st := c.classStats[job.class]; st != nil {
 		st.submitted++
 	}
@@ -576,13 +607,26 @@ func (c *Cluster) finishLocked(job *Job, st service.State, err error) {
 	job.finished = time.Now()
 	job.terminalQueued.Store(true)
 	close(job.done)
+	classInc := func(mm map[string]*metrics.Counter) {
+		if m, ok := mm[job.class]; ok {
+			m.Inc()
+		}
+	}
 	switch st {
 	case service.StateDone:
 		c.mDone.Inc()
+		classInc(c.mClassDone)
 	case service.StateCancelled:
 		c.mCancelled.Inc()
+		classInc(c.mClassCancelled)
 	default:
 		c.mFailed.Inc()
+		classInc(c.mClassFailed)
+		// Shard errors arrive as strings over HTTP, so the typed
+		// ErrDeadlineExceeded match is textual here.
+		if err != nil && strings.Contains(err.Error(), "deadline exceeded") {
+			classInc(c.mClassDeadline)
+		}
 	}
 	if h := c.hClass[job.class]; h != nil {
 		h.Observe(job.finished.Sub(job.submitted).Seconds())

@@ -102,6 +102,48 @@ func (h *Histogram) Observe(x float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket
+// counts by linear interpolation inside the bucket holding the target
+// rank — the standard histogram_quantile estimate, so its resolution
+// is the bucket width. Observations above the last finite bound clamp
+// to that bound; an empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, b := range h.bounds {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + frac*(b-lo)
+		}
+		cum += n
+	}
+	// Target rank lives in the +Inf bucket: the best bounded answer is
+	// the last finite bound.
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 

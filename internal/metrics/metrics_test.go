@@ -133,3 +133,39 @@ func TestConcurrentObserve(t *testing.T) {
 		t.Fatalf("sum = %g, want 24", h.Sum())
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "quantiles", []float64{1, 2, 4})
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", got)
+	}
+
+	// 10 observations in (0,1], 10 in (1,2]: the median sits exactly at
+	// the bucket boundary and every higher quantile interpolates inside
+	// the second bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("p50 = %g, want 1", got)
+	}
+	if got := h.Quantile(0.75); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("p75 = %g, want 1.5 (midpoint of (1,2])", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %g, want 0 (lower edge of first bucket)", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("p100 = %g, want 2", got)
+	}
+
+	// Observations beyond the last finite bound clamp to it.
+	h2 := r.Histogram("q2", "quantiles overflow", []float64{1})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Fatalf("overflow quantile = %g, want last finite bound 1", got)
+	}
+}

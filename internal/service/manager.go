@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -56,6 +57,33 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+)
+
+// Event is one job-lifecycle notification delivered to Config.OnEvent:
+// the trace hook workload tooling uses to observe a manager in-process
+// without polling.
+type Event struct {
+	// Type is one of the Event* constants below.
+	Type string
+	// ID is the job ID ("" for rejected submissions, which never got one
+	// durably — the compensated journal ID is an implementation detail).
+	ID string
+	// Key is the spec's content address.
+	Key string
+	// Class is the job's SLO class.
+	Class string
+	// Err carries the terminal error of failed/cancelled jobs and the
+	// rejection reason of rejected submissions.
+	Err error
+}
+
+// Event types, mirroring the job lifecycle plus queue-full rejection.
+const (
+	EventSubmitted = "submitted"
+	EventRejected  = "rejected"
+	EventDone      = "done"
+	EventFailed    = "failed"
+	EventCancelled = "cancelled"
 )
 
 // terminal reports whether the state is final.
@@ -162,6 +190,12 @@ type Config struct {
 	// Metrics receives the service's instrumentation (a fresh registry
 	// is created when nil).
 	Metrics *metrics.Registry
+	// OnEvent, when set, receives job-lifecycle events (submitted /
+	// rejected / done / failed / cancelled). Events are queued under the
+	// manager's lock and delivered after the triggering call releases
+	// it, in order, so the hook may call back into the Manager. Jobs
+	// restored by Recover do not re-emit their submission events.
+	OnEvent func(Event)
 	// JournalPath, when set, enables the write-ahead job journal: every
 	// accepted job is durably recorded before it runs, and Recover
 	// replays the journal so queued and running jobs survive a daemon
@@ -232,6 +266,37 @@ type Manager struct {
 	hSolve                                      *metrics.Histogram
 	trace                                       *rmcrt.TraceMetrics
 	packed                                      *PackedCache
+
+	// Per-SLO-class overload accounting, keyed by class name: the
+	// counters a load generator's report diffs to attribute queue-full
+	// and deadline pain per class.
+	mClassSubmitted map[string]*metrics.Counter
+	mClassDone      map[string]*metrics.Counter
+	mClassFailed    map[string]*metrics.Counter
+	mClassCancelled map[string]*metrics.Counter
+	mClassRejected  map[string]*metrics.Counter
+	mClassDeadline  map[string]*metrics.Counter
+
+	pending []Event // queued for OnEvent, delivered outside m.mu
+}
+
+// classCounters registers one counter per SLO class, suffixing the
+// class name in the cluster router's style ("-" → "_").
+func classCounters(r *metrics.Registry, prefix, what, help string) map[string]*metrics.Counter {
+	out := make(map[string]*metrics.Counter, 3)
+	for _, c := range Classes() {
+		name := prefix + "_class_" + what + "_total_" + strings.ReplaceAll(c, "-", "_")
+		out[c] = r.Counter(name, help+" ("+c+")")
+	}
+	return out
+}
+
+// classInc bumps the class's counter, ignoring unknown classes (the
+// spec validator rejects them before any counter is touched).
+func classInc(mm map[string]*metrics.Counter, class string) {
+	if c, ok := mm[class]; ok {
+		c.Inc()
+	}
 }
 
 // RecoveryStats describes what Recover rebuilt from the journal.
@@ -330,6 +395,12 @@ func Recover(cfg Config) (*Manager, error) {
 	m.gRunning = r.Gauge("rmcrtd_jobs_running", "solves currently executing")
 	m.gLastCkpt = r.Gauge("rmcrtd_checkpoint_last_unix_seconds", "unix time of the most recent checkpoint write")
 	m.hSolve = r.Histogram("rmcrtd_solve_seconds", "solve wall time", metrics.DefBuckets)
+	m.mClassSubmitted = classCounters(r, "rmcrtd", "submitted", "jobs accepted")
+	m.mClassDone = classCounters(r, "rmcrtd", "done", "jobs completed successfully")
+	m.mClassFailed = classCounters(r, "rmcrtd", "failed", "jobs that ended in error")
+	m.mClassCancelled = classCounters(r, "rmcrtd", "cancelled", "jobs cancelled")
+	m.mClassRejected = classCounters(r, "rmcrtd", "rejected", "submissions rejected queue-full")
+	m.mClassDeadline = classCounters(r, "rmcrtd", "deadline", "jobs failed by the per-job deadline")
 	m.trace = rmcrt.NewTraceMetrics(r)
 	if cfg.PackedRetainBytes >= 0 {
 		// The shared packed-table cache (the level-database analog);
@@ -460,6 +531,7 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 	}
 	key := spec.Key()
 
+	defer m.drainEvents() // after the unlock below (defer is LIFO)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -480,6 +552,8 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 	// same answer; serve it without tracing a single ray.
 	if divQ, ok := m.cache.get(key); ok {
 		m.mCacheHit.Inc()
+		classInc(m.mClassSubmitted, job.class)
+		m.queueEventLocked(Event{Type: EventSubmitted, ID: job.id, Key: key, Class: job.class})
 		job.fromCache = true
 		m.jobs[job.id] = job
 		m.finishLocked(job, StateDone, divQ, nil)
@@ -503,6 +577,8 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 	if _, ok := m.batch.Attach(key, job); ok {
 		m.mCoalesced.Inc()
 		m.mSubmitted.Inc()
+		classInc(m.mClassSubmitted, job.class)
+		m.queueEventLocked(Event{Type: EventSubmitted, ID: job.id, Key: key, Class: job.class})
 		job.coalesced = true
 		m.jobs[job.id] = job
 		return m.statusLocked(job), nil
@@ -516,6 +592,8 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 	default:
 		fcancel()
 		m.mRejected.Inc()
+		classInc(m.mClassRejected, job.class)
+		m.queueEventLocked(Event{Type: EventRejected, Key: key, Class: job.class, Err: ErrQueueFull})
 		if m.journal != nil {
 			// Compensate the submit record so the rejected job is not
 			// resurrected by a replay.
@@ -525,6 +603,8 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 	}
 	m.gQueued.Inc()
 	m.mSubmitted.Inc()
+	classInc(m.mClassSubmitted, job.class)
+	m.queueEventLocked(Event{Type: EventSubmitted, ID: job.id, Key: key, Class: job.class})
 	job.fl = fl
 	m.batch.Start(fl)
 	m.jobs[job.id] = job
@@ -563,6 +643,7 @@ func (m *Manager) runFlight(fl *flight) {
 	m.mRays.Add(rays)
 	m.mSteps.Add(steps)
 
+	defer m.drainEvents() // after the unlock below (defer is LIFO)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.batch.Finish(fl.key)
@@ -620,10 +701,19 @@ func (m *Manager) finishLocked(j *Job, st State, divQ *field.CC[float64], err er
 	switch st {
 	case StateDone:
 		m.mDone.Inc()
+		classInc(m.mClassDone, j.class)
+		m.queueEventLocked(Event{Type: EventDone, ID: j.id, Key: j.key, Class: j.class})
 	case StateFailed:
 		m.mFailed.Inc()
+		classInc(m.mClassFailed, j.class)
+		if errors.Is(err, ErrDeadlineExceeded) {
+			classInc(m.mClassDeadline, j.class)
+		}
+		m.queueEventLocked(Event{Type: EventFailed, ID: j.id, Key: j.key, Class: j.class, Err: err})
 	case StateCancelled:
 		m.mCancelled.Inc()
+		classInc(m.mClassCancelled, j.class)
+		m.queueEventLocked(Event{Type: EventCancelled, ID: j.id, Key: j.key, Class: j.class, Err: err})
 	}
 	// Close the job's journal entry. Best-effort: a failed append only
 	// means the (terminal, already-answered) job is replayed and
@@ -643,6 +733,29 @@ func (m *Manager) finishLocked(j *Job, st State, divQ *field.CC[float64], err er
 			}
 		}
 		_ = m.journal.Append(rec)
+	}
+}
+
+// queueEventLocked stages one lifecycle event for OnEvent. Callers hold
+// m.mu; the event is delivered by the caller's deferred drainEvents once
+// the lock is released, preserving per-job ordering.
+func (m *Manager) queueEventLocked(ev Event) {
+	if m.cfg.OnEvent != nil {
+		m.pending = append(m.pending, ev)
+	}
+}
+
+// drainEvents delivers every staged event outside the lock, in order.
+func (m *Manager) drainEvents() {
+	if m.cfg.OnEvent == nil {
+		return
+	}
+	m.mu.Lock()
+	evs := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	for _, ev := range evs {
+		m.cfg.OnEvent(ev)
 	}
 }
 
@@ -721,6 +834,7 @@ func (m *Manager) Wait(ctx context.Context, id string) (JobStatus, error) {
 // job still needs its result. Cancelling a terminal job returns
 // ErrJobFinished.
 func (m *Manager) Cancel(id string) (JobStatus, error) {
+	defer m.drainEvents() // after the unlock below (defer is LIFO)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]

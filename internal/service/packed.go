@@ -61,9 +61,11 @@ func NewPackedCache(retainBytes int64, reg *metrics.Registry) *PackedCache {
 // the ROI the table covers. Sampling fields (rays, seed, threshold)
 // are deliberately absent.
 func tableKey(n Spec, level int, roi grid.Box) string {
-	return fmt.Sprintf("%s|n%d|l%d|rr%d|k%x|s%x|L%d|%v",
+	return fmt.Sprintf("%s|n%d|l%d|rr%d|k%x|s%x|h%d.%d.%d.%d|hk%x|hs%x|L%d|%v",
 		n.Kind, n.N, n.Levels, n.RR,
-		math.Float64bits(n.Kappa), math.Float64bits(n.SigmaT4), level, roi)
+		math.Float64bits(n.Kappa), math.Float64bits(n.SigmaT4),
+		n.HotX, n.HotY, n.HotZ, n.HotN,
+		math.Float64bits(n.HotKappa), math.Float64bits(n.HotSigmaT4), level, roi)
 }
 
 // acquireLevel returns the (possibly shared) packed table for one

@@ -29,6 +29,13 @@ const (
 	KindBenchmark = "benchmark"
 	// KindUniform is a homogeneous medium with configurable κ and σT⁴.
 	KindUniform = "uniform"
+	// KindHotSpot is a uniform background with one hotter (and
+	// optionally more absorbing) cubic region — the time-varying
+	// property workload: a sequence of hot-spot specs with the spot
+	// moving is how the scenario matrix stresses packed-table
+	// invalidation, since every move reshapes the property fields and
+	// therefore the table keys.
+	KindHotSpot = "hotspot"
 )
 
 // SLO classes. The class never changes what a solve computes — divQ is
@@ -82,12 +89,38 @@ type Spec struct {
 	RR int `json:"rr,omitempty"`
 	// Halo is the fine-level region-of-interest halo (default 4).
 	Halo int `json:"halo,omitempty"`
-	// Kappa is the uniform absorption coefficient (KindUniform only,
-	// default 1).
+	// Kappa is the background absorption coefficient (KindUniform and
+	// KindHotSpot, default 1).
 	Kappa float64 `json:"kappa,omitempty"`
-	// SigmaT4 is the uniform emissive power σT⁴ (KindUniform only,
-	// default 1).
+	// SigmaT4 is the background emissive power σT⁴ (KindUniform and
+	// KindHotSpot, default 1).
 	SigmaT4 float64 `json:"sigma_t4,omitempty"`
+	// ScatterCoeff is the isotropic scattering coefficient σ_s
+	// (default 0: pure absorption). A trace-time scalar: it shapes the
+	// answer but not the packed property tables, so it is in Key but
+	// not AffinityKey.
+	ScatterCoeff float64 `json:"scatter,omitempty"`
+	// WallEmissivity is the domain-wall emissivity in (0,1]
+	// (default 1: black walls). Like ScatterCoeff, a trace-time scalar.
+	WallEmissivity float64 `json:"wall_emissivity,omitempty"`
+	// WallSigmaT4 is the wall emissive power σT⁴_wall (default 0: cold
+	// walls). Like ScatterCoeff, a trace-time scalar.
+	WallSigmaT4 float64 `json:"wall_sigma_t4,omitempty"`
+	// HotX/HotY/HotZ is the low corner of the hot-spot box in fine-level
+	// cells (KindHotSpot only). The box is half-open:
+	// [HotX, HotX+HotN) × [HotY, HotY+HotN) × [HotZ, HotZ+HotN).
+	HotX int `json:"hot_x,omitempty"`
+	HotY int `json:"hot_y,omitempty"`
+	HotZ int `json:"hot_z,omitempty"`
+	// HotN is the hot-spot edge length in cells (KindHotSpot only,
+	// default max(1, N/4)).
+	HotN int `json:"hot_n,omitempty"`
+	// HotKappa is the absorption coefficient inside the hot spot
+	// (KindHotSpot only, default Kappa).
+	HotKappa float64 `json:"hot_kappa,omitempty"`
+	// HotSigmaT4 is the emissive power σT⁴ inside the hot spot
+	// (KindHotSpot only, default 8 — a 8^(1/4) ≈ 1.68× hotter region).
+	HotSigmaT4 float64 `json:"hot_sigma_t4,omitempty"`
 	// Rays is the ray count per cell (default 100, the paper's value).
 	Rays int `json:"rays,omitempty"`
 	// Seed drives the deterministic per-cell RNG streams (default 71).
@@ -118,7 +151,7 @@ func (s Spec) Normalized() Spec {
 	if s.Halo == 0 {
 		s.Halo = def.HaloCells
 	}
-	if s.Kind == KindUniform {
+	if s.Kind == KindUniform || s.Kind == KindHotSpot {
 		if s.Kappa == 0 {
 			s.Kappa = 1
 		}
@@ -127,6 +160,23 @@ func (s Spec) Normalized() Spec {
 		}
 	} else {
 		s.Kappa, s.SigmaT4 = 0, 0 // irrelevant for the benchmark medium
+	}
+	if s.Kind == KindHotSpot {
+		if s.HotN == 0 {
+			s.HotN = max(1, s.N/4)
+		}
+		if s.HotKappa == 0 {
+			s.HotKappa = s.Kappa
+		}
+		if s.HotSigmaT4 == 0 {
+			s.HotSigmaT4 = 8
+		}
+	} else {
+		s.HotX, s.HotY, s.HotZ, s.HotN = 0, 0, 0, 0
+		s.HotKappa, s.HotSigmaT4 = 0, 0
+	}
+	if s.WallEmissivity == 0 {
+		s.WallEmissivity = 1 // black walls, the solver default
 	}
 	if s.Rays == 0 {
 		s.Rays = def.NRays
@@ -156,8 +206,8 @@ func specErrf(format string, args ...any) error {
 func (s Spec) Validate() error {
 	n := s.Normalized()
 	switch {
-	case n.Kind != KindBenchmark && n.Kind != KindUniform:
-		return specErrf("kind %q (want %q or %q)", n.Kind, KindBenchmark, KindUniform)
+	case n.Kind != KindBenchmark && n.Kind != KindUniform && n.Kind != KindHotSpot:
+		return specErrf("kind %q (want %q, %q or %q)", n.Kind, KindBenchmark, KindUniform, KindHotSpot)
 	case n.N < 2:
 		return specErrf("n = %d (want >= 2)", n.N)
 	case n.Levels != 1 && n.Levels != 2:
@@ -168,12 +218,32 @@ func (s Spec) Validate() error {
 		return specErrf("threshold = %g (want in (0,1))", n.Threshold)
 	case n.Halo < 0:
 		return specErrf("halo = %d (want >= 0)", n.Halo)
-	case n.Kind == KindUniform && n.Kappa <= 0:
+	case n.Kind != KindBenchmark && n.Kappa <= 0:
 		return specErrf("kappa = %g (want > 0)", n.Kappa)
-	case n.Kind == KindUniform && n.SigmaT4 < 0:
+	case n.Kind != KindBenchmark && n.SigmaT4 < 0:
 		return specErrf("sigma_t4 = %g (want >= 0)", n.SigmaT4)
+	case n.ScatterCoeff < 0:
+		return specErrf("scatter = %g (want >= 0)", n.ScatterCoeff)
+	case n.WallEmissivity <= 0 || n.WallEmissivity > 1:
+		return specErrf("wall_emissivity = %g (want in (0,1])", n.WallEmissivity)
+	case n.WallSigmaT4 < 0:
+		return specErrf("wall_sigma_t4 = %g (want >= 0)", n.WallSigmaT4)
 	case n.Class != ClassInteractive && n.Class != ClassBatch && n.Class != ClassBestEffort:
 		return specErrf("class %q (want %q, %q or %q)", n.Class, ClassInteractive, ClassBatch, ClassBestEffort)
+	}
+	if n.Kind == KindHotSpot {
+		switch {
+		case n.HotN < 1:
+			return specErrf("hot_n = %d (want >= 1)", n.HotN)
+		case n.HotX < 0 || n.HotY < 0 || n.HotZ < 0:
+			return specErrf("hot corner (%d,%d,%d) (want >= 0)", n.HotX, n.HotY, n.HotZ)
+		case n.HotX+n.HotN > n.N || n.HotY+n.HotN > n.N || n.HotZ+n.HotN > n.N:
+			return specErrf("hot box [%d,%d,%d]+%d exceeds n = %d", n.HotX, n.HotY, n.HotZ, n.HotN, n.N)
+		case n.HotKappa <= 0:
+			return specErrf("hot_kappa = %g (want > 0)", n.HotKappa)
+		case n.HotSigmaT4 < 0:
+			return specErrf("hot_sigma_t4 = %g (want >= 0)", n.HotSigmaT4)
+		}
 	}
 	if n.Levels == 2 {
 		switch {
@@ -203,6 +273,9 @@ func (s Spec) Options() rmcrt.Options {
 	opts.Seed = n.Seed
 	opts.Threshold = n.Threshold
 	opts.HaloCells = n.Halo
+	opts.ScatterCoeff = n.ScatterCoeff
+	opts.WallEmissivity = n.WallEmissivity
+	opts.WallSigmaT4 = n.WallSigmaT4
 	return opts
 }
 
@@ -214,10 +287,14 @@ func (s Spec) Options() rmcrt.Options {
 func (s Spec) Key() string {
 	n := s.Normalized()
 	h := sha256.New()
-	fmt.Fprintf(h, "rmcrtd/v1|%s|%d|%d|%d|%d|%d|%x|%x|%d|%d|%x",
+	fmt.Fprintf(h, "rmcrtd/v2|%s|%d|%d|%d|%d|%d|%x|%x|%d|%d|%x|%x|%x|%x|%d|%d|%d|%d|%x|%x",
 		n.Kind, n.N, n.Levels, n.PatchN, n.RR, n.Halo,
 		math.Float64bits(n.Kappa), math.Float64bits(n.SigmaT4),
-		n.Rays, n.Seed, math.Float64bits(n.Threshold))
+		n.Rays, n.Seed, math.Float64bits(n.Threshold),
+		math.Float64bits(n.ScatterCoeff), math.Float64bits(n.WallEmissivity),
+		math.Float64bits(n.WallSigmaT4),
+		n.HotX, n.HotY, n.HotZ, n.HotN,
+		math.Float64bits(n.HotKappa), math.Float64bits(n.HotSigmaT4))
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
@@ -233,9 +310,11 @@ func (s Spec) Key() string {
 func (s Spec) AffinityKey() string {
 	n := s.Normalized()
 	h := sha256.New()
-	fmt.Fprintf(h, "rmcrt-affinity/v1|%s|%d|%d|%d|%d|%d|%x|%x",
+	fmt.Fprintf(h, "rmcrt-affinity/v2|%s|%d|%d|%d|%d|%d|%x|%x|%d|%d|%d|%d|%x|%x",
 		n.Kind, n.N, n.Levels, n.PatchN, n.RR, n.Halo,
-		math.Float64bits(n.Kappa), math.Float64bits(n.SigmaT4))
+		math.Float64bits(n.Kappa), math.Float64bits(n.SigmaT4),
+		n.HotX, n.HotY, n.HotZ, n.HotN,
+		math.Float64bits(n.HotKappa), math.Float64bits(n.HotSigmaT4))
 	return hex.EncodeToString(h.Sum(nil)[:8])
 }
 
@@ -251,7 +330,22 @@ func (s Spec) fill(lvl *grid.Level, window grid.Box) (abskg, sigT4OverPi *field.
 	sigT4OverPi.Fill(s.SigmaT4 / math.Pi)
 	ct = field.NewCC[field.CellType](window)
 	ct.Fill(field.Flow)
+	if s.Kind == KindHotSpot {
+		hot := grid.NewBox(grid.IV(s.HotX, s.HotY, s.HotZ),
+			grid.IV(s.HotX+s.HotN, s.HotY+s.HotN, s.HotZ+s.HotN))
+		window.Intersect(hot).ForEach(func(c grid.IntVector) {
+			abskg.Set(c, s.HotKappa)
+			sigT4OverPi.Set(c, s.HotSigmaT4/math.Pi)
+		})
+	}
 	return abskg, sigT4OverPi, ct
+}
+
+// Classes lists the SLO classes in rank order. Workload reports and
+// per-class metrics iterate this so every class appears even when it
+// saw zero traffic.
+func Classes() []string {
+	return []string{ClassInteractive, ClassBatch, ClassBestEffort}
 }
 
 // problem is one independently solvable unit of a spec: a region of

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// ksN and ksAlpha are the statistical acceptance parameters. With
+// n = 4000 samples at α = 0.001 the two-sided critical value is
+// c(α)/√n = √(-ln(0.0005)/2)/√4000 ≈ 1.9495/63.25 ≈ 0.0308. Under a
+// pinned seed the KS statistic is a constant, so these tests can never
+// flake; the significance level says a FRESH seed would spuriously
+// fail only ~0.1% of the time, i.e. a failure here means the sampler
+// is actually wrong.
+const (
+	ksN     = 4000
+	ksAlpha = 0.001
+)
+
+func ksCheck(t *testing.T, name string, sample func(*mathutil.RNG) float64, cdf func(float64) float64) {
+	t.Helper()
+	rng := mathutil.NewStream(420, 1)
+	xs := make([]float64, ksN)
+	for i := range xs {
+		xs[i] = sample(rng)
+	}
+	d := KSStatistic(xs, cdf)
+	crit := KSCritical(ksN, ksAlpha)
+	if d > crit {
+		t.Fatalf("%s: KS statistic %.5f > critical %.5f (n=%d, α=%g)", name, d, crit, ksN, ksAlpha)
+	}
+	t.Logf("%s: D=%.5f crit=%.5f", name, d, crit)
+}
+
+func TestKSPoissonInterArrivals(t *testing.T) {
+	ksCheck(t, "exp(rate=2)",
+		func(r *mathutil.RNG) float64 { return SampleExp(r, 2) }, ExpCDF(2))
+	ksCheck(t, "exp(rate=0.25)",
+		func(r *mathutil.RNG) float64 { return SampleExp(r, 0.25) }, ExpCDF(0.25))
+}
+
+func TestKSWeibull(t *testing.T) {
+	// Shape < 1 (heavy tail), = 1 (degenerates to exponential), > 1.
+	for _, p := range []struct{ k, lambda float64 }{{0.6, 1}, {1, 2}, {2.5, 0.5}} {
+		ksCheck(t, "weibull",
+			func(r *mathutil.RNG) float64 { return SampleWeibull(r, p.k, p.lambda) },
+			WeibullCDF(p.k, p.lambda))
+	}
+}
+
+func TestKSGamma(t *testing.T) {
+	// k < 1 exercises the Ahrens boost, k >= 1 the Marsaglia–Tsang
+	// squeeze; k = 1 is exponential.
+	for _, p := range []struct{ k, theta float64 }{{0.5, 1}, {1, 0.5}, {3, 2}, {9.5, 0.1}} {
+		ksCheck(t, "gamma",
+			func(r *mathutil.RNG) float64 { return SampleGamma(r, p.k, p.theta) },
+			GammaCDF(p.k, p.theta))
+	}
+}
+
+// TestGammaCDFAgainstExponential pins the incomplete-gamma evaluation:
+// P(1, x) must equal 1 - e^{-x} to near machine precision on both the
+// series (x < 2) and continued-fraction (x >= 2) branches.
+func TestGammaCDFAgainstExponential(t *testing.T) {
+	g := GammaCDF(1, 1)
+	e := ExpCDF(1)
+	for _, x := range []float64{0.01, 0.5, 1, 1.9, 2.1, 5, 20} {
+		if diff := math.Abs(g(x) - e(x)); diff > 1e-12 {
+			t.Fatalf("P(1,%g) = %.15f vs 1-e^-x = %.15f (diff %g)", x, g(x), e(x), diff)
+		}
+	}
+}
+
+// TestMomentTolerances checks sample mean and variance against the
+// analytic moments. The tolerance is 5 standard errors of each
+// estimator — deterministic under the pinned seed, and a fresh seed
+// would cross it with probability < 1e-5 per check.
+func TestMomentTolerances(t *testing.T) {
+	check := func(name string, sample func(*mathutil.RNG) float64, wantMean, wantVar float64) {
+		t.Helper()
+		rng := mathutil.NewStream(77, 9)
+		xs := make([]float64, ksN)
+		for i := range xs {
+			xs[i] = sample(rng)
+		}
+		mean := mathutil.Mean(xs)
+		sd := mathutil.StdDev(xs)
+		variance := sd * sd
+		// SE(mean) = σ/√n; SE(s²) ≈ σ²√(2/(n-1)) for near-normal, use
+		// a generous heavy-tail-safe 5× band on both.
+		seMean := math.Sqrt(wantVar / ksN)
+		seVar := wantVar * math.Sqrt(2/float64(ksN-1))
+		if math.Abs(mean-wantMean) > 5*seMean {
+			t.Fatalf("%s: mean %.5f want %.5f ± %.5f", name, mean, wantMean, 5*seMean)
+		}
+		if math.Abs(variance-wantVar) > 8*seVar {
+			t.Fatalf("%s: var %.5f want %.5f ± %.5f", name, variance, wantVar, 8*seVar)
+		}
+	}
+	check("exp(2)", func(r *mathutil.RNG) float64 { return SampleExp(r, 2) }, 0.5, 0.25)
+	check("gamma(3,0.5)", func(r *mathutil.RNG) float64 { return SampleGamma(r, 3, 0.5) }, 1.5, 0.75)
+	g15 := math.Gamma(1.5)
+	check("weibull(2,1)", func(r *mathutil.RNG) float64 { return SampleWeibull(r, 2, 1) },
+		g15, math.Gamma(2)-g15*g15)
+}
+
+// TestSamplersSchedulingIndependent regenerates each sampler's
+// sequence under GOMAXPROCS 1, 4 and 16 and requires bit-identical
+// output — the counter-based-stream contract the whole workload
+// engine's determinism rests on.
+func TestSamplersSchedulingIndependent(t *testing.T) {
+	gen := func() []float64 {
+		rng := mathutil.NewStream(99, 3)
+		xs := make([]float64, 300)
+		for i := range xs {
+			switch i % 3 {
+			case 0:
+				xs[i] = SampleExp(rng, 1.5)
+			case 1:
+				xs[i] = SampleGamma(rng, 0.7, 2)
+			default:
+				xs[i] = SampleWeibull(rng, 1.3, 0.5)
+			}
+		}
+		return xs
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	var ref []float64
+	for _, procs := range []int{1, 4, 16} {
+		runtime.GOMAXPROCS(procs)
+		xs := gen()
+		if ref == nil {
+			ref = xs
+			continue
+		}
+		for i := range xs {
+			if xs[i] != ref[i] {
+				t.Fatalf("GOMAXPROCS=%d: sample %d = %v differs from reference %v", procs, i, xs[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestKSCriticalValues pins the documented critical constants.
+func TestKSCriticalValues(t *testing.T) {
+	// c(0.001) = √(-ln(0.0005)/2) ≈ 1.94947.
+	if c := KSCritical(1, 0.001); math.Abs(c-1.94947) > 1e-4 {
+		t.Fatalf("c(0.001) = %.5f, want ≈ 1.94947", c)
+	}
+	// c(0.05) ≈ 1.35810.
+	if c := KSCritical(1, 0.05); math.Abs(c-1.35810) > 1e-4 {
+		t.Fatalf("c(0.05) = %.5f, want ≈ 1.35810", c)
+	}
+	// The √n scaling.
+	if c1, c4 := KSCritical(100, 0.01), KSCritical(400, 0.01); math.Abs(c1/c4-2) > 1e-12 {
+		t.Fatalf("critical value must scale 1/√n: %g vs %g", c1, c4)
+	}
+}
+
+// TestKSStatisticDetectsWrongDistribution makes sure the test has
+// power: exponential samples checked against the wrong rate must fail
+// decisively.
+func TestKSStatisticDetectsWrongDistribution(t *testing.T) {
+	rng := mathutil.NewStream(5, 5)
+	xs := make([]float64, ksN)
+	for i := range xs {
+		xs[i] = SampleExp(rng, 1)
+	}
+	if d := KSStatistic(xs, ExpCDF(2)); d < KSCritical(ksN, ksAlpha) {
+		t.Fatalf("KS failed to reject rate-2 CDF for rate-1 samples (D=%g)", d)
+	}
+}

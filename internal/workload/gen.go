@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"sort"
+	"time"
+
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+	"github.com/uintah-repro/rmcrt/internal/service"
+)
+
+// Submission is one planned request: what to submit, when (relative to
+// run start), and on whose behalf.
+type Submission struct {
+	// Index is the submission's position in the merged timeline,
+	// starting at 0.
+	Index int `json:"index"`
+	// At is the planned offset from run start. Closed-loop clients
+	// treat it as accumulated think time rather than an absolute
+	// schedule.
+	At time.Duration `json:"at_ns"`
+	// Client is the emitting client instance, "<group>/<i>".
+	Client string `json:"client"`
+	// Class mirrors Spec.Class (denormalized for report grouping).
+	Class string `json:"class"`
+	// Spec is the solve request body.
+	Spec service.Spec `json:"spec"`
+}
+
+// PlanClient records one client instance's run-time loop behavior —
+// the part of the client spec the runner still needs after generation.
+type PlanClient struct {
+	Name string `json:"name"`
+	// Mode is open/closed/asap (see the Mode* constants).
+	Mode string `json:"mode"`
+	// Inflight bounds outstanding submissions for closed/asap clients.
+	Inflight int `json:"inflight"`
+}
+
+// Plan is a fully materialized workload: the exact submissions a run
+// will issue, in timeline order. Generate is a pure function of
+// (workload, seed), which is what makes the recorded trace — the
+// serialized plan — byte-identical across runs and machines.
+type Plan struct {
+	// Workload is the generating spec's name.
+	Workload string `json:"workload"`
+	// Seed is the generator seed.
+	Seed uint64 `json:"seed"`
+	// Clients lists every client instance in generation order.
+	Clients []PlanClient `json:"clients"`
+	// Subs is the merged submission timeline.
+	Subs []Submission `json:"subs"`
+}
+
+// Generate materializes the workload under seed. Every client instance
+// samples from its own counter-based stream
+// (mathutil.NewStream(seed, instanceIndex+1)), so the plan does not
+// depend on map order, scheduling, or GOMAXPROCS; the merged timeline
+// is sorted by (At, client index, per-client order) with a stable
+// sort, which is a total order, so ties break deterministically too.
+func Generate(w Spec, seed uint64) (*Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Workload: w.Name, Seed: seed, Subs: make([]Submission, 0, w.TotalJobs())}
+
+	type tagged struct {
+		sub      Submission
+		instance int
+		seq      int
+	}
+	var all []tagged
+	instance := 0
+	for _, group := range w.Clients {
+		g := group.normalized()
+		for i := 0; i < g.Count; i++ {
+			instance++
+			rng := mathutil.NewStream(seed, uint64(instance))
+			name := g.Name
+			if g.Count > 1 {
+				name = fmtClient(g.Name, i)
+			}
+			plan.Clients = append(plan.Clients, PlanClient{Name: name, Mode: g.Mode, Inflight: g.Inflight})
+			at := time.Duration(0)
+			for j := 0; j < g.Jobs; j++ {
+				if g.Mode != ModeASAP {
+					at += time.Duration(g.Arrival.gapSeconds(rng) * float64(time.Second))
+				}
+				spec := sampleSpec(g, rng, j)
+				all = append(all, tagged{
+					sub:      Submission{At: at, Client: name, Class: spec.Class, Spec: spec},
+					instance: instance,
+					seq:      j,
+				})
+			}
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].sub.At != all[b].sub.At {
+			return all[a].sub.At < all[b].sub.At
+		}
+		if all[a].instance != all[b].instance {
+			return all[a].instance < all[b].instance
+		}
+		return all[a].seq < all[b].seq
+	})
+	for i, t := range all {
+		t.sub.Index = i
+		plan.Subs = append(plan.Subs, t.sub)
+	}
+	return plan, nil
+}
+
+func fmtClient(name string, i int) string {
+	// Small and allocation-cheap; instances are "<group>/<i>".
+	const digits = "0123456789"
+	if i < 10 {
+		return name + "/" + digits[i:i+1]
+	}
+	return name + "/" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// sampleSpec draws one solve spec from the client's job distribution.
+// jobIndex drives the deterministic non-random sequences (hot-spot
+// position and scattering-coefficient cycling).
+func sampleSpec(c ClientSpec, rng *mathutil.RNG, jobIndex int) service.Spec {
+	j := c.Job
+	spec := service.Spec{Kind: j.Kind}
+
+	if j.N.zero() {
+		spec.N = 12
+	} else {
+		spec.N = j.N.sample(rng)
+	}
+	if j.Rays.zero() {
+		spec.Rays = 10
+	} else {
+		spec.Rays = j.Rays.sample(rng)
+	}
+	if j.TwoLevelFraction > 0 && rng.Float64() < j.TwoLevelFraction {
+		spec.Levels = 2
+		spec.PatchN = j.PatchN
+		spec.RR = j.RR
+	}
+	spec.Kappa = j.Kappa
+	spec.SigmaT4 = j.SigmaT4
+	if len(j.Scatter) > 0 {
+		// Cycle rather than draw: a sweep must cover every listed
+		// coefficient, not sample them.
+		spec.ScatterCoeff = j.Scatter[jobIndex%len(j.Scatter)]
+	}
+	spec.WallEmissivity = j.WallEmissivity
+	spec.WallSigmaT4 = j.WallSigmaT4
+	if j.Kind == service.KindHotSpot && len(j.HotPositions) > 0 {
+		pos := j.HotPositions[jobIndex%len(j.HotPositions)]
+		spec.HotX, spec.HotY, spec.HotZ = pos[0], pos[1], pos[2]
+		spec.HotN = j.HotN
+		spec.HotKappa = j.HotKappa
+		spec.HotSigmaT4 = j.HotSigmaT4
+	}
+	spec.Threshold = j.Threshold
+	if j.DistinctSeeds {
+		spec.Seed = rng.Uint64() | 1 // never 0: 0 would normalize to the default
+	}
+
+	switch {
+	case c.Class != "":
+		spec.Class = c.Class
+	case len(c.ClassMix) > 0:
+		spec.Class = sampleClass(c.ClassMix, rng)
+	}
+	return spec.Normalized()
+}
+
+// sampleClass draws from the weighted class mix, iterating classes in
+// rank order (never map order) for determinism.
+func sampleClass(mix map[string]float64, rng *mathutil.RNG) string {
+	total := 0.0
+	for _, class := range service.Classes() {
+		total += mix[class]
+	}
+	u := rng.Float64() * total
+	last := service.ClassBatch
+	for _, class := range service.Classes() {
+		if mix[class] <= 0 {
+			continue
+		}
+		last = class
+		u -= mix[class]
+		if u < 0 {
+			return class
+		}
+	}
+	return last // float round-off left u ≥ 0: the last positive class
+}

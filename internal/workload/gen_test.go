@@ -1,0 +1,304 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/service"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name: "gen-test",
+		Clients: []ClientSpec{
+			{
+				Name: "open", Count: 2, Jobs: 5, Class: service.ClassInteractive,
+				Arrival: Arrival{Process: ArrivalPoisson, RateHz: 100},
+				Job: JobDist{
+					N:    IntDist{Choices: []int{8, 10, 12}, Weights: []float64{2, 1, 1}},
+					Rays: IntDist{Min: 4, Max: 12}, DistinctSeeds: true,
+				},
+			},
+			{
+				Name: "closed", Jobs: 6, Mode: ModeClosed, Inflight: 2,
+				ClassMix: map[string]float64{service.ClassBatch: 3, service.ClassBestEffort: 1},
+				Arrival:  Arrival{Process: ArrivalGamma, Shape: 0.7, Scale: 0.004},
+				Job: JobDist{
+					Kind: service.KindUniform, Kappa: 2,
+					Scatter: []float64{0, 1},
+					N:       IntDist{Const: 10}, TwoLevelFraction: 0.5,
+				},
+			},
+			{
+				Name: "hot", Jobs: 6, Mode: ModeASAP,
+				Job: JobDist{
+					Kind:         service.KindHotSpot,
+					HotPositions: [][3]int{{0, 0, 0}, {2, 2, 2}, {4, 4, 4}},
+					HotN:         3, HotKappa: 4, HotSigmaT4: 6,
+					N: IntDist{Const: 8},
+				},
+			},
+		},
+	}
+}
+
+func TestGenerateDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	var ref *Plan
+	for _, procs := range []int{1, 4, 16} {
+		runtime.GOMAXPROCS(procs)
+		plan, err := Generate(testSpec(), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = plan
+			continue
+		}
+		if len(plan.Subs) != len(ref.Subs) {
+			t.Fatalf("GOMAXPROCS=%d: %d subs vs %d", procs, len(plan.Subs), len(ref.Subs))
+		}
+		for i := range plan.Subs {
+			if plan.Subs[i] != ref.Subs[i] {
+				t.Fatalf("GOMAXPROCS=%d: sub %d differs:\n  %+v\nvs\n  %+v", procs, i, plan.Subs[i], ref.Subs[i])
+			}
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a, err := Generate(testSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Subs {
+		if a.Subs[i].At == b.Subs[i].At {
+			same++
+		}
+	}
+	if same == len(a.Subs) {
+		t.Fatal("different seeds produced identical timelines")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ws := testSpec()
+	plan, err := Generate(ws, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(plan.Subs), ws.TotalJobs(); got != want {
+		t.Fatalf("generated %d submissions, want %d", got, want)
+	}
+	if got, want := len(plan.Clients), 4; got != want { // open/0, open/1, closed, hot
+		t.Fatalf("%d plan clients, want %d", got, want)
+	}
+	// Timeline sorted by At; indexes sequential.
+	if !sort.SliceIsSorted(plan.Subs, func(i, j int) bool { return plan.Subs[i].At < plan.Subs[j].At }) {
+		t.Fatal("timeline not sorted by At")
+	}
+	perClient := map[string]int{}
+	for i, sub := range plan.Subs {
+		if sub.Index != i {
+			t.Fatalf("sub %d has index %d", i, sub.Index)
+		}
+		if err := sub.Spec.Validate(); err != nil {
+			t.Fatalf("generated invalid spec: %v", err)
+		}
+		if sub.Class != sub.Spec.Class {
+			t.Fatalf("denormalized class %q != spec class %q", sub.Class, sub.Spec.Class)
+		}
+		perClient[sub.Client]++
+	}
+	for _, want := range []struct {
+		client string
+		jobs   int
+	}{{"open/0", 5}, {"open/1", 5}, {"closed", 6}, {"hot", 6}} {
+		if perClient[want.client] != want.jobs {
+			t.Fatalf("client %s emitted %d jobs, want %d", want.client, perClient[want.client], want.jobs)
+		}
+	}
+	// ASAP client's submissions all at offset 0, in per-client order.
+	for _, sub := range plan.Subs {
+		if sub.Client == "hot" && sub.At != 0 {
+			t.Fatalf("asap client planned at %v, want 0", sub.At)
+		}
+	}
+}
+
+func TestGenerateHotSpotCycling(t *testing.T) {
+	plan, err := Generate(testSpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := [][3]int{{0, 0, 0}, {2, 2, 2}, {4, 4, 4}}
+	i := 0
+	for _, sub := range plan.Subs {
+		if sub.Client != "hot" {
+			continue
+		}
+		want := positions[i%3]
+		if sub.Spec.HotX != want[0] || sub.Spec.HotY != want[1] || sub.Spec.HotZ != want[2] {
+			t.Fatalf("hot job %d at (%d,%d,%d), want %v", i, sub.Spec.HotX, sub.Spec.HotY, sub.Spec.HotZ, want)
+		}
+		if sub.Spec.HotN != 3 || sub.Spec.HotKappa != 4 || sub.Spec.HotSigmaT4 != 6 {
+			t.Fatalf("hot job %d lost spot parameters: %+v", i, sub.Spec)
+		}
+		i++
+	}
+	if i != 6 {
+		t.Fatalf("saw %d hot jobs, want 6", i)
+	}
+}
+
+func TestGenerateClassMixAndDistinctSeeds(t *testing.T) {
+	plan, err := Generate(testSpec(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]int{}
+	seeds := map[uint64]int{}
+	for _, sub := range plan.Subs {
+		if sub.Client == "closed" {
+			classes[sub.Class]++
+		}
+		if sub.Client == "open/0" || sub.Client == "open/1" {
+			seeds[sub.Spec.Seed]++
+		}
+	}
+	if classes[service.ClassInteractive] != 0 {
+		t.Fatal("closed client must never draw interactive")
+	}
+	if classes[service.ClassBatch]+classes[service.ClassBestEffort] != 6 {
+		t.Fatalf("class mix accounting broken: %v", classes)
+	}
+	for seed, n := range seeds {
+		if n > 1 {
+			t.Fatalf("distinct_seeds client reused seed %d (%d times)", seed, n)
+		}
+		if seed == 0 {
+			t.Fatal("distinct seed 0 would normalize to the default")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Spec{
+		{},          // no name
+		{Name: "x"}, // no clients
+		{Name: "x", Clients: []ClientSpec{{Name: "a", Jobs: 0, Arrival: Arrival{RateHz: 1}}}},
+		{Name: "x", Clients: []ClientSpec{{Name: "a", Jobs: 1, Arrival: Arrival{Process: "zipf", RateHz: 1}}}},
+		{Name: "x", Clients: []ClientSpec{{Name: "a", Jobs: 1, Arrival: Arrival{RateHz: -1}}}},
+		{Name: "x", Clients: []ClientSpec{{Name: "a", Jobs: 1, Arrival: Arrival{RateHz: 1}, Class: "platinum"}}},
+		{Name: "x", Clients: []ClientSpec{
+			{Name: "a", Jobs: 1, Arrival: Arrival{RateHz: 1}},
+			{Name: "a", Jobs: 1, Arrival: Arrival{RateHz: 1}},
+		}}, // duplicate name
+		{Name: "x", Clients: []ClientSpec{{
+			Name: "a", Jobs: 1, Arrival: Arrival{RateHz: 1},
+			Class: service.ClassBatch, ClassMix: map[string]float64{service.ClassBatch: 1},
+		}}}, // both class and mix
+		{Name: "x", Clients: []ClientSpec{{
+			Name: "a", Jobs: 1, Arrival: Arrival{RateHz: 1},
+			Job: JobDist{TwoLevelFraction: 1.5},
+		}}},
+		{Name: "x", Clients: []ClientSpec{{
+			Name: "a", Jobs: 1, Arrival: Arrival{Process: ArrivalGamma, Shape: 0, Scale: 1},
+		}}},
+	}
+	for i, ws := range bad {
+		if _, err := Generate(ws, 1); err == nil {
+			t.Fatalf("case %d: invalid spec %+v accepted", i, ws)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	plan, err := Generate(testSpec(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := WriteTrace(path, plan); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != plan.Workload || got.Seed != plan.Seed {
+		t.Fatalf("header mismatch: %s/%d vs %s/%d", got.Workload, got.Seed, plan.Workload, plan.Seed)
+	}
+	if len(got.Clients) != len(plan.Clients) {
+		t.Fatalf("%d clients decoded, want %d", len(got.Clients), len(plan.Clients))
+	}
+	for i := range plan.Clients {
+		if got.Clients[i] != plan.Clients[i] {
+			t.Fatalf("client %d: %+v vs %+v", i, got.Clients[i], plan.Clients[i])
+		}
+	}
+	if len(got.Subs) != len(plan.Subs) {
+		t.Fatalf("%d subs decoded, want %d", len(got.Subs), len(plan.Subs))
+	}
+	for i := range plan.Subs {
+		if got.Subs[i] != plan.Subs[i] {
+			t.Fatalf("sub %d: %+v vs %+v", i, got.Subs[i], plan.Subs[i])
+		}
+	}
+}
+
+func TestTraceBytesDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	p1, _ := Generate(testSpec(), 8)
+	p2, _ := Generate(testSpec(), 8)
+	if err := EncodeTrace(&a, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeTrace(&b, p2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same (spec, seed) must serialize byte-identically")
+	}
+}
+
+func TestTraceTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	plan, _ := Generate(testSpec(), 4)
+	if err := EncodeTrace(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	// Chop mid-record: decode must surface ErrTornTrace with the valid
+	// prefix intact.
+	torn := whole[:len(whole)-7]
+	got, err := DecodeTrace(bytes.NewReader(torn))
+	if !errors.Is(err, ErrTornTrace) {
+		t.Fatalf("torn trace error = %v, want ErrTornTrace", err)
+	}
+	if got == nil || len(got.Subs) >= len(plan.Subs) || len(got.Subs) == 0 {
+		t.Fatalf("torn decode kept %d subs of %d, want a non-empty strict prefix", len(got.Subs), len(plan.Subs))
+	}
+	for i := range got.Subs {
+		if got.Subs[i] != plan.Subs[i] {
+			t.Fatalf("torn prefix sub %d corrupted", i)
+		}
+	}
+
+	// Flip one payload byte: the CRC must catch it.
+	corrupt := append([]byte(nil), whole...)
+	corrupt[len(corrupt)-3] ^= 0xff
+	if _, err := DecodeTrace(bytes.NewReader(corrupt)); !errors.Is(err, ErrTornTrace) {
+		t.Fatalf("bit-flip error = %v, want ErrTornTrace", err)
+	}
+}

@@ -1,0 +1,296 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RunConfig configures one run of a plan against a live server.
+type RunConfig struct {
+	// Target is the server base URL (rmcrtd or rmcrtrouter — both
+	// speak the same /v1 job API).
+	Target string
+	// ASAP ignores the plan's timeline and issues every client's
+	// submissions back-to-back: as-fast-as-possible replay.
+	ASAP bool
+	// PollInterval is the job-status poll period (default 5ms).
+	PollInterval time.Duration
+	// JobTimeout bounds how long the runner waits for one accepted job
+	// to turn terminal (default 60s).
+	JobTimeout time.Duration
+	// Client is the HTTP client (default: http.DefaultClient with a
+	// 30s request timeout clone).
+	Client *http.Client
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 5 * time.Millisecond
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// jobStatus is the subset of the daemon/router job snapshot the runner
+// decodes — both serving planes emit these fields.
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// Run executes the plan against cfg.Target and aggregates the
+// per-class report. Each client instance runs as one goroutine issuing
+// its submissions in plan order: open-loop clients fire at their
+// planned offsets, closed-loop clients treat gaps as think time and
+// bound their outstanding jobs, asap clients (or ASAP replay) issue
+// back-to-back. ctx cancels the whole run.
+func Run(ctx context.Context, plan *Plan, cfg RunConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if len(plan.Subs) == 0 {
+		return nil, fmt.Errorf("workload: empty plan")
+	}
+
+	modes := make(map[string]PlanClient, len(plan.Clients))
+	for _, pc := range plan.Clients {
+		modes[pc.Name] = pc
+	}
+	byClient := make(map[string][]Submission)
+	var order []string
+	for _, sub := range plan.Subs {
+		if _, ok := byClient[sub.Client]; !ok {
+			order = append(order, sub.Client)
+		}
+		byClient[sub.Client] = append(byClient[sub.Client], sub)
+	}
+
+	report := newReport(plan)
+	var mu sync.Mutex
+	record := func(class string, o Outcome, latencyMs float64) {
+		mu.Lock()
+		report.record(class, o, latencyMs)
+		mu.Unlock()
+	}
+
+	before, berr := scrapeCounters(ctx, cfg, plan)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, name := range order {
+		subs := byClient[name]
+		pc, ok := modes[name]
+		if !ok {
+			pc = PlanClient{Name: name, Mode: ModeOpen, Inflight: 1}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runClient(ctx, cfg, pc, subs, start, record)
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	if after, aerr := scrapeCounters(ctx, cfg, plan); berr == nil && aerr == nil {
+		report.Counters = counterDelta(before, after)
+	}
+	report.Target = cfg.Target
+	report.finalize(wall)
+	return report, ctx.Err()
+}
+
+// runClient issues one client instance's submissions in order.
+func runClient(ctx context.Context, cfg RunConfig, pc PlanClient, subs []Submission, start time.Time, record func(string, Outcome, float64)) {
+	mode := pc.Mode
+	if cfg.ASAP {
+		mode = ModeASAP
+	}
+	inflight := pc.Inflight
+	if inflight < 1 {
+		inflight = 1
+	}
+	// Open-loop clients do not bound outstanding jobs; model that as a
+	// slot per submission.
+	if mode == ModeOpen {
+		inflight = len(subs)
+	}
+	slots := make(chan struct{}, inflight)
+	for i := 0; i < inflight; i++ {
+		slots <- struct{}{}
+	}
+	var wg sync.WaitGroup
+	prev := time.Duration(0)
+	for _, sub := range subs {
+		switch mode {
+		case ModeOpen:
+			// Fire at the planned absolute offset.
+			if !sleepUntil(ctx, start.Add(sub.At)) {
+				record(sub.Class, OutcomeTransport, 0)
+				continue
+			}
+		case ModeClosed:
+			// The planned gap is think time before the next issue; the
+			// slot wait below applies the inflight bound.
+			gap := sub.At - prev
+			prev = sub.At
+			if !sleepFor(ctx, gap) {
+				record(sub.Class, OutcomeTransport, 0)
+				continue
+			}
+		}
+		select {
+		case <-slots:
+		case <-ctx.Done():
+			record(sub.Class, OutcomeTransport, 0)
+			continue
+		}
+		wg.Add(1)
+		go func(sub Submission) {
+			defer wg.Done()
+			defer func() { slots <- struct{}{} }()
+			o, latency := issue(ctx, cfg, sub)
+			record(sub.Class, o, latency)
+		}(sub)
+	}
+	wg.Wait()
+}
+
+func sleepUntil(ctx context.Context, t time.Time) bool {
+	return sleepFor(ctx, time.Until(t))
+}
+
+func sleepFor(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// issue submits one job and waits for its terminal state, classifying
+// the outcome. Latency is submit→observed-terminal in milliseconds.
+func issue(ctx context.Context, cfg RunConfig, sub Submission) (Outcome, float64) {
+	body, err := json.Marshal(sub.Spec)
+	if err != nil {
+		return OutcomeRejected, 0
+	}
+	submitAt := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.Target+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return OutcomeTransport, 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return OutcomeTransport, 0
+	}
+	var st jobStatus
+	decodeErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return OutcomeQueueFull, 0
+	case resp.StatusCode >= 400:
+		return OutcomeRejected, 0
+	case decodeErr != nil || st.ID == "":
+		return OutcomeTransport, 0
+	}
+	if terminalState(st.State) {
+		// Cache hits come back already terminal.
+		return classify(st), time.Since(submitAt).Seconds() * 1e3
+	}
+
+	deadline := time.NewTimer(cfg.JobTimeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(cfg.PollInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return OutcomeTransport, 0
+		case <-deadline.C:
+			return OutcomeTimeout, 0
+		case <-tick.C:
+		}
+		cur, err := pollJob(ctx, cfg, st.ID)
+		if err != nil {
+			continue // transient scrape failure: keep polling until the budget
+		}
+		if terminalState(cur.State) {
+			return classify(cur), time.Since(submitAt).Seconds() * 1e3
+		}
+	}
+}
+
+func pollJob(ctx context.Context, cfg RunConfig, id string) (jobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Target+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobStatus{}, fmt.Errorf("workload: job status %d", resp.StatusCode)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return jobStatus{}, err
+	}
+	return st, nil
+}
+
+func terminalState(s string) bool {
+	return s == "done" || s == "failed" || s == "cancelled"
+}
+
+func classify(st jobStatus) Outcome {
+	switch st.State {
+	case "done":
+		return OutcomeDone
+	case "cancelled":
+		return OutcomeCancelled
+	}
+	// Deadline errors cross HTTP as strings; match textually like the
+	// cluster router does.
+	if strings.Contains(st.Error, "deadline exceeded") {
+		return OutcomeDeadline
+	}
+	return OutcomeFailed
+}
+
+// scrapeCounters snapshots the target's counter families.
+func scrapeCounters(ctx context.Context, cfg RunConfig, _ *Plan) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Target+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("workload: metrics status %d", resp.StatusCode)
+	}
+	return parseCounters(io.LimitReader(resp.Body, 4<<20))
+}

@@ -1,0 +1,203 @@
+package scenarios
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/uintah-repro/rmcrt/internal/service"
+	"github.com/uintah-repro/rmcrt/internal/workload"
+)
+
+func TestAllScenariosGenerate(t *testing.T) {
+	for _, name := range Names() {
+		s, ok := Get(name)
+		if !ok {
+			t.Fatalf("registry lost %q", name)
+		}
+		if s.Description == "" {
+			t.Fatalf("%s has no description", name)
+		}
+		if s.Spec.Name != name {
+			t.Fatalf("%s spec name is %q", name, s.Spec.Name)
+		}
+		plan, err := workload.Generate(s.Spec, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(plan.Subs) != s.Spec.TotalJobs() {
+			t.Fatalf("%s: %d subs, want %d", name, len(plan.Subs), s.Spec.TotalJobs())
+		}
+		for i := range plan.Subs {
+			if err := plan.Subs[i].Spec.Validate(); err != nil {
+				t.Fatalf("%s sub %d: %v", name, i, err)
+			}
+		}
+	}
+}
+
+// solveAll pushes every submission through an in-process manager
+// sequentially — the service path (Submit → Wait → Result), not a
+// direct solver call — and returns each job's divQ field keyed by
+// submission index.
+func solveAll(t *testing.T, mgr *service.Manager, plan *workload.Plan) []solved {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	out := make([]solved, 0, len(plan.Subs))
+	for i := range plan.Subs {
+		sub := plan.Subs[i]
+		st, err := mgr.Submit(sub.Spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if st, err = mgr.Wait(ctx, st.ID); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		if st.State != service.StateDone {
+			t.Fatalf("job %d finished %s: %s", i, st.State, st.Error)
+		}
+		divQ, _, ok, err := mgr.Result(st.ID)
+		if err != nil || !ok || divQ == nil {
+			t.Fatalf("result %d: ok=%v err=%v", i, ok, err)
+		}
+		stats := fieldStats(divQ.Data())
+		out = append(out, solved{sub: sub, stats: stats})
+	}
+	return out
+}
+
+type solved struct {
+	sub   workload.Submission
+	stats stats
+}
+
+type stats struct {
+	min, max, mean float64
+}
+
+func fieldStats(data []float64) stats {
+	s := stats{min: math.Inf(1), max: math.Inf(-1)}
+	for _, v := range data {
+		s.min = math.Min(s.min, v)
+		s.max = math.Max(s.max, v)
+		s.mean += v
+	}
+	s.mean /= float64(len(data))
+	return s
+}
+
+func newTestManager(t *testing.T) *service.Manager {
+	t.Helper()
+	mgr := service.New(service.Config{Workers: 2, QueueDepth: 64})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = mgr.Close(ctx)
+	})
+	return mgr
+}
+
+// TestScatteringSweepEquilibrium: in radiative equilibrium (black
+// walls at the medium's own σT⁴) every ray integrates to exactly the
+// blackbody intensity whatever path scattering sends it on, so divQ
+// must vanish at every scattering coefficient — not just on average
+// but cell by cell, far below the 4κσT⁴ = 4 emission scale.
+func TestScatteringSweepEquilibrium(t *testing.T) {
+	s, _ := Get("scattering-sweep")
+	plan, err := workload.Generate(s.Spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := newTestManager(t)
+	scatters := map[float64]bool{}
+	for _, r := range solveAll(t, mgr, plan) {
+		scatters[r.sub.Spec.ScatterCoeff] = true
+		emission := 4 * r.sub.Spec.Kappa * r.sub.Spec.SigmaT4
+		bound := 0.02 * emission
+		if math.Abs(r.stats.min) > bound || math.Abs(r.stats.max) > bound {
+			t.Fatalf("σ_s=%g: divQ ∈ [%g, %g], want |divQ| < %g (equilibrium)",
+				r.sub.Spec.ScatterCoeff, r.stats.min, r.stats.max, bound)
+		}
+		t.Logf("σ_s=%g: divQ ∈ [%.3g, %.3g] (emission scale %g)",
+			r.sub.Spec.ScatterCoeff, r.stats.min, r.stats.max, emission)
+	}
+	// The sweep must actually have swept.
+	for _, want := range []float64{0, 0.5, 1, 2, 5} {
+		if !scatters[want] {
+			t.Fatalf("sweep never drew σ_s=%g (got %v)", want, scatters)
+		}
+	}
+}
+
+// TestWallFluxBlackbody: an optically thin cold medium inside hot
+// black walls absorbs the walls' unattenuated blackbody field, so
+// every cell's divQ ≈ −4κσT⁴_wall.
+func TestWallFluxBlackbody(t *testing.T) {
+	s, _ := Get("wall-flux")
+	plan, err := workload.Generate(s.Spec, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := newTestManager(t)
+	for _, r := range solveAll(t, mgr, plan) {
+		want := -4 * r.sub.Spec.Kappa * r.sub.Spec.WallSigmaT4
+		tol := 0.05 * math.Abs(want)
+		if math.Abs(r.stats.min-want) > tol || math.Abs(r.stats.max-want) > tol {
+			t.Fatalf("divQ ∈ [%g, %g], want ≈ %g ± %g (thin-limit wall absorption)",
+				r.stats.min, r.stats.max, want, tol)
+		}
+	}
+}
+
+// TestHotSpotMarchPackedCache: the marching hot spot reshapes the
+// property fields at every move — a brand-new packed-table key — while
+// revisits (distinct solver seeds, same fields) must land on the warm
+// table. 12 sequential jobs cycling 4 positions → exactly 4 builds and
+// 4·(3−1) = 8 hits.
+func TestHotSpotMarchPackedCache(t *testing.T) {
+	s, _ := Get("hotspot-march")
+	plan, err := workload.Generate(s.Spec, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := newTestManager(t)
+	results := solveAll(t, mgr, plan)
+
+	if builds := mgr.Packed().Builds(); builds != 4 {
+		t.Fatalf("packed builds = %d, want 4 (one per hot-spot position)", builds)
+	}
+	if hits := mgr.Packed().Hits(); hits != 8 {
+		t.Fatalf("packed hits = %d, want 8 (two revisits per position)", hits)
+	}
+
+	// The spot is physically there: its extra emission drives divQ
+	// positive inside the spot relative to the ambient medium.
+	for i, r := range results {
+		if r.stats.max <= r.stats.min {
+			t.Fatalf("job %d: flat divQ field [%g, %g] — hot spot missing", i, r.stats.min, r.stats.max)
+		}
+	}
+}
+
+// TestSmokeDeterministicAccounting: the CI smoke profile's distinct
+// seeds defeat the result cache, so counts are exact: every submission
+// is a real solve and every class finishes all its jobs.
+func TestSmokeDeterministicAccounting(t *testing.T) {
+	s, _ := Get("smoke")
+	plan, err := workload.Generate(s.Spec, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := newTestManager(t)
+	perClass := map[string]int{}
+	for _, r := range solveAll(t, mgr, plan) {
+		perClass[r.sub.Class]++
+	}
+	for _, class := range service.Classes() {
+		if perClass[class] != 6 {
+			t.Fatalf("class %s completed %d jobs, want 6 (%v)", class, perClass[class], perClass)
+		}
+	}
+}

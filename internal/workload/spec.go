@@ -1,0 +1,286 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/uintah-repro/rmcrt/internal/service"
+)
+
+// Client loop modes.
+const (
+	// ModeOpen is an open-loop client: submissions fire at the arrival
+	// process's instants regardless of how the server keeps up — the
+	// mode that actually produces overload.
+	ModeOpen = "open"
+	// ModeClosed is a closed-loop client: at most Inflight submissions
+	// outstanding, the arrival gap is think time between a completion
+	// and the next submission.
+	ModeClosed = "closed"
+	// ModeASAP ignores timing entirely and issues the client's jobs
+	// back-to-back (still bounded by Inflight when set) — replay-fast
+	// and smoke-test mode.
+	ModeASAP = "asap"
+)
+
+// IntDist is a deterministic distribution over ints: exactly one of
+// Const, Choices, or [Min,Max] is active (checked in that order).
+type IntDist struct {
+	// Const always yields this value when non-zero.
+	Const int `json:"const,omitempty"`
+	// Choices yields one of these values; Weights (same length,
+	// optional) biases the draw and defaults to uniform.
+	Choices []int     `json:"choices,omitempty"`
+	Weights []float64 `json:"weights,omitempty"`
+	// Min/Max yield a uniform int in [Min, Max].
+	Min int `json:"min,omitempty"`
+	Max int `json:"max,omitempty"`
+}
+
+// zero reports whether the distribution is unset.
+func (d IntDist) zero() bool {
+	return d.Const == 0 && len(d.Choices) == 0 && d.Min == 0 && d.Max == 0
+}
+
+func (d IntDist) validate(name string) error {
+	switch {
+	case d.Const != 0:
+		if d.Const < 0 {
+			return fmt.Errorf("workload: %s const = %d (want > 0)", name, d.Const)
+		}
+	case len(d.Choices) > 0:
+		if len(d.Weights) != 0 && len(d.Weights) != len(d.Choices) {
+			return fmt.Errorf("workload: %s has %d weights for %d choices", name, len(d.Weights), len(d.Choices))
+		}
+		for _, w := range d.Weights {
+			if w < 0 {
+				return fmt.Errorf("workload: %s has negative weight %g", name, w)
+			}
+		}
+	case d.Min != 0 || d.Max != 0:
+		if d.Min <= 0 || d.Max < d.Min {
+			return fmt.Errorf("workload: %s range [%d,%d] invalid", name, d.Min, d.Max)
+		}
+	}
+	return nil
+}
+
+// sample draws from the distribution (0 when unset, so spec defaults
+// apply downstream).
+func (d IntDist) sample(r rngSource) int {
+	switch {
+	case d.Const != 0:
+		return d.Const
+	case len(d.Choices) > 0:
+		if len(d.Weights) == 0 {
+			return d.Choices[r.Intn(len(d.Choices))]
+		}
+		total := 0.0
+		for _, w := range d.Weights {
+			total += w
+		}
+		u := r.Float64() * total
+		for i, w := range d.Weights {
+			u -= w
+			if u < 0 {
+				return d.Choices[i]
+			}
+		}
+		return d.Choices[len(d.Choices)-1]
+	case d.Min != 0 || d.Max != 0:
+		return d.Min + r.Intn(d.Max-d.Min+1)
+	}
+	return 0
+}
+
+// rngSource is the sampling surface IntDist needs (satisfied by
+// *mathutil.RNG; an interface so tests can script draws).
+type rngSource interface {
+	Float64() float64
+	Intn(n int) int
+}
+
+// JobDist shapes the solve specs one client emits. Zero-valued fields
+// inherit the service defaults (see service.Spec.Normalized).
+type JobDist struct {
+	// Kind is the medium kind for every job ("benchmark", "uniform",
+	// "hotspot"; default benchmark).
+	Kind string `json:"kind,omitempty"`
+	// N is the fine-level resolution distribution (default Const 12).
+	N IntDist `json:"n,omitempty"`
+	// Rays is the per-cell ray budget distribution (default Const 10).
+	Rays IntDist `json:"rays,omitempty"`
+	// TwoLevelFraction of jobs get Levels=2 (the paper's AMR config);
+	// the rest are single-level.
+	TwoLevelFraction float64 `json:"two_level_fraction,omitempty"`
+	// PatchN and RR apply to the two-level jobs only.
+	PatchN int `json:"patch_n,omitempty"`
+	RR     int `json:"rr,omitempty"`
+	// Kappa/SigmaT4 set the uniform/hotspot background medium.
+	Kappa   float64 `json:"kappa,omitempty"`
+	SigmaT4 float64 `json:"sigma_t4,omitempty"`
+	// Scatter cycles the isotropic scattering coefficient through this
+	// list in job order — a sweep covers every listed value (empty = 0,
+	// pure absorption).
+	Scatter []float64 `json:"scatter,omitempty"`
+	// WallEmissivity and WallSigmaT4 set the wall radiative condition.
+	WallEmissivity float64 `json:"wall_emissivity,omitempty"`
+	WallSigmaT4    float64 `json:"wall_sigma_t4,omitempty"`
+	// HotPositions, for hotspot jobs, cycles the hot-spot low corner
+	// through these [x,y,z] cell positions in order — the moving
+	// hot-spot sequence that reshapes property tables per step.
+	HotPositions [][3]int `json:"hot_positions,omitempty"`
+	// HotN/HotKappa/HotSigmaT4 size and heat the spot.
+	HotN       int     `json:"hot_n,omitempty"`
+	HotKappa   float64 `json:"hot_kappa,omitempty"`
+	HotSigmaT4 float64 `json:"hot_sigma_t4,omitempty"`
+	// Threshold overrides the ray extinction threshold.
+	Threshold float64 `json:"threshold,omitempty"`
+	// DistinctSeeds gives every job its own solver seed, defeating the
+	// result cache and single-flight coalescing so each submission is
+	// real solve work. Off, identical specs coalesce — which is itself
+	// a scenario worth measuring.
+	DistinctSeeds bool `json:"distinct_seeds,omitempty"`
+}
+
+func (j JobDist) validate() error {
+	if err := j.N.validate("n"); err != nil {
+		return err
+	}
+	if err := j.Rays.validate("rays"); err != nil {
+		return err
+	}
+	if j.TwoLevelFraction < 0 || j.TwoLevelFraction > 1 {
+		return fmt.Errorf("workload: two_level_fraction = %g (want in [0,1])", j.TwoLevelFraction)
+	}
+	for _, s := range j.Scatter {
+		if s < 0 {
+			return fmt.Errorf("workload: scatter coefficient %g (want >= 0)", s)
+		}
+	}
+	return nil
+}
+
+// ClientSpec is one traffic source: Count identical clients sharing an
+// arrival process, loop mode, class mix and job shape. Each client
+// instance draws from its own RNG stream, so the merged sequence is
+// independent of scheduling.
+type ClientSpec struct {
+	// Name labels the client group in traces and reports.
+	Name string `json:"name"`
+	// Count is how many identical client instances to run (default 1).
+	Count int `json:"count,omitempty"`
+	// Jobs is how many submissions EACH instance makes. Required.
+	Jobs int `json:"jobs"`
+	// Class fixes the SLO class of every job; ClassMix draws it
+	// per-job from a weighted mix instead. Exactly one may be set
+	// (neither = service default "batch").
+	Class    string             `json:"class,omitempty"`
+	ClassMix map[string]float64 `json:"class_mix,omitempty"`
+	// Arrival is the inter-submission gap process.
+	Arrival Arrival `json:"arrival"`
+	// Mode is open (default), closed, or asap.
+	Mode string `json:"mode,omitempty"`
+	// Inflight bounds outstanding submissions in closed/asap modes
+	// (default 1).
+	Inflight int `json:"inflight,omitempty"`
+	// Job shapes the solve specs.
+	Job JobDist `json:"job"`
+}
+
+func (c ClientSpec) normalized() ClientSpec {
+	if c.Count == 0 {
+		c.Count = 1
+	}
+	if c.Mode == "" {
+		c.Mode = ModeOpen
+	}
+	if c.Inflight == 0 {
+		c.Inflight = 1
+	}
+	return c
+}
+
+func (c ClientSpec) validate() error {
+	c = c.normalized()
+	if c.Name == "" {
+		return fmt.Errorf("workload: client needs a name")
+	}
+	if c.Jobs <= 0 {
+		return fmt.Errorf("workload: client %q jobs = %d (want > 0)", c.Name, c.Jobs)
+	}
+	if c.Count < 1 {
+		return fmt.Errorf("workload: client %q count = %d (want >= 1)", c.Name, c.Count)
+	}
+	if c.Mode != ModeOpen && c.Mode != ModeClosed && c.Mode != ModeASAP {
+		return fmt.Errorf("workload: client %q mode %q (want %q, %q or %q)", c.Name, c.Mode, ModeOpen, ModeClosed, ModeASAP)
+	}
+	if c.Inflight < 1 {
+		return fmt.Errorf("workload: client %q inflight = %d (want >= 1)", c.Name, c.Inflight)
+	}
+	if c.Class != "" && len(c.ClassMix) > 0 {
+		return fmt.Errorf("workload: client %q sets both class and class_mix", c.Name)
+	}
+	if c.Class != "" && service.ClassRank(c.Class) > 2 {
+		return fmt.Errorf("workload: client %q unknown class %q", c.Name, c.Class)
+	}
+	total := 0.0
+	for class, w := range c.ClassMix {
+		if service.ClassRank(class) > 2 {
+			return fmt.Errorf("workload: client %q unknown class %q in mix", c.Name, class)
+		}
+		if w < 0 {
+			return fmt.Errorf("workload: client %q class %q weight %g (want >= 0)", c.Name, class, w)
+		}
+		total += w
+	}
+	if len(c.ClassMix) > 0 && total <= 0 {
+		return fmt.Errorf("workload: client %q class_mix weights sum to %g (want > 0)", c.Name, total)
+	}
+	if c.Mode != ModeASAP {
+		if err := c.Arrival.validate(); err != nil {
+			return fmt.Errorf("client %q: %w", c.Name, err)
+		}
+	}
+	return c.Job.validate()
+}
+
+// Spec is a complete workload description: a named set of client
+// groups. Together with a seed it deterministically names one exact
+// submission sequence.
+type Spec struct {
+	// Name labels the workload in traces and reports.
+	Name string `json:"name"`
+	// Clients are the traffic sources, merged into one timeline.
+	Clients []ClientSpec `json:"clients"`
+}
+
+// Validate checks the whole workload spec.
+func (w Spec) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("workload: spec needs a name")
+	}
+	if len(w.Clients) == 0 {
+		return fmt.Errorf("workload: spec %q has no clients", w.Name)
+	}
+	seen := make(map[string]bool, len(w.Clients))
+	for _, c := range w.Clients {
+		if seen[c.Name] {
+			return fmt.Errorf("workload: duplicate client name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if err := c.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalJobs is the number of submissions the workload will generate.
+func (w Spec) TotalJobs() int {
+	total := 0
+	for _, c := range w.Clients {
+		n := c.normalized()
+		total += n.Count * n.Jobs
+	}
+	return total
+}

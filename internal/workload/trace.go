@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Trace framing, mirroring the service journal and internal/uda:
+// [u32 LE payload length][u32 LE crc32-IEEE(payload)][JSON payload].
+// Record 0 is the header; every following record is one Submission in
+// timeline order. Because the payloads serialize a Plan — a pure
+// function of (spec, seed) — the file is byte-identical across runs,
+// machines and GOMAXPROCS, which is the property the golden tests pin.
+const (
+	traceHeaderLen = 8
+	// maxTraceRecord bounds one record (1 MiB): a corrupt length field
+	// fails fast instead of allocating garbage.
+	maxTraceRecord = 1 << 20
+	traceVersion   = 1
+)
+
+// ErrTornTrace reports a trace whose tail is an incomplete or
+// corrupt record; the decoded prefix is still returned.
+var ErrTornTrace = errors.New("workload: torn trace tail")
+
+// traceHeader is record 0.
+type traceHeader struct {
+	Version  int          `json:"version"`
+	Workload string       `json:"workload"`
+	Seed     uint64       `json:"seed"`
+	Count    int          `json:"count"`
+	Clients  []PlanClient `json:"clients,omitempty"`
+}
+
+func encodeTraceRecord(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxTraceRecord {
+		return fmt.Errorf("workload: trace record %d bytes exceeds cap %d", len(payload), maxTraceRecord)
+	}
+	var hdr [traceHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// decodeTraceRecord reads one framed record into v. io.EOF at a record
+// boundary is returned verbatim; any torn or corrupt record maps to
+// ErrTornTrace.
+func decodeTraceRecord(r io.Reader, v any) error {
+	var hdr [traceHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return ErrTornTrace
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxTraceRecord {
+		return ErrTornTrace
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return ErrTornTrace
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return ErrTornTrace
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return ErrTornTrace
+	}
+	return nil
+}
+
+// EncodeTrace writes the plan to w in the framed trace format.
+func EncodeTrace(w io.Writer, plan *Plan) error {
+	if err := encodeTraceRecord(w, traceHeader{
+		Version: traceVersion, Workload: plan.Workload, Seed: plan.Seed,
+		Count: len(plan.Subs), Clients: plan.Clients,
+	}); err != nil {
+		return err
+	}
+	for i := range plan.Subs {
+		if err := encodeTraceRecord(w, &plan.Subs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeTrace reads a framed trace. A torn tail returns the valid
+// prefix plan alongside ErrTornTrace; deeper damage (bad header,
+// version mismatch) is fatal.
+func DecodeTrace(r io.Reader) (*Plan, error) {
+	var hdr traceHeader
+	if err := decodeTraceRecord(r, &hdr); err != nil {
+		return nil, fmt.Errorf("workload: unreadable trace header: %w", err)
+	}
+	if hdr.Version != traceVersion {
+		return nil, fmt.Errorf("workload: trace version %d (this build reads %d)", hdr.Version, traceVersion)
+	}
+	plan := &Plan{Workload: hdr.Workload, Seed: hdr.Seed, Clients: hdr.Clients, Subs: make([]Submission, 0, hdr.Count)}
+	for {
+		var sub Submission
+		err := decodeTraceRecord(r, &sub)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return plan, ErrTornTrace
+		}
+		plan.Subs = append(plan.Subs, sub)
+	}
+	if len(plan.Subs) != hdr.Count {
+		return plan, ErrTornTrace
+	}
+	return plan, nil
+}
+
+// WriteTrace records the plan to path (atomically: temp file + rename,
+// so a crashed writer never leaves a half-trace under the final name).
+func WriteTrace(path string, plan *Plan) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := EncodeTrace(bw, plan); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadTrace loads a recorded plan from path for replay.
+func ReadTrace(path string) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeTrace(bufio.NewReader(f))
+}
