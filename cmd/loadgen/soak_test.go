@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/uintah-repro/rmcrt/internal/cluster"
+	"github.com/uintah-repro/rmcrt/internal/resilience"
 	"github.com/uintah-repro/rmcrt/internal/service"
 	"github.com/uintah-repro/rmcrt/internal/workload"
 	"github.com/uintah-repro/rmcrt/internal/workload/scenarios"
@@ -26,7 +27,7 @@ type soakHarness struct {
 	mgrs   []*service.Manager
 }
 
-func newSoakHarness(t *testing.T, queueDepth int) *soakHarness {
+func newSoakHarness(t *testing.T, queueDepth int, lim *resilience.Limiter) *soakHarness {
 	t.Helper()
 	h := &soakHarness{}
 	var cfgs []cluster.ShardConfig
@@ -50,7 +51,7 @@ func newSoakHarness(t *testing.T, queueDepth int) *soakHarness {
 		t.Fatal(err)
 	}
 	h.cl = cl
-	h.router = httptest.NewServer(cluster.NewHandler(cl))
+	h.router = httptest.NewServer(cluster.NewHandlerConfig(cl, cluster.HandlerConfig{Limiter: lim}))
 	return h
 }
 
@@ -101,7 +102,7 @@ func TestOverloadSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := newSoakHarness(t, 8)
+	h := newSoakHarness(t, 8, nil)
 	report, err := workload.Run(context.Background(), plan, workload.RunConfig{
 		Target:       h.router.URL,
 		PollInterval: 2 * time.Millisecond,

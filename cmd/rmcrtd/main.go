@@ -7,6 +7,7 @@
 //
 //	rmcrtd                         # listen on :8372
 //	rmcrtd -addr :9000 -workers 4 -queue 32 -cache 128
+//	rmcrtd -client-rate 50 -client-burst 100   # per-client admission
 //
 // API:
 //
@@ -16,6 +17,10 @@
 //	DELETE /v1/jobs/{id}          cancel
 //	GET    /healthz               liveness
 //	GET    /metrics               plain-text metrics
+//
+// Submissions may carry an X-Client-ID header (admission accounting and
+// per-client rate limits; anonymous otherwise) and an X-Job-Deadline-Ms
+// header (remaining milliseconds; the job fast-fails once it lapses).
 //
 // On SIGINT/SIGTERM the daemon stops accepting work and drains queued
 // and running solves under -drain; whatever is still running at the
@@ -33,26 +38,45 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"github.com/uintah-repro/rmcrt/internal/resilience"
 	"github.com/uintah-repro/rmcrt/internal/service"
 )
 
 func main() {
-	addr := flag.String("addr", ":8372", "listen address")
-	workers := flag.Int("workers", 0, "solve worker pool size (0 = GOMAXPROCS)")
-	queue := flag.Int("queue", 16, "bounded submission queue depth")
-	cacheN := flag.Int("cache", 64, "result cache entries (negative disables)")
-	maxCells := flag.Int64("max-cells", 1<<21, "per-job fine-level cell budget")
-	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
-	journal := flag.String("journal", "", "write-ahead job journal path (empty = jobs do not survive restarts)")
-	ckptDir := flag.String("ckpt-dir", "", "per-job solve checkpoint directory (empty = no mid-solve checkpoints)")
-	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "submit request body byte limit (413 beyond it)")
-	flag.Parse()
+	if err := run(os.Args[1:], nil); err != nil {
+		log.Fatalf("rmcrtd: %v", err)
+	}
+}
+
+// run is main's testable body: it parses args, binds an explicit
+// listener (so -addr :0 works), reports the bound address through
+// notify, and returns after a SIGINT/SIGTERM-triggered drain. The
+// signal handler is registered before notify fires, so a test may send
+// the signal as soon as it learns the address.
+func run(args []string, notify func(addr string)) error {
+	fs := flag.NewFlagSet("rmcrtd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8372", "listen address")
+	workers := fs.Int("workers", 0, "solve worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 16, "bounded submission queue depth")
+	cacheN := fs.Int("cache", 64, "result cache entries (negative disables)")
+	maxCells := fs.Int64("max-cells", 1<<21, "per-job fine-level cell budget")
+	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
+	journal := fs.String("journal", "", "write-ahead job journal path (empty = jobs do not survive restarts)")
+	ckptDir := fs.String("ckpt-dir", "", "per-job solve checkpoint directory (empty = no mid-solve checkpoints)")
+	maxBody := fs.Int64("max-body", service.DefaultMaxBodyBytes, "submit request body byte limit (413 beyond it)")
+	clientRate := fs.Float64("client-rate", 0, "per-client admission rate in requests/s (0 disables the limiter)")
+	clientBurst := fs.Float64("client-burst", 0, "per-client admission burst (0 = 2x rate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	mgr, err := service.Recover(service.Config{
 		Workers:       *workers,
@@ -63,28 +87,46 @@ func main() {
 		CheckpointDir: *ckptDir,
 	})
 	if err != nil {
-		log.Fatalf("rmcrtd: recover: %v", err)
+		return fmt.Errorf("recover: %w", err)
 	}
 	if *journal != "" {
 		rs := mgr.Recovery()
 		log.Printf("rmcrtd: journal %s: replayed %d records, recovered %d jobs (torn tail: %v)",
 			*journal, rs.RecordsReplayed, rs.JobsRecovered, rs.TornTail)
 	}
+	var lim *resilience.Limiter
+	if *clientRate > 0 {
+		lim = resilience.NewLimiter(resilience.LimiterConfig{
+			Default: resilience.RateBurst{Rate: *clientRate, Burst: *clientBurst},
+		})
+	}
 	// Hardened server: header/read/write/idle timeouts plus bounded
 	// header and submit-body sizes, so slow or oversized clients are
-	// shed instead of accumulating.
-	srv := service.NewHTTPServer(*addr, service.NewHandlerLimit(mgr, *maxBody))
+	// shed instead of accumulating; over-rate clients get 429 at the
+	// edge before the queue sees them.
+	srv := service.NewHTTPServer(*addr, service.NewHandlerConfig(mgr, service.HandlerConfig{
+		MaxBody: *maxBody,
+		Limiter: lim,
+	}))
 
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("rmcrtd listening on %s (workers=%d queue=%d cache=%d)",
-		*addr, *workers, *queue, *cacheN)
-
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if notify != nil {
+		notify(ln.Addr().String())
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	log.Printf("rmcrtd listening on %s (workers=%d queue=%d cache=%d)",
+		ln.Addr(), *workers, *queue, *cacheN)
+
 	select {
 	case err := <-errCh:
-		log.Fatalf("rmcrtd: serve: %v", err)
+		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
 	}
 
@@ -100,4 +142,5 @@ func main() {
 		log.Printf("rmcrtd: drain deadline hit; running solves were cancelled")
 	}
 	log.Printf("rmcrtd: stopped")
+	return nil
 }

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/uintah-repro/rmcrt/internal/service"
+)
+
+// startDaemon runs the daemon's run() in a goroutine and returns its
+// bound address plus a channel carrying run's eventual return.
+func startDaemon(t *testing.T, args ...string) (string, <-chan error) {
+	t.Helper()
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(append([]string{"-addr", "127.0.0.1:0"}, args...),
+			func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr, errCh
+	case err := <-errCh:
+		t.Fatalf("daemon exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never reported its address")
+	}
+	return "", nil
+}
+
+func postSolve(t *testing.T, addr string, spec service.Spec) service.JobStatus {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post("http://"+addr+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, addr, id string) (service.JobStatus, int) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st service.JobStatus
+	_ = json.NewDecoder(resp.Body).Decode(&st)
+	return st, resp.StatusCode
+}
+
+// sigterm delivers SIGTERM to this test process; run()'s
+// signal.NotifyContext (registered before notify fired) absorbs it.
+func sigterm(t *testing.T) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunGracefulShutdown: SIGTERM makes run() drain queued work and
+// return nil within the drain deadline; the port refuses connections
+// afterwards.
+func TestRunGracefulShutdown(t *testing.T) {
+	addr, errCh := startDaemon(t, "-workers", "2", "-drain", "10s")
+
+	st := postSolve(t, addr, service.Spec{Kind: service.KindBenchmark, N: 12, Rays: 25, Seed: 1})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, code := getStatus(t, addr, st.ID)
+		if code == http.StatusOK && cur.State.Terminal() {
+			if cur.State != service.StateDone {
+				t.Fatalf("job finished %s: %s", cur.State, cur.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	sigterm(t)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after SIGTERM within the drain deadline")
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("daemon still accepting connections after shutdown")
+	}
+}
+
+// TestRunJournalReplay: a journal holding a submit record with no
+// terminal close — the signature of a crash mid-job — is replayed at
+// startup: the job reappears under its original ID and runs to done.
+func TestRunJournalReplay(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "jobs.journal")
+	spec := (&service.Spec{Kind: service.KindBenchmark, N: 12, Rays: 25, Seed: 7}).Normalized()
+	j, err := service.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cutID = "j-000042"
+	if err := j.Append(service.JournalRecord{
+		Op: service.OpSubmit, ID: cutID, Key: spec.Key(), Spec: &spec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, errCh := startDaemon(t, "-journal", jpath, "-drain", "10s")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, code := getStatus(t, addr, cutID)
+		if code == http.StatusNotFound {
+			t.Fatalf("recovered job %s not found after replay", cutID)
+		}
+		if cur.State.Terminal() {
+			if cur.State != service.StateDone {
+				t.Fatalf("recovered job finished %s: %s", cur.State, cur.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	sigterm(t)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+}
+
+// TestRunClientRateFlag: -client-rate wires the per-client limiter into
+// the daemon's edge — an over-burst client sees 429 + Retry-After.
+func TestRunClientRateFlag(t *testing.T) {
+	addr, errCh := startDaemon(t, "-client-rate", "0.001", "-client-burst", "1", "-drain", "5s")
+
+	body, _ := json.Marshal(service.Spec{Kind: service.KindBenchmark, N: 12, Rays: 25, Seed: 3})
+	sawLimited := false
+	for i := 0; i < 3 && !sawLimited; i++ {
+		req, _ := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/solve", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(service.ClientIDHeader, "hog")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			var buf bytes.Buffer
+			_, _ = buf.ReadFrom(resp.Body)
+			if !strings.Contains(buf.String(), "rate limited") {
+				t.Fatalf("429 body %q does not say rate limited", buf.String())
+			}
+			sawLimited = true
+		}
+		resp.Body.Close()
+	}
+	if !sawLimited {
+		t.Fatal("burst of 3 submits from one client was never rate limited at burst 1")
+	}
+
+	sigterm(t)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+}

@@ -21,9 +21,22 @@
 // Scheduling policies (-sched): priority (SLO class order, default),
 // fcfs, sjf (perfmodel-estimated cheapest solve first).
 //
+// Overload protection: -client-rate/-client-burst shed over-rate
+// clients (keyed on X-Client-ID) with 429 at the router edge;
+// -breaker-threshold/-breaker-cooldown trip a per-shard circuit after
+// consecutive placement failures so routing spills away from a shard
+// that answers health probes but torches solves; -retry-budget bounds
+// cluster-wide reroute volume, with -backoff-base/-backoff-cap pacing
+// each reroute by decorrelated jitter. X-Job-Deadline-Ms deadlines are
+// forwarded to shards as their remaining milliseconds.
+//
 // API: the rmcrtd job surface (POST /v1/solve, GET/DELETE
 // /v1/jobs/{id}, GET /v1/jobs/{id}/result, /healthz, /metrics) plus
 // GET /v1/shards and POST /v1/shards/{name}/drain|/undrain.
+//
+// On SIGINT/SIGTERM the router stops accepting submissions first, then
+// drains its dispatched jobs under -drain — shards shut down after the
+// router in a rolling restart, so inflight work finishes where it is.
 package main
 
 import (
@@ -31,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,6 +53,7 @@ import (
 	"time"
 
 	"github.com/uintah-repro/rmcrt/internal/cluster"
+	"github.com/uintah-repro/rmcrt/internal/resilience"
 	"github.com/uintah-repro/rmcrt/internal/service"
 )
 
@@ -76,23 +91,47 @@ func (f *shardFlag) Set(v string) error {
 }
 
 func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		log.Fatalf("rmcrtrouter: %v", err)
+	}
+}
+
+// run is main's testable body: it parses args, binds an explicit
+// listener (so -addr :0 works), reports the bound address through
+// notify, and returns after a SIGINT/SIGTERM-triggered drain. The
+// signal handler is registered before notify fires, so a test may send
+// the signal as soon as it learns the address. Shutdown ordering is
+// edge-first: the HTTP server stops accepting submissions before the
+// cluster drains, so no job is admitted that the drain will not cover.
+func run(args []string, notify func(addr string)) error {
 	var shards shardFlag
-	flag.Var(&shards, "shard", "rmcrtd backend as url or name=url (repeatable, required)")
-	addr := flag.String("addr", ":8371", "listen address")
-	policy := flag.String("policy", cluster.PolicyAffinity, "routing policy: affinity, roundrobin, leastloaded")
-	sched := flag.String("sched", cluster.SchedPriority, "dispatch scheduling: priority, fcfs, sjf")
-	queue := flag.Int("queue", 256, "router dispatch queue depth")
-	maxInflight := flag.Int("max-inflight", 4, "max jobs dispatched per shard at a time (0 = unbounded)")
-	attempts := flag.Int("max-attempts", 3, "max placements per job across shard losses")
-	poll := flag.Duration("poll", 250*time.Millisecond, "per-job shard status poll interval")
-	healthEvery := flag.Duration("health-interval", time.Second, "shard health probe interval")
-	shardTimeout := flag.Duration("shard-timeout", 10*time.Second, "per-request timeout for backend calls")
-	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "submit request body byte limit (413 beyond it)")
-	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
-	flag.Parse()
+	fs := flag.NewFlagSet("rmcrtrouter", flag.ContinueOnError)
+	fs.Var(&shards, "shard", "rmcrtd backend as url or name=url (repeatable, required)")
+	addr := fs.String("addr", ":8371", "listen address")
+	policy := fs.String("policy", cluster.PolicyAffinity, "routing policy: affinity, roundrobin, leastloaded")
+	sched := fs.String("sched", cluster.SchedPriority, "dispatch scheduling: priority, fcfs, sjf")
+	queue := fs.Int("queue", 256, "router dispatch queue depth")
+	maxInflight := fs.Int("max-inflight", 4, "max jobs dispatched per shard at a time (0 = unbounded)")
+	attempts := fs.Int("max-attempts", 3, "max placements per job across shard losses")
+	poll := fs.Duration("poll", 250*time.Millisecond, "per-job shard status poll interval")
+	healthEvery := fs.Duration("health-interval", time.Second, "shard health probe interval")
+	shardTimeout := fs.Duration("shard-timeout", 10*time.Second, "per-request timeout for backend calls")
+	maxBody := fs.Int64("max-body", service.DefaultMaxBodyBytes, "submit request body byte limit (413 beyond it)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
+	clientRate := fs.Float64("client-rate", 0, "per-client admission rate in requests/s (0 disables the limiter)")
+	clientBurst := fs.Float64("client-burst", 0, "per-client admission burst (0 = 2x rate)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive placement failures that trip a shard's circuit (0 = default 5, negative disables)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe (0 = default 2s)")
+	retryBudget := fs.Float64("retry-budget", 0, "cluster-wide reroute token budget (0 = default 16, negative disables)")
+	retryRefill := fs.Float64("retry-refill", 0, "reroute tokens refunded per successful job (0 = default 0.1)")
+	backoffBase := fs.Duration("backoff-base", 0, "reroute backoff floor (0 = default 25ms)")
+	backoffCap := fs.Duration("backoff-cap", 0, "reroute backoff ceiling (0 = default 1s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if len(shards.cfgs) == 0 {
-		log.Fatalf("rmcrtrouter: at least one -shard is required")
+		return fmt.Errorf("at least one -shard is required")
 	}
 	c, err := cluster.New(cluster.Config{
 		Shards:              shards.cfgs,
@@ -104,30 +143,55 @@ func main() {
 		PollInterval:        *poll,
 		HealthInterval:      *healthEvery,
 		Client:              &http.Client{Timeout: *shardTimeout},
+		BreakerThreshold:    *breakerThreshold,
+		BreakerCooldown:     *breakerCooldown,
+		RetryBudget:         *retryBudget,
+		RetryRefill:         *retryRefill,
+		BackoffBase:         *backoffBase,
+		BackoffCap:          *backoffCap,
 	})
 	if err != nil {
-		log.Fatalf("rmcrtrouter: %v", err)
+		return err
+	}
+	var lim *resilience.Limiter
+	if *clientRate > 0 {
+		lim = resilience.NewLimiter(resilience.LimiterConfig{
+			Default: resilience.RateBurst{Rate: *clientRate, Burst: *clientBurst},
+		})
 	}
 	// Same hardened server profile as rmcrtd: bounded header size plus
-	// header/read/write/idle timeouts.
-	srv := service.NewHTTPServer(*addr, cluster.NewHandlerLimit(c, *maxBody))
+	// header/read/write/idle timeouts, and 429-at-the-edge for
+	// over-rate clients.
+	srv := service.NewHTTPServer(*addr, cluster.NewHandlerConfig(c, cluster.HandlerConfig{
+		MaxBody: *maxBody,
+		Limiter: lim,
+	}))
 
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("rmcrtrouter listening on %s (%d shards, policy=%s sched=%s)",
-		*addr, len(shards.cfgs), *policy, *sched)
-
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if notify != nil {
+		notify(ln.Addr().String())
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	log.Printf("rmcrtrouter listening on %s (%d shards, policy=%s sched=%s)",
+		ln.Addr(), len(shards.cfgs), *policy, *sched)
+
 	select {
 	case err := <-errCh:
-		log.Fatalf("rmcrtrouter: serve: %v", err)
+		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
 	}
 
 	log.Printf("rmcrtrouter: shutting down, draining for up to %v", *drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	// Edge first: refuse new submissions, then drain what was admitted.
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("rmcrtrouter: http shutdown: %v", err)
 	}
@@ -135,4 +199,5 @@ func main() {
 		log.Printf("rmcrtrouter: drain: %v", err)
 	}
 	log.Printf("rmcrtrouter: stopped")
+	return nil
 }

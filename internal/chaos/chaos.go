@@ -15,6 +15,14 @@
 // of bug — a race visible only under adversarial timing, leaking
 // receive buffers — escaped benign testing (§IV, Algorithm 1). The
 // chaos plane makes the adversary a reproducible unit test.
+//
+// The HTTP chaos suite (httpchaos_test.go) extends the same discipline
+// to the serving plane: a seeded resilience.FaultTransport injects
+// resets, 503s, torn bodies and latency spikes between a real router
+// and real in-process shards, asserting accounting identities, budget-
+// bounded retry volume, breaker observability, interactive-degrades-
+// last, and zero goroutine/fd leaks. CI's nightly http-chaos job runs
+// it under -race.
 package chaos
 
 import (

@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/uintah-repro/rmcrt/internal/metrics"
+	"github.com/uintah-repro/rmcrt/internal/resilience"
 	"github.com/uintah-repro/rmcrt/internal/service"
 )
 
@@ -87,6 +89,33 @@ type Config struct {
 	// Metrics receives the router's instrumentation (fresh registry
 	// when nil).
 	Metrics *metrics.Registry
+
+	// BreakerThreshold is how many consecutive placement-path failures
+	// trip a shard's circuit breaker (default 5; negative disables
+	// breakers entirely). A tripped shard takes no placements until a
+	// half-open probe succeeds, so affinity routing spills away from it
+	// even while health probes still pass.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit waits before
+	// admitting a half-open probe placement (default 2s).
+	BreakerCooldown time.Duration
+	// RetryBudget bounds reroute volume cluster-wide: each
+	// attempt-counting retry spends one token from a bucket of this
+	// size (default 16; negative disables the budget). When the bucket
+	// is dry the job fails with ErrShardLost instead of amplifying a
+	// fleet-wide outage with retries.
+	RetryBudget float64
+	// RetryRefill is how much budget each completed job restores
+	// (default 0.1) — retries are paid for by successes, so a healthy
+	// cluster earns back its slack.
+	RetryRefill float64
+	// BackoffBase and BackoffCap bound the decorrelated-jitter delay
+	// inserted before each attempt-counting retry (defaults 25ms / 1s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed seeds the backoff jitter (default 1), so tests replaying a
+	// fault schedule see a reproducible retry timeline.
+	Seed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +149,27 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 16
+	}
+	if c.RetryRefill <= 0 {
+		c.RetryRefill = 0.1
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
 	return c
 }
 
@@ -135,17 +185,24 @@ type Job struct {
 	seq         int64
 	spec        service.Spec
 
-	state     service.State
-	shard     *Shard
-	shardID   string
-	attempts  int
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	lastShard service.JobStatus // latest status observed from the shard
-	result    *service.ResultPayload
-	err       error
-	cancelled bool
+	state    service.State
+	shard    *Shard
+	shardID  string
+	attempts int
+	// deadline is the client's propagated absolute deadline (zero =
+	// none): checked at submit, at dispatch pop and before placement,
+	// and forwarded to the shard as remaining milliseconds.
+	deadline time.Time
+	// backoffPrev is the last reroute's backoff delay, feeding the
+	// decorrelated jitter of the next one.
+	backoffPrev time.Duration
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	lastShard   service.JobStatus // latest status observed from the shard
+	result      *service.ResultPayload
+	err         error
+	cancelled   bool
 
 	terminalQueued atomic.Bool
 	done           chan struct{}
@@ -197,12 +254,21 @@ type Cluster struct {
 
 	classStats map[string]*classStat
 
-	mSubmitted, mRejected, mDispatched *metrics.Counter
-	mRerouted, mDone, mFailed          *metrics.Counter
-	mCancelled                         *metrics.Counter
-	gQueued                            *metrics.Gauge
-	hClass                             map[string]*metrics.Histogram
-	gJain                              *metrics.FloatGauge
+	// retryBudget bounds reroute volume cluster-wide; backoff paces
+	// each reroute with decorrelated jitter. Either may be nil when
+	// disabled by configuration.
+	retryBudget *resilience.Budget
+	backoff     *resilience.Backoff
+
+	mSubmitted, mRejected, mDispatched  *metrics.Counter
+	mRerouted, mDone, mFailed           *metrics.Counter
+	mCancelled, mExpired, mBudgetDenied *metrics.Counter
+	mBreakerOpens, mBreakerCloses       *metrics.Counter
+	mBreakerHalfOpens                   *metrics.Counter
+	gQueued                             *metrics.Gauge
+	gBudgetTokens                       *metrics.FloatGauge
+	hClass                              map[string]*metrics.Histogram
+	gJain                               *metrics.FloatGauge
 
 	// Per-class overload accounting: which SLO class absorbed the
 	// queue-full rejections, deadline failures and cancellations. Load
@@ -260,7 +326,13 @@ func New(cfg Config) (*Cluster, error) {
 	c.mDone = reg.Counter("router_jobs_done_total", "jobs completed successfully")
 	c.mFailed = reg.Counter("router_jobs_failed_total", "jobs that ended in error")
 	c.mCancelled = reg.Counter("router_jobs_cancelled_total", "jobs cancelled by the client or shutdown")
+	c.mExpired = reg.Counter("router_jobs_expired_total", "jobs fast-failed because their propagated deadline expired before placement")
+	c.mBudgetDenied = reg.Counter("router_retry_budget_denied_total", "reroutes refused because the retry budget was dry; the job fails instead of amplifying the outage")
+	c.mBreakerOpens = reg.Counter("router_breaker_opens_total", "shard circuit-breaker transitions to open")
+	c.mBreakerCloses = reg.Counter("router_breaker_closes_total", "shard circuit-breaker transitions to closed")
+	c.mBreakerHalfOpens = reg.Counter("router_breaker_half_opens_total", "shard circuit-breaker transitions to half-open (probe admitted)")
 	c.gQueued = reg.Gauge("router_queue_depth", "jobs waiting in the dispatch queue")
+	c.gBudgetTokens = reg.FloatGauge("router_retry_budget_tokens", "retry-budget tokens remaining")
 	c.gJain = reg.FloatGauge("router_class_fairness_jain", "Jain fairness index over per-class goodput fractions (1 = perfectly fair)")
 	c.gJain.Set(1)
 	classCounters := func(what, help string) map[string]*metrics.Counter {
@@ -284,6 +356,37 @@ func New(cfg Config) (*Cluster, error) {
 			"router_class_latency_seconds_"+strings.ReplaceAll(class, "-", "_"),
 			"submit-to-terminal latency of "+class+" jobs", metrics.DefBuckets)
 	}
+	if cfg.RetryBudget > 0 {
+		c.retryBudget = resilience.NewBudget(cfg.RetryBudget, cfg.RetryRefill)
+		c.gBudgetTokens.Set(c.retryBudget.Tokens())
+	}
+	c.backoff = resilience.NewBackoff(cfg.BackoffBase, cfg.BackoffCap, cfg.Seed)
+	if cfg.BreakerThreshold > 0 {
+		for _, s := range shards.Shards() {
+			mn := metricName(s.Name())
+			gState := reg.Gauge("router_shard_"+mn+"_breaker_state",
+				"circuit position of shard "+s.Name()+" (0 closed, 1 open, 2 half-open)")
+			mOpens := reg.Counter("router_shard_"+mn+"_breaker_opens_total",
+				"times shard "+s.Name()+"'s circuit opened")
+			s.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+				FailureThreshold: cfg.BreakerThreshold,
+				Cooldown:         cfg.BreakerCooldown,
+				OnTransition: func(_, to resilience.BreakerState) {
+					gState.Set(int64(to))
+					switch to {
+					case resilience.BreakerOpen:
+						mOpens.Inc()
+						c.mBreakerOpens.Inc()
+					case resilience.BreakerHalfOpen:
+						c.mBreakerHalfOpens.Inc()
+					case resilience.BreakerClosed:
+						c.mBreakerCloses.Inc()
+					}
+					c.kickDispatch()
+				},
+			})
+		}
+	}
 
 	c.wg.Add(2)
 	go func() { defer c.wg.Done(); c.dispatchLoop() }()
@@ -303,6 +406,15 @@ func (c *Cluster) Policy() string { return c.router.Name() }
 // Submit validates spec, applies router admission control and enqueues
 // the job for placement.
 func (c *Cluster) Submit(spec service.Spec) (JobStatus, error) {
+	return c.SubmitDeadline(spec, time.Time{})
+}
+
+// SubmitDeadline is Submit with a per-job absolute deadline (zero =
+// none), as carried by service.DeadlineHeader. An already-expired
+// deadline fast-fails the job with the typed deadline error before it
+// costs a queue slot; a live one rides along to dispatch and is
+// forwarded to the shard as its remaining milliseconds.
+func (c *Cluster) SubmitDeadline(spec service.Spec, deadline time.Time) (JobStatus, error) {
 	spec = spec.Normalized()
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
@@ -312,7 +424,8 @@ func (c *Cluster) Submit(spec service.Spec) (JobStatus, error) {
 	if c.closed {
 		return JobStatus{}, ErrClosed
 	}
-	if c.queue.len() >= c.cfg.QueueDepth {
+	expired := !deadline.IsZero() && !time.Now().Before(deadline)
+	if !expired && c.queue.len() >= c.cfg.QueueDepth {
 		c.mRejected.Inc()
 		if m, ok := c.mClassRejected[spec.Class]; ok {
 			m.Inc()
@@ -329,11 +442,11 @@ func (c *Cluster) Submit(spec service.Spec) (JobStatus, error) {
 		seq:         c.seq,
 		spec:        spec,
 		state:       service.StateQueued,
+		deadline:    deadline,
 		submitted:   time.Now(),
 		done:        make(chan struct{}),
 	}
 	c.jobs[job.id] = job
-	c.queue.push(job)
 	c.mSubmitted.Inc()
 	if m, ok := c.mClassSubmitted[job.class]; ok {
 		m.Inc()
@@ -341,6 +454,16 @@ func (c *Cluster) Submit(spec service.Spec) (JobStatus, error) {
 	if st := c.classStats[job.class]; st != nil {
 		st.submitted++
 	}
+	if expired {
+		// Dead on arrival: terminal now, without a queue slot or a
+		// dispatch — the accounting identity still sees one submission
+		// and exactly one terminal outcome.
+		c.mExpired.Inc()
+		c.finishLocked(job, service.StateFailed,
+			fmt.Errorf("%w: expired before placement", service.ErrDeadlineExceeded))
+		return c.statusLocked(job), nil
+	}
+	c.queue.push(job)
 	c.syncQueueGauge()
 	c.kickDispatch()
 	return c.statusLocked(job), nil
@@ -355,6 +478,35 @@ func (c *Cluster) kickDispatch() {
 
 func (c *Cluster) syncQueueGauge() { c.gQueued.Set(int64(c.queue.len())) }
 
+// failStranded fails every queued job that already lost a placement
+// when no shard accepts placements: the fleet is down, and the reroute
+// would otherwise wait (paced by its backoff) in a queue nothing will
+// ever drain. Never-placed jobs keep their slots and wait for
+// recovery, matching requeue's fleet-down rule.
+func (c *Cluster) failStranded() {
+	var keep []*Job
+	for {
+		job := c.queue.pop()
+		if job == nil {
+			break
+		}
+		c.mu.Lock()
+		switch {
+		case job.state.Terminal():
+		case job.attempts > 0:
+			c.finishLocked(job, service.StateFailed,
+				fmt.Errorf("%w: no healthy shards after %d placements", ErrShardLost, job.attempts))
+		default:
+			keep = append(keep, job)
+		}
+		c.mu.Unlock()
+	}
+	for _, job := range keep {
+		c.queue.push(job)
+	}
+	c.syncQueueGauge()
+}
+
 // dispatchLoop drains the queue whenever capacity or work appears: pop
 // per scheduling policy, place per routing policy.
 func (c *Cluster) dispatchLoop() {
@@ -367,6 +519,9 @@ func (c *Cluster) dispatchLoop() {
 		for {
 			candidates := c.shards.Placeable(c.cfg.MaxInflightPerShard)
 			if len(candidates) == 0 || c.queue.len() == 0 {
+				if c.queue.len() > 0 && c.shards.Healthy() == 0 {
+					c.failStranded()
+				}
 				break
 			}
 			job := c.queue.pop()
@@ -377,6 +532,15 @@ func (c *Cluster) dispatchLoop() {
 			shard := c.router.Pick(job, candidates)
 			c.mu.Lock()
 			if job.state.Terminal() {
+				c.mu.Unlock()
+				continue
+			}
+			if !job.deadline.IsZero() && !time.Now().Before(job.deadline) {
+				// Expired while waiting in the dispatch queue: fail it here
+				// instead of spending a shard slot on a doomed placement.
+				c.mExpired.Inc()
+				c.finishLocked(job, service.StateFailed,
+					fmt.Errorf("%w: expired in dispatch queue", service.ErrDeadlineExceeded))
 				c.mu.Unlock()
 				continue
 			}
@@ -403,7 +567,22 @@ func (c *Cluster) place(job *Job, shard *Shard) {
 		c.releaseAndFinish(job, shard, service.StateFailed, err)
 		return
 	}
-	code, respBody, err := c.do(http.MethodPost, shard.URL()+"/v1/solve", body)
+	// Forward the remaining deadline budget, re-derived against the
+	// local clock (relative milliseconds survive clock skew).
+	var hdr map[string]string
+	if !job.deadline.IsZero() {
+		rem := time.Until(job.deadline)
+		if rem <= 0 {
+			c.mExpired.Inc()
+			c.releaseAndFinish(job, shard, service.StateFailed,
+				fmt.Errorf("%w: expired before placement", service.ErrDeadlineExceeded))
+			return
+		}
+		hdr = map[string]string{
+			service.DeadlineHeader: strconv.FormatInt(int64((rem+time.Millisecond-1)/time.Millisecond), 10),
+		}
+	}
+	code, respBody, err := c.do(http.MethodPost, shard.URL()+"/v1/solve", body, hdr)
 	switch {
 	case err != nil:
 		c.shardLost(shard, err)
@@ -416,6 +595,7 @@ func (c *Cluster) place(job *Job, shard *Shard) {
 			c.requeue(job, shard, true)
 			return
 		}
+		shard.recordSuccess()
 		c.mu.Lock()
 		job.shardID = st.ID
 		if job.started.IsZero() {
@@ -462,9 +642,9 @@ func (c *Cluster) watch(job *Job, shard *Shard) {
 		}
 		if cancelled {
 			// Best-effort: stop the shard-side solve, then observe it.
-			_, _, _ = c.do(http.MethodDelete, shard.URL()+"/v1/jobs/"+shardID, nil)
+			_, _, _ = c.do(http.MethodDelete, shard.URL()+"/v1/jobs/"+shardID, nil, nil)
 		}
-		code, body, err := c.do(http.MethodGet, shard.URL()+"/v1/jobs/"+shardID, nil)
+		code, body, err := c.do(http.MethodGet, shard.URL()+"/v1/jobs/"+shardID, nil, nil)
 		if err != nil {
 			c.shardLost(shard, err)
 			c.requeue(job, shard, true)
@@ -513,7 +693,7 @@ func (c *Cluster) watch(job *Job, shard *Shard) {
 // job, rewriting the IDs to the router's. Returns false after
 // requeueing the job if the shard died between "done" and the fetch.
 func (c *Cluster) fetchResult(job *Job, shard *Shard, shardID string) bool {
-	code, body, err := c.do(http.MethodGet, shard.URL()+"/v1/jobs/"+shardID+"/result", nil)
+	code, body, err := c.do(http.MethodGet, shard.URL()+"/v1/jobs/"+shardID+"/result", nil, nil)
 	if err != nil || code == http.StatusNotFound {
 		if err != nil {
 			c.shardLost(shard, err)
@@ -527,9 +707,13 @@ func (c *Cluster) fetchResult(job *Job, shard *Shard, shardID string) bool {
 	}
 	var payload service.ResultPayload
 	if err := json.Unmarshal(body, &payload); err != nil {
+		// A torn or corrupt result body: the placement is not trusted,
+		// the shard is suspect.
+		shard.recordFailure(time.Now())
 		c.requeue(job, shard, true)
 		return false
 	}
+	shard.recordSuccess()
 	payload.ID = job.id
 	c.mu.Lock()
 	job.result = &payload
@@ -539,8 +723,9 @@ func (c *Cluster) fetchResult(job *Job, shard *Shard, shardID string) bool {
 
 // requeue returns a job to the dispatch queue after releasing its
 // shard slot. countAttempt distinguishes shard loss (bounded by
-// MaxAttempts) from backpressure (retried indefinitely — the job is
-// queued, not doomed).
+// MaxAttempts and the cluster-wide retry budget, and paced by
+// decorrelated-jitter backoff) from backpressure (retried indefinitely
+// — the job is queued, not doomed).
 func (c *Cluster) requeue(job *Job, shard *Shard, countAttempt bool) {
 	shard.addInflight(-1)
 	c.mu.Lock()
@@ -574,14 +759,44 @@ func (c *Cluster) requeue(job *Job, shard *Shard, countAttempt bool) {
 		c.kickDispatch()
 		return
 	}
+	var delay time.Duration
+	if countAttempt {
+		if c.retryBudget != nil && !c.retryBudget.TryTake() {
+			// No budget: failing one job beats letting correlated failures
+			// multiply traffic against an already-struggling fleet.
+			c.mBudgetDenied.Inc()
+			c.gBudgetTokens.Set(c.retryBudget.Tokens())
+			c.finishLocked(job, service.StateFailed,
+				fmt.Errorf("%w: retry budget exhausted after %d placements", ErrShardLost, job.attempts))
+			c.mu.Unlock()
+			c.kickDispatch()
+			return
+		}
+		if c.retryBudget != nil {
+			c.gBudgetTokens.Set(c.retryBudget.Tokens())
+		}
+		c.mRerouted.Inc()
+		delay = c.backoff.Next(job.backoffPrev)
+		job.backoffPrev = delay
+	}
 	job.state = service.StateQueued
 	job.shard = nil
 	job.shardID = ""
-	if countAttempt {
-		c.mRerouted.Inc()
+	c.mu.Unlock()
+	if delay > 0 {
+		// Jittered pause before the reroute re-enters the queue, so a
+		// burst of losses does not re-land in lockstep.
+		select {
+		case <-time.After(delay):
+		case <-c.baseCtx.Done():
+			return
+		}
 	}
-	c.queue.push(job)
-	c.syncQueueGauge()
+	c.mu.Lock()
+	if !job.state.Terminal() {
+		c.queue.push(job)
+		c.syncQueueGauge()
+	}
 	c.mu.Unlock()
 	c.kickDispatch()
 }
@@ -616,6 +831,11 @@ func (c *Cluster) finishLocked(job *Job, st service.State, err error) {
 	case service.StateDone:
 		c.mDone.Inc()
 		classInc(c.mClassDone)
+		if c.retryBudget != nil {
+			// Successes earn back retry slack.
+			c.retryBudget.Credit()
+			c.gBudgetTokens.Set(c.retryBudget.Tokens())
+		}
 	case service.StateCancelled:
 		c.mCancelled.Inc()
 		classInc(c.mClassCancelled)
@@ -652,8 +872,12 @@ func (c *Cluster) updateJainLocked() {
 }
 
 // shardLost demotes a shard after a transport-level failure. Health
-// probes will promote it back when it answers again.
+// probes will promote it back when it answers again — but the circuit
+// breaker also counts the failure, so a shard that flaps (answers
+// /healthz, loses placements) trips open and stays out of rotation
+// until a half-open probe succeeds.
 func (c *Cluster) shardLost(shard *Shard, _ error) {
+	shard.recordFailure(time.Now())
 	shard.setState(ShardUnhealthy)
 	c.kickDispatch()
 }
@@ -670,7 +894,7 @@ func (c *Cluster) healthLoop() {
 		case <-t.C:
 		}
 		for _, s := range c.shards.Shards() {
-			_, _, err := c.do(http.MethodGet, s.URL()+"/healthz", nil)
+			_, _, err := c.do(http.MethodGet, s.URL()+"/healthz", nil, nil)
 			s.mu.Lock()
 			if err == nil {
 				s.fails = 0
@@ -690,9 +914,10 @@ func (c *Cluster) healthLoop() {
 }
 
 // do performs one backend HTTP call under the cluster's lifetime
-// context and returns the status code and body. A non-nil error means
-// the transport failed — the shard, not the job, is suspect.
-func (c *Cluster) do(method, url string, body []byte) (int, []byte, error) {
+// context and returns the status code and body. hdr adds extra request
+// headers (nil for none). A non-nil error means the transport failed —
+// the shard, not the job, is suspect.
+func (c *Cluster) do(method, url string, body []byte, hdr map[string]string) (int, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -703,6 +928,9 @@ func (c *Cluster) do(method, url string, body []byte) (int, []byte, error) {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"github.com/uintah-repro/rmcrt/internal/resilience"
 	"github.com/uintah-repro/rmcrt/internal/service"
 )
 
@@ -83,12 +84,37 @@ func NewHandler(c *Cluster) http.Handler {
 // NewHandlerLimit is NewHandler with an explicit submit-body limit;
 // larger bodies get 413 with service.ErrBodyTooLarge.
 func NewHandlerLimit(c *Cluster, maxBody int64) http.Handler {
+	return NewHandlerConfig(c, HandlerConfig{MaxBody: maxBody})
+}
+
+// HandlerConfig shapes the router's HTTP edge, mirroring the daemon's
+// service.HandlerConfig.
+type HandlerConfig struct {
+	// MaxBody is the submit-body byte limit (0 = DefaultMaxBodyBytes).
+	MaxBody int64
+	// Limiter, when set, applies per-client token-bucket admission
+	// before the body is read: over-rate clients get 429 + Retry-After
+	// at the router, before any shard sees the job.
+	Limiter *resilience.Limiter
+}
+
+// NewHandlerConfig is NewHandler with the full edge configuration.
+func NewHandlerConfig(c *Cluster, hc HandlerConfig) http.Handler {
+	maxBody := hc.MaxBody
 	if maxBody <= 0 {
 		maxBody = service.DefaultMaxBodyBytes
 	}
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		if !service.AdmitClient(hc.Limiter, w, r) {
+			return
+		}
+		deadline, err := service.ParseDeadline(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
 		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 		var spec service.Spec
 		dec := json.NewDecoder(r.Body)
@@ -103,7 +129,7 @@ func NewHandlerLimit(c *Cluster, maxBody int64) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		st, err := c.Submit(spec)
+		st, err := c.SubmitDeadline(spec, deadline)
 		switch {
 		case err == nil:
 			writeJSON(w, http.StatusAccepted, st)

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/uintah-repro/rmcrt/internal/metrics"
+	"github.com/uintah-repro/rmcrt/internal/resilience"
 )
 
 // ShardState is a backend's placement eligibility.
@@ -44,8 +46,39 @@ type Shard struct {
 	inflight int // jobs dispatched here and not yet terminal
 	fails    int // consecutive failed health probes
 
+	// breaker is the shard's placement circuit: consecutive
+	// placement-path failures open it, and recovery flows through a
+	// single half-open probe placement. nil when breakers are disabled.
+	// Health probes deliberately do not feed it — liveness (healthLoop)
+	// and request-level failure (breaker) are separate signals, and a
+	// shard that answers /healthz but torches every solve stays tripped.
+	breaker *resilience.Breaker
+
 	gInflight *metrics.Gauge
 	gUp       *metrics.Gauge // 1 = healthy, 0 = unhealthy or draining
+}
+
+// BreakerState returns the shard's circuit position (closed when
+// breakers are disabled).
+func (s *Shard) BreakerState() resilience.BreakerState {
+	if s.breaker == nil {
+		return resilience.BreakerClosed
+	}
+	return s.breaker.State()
+}
+
+// recordFailure feeds one placement-path failure to the breaker.
+func (s *Shard) recordFailure(now time.Time) {
+	if s.breaker != nil {
+		s.breaker.Failure(now)
+	}
+}
+
+// recordSuccess feeds one placement-path success to the breaker.
+func (s *Shard) recordSuccess() {
+	if s.breaker != nil {
+		s.breaker.Success()
+	}
 }
 
 // Name returns the shard's configured name.
@@ -98,12 +131,23 @@ func (s *Shard) setState(st ShardState) {
 	}
 }
 
-// placeable reports whether the shard may take a new job under the
-// per-shard dispatch cap.
+// placeable reports whether the shard may take a new job: healthy,
+// under the per-shard dispatch cap, and with its circuit not open. A
+// half-open circuit admits exactly one probe at a time (inflight must
+// be zero), so a recovering shard is tested with a single job instead
+// of a thundering herd.
 func (s *Shard) placeable(limit int) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.state == ShardHealthy && (limit <= 0 || s.inflight < limit)
+	ok := s.state == ShardHealthy && (limit <= 0 || s.inflight < limit)
+	inflight := s.inflight
+	s.mu.Unlock()
+	if !ok || s.breaker == nil {
+		return ok
+	}
+	if !s.breaker.Ready(time.Now()) {
+		return false
+	}
+	return s.breaker.State() != resilience.BreakerHalfOpen || inflight == 0
 }
 
 // metricName sanitizes a shard name into a metrics series suffix.

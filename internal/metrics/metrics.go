@@ -238,6 +238,29 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return m.h
 }
 
+// Value returns the current value of the named counter or gauge
+// (float gauges included), and whether the name resolves to one.
+// Histograms are not scalar and report false. A convenience for tests
+// and harnesses asserting accounting identities without parsing the
+// text exposition.
+func (r *Registry) Value(name string) (float64, bool) {
+	r.mu.Lock()
+	m, ok := r.byName[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	switch m.kind {
+	case kindCounter:
+		return float64(m.c.Value()), true
+	case kindGauge:
+		return float64(m.g.Value()), true
+	case kindFloatGauge:
+		return m.fg.Value(), true
+	}
+	return 0, false
+}
+
 // WriteText renders every registered metric in the plain-text
 // exposition format, in registration order.
 func (r *Registry) WriteText(w io.Writer) error {

@@ -1,0 +1,62 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// Backoff produces decorrelated-jitter retry delays: each delay is
+// drawn uniformly from [base, 3·prev], capped — the schedule spreads
+// concurrent retriers apart instead of synchronizing them the way plain
+// exponential backoff does. Seeded for reproducible chaos runs; safe
+// for concurrent use (callers carry their own prev, so interleaving
+// only interleaves the shared random sequence).
+type Backoff struct {
+	base, cap time.Duration
+
+	mu  sync.Mutex
+	rng *mathutil.RNG
+}
+
+// NewBackoff builds a Backoff. base <= 0 takes 25ms; capAt <= 0 takes
+// 1s; capAt below base is raised to base.
+func NewBackoff(base, capAt time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if capAt <= 0 {
+		capAt = time.Second
+	}
+	if capAt < base {
+		capAt = base
+	}
+	return &Backoff{base: base, cap: capAt, rng: mathutil.NewRNG(seed)}
+}
+
+// Next returns the delay to sleep after a failure whose previous delay
+// was prev (0 for the first retry).
+func (b *Backoff) Next(prev time.Duration) time.Duration {
+	hi := 3 * prev
+	if hi < b.base {
+		hi = b.base
+	}
+	if hi > b.cap {
+		hi = b.cap
+	}
+	span := hi - b.base
+	if span <= 0 {
+		return b.base
+	}
+	b.mu.Lock()
+	u := b.rng.Float64()
+	b.mu.Unlock()
+	return b.base + time.Duration(u*float64(span))
+}
+
+// Base returns the configured minimum delay.
+func (b *Backoff) Base() time.Duration { return b.base }
+
+// Cap returns the configured maximum delay.
+func (b *Backoff) Cap() time.Duration { return b.cap }

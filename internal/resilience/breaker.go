@@ -1,0 +1,178 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen sheds traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits probe traffic: the first success closes
+	// the breaker, the first failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String renders the state for logs and metrics help text.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig sizes a Breaker. Zero values take defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures open the
+	// breaker (default 5).
+	FailureThreshold int
+	// Cooldown is how long an open breaker sheds before moving to
+	// half-open (default 2s).
+	Cooldown time.Duration
+	// OnTransition, when set, observes every state change — the metrics
+	// hook. It is called outside the breaker's lock, in transition
+	// order for transitions caused by the same goroutine; concurrent
+	// callers may interleave.
+	OnTransition func(from, to BreakerState)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	return c
+}
+
+// Breaker is a per-backend circuit breaker: closed → open after
+// FailureThreshold consecutive failures, open → half-open after
+// Cooldown, half-open → closed on the first success (or back to open on
+// the first failure). The caller supplies the clock so tests and the
+// chaos suite control time explicitly. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	staged   []pendingTransition
+}
+
+// NewBreaker builds a closed Breaker from cfg.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Ready reports whether traffic may flow at time now. An open breaker
+// whose cooldown has elapsed transitions to half-open here (and reports
+// ready); callers bound the number of concurrent half-open probes
+// themselves — the cluster uses its per-shard inflight count, so a
+// half-open shard takes exactly one probe job at a time.
+func (b *Breaker) Ready(now time.Time) bool {
+	b.mu.Lock()
+	if b.state == BreakerOpen && now.Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.setLocked(BreakerHalfOpen, now)
+	}
+	ready := b.state != BreakerOpen
+	fire := b.takeTransitionsLocked()
+	b.mu.Unlock()
+	fire()
+	return ready
+}
+
+// Success records a successful interaction: it closes a half-open
+// breaker and resets the consecutive-failure count of a closed one.
+// Successes while open (e.g. a health probe racing the cooldown) are
+// ignored — recovery goes through the half-open probe.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.setLocked(BreakerClosed, time.Time{})
+	case BreakerClosed:
+		b.fails = 0
+	}
+	fire := b.takeTransitionsLocked()
+	b.mu.Unlock()
+	fire()
+}
+
+// Failure records a failed interaction at time now: it re-opens a
+// half-open breaker immediately and opens a closed one once the
+// consecutive-failure threshold is reached.
+func (b *Breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.setLocked(BreakerOpen, now)
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.setLocked(BreakerOpen, now)
+		}
+	case BreakerOpen:
+		b.openedAt = now // renew the cooldown under continued failure
+	}
+	fire := b.takeTransitionsLocked()
+	b.mu.Unlock()
+	fire()
+}
+
+// State returns the breaker's current position without advancing it.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// pendingTransition records one state change staged under the lock.
+type pendingTransition struct{ from, to BreakerState }
+
+// setLocked transitions the breaker and stages the OnTransition
+// callback. Callers hold b.mu.
+func (b *Breaker) setLocked(to BreakerState, now time.Time) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	switch to {
+	case BreakerOpen:
+		b.openedAt = now
+	case BreakerClosed, BreakerHalfOpen:
+		b.fails = 0
+	}
+	if b.cfg.OnTransition != nil {
+		b.staged = append(b.staged, pendingTransition{from, to})
+	}
+}
+
+// takeTransitionsLocked drains the staged transitions into a closure
+// the caller runs after unlocking, so OnTransition may call back into
+// anything (including the breaker) without deadlocking.
+func (b *Breaker) takeTransitionsLocked() func() {
+	if len(b.staged) == 0 {
+		return func() {}
+	}
+	staged := b.staged
+	b.staged = nil
+	cb := b.cfg.OnTransition
+	return func() {
+		for _, t := range staged {
+			cb(t.from, t.to)
+		}
+	}
+}

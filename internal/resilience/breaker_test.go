@@ -1,0 +1,126 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	var mu sync.Mutex
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+		OnTransition: func(from, to BreakerState) {
+			mu.Lock()
+			transitions = append(transitions, from.String()+"->"+to.String())
+			mu.Unlock()
+		},
+	})
+	now := time.Unix(100, 0)
+
+	// Closed: failures below threshold keep traffic flowing.
+	b.Failure(now)
+	b.Failure(now)
+	if !b.Ready(now) || b.State() != BreakerClosed {
+		t.Fatalf("state %v after 2/3 failures, want closed+ready", b.State())
+	}
+	// A success resets the consecutive count.
+	b.Success()
+	b.Failure(now)
+	b.Failure(now)
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the failure count")
+	}
+	// Third consecutive failure opens.
+	b.Failure(now)
+	if b.State() != BreakerOpen || b.Ready(now) {
+		t.Fatalf("state %v after threshold, want open+not-ready", b.State())
+	}
+	// Still open inside the cooldown; continued failures renew it.
+	if b.Ready(now.Add(500 * time.Millisecond)) {
+		t.Fatal("ready inside cooldown")
+	}
+	b.Failure(now.Add(900 * time.Millisecond))
+	if b.Ready(now.Add(1100 * time.Millisecond)) {
+		t.Fatal("cooldown not renewed by failure while open")
+	}
+	// Cooldown elapsed: half-open, probe allowed.
+	probeAt := now.Add(2 * time.Second)
+	if !b.Ready(probeAt) || b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after cooldown, want half-open+ready", b.State())
+	}
+	// Probe fails: straight back to open.
+	b.Failure(probeAt)
+	if b.State() != BreakerOpen {
+		t.Fatal("half-open did not re-open on probe failure")
+	}
+	// Next probe succeeds: closed.
+	healAt := probeAt.Add(2 * time.Second)
+	if !b.Ready(healAt) {
+		t.Fatal("not ready after second cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("half-open did not close on probe success")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{
+		"closed->open",
+		"open->half-open", "half-open->open",
+		"open->half-open", "half-open->closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (all: %v)", i, transitions[i], want[i], transitions)
+		}
+	}
+}
+
+func TestBreakerSuccessWhileOpenIgnored(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute})
+	now := time.Unix(0, 0)
+	b.Failure(now)
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold-1 breaker did not open on first failure")
+	}
+	// A racing health-probe success must not short-circuit the cooldown:
+	// recovery goes through the half-open probe.
+	b.Success()
+	if b.State() != BreakerOpen || b.Ready(now.Add(time.Second)) {
+		t.Fatalf("state %v: success while open must be ignored", b.State())
+	}
+}
+
+func TestBreakerConcurrentRecording(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 5, Cooldown: time.Millisecond})
+	now := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if i%2 == 0 {
+					b.Failure(now)
+				} else {
+					b.Success()
+				}
+				b.Ready(now)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// No deadlock, no panic; state is one of the three valid positions.
+	switch b.State() {
+	case BreakerClosed, BreakerOpen, BreakerHalfOpen:
+	default:
+		t.Fatalf("invalid state %v", b.State())
+	}
+}

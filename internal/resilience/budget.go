@@ -1,0 +1,66 @@
+package resilience
+
+import "sync"
+
+// Budget is a shared retry budget: a token bucket drained by retries
+// and refilled fractionally by successes, so a partial outage cannot
+// amplify into a retry storm — total retry volume is bounded by the
+// initial budget plus a fraction of the successful work. Safe for
+// concurrent use.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	refill float64
+
+	taken, denied int64
+}
+
+// NewBudget returns a full budget of max tokens; each success credits
+// refillPerSuccess tokens back (capped at max). max <= 0 takes 16;
+// refillPerSuccess <= 0 takes 0.1 — one extra retry per ten successes,
+// the classic 10% retry budget.
+func NewBudget(max, refillPerSuccess float64) *Budget {
+	if max <= 0 {
+		max = 16
+	}
+	if refillPerSuccess <= 0 {
+		refillPerSuccess = 0.1
+	}
+	return &Budget{tokens: max, max: max, refill: refillPerSuccess}
+}
+
+// TryTake spends one token for a retry, reporting whether the budget
+// allowed it.
+func (b *Budget) TryTake() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens >= 1 {
+		b.tokens--
+		b.taken++
+		return true
+	}
+	b.denied++
+	return false
+}
+
+// Credit refills the budget after a success.
+func (b *Budget) Credit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens = min(b.max, b.tokens+b.refill)
+}
+
+// Tokens returns the current token balance.
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Stats returns how many retries the budget granted and denied.
+func (b *Budget) Stats() (taken, denied int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.taken, b.denied
+}

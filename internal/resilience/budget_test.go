@@ -1,0 +1,86 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBudgetBoundsRetryVolume(t *testing.T) {
+	b := NewBudget(4, 0.5)
+	granted := 0
+	for i := 0; i < 100; i++ {
+		if b.TryTake() {
+			granted++
+		}
+	}
+	if granted != 4 {
+		t.Fatalf("granted %d retries from a budget of 4", granted)
+	}
+	taken, denied := b.Stats()
+	if taken != 4 || denied != 96 {
+		t.Fatalf("stats taken=%d denied=%d, want 4/96", taken, denied)
+	}
+
+	// Two successes credit one whole token at refill 0.5.
+	b.Credit()
+	if b.TryTake() {
+		t.Fatal("half a token granted a retry")
+	}
+	b.Credit()
+	if !b.TryTake() {
+		t.Fatal("full refilled token denied")
+	}
+}
+
+func TestBudgetCreditCapsAtMax(t *testing.T) {
+	b := NewBudget(2, 1)
+	for i := 0; i < 100; i++ {
+		b.Credit()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("tokens = %v after over-crediting, want cap 2", got)
+	}
+}
+
+func TestBackoffDecorrelatedJitterBounds(t *testing.T) {
+	base, capAt := 10*time.Millisecond, 200*time.Millisecond
+	b := NewBackoff(base, capAt, 42)
+	prev := time.Duration(0)
+	sawSpread := false
+	var first time.Duration
+	for i := 0; i < 200; i++ {
+		d := b.Next(prev)
+		hi := 3 * prev
+		if hi < base {
+			hi = base
+		}
+		if hi > capAt {
+			hi = capAt
+		}
+		if d < base || d > hi {
+			t.Fatalf("step %d: delay %v outside [%v, %v] (prev %v)", i, d, base, hi, prev)
+		}
+		if i == 0 {
+			first = d
+		} else if d != first {
+			sawSpread = true
+		}
+		prev = d
+	}
+	if !sawSpread {
+		t.Fatal("200 draws identical: no jitter")
+	}
+}
+
+func TestBackoffDeterministicInSeed(t *testing.T) {
+	a := NewBackoff(5*time.Millisecond, 100*time.Millisecond, 7)
+	b := NewBackoff(5*time.Millisecond, 100*time.Millisecond, 7)
+	prevA, prevB := time.Duration(0), time.Duration(0)
+	for i := 0; i < 50; i++ {
+		da, db := a.Next(prevA), b.Next(prevB)
+		if da != db {
+			t.Fatalf("step %d: %v != %v under equal seeds", i, da, db)
+		}
+		prevA, prevB = da, db
+	}
+}

@@ -1,0 +1,243 @@
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// ErrInjectedReset is the transport error a FaultTransport raises for
+// an injected connection reset. The http.Client wraps it in a
+// *url.Error, exactly like a real severed connection.
+var ErrInjectedReset = errors.New("resilience: injected connection reset")
+
+// FaultKind names one injectable HTTP failure mode.
+type FaultKind string
+
+const (
+	// FaultReset fails the round trip with a transport error before any
+	// response — a severed connection.
+	FaultReset FaultKind = "reset"
+	// Fault5xx answers 503 without reaching the inner transport — an
+	// overloaded or crashing server.
+	Fault5xx FaultKind = "5xx"
+	// FaultTruncate forwards the request but tears the response body
+	// mid-read (io.ErrUnexpectedEOF) — a connection dropped between
+	// headers and body.
+	FaultTruncate FaultKind = "truncate"
+	// FaultDelay forwards the request after a latency spike.
+	FaultDelay FaultKind = "delay"
+)
+
+// FaultTransportConfig shapes a FaultTransport. All probabilities are
+// in [0,1] and are evaluated in the order reset, 5xx, truncate, delay;
+// at most one fault fires per request.
+type FaultTransportConfig struct {
+	// Seed drives the fault decision sequence. The sequence of
+	// decisions is deterministic in seed; which request draws which
+	// decision follows arrival order, so concurrent suites exercise
+	// adversarial timings over a reproducible schedule (the simmpi
+	// fault-plane discipline).
+	Seed uint64
+	// Match filters which requests are eligible for faults (nil = all).
+	Match func(*http.Request) bool
+	// PReset / P5xx / PTruncate / PDelay are per-request fault
+	// probabilities.
+	PReset, P5xx, PTruncate, PDelay float64
+	// BurstLen makes a fired fault repeat for the next BurstLen-1
+	// eligible requests — correlated failure bursts rather than
+	// independent coin flips (default 1 = independent).
+	BurstLen int
+	// TruncateAfter is how many body bytes survive a truncation
+	// (default 64 — enough to tear mid-JSON).
+	TruncateAfter int
+	// Delay runs the injected latency spike (e.g. a time.Sleep). A hook
+	// rather than a duration so tests can use virtual time; nil means
+	// FaultDelay only reorders goroutine wakeups.
+	Delay func()
+}
+
+// FaultTransport is a fault-injecting http.RoundTripper wrapping a real
+// transport: seeded, deterministic in its decision sequence, and
+// observable through Stats. Use ForceFail / StopForcing for exact
+// failure windows (breaker tests); the probabilistic config models
+// background flakiness.
+type FaultTransport struct {
+	inner http.RoundTripper
+	cfg   FaultTransportConfig
+
+	mu        sync.Mutex
+	rng       *mathutil.RNG
+	burstLeft int
+	burstKind FaultKind
+	forceFail int64 // >0: fail the next forceFail eligible requests; -1: fail all
+	injected  map[FaultKind]int64
+	passed    int64
+}
+
+// NewFaultTransport wraps inner (nil = http.DefaultTransport) with
+// fault injection per cfg.
+func NewFaultTransport(inner http.RoundTripper, cfg FaultTransportConfig) *FaultTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if cfg.BurstLen <= 0 {
+		cfg.BurstLen = 1
+	}
+	if cfg.TruncateAfter <= 0 {
+		cfg.TruncateAfter = 64
+	}
+	return &FaultTransport{
+		inner:    inner,
+		cfg:      cfg,
+		rng:      mathutil.NewRNG(cfg.Seed),
+		injected: make(map[FaultKind]int64),
+	}
+}
+
+// ForceFail makes the next n eligible requests fail with FaultReset
+// (n < 0: all requests until StopForcing) — the deterministic flap
+// switch the breaker suites use.
+func (t *FaultTransport) ForceFail(n int64) {
+	t.mu.Lock()
+	t.forceFail = n
+	t.mu.Unlock()
+}
+
+// StopForcing ends a ForceFail window.
+func (t *FaultTransport) StopForcing() {
+	t.mu.Lock()
+	t.forceFail = 0
+	t.mu.Unlock()
+}
+
+// Stats returns how many faults of each kind were injected and how
+// many eligible requests passed through clean.
+func (t *FaultTransport) Stats() (injected map[FaultKind]int64, passed int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[FaultKind]int64, len(t.injected))
+	for k, v := range t.injected {
+		out[k] = v
+	}
+	return out, t.passed
+}
+
+// decide picks the fault (if any) for one eligible request.
+func (t *FaultTransport) decide() FaultKind {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.forceFail != 0 {
+		if t.forceFail > 0 {
+			t.forceFail--
+		}
+		t.injected[FaultReset]++
+		return FaultReset
+	}
+	if t.burstLeft > 0 {
+		t.burstLeft--
+		t.injected[t.burstKind]++
+		return t.burstKind
+	}
+	u := t.rng.Float64()
+	kind := FaultKind("")
+	switch {
+	case u < t.cfg.PReset:
+		kind = FaultReset
+	case u < t.cfg.PReset+t.cfg.P5xx:
+		kind = Fault5xx
+	case u < t.cfg.PReset+t.cfg.P5xx+t.cfg.PTruncate:
+		kind = FaultTruncate
+	case u < t.cfg.PReset+t.cfg.P5xx+t.cfg.PTruncate+t.cfg.PDelay:
+		kind = FaultDelay
+	}
+	if kind == "" {
+		t.passed++
+		return ""
+	}
+	t.injected[kind]++
+	if t.cfg.BurstLen > 1 {
+		t.burstKind = kind
+		t.burstLeft = t.cfg.BurstLen - 1
+	}
+	return kind
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.cfg.Match != nil && !t.cfg.Match(req) {
+		return t.inner.RoundTrip(req)
+	}
+	switch t.decide() {
+	case FaultReset:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w (%s %s)", ErrInjectedReset, req.Method, req.URL.Path)
+	case Fault5xx:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		body := []byte(`{"error":"resilience: injected 503"}`)
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case FaultTruncate:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &tornBody{r: resp.Body, remain: t.cfg.TruncateAfter}
+		resp.ContentLength = -1
+		return resp, nil
+	case FaultDelay:
+		if t.cfg.Delay != nil {
+			t.cfg.Delay()
+		}
+		return t.inner.RoundTrip(req)
+	default:
+		return t.inner.RoundTrip(req)
+	}
+}
+
+// tornBody yields remain bytes of the real body, then fails with
+// io.ErrUnexpectedEOF — a mid-body connection drop as the client's
+// JSON decoder sees it.
+type tornBody struct {
+	r      io.ReadCloser
+	remain int
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.r.Read(p)
+	b.remain -= n
+	if err == io.EOF {
+		// Shorter real body than the tear point: the tear never fired.
+		return n, io.EOF
+	}
+	if b.remain <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *tornBody) Close() error { return b.r.Close() }

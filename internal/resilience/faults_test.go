@@ -1,0 +1,177 @@
+package resilience
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newEchoServer serves a fixed JSON body for every request.
+func newEchoServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestFaultTransportForceFail(t *testing.T) {
+	srv := newEchoServer(t, `{"ok":true}`)
+	ft := NewFaultTransport(nil, FaultTransportConfig{Seed: 1})
+	client := &http.Client{Transport: ft}
+
+	ft.ForceFail(2)
+	for i := 0; i < 2; i++ {
+		if _, err := client.Get(srv.URL); err == nil {
+			t.Fatalf("forced request %d succeeded", i)
+		} else if !strings.Contains(err.Error(), ErrInjectedReset.Error()) {
+			t.Fatalf("forced request %d failed with %v, want injected reset", i, err)
+		}
+	}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request after force window: %v", err)
+	}
+	resp.Body.Close()
+	if inj, _ := ft.Stats(); inj[FaultReset] != 2 {
+		t.Fatalf("injected %v, want 2 resets", inj)
+	}
+}
+
+func TestFaultTransport5xxSynthesized(t *testing.T) {
+	srv := newEchoServer(t, `{"ok":true}`)
+	ft := NewFaultTransport(nil, FaultTransportConfig{Seed: 3, P5xx: 1})
+	client := &http.Client{Transport: ft}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("503 body not the injected error payload: %v / %+v", err, e)
+	}
+}
+
+func TestFaultTransportTornBody(t *testing.T) {
+	long := `{"divq":[` + strings.Repeat("1.5,", 200) + `1.5]}`
+	srv := newEchoServer(t, long)
+	ft := NewFaultTransport(nil, FaultTransportConfig{Seed: 5, PTruncate: 1, TruncateAfter: 32})
+	client := &http.Client{Transport: ft}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err %v after %d bytes, want unexpected EOF", err, len(data))
+	}
+	if len(data) != 32 {
+		t.Fatalf("read %d bytes before the tear, want 32", len(data))
+	}
+	var v any
+	if json.Unmarshal(data, &v) == nil {
+		t.Fatal("torn prefix parsed as valid JSON; the tear landed too late to matter")
+	}
+}
+
+func TestFaultTransportMatchFilter(t *testing.T) {
+	srv := newEchoServer(t, `{}`)
+	ft := NewFaultTransport(nil, FaultTransportConfig{
+		Seed:   7,
+		PReset: 1,
+		Match:  func(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/v1/solve") },
+	})
+	client := &http.Client{Transport: ft}
+
+	// Non-matching path passes even at PReset=1.
+	resp, err := client.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("non-matching request failed: %v", err)
+	}
+	resp.Body.Close()
+	// Matching path always fails.
+	if _, err := client.Get(srv.URL + "/v1/solve"); err == nil {
+		t.Fatal("matching request passed at PReset=1")
+	}
+}
+
+func TestFaultTransportDeterministicSchedule(t *testing.T) {
+	srv := newEchoServer(t, `{}`)
+	run := func() []bool {
+		ft := NewFaultTransport(nil, FaultTransportConfig{Seed: 11, PReset: 0.5})
+		client := &http.Client{Transport: ft}
+		var outs []bool
+		for i := 0; i < 40; i++ {
+			resp, err := client.Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			outs = append(outs, err == nil)
+		}
+		return outs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d diverged between equal-seed runs", i)
+		}
+	}
+	ok := 0
+	for _, v := range a {
+		if v {
+			ok++
+		}
+	}
+	if ok == 0 || ok == len(a) {
+		t.Fatalf("%d/%d passed at PReset=0.5: schedule not mixing", ok, len(a))
+	}
+}
+
+func TestFaultTransportBurst(t *testing.T) {
+	srv := newEchoServer(t, `{}`)
+	ft := NewFaultTransport(nil, FaultTransportConfig{Seed: 13, P5xx: 0.2, BurstLen: 3})
+	client := &http.Client{Transport: ft}
+	var codes []int
+	for i := 0; i < 120; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes = append(codes, resp.StatusCode)
+		resp.Body.Close()
+	}
+	// Every injected 503 must arrive in runs of exactly BurstLen (the
+	// trigger plus BurstLen-1 repeats), except possibly a final run cut
+	// off by the end of the sample.
+	i := 0
+	for i < len(codes) {
+		if codes[i] != http.StatusServiceUnavailable {
+			i++
+			continue
+		}
+		runLen := 0
+		for i < len(codes) && codes[i] == http.StatusServiceUnavailable {
+			runLen++
+			i++
+		}
+		if runLen%3 != 0 && i != len(codes) {
+			t.Fatalf("503 run of length %d, want multiples of burst 3", runLen)
+		}
+	}
+	if inj, _ := ft.Stats(); inj[Fault5xx] == 0 {
+		t.Fatal("no 503s injected at P=0.2 over 120 requests")
+	}
+}

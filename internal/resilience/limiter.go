@@ -1,0 +1,163 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// RateBurst is one client's admission allowance: Rate tokens per second
+// refilling a bucket of Burst capacity.
+type RateBurst struct {
+	// Rate is the steady-state admission rate in requests/second.
+	Rate float64
+	// Burst is the bucket capacity — how many requests may land
+	// back-to-back after an idle period.
+	Burst float64
+}
+
+// LimiterConfig sizes a Limiter. Zero values take defaults.
+type LimiterConfig struct {
+	// Default applies to every client without a PerClient entry,
+	// including the anonymous bucket (default 50 req/s, burst 100).
+	Default RateBurst
+	// PerClient overrides the allowance for specific client IDs.
+	PerClient map[string]RateBurst
+	// MaxClients bounds the tracked-bucket map (default 4096). When a
+	// new client would exceed it, the least-recently-seen bucket is
+	// evicted — its client restarts with a full bucket, which errs
+	// toward admission, never toward a stuck shed.
+	MaxClients int
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.Default.Rate <= 0 {
+		c.Default.Rate = 50
+	}
+	if c.Default.Burst <= 0 {
+		c.Default.Burst = 2 * c.Default.Rate
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 4096
+	}
+	return c
+}
+
+// bucket is one client's token bucket plus its shed accounting.
+type bucket struct {
+	rb       RateBurst
+	tokens   float64
+	lastFill time.Time
+	lastSeen time.Time
+	shed     int64
+}
+
+// Limiter is per-client token-bucket admission control keyed on the
+// X-Client-ID header value (the serving handlers pass "anonymous" for
+// requests without one). Safe for concurrent use.
+type Limiter struct {
+	cfg LimiterConfig
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	allowed, shedTotal int64
+}
+
+// NewLimiter builds a Limiter from cfg.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	return &Limiter{cfg: cfg.withDefaults(), buckets: make(map[string]*bucket)}
+}
+
+// allowanceFor resolves the client's configured rate/burst.
+func (l *Limiter) allowanceFor(client string) RateBurst {
+	if rb, ok := l.cfg.PerClient[client]; ok {
+		if rb.Rate <= 0 {
+			rb.Rate = l.cfg.Default.Rate
+		}
+		if rb.Burst <= 0 {
+			rb.Burst = 2 * rb.Rate
+		}
+		return rb
+	}
+	return l.cfg.Default
+}
+
+// Allow charges one request to client's bucket at time now. When the
+// bucket is empty it returns false and how long the client should wait
+// before the next token is available (the Retry-After hint).
+func (l *Limiter) Allow(client string, now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= l.cfg.MaxClients {
+			l.evictOldestLocked()
+		}
+		rb := l.allowanceFor(client)
+		b = &bucket{rb: rb, tokens: rb.Burst, lastFill: now}
+		l.buckets[client] = b
+	}
+	b.lastSeen = now
+	if dt := now.Sub(b.lastFill).Seconds(); dt > 0 {
+		b.tokens = min(b.rb.Burst, b.tokens+dt*b.rb.Rate)
+		b.lastFill = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		l.allowed++
+		return true, 0
+	}
+	b.shed++
+	l.shedTotal++
+	wait := time.Duration((1 - b.tokens) / b.rb.Rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// evictOldestLocked drops the least-recently-seen bucket. Callers hold
+// l.mu. Linear scan: eviction only happens at the MaxClients boundary,
+// which honest traffic never reaches.
+func (l *Limiter) evictOldestLocked() {
+	var oldest string
+	var oldestSeen time.Time
+	first := true
+	for id, b := range l.buckets {
+		if first || b.lastSeen.Before(oldestSeen) {
+			oldest, oldestSeen, first = id, b.lastSeen, false
+		}
+	}
+	if !first {
+		delete(l.buckets, oldest)
+	}
+}
+
+// Stats returns the aggregate admitted and shed request counts.
+func (l *Limiter) Stats() (allowed, shed int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.allowed, l.shedTotal
+}
+
+// ShedByClient returns a snapshot of per-client shed counts, omitting
+// clients that were never shed. Evicted buckets drop their per-client
+// counts; the aggregate in Stats stays exact.
+func (l *Limiter) ShedByClient() map[string]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64)
+	for id, b := range l.buckets {
+		if b.shed > 0 {
+			out[id] = b.shed
+		}
+	}
+	return out
+}
+
+// Clients returns how many client buckets are currently tracked.
+func (l *Limiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,98 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLimiterBurstThenRate(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Default: RateBurst{Rate: 10, Burst: 3}})
+	now := time.Unix(1000, 0)
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("c1", now); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.Allow("c1", now)
+	if ok {
+		t.Fatal("4th back-to-back request admitted past burst")
+	}
+	if retry <= 0 || retry > 200*time.Millisecond {
+		t.Fatalf("retry hint %v, want ~100ms at 10 req/s", retry)
+	}
+
+	// One token refills after 100ms at 10 req/s.
+	now = now.Add(100 * time.Millisecond)
+	if ok, _ := l.Allow("c1", now); !ok {
+		t.Fatal("request denied after refill interval")
+	}
+	if ok, _ := l.Allow("c1", now); ok {
+		t.Fatal("second request admitted from a single refilled token")
+	}
+}
+
+func TestLimiterPerClientIsolation(t *testing.T) {
+	l := NewLimiter(LimiterConfig{
+		Default:   RateBurst{Rate: 1, Burst: 1},
+		PerClient: map[string]RateBurst{"vip": {Rate: 100, Burst: 50}},
+	})
+	now := time.Unix(0, 0)
+
+	// Exhaust the default-bucket client.
+	l.Allow("greedy", now)
+	if ok, _ := l.Allow("greedy", now); ok {
+		t.Fatal("greedy admitted past its burst")
+	}
+	// Other clients are unaffected: separate buckets.
+	if ok, _ := l.Allow("other", now); !ok {
+		t.Fatal("other client shed by greedy's consumption")
+	}
+	// The per-client override applies.
+	for i := 0; i < 50; i++ {
+		if ok, _ := l.Allow("vip", now); !ok {
+			t.Fatalf("vip request %d denied under burst 50", i)
+		}
+	}
+
+	allowed, shed := l.Stats()
+	if allowed != 52 || shed != 1 {
+		t.Fatalf("stats allowed=%d shed=%d, want 52/1", allowed, shed)
+	}
+	byClient := l.ShedByClient()
+	if byClient["greedy"] != 1 || len(byClient) != 1 {
+		t.Fatalf("per-client sheds %v, want greedy:1 only", byClient)
+	}
+}
+
+func TestLimiterEvictsOldestAtCap(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Default: RateBurst{Rate: 1, Burst: 1}, MaxClients: 2})
+	t0 := time.Unix(0, 0)
+	l.Allow("a", t0)
+	l.Allow("b", t0.Add(time.Second))
+	l.Allow("c", t0.Add(2*time.Second)) // evicts a
+	if n := l.Clients(); n != 2 {
+		t.Fatalf("tracked clients = %d, want 2", n)
+	}
+	// a returns: fresh bucket, full burst — eviction errs to admission.
+	if ok, _ := l.Allow("a", t0.Add(3*time.Second)); !ok {
+		t.Fatal("evicted client denied on return")
+	}
+}
+
+func TestLimiterTokensCapAtBurst(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Default: RateBurst{Rate: 1000, Burst: 2}})
+	now := time.Unix(0, 0)
+	l.Allow("c", now)
+	// A long idle period must not bank more than Burst tokens.
+	now = now.Add(time.Hour)
+	n := 0
+	for ; n < 10; n++ {
+		if ok, _ := l.Allow("c", now); !ok {
+			break
+		}
+	}
+	if n != 2 {
+		t.Fatalf("admitted %d back-to-back after idle, want burst 2", n)
+	}
+}

@@ -1,0 +1,20 @@
+// Package resilience is the overload-protection toolkit for the
+// serving plane: per-client token-bucket admission control, per-shard
+// circuit breakers, a shared retry budget with decorrelated-jitter
+// backoff, and a seeded fault-injecting HTTP transport for chaos
+// testing.
+//
+// The paper's value proposition is sustained throughput at extreme
+// scale; translated to a serving system, that means one misbehaving
+// client must not monopolize the dispatch queue, a flapping shard must
+// not trigger retry storms, and dead work (expired deadlines) must not
+// burn worker time. Every primitive here is deterministic where it
+// matters — seeded RNGs, explicit clocks passed by the caller — so the
+// chaos suites can replay exact failure schedules.
+package resilience
+
+import "errors"
+
+// ErrRateLimited rejects a submission that exceeded its client's
+// admission rate. HTTP maps it to 429 with a Retry-After hint.
+var ErrRateLimited = errors.New("resilience: client rate limited")

@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"regexp"
+	"strconv"
 	"time"
 
 	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/resilience"
 )
 
 // HTTP-plane hardening errors (ROADMAP item 5).
@@ -24,6 +27,74 @@ var (
 // DefaultMaxBodyBytes bounds a submit request body. Specs are a few
 // hundred bytes of JSON; 1 MiB is generous headroom, not an invitation.
 const DefaultMaxBodyBytes int64 = 1 << 20
+
+// Serving-plane request headers, shared by daemon and router.
+const (
+	// ClientIDHeader names the submitting client for per-client
+	// admission control; requests without it share the anonymous
+	// bucket.
+	ClientIDHeader = "X-Client-ID"
+	// DeadlineHeader carries a job's remaining time budget in integer
+	// milliseconds. Relative rather than absolute so clock skew between
+	// client, router and shard cannot corrupt it; each hop re-derives
+	// the remainder before forwarding.
+	DeadlineHeader = "X-Job-Deadline-Ms"
+	// AnonymousClient is the admission bucket for requests without a
+	// ClientIDHeader.
+	AnonymousClient = "anonymous"
+)
+
+// ParseDeadline reads DeadlineHeader into an absolute deadline against
+// the local clock. Absent header → zero time, nil error. A malformed
+// or non-positive value is a client error (HTTP 400).
+func ParseDeadline(r *http.Request) (time.Time, error) {
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		return time.Time{}, nil
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return time.Time{}, fmt.Errorf("service: bad %s %q: want positive integer milliseconds", DeadlineHeader, h)
+	}
+	return time.Now().Add(time.Duration(ms) * time.Millisecond), nil
+}
+
+// clientID extracts the admission-control identity of a request.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get(ClientIDHeader); id != "" {
+		return id
+	}
+	return AnonymousClient
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1 — the coarsest grain HTTP/1.1 clients all
+// honor.
+func retryAfterSeconds(d time.Duration) string {
+	s := int64(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
+}
+
+// AdmitClient applies per-client admission control, answering 429 with
+// a Retry-After hint and the typed resilience.ErrRateLimited when the
+// client is over its rate. A nil limiter admits everything. Shared by
+// the daemon and router submit handlers.
+func AdmitClient(lim *resilience.Limiter, w http.ResponseWriter, r *http.Request) bool {
+	if lim == nil {
+		return true
+	}
+	client := clientID(r)
+	ok, retryAfter := lim.Allow(client, time.Now())
+	if !ok {
+		w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Errorf("%w (client %q)", resilience.ErrRateLimited, client))
+	}
+	return ok
+}
 
 // jobIDPattern is the generated job-ID alphabet: daemon IDs are
 // j-NNNNNN, cluster-router IDs are r-NNNNNN. Anything else — path
@@ -45,19 +116,63 @@ func pathJobID(w http.ResponseWriter, r *http.Request) (string, bool) {
 	return id, true
 }
 
+// HTTPTimeouts are the connection-level protections of the serving
+// plane's HTTP servers. Zero fields take the hardened defaults.
+type HTTPTimeouts struct {
+	// ReadHeader cuts off a client that dribbles its request line and
+	// headers (slow loris). Default 5s.
+	ReadHeader time.Duration
+	// Read bounds the whole request read, body included — a
+	// byte-at-a-time body cannot pin a connection past it. Default 30s.
+	Read time.Duration
+	// Write bounds the response write. Default 60s.
+	Write time.Duration
+	// Idle reaps keep-alive connections. Default 120s.
+	Idle time.Duration
+	// MaxHeaderBytes bounds header memory. Default 1 MiB.
+	MaxHeaderBytes int
+}
+
+func (t HTTPTimeouts) withDefaults() HTTPTimeouts {
+	if t.ReadHeader <= 0 {
+		t.ReadHeader = 5 * time.Second
+	}
+	if t.Read <= 0 {
+		t.Read = 30 * time.Second
+	}
+	if t.Write <= 0 {
+		t.Write = 60 * time.Second
+	}
+	if t.Idle <= 0 {
+		t.Idle = 120 * time.Second
+	}
+	if t.MaxHeaderBytes <= 0 {
+		t.MaxHeaderBytes = 1 << 20
+	}
+	return t
+}
+
 // NewHTTPServer returns an http.Server hardened for the serving plane:
 // header/read/write/idle timeouts and a bounded header size, so a slow
 // or malicious client cannot pin a connection (or its memory) forever.
 // Both rmcrtd and rmcrtrouter serve through it.
 func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return NewHTTPServerTimeouts(addr, h, HTTPTimeouts{})
+}
+
+// NewHTTPServerTimeouts is NewHTTPServer with explicit connection
+// protections — the slow-client regression tests shrink them to prove
+// the cut-off actually happens.
+func NewHTTPServerTimeouts(addr string, h http.Handler, t HTTPTimeouts) *http.Server {
+	t = t.withDefaults()
 	return &http.Server{
 		Addr:              addr,
 		Handler:           h,
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      60 * time.Second,
-		IdleTimeout:       120 * time.Second,
-		MaxHeaderBytes:    1 << 20,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+		MaxHeaderBytes:    t.MaxHeaderBytes,
 	}
 }
 
@@ -117,12 +232,37 @@ func NewHandler(m *Manager) http.Handler {
 // NewHandlerLimit is NewHandler with an explicit submit-body byte
 // limit; bodies over it are refused with 413 and ErrBodyTooLarge.
 func NewHandlerLimit(m *Manager, maxBody int64) http.Handler {
+	return NewHandlerConfig(m, HandlerConfig{MaxBody: maxBody})
+}
+
+// HandlerConfig shapes the daemon's HTTP edge beyond the Manager's own
+// admission control.
+type HandlerConfig struct {
+	// MaxBody is the submit-body byte limit (0 = DefaultMaxBodyBytes).
+	MaxBody int64
+	// Limiter, when set, applies per-client token-bucket admission
+	// before the body is even read: over-rate clients get 429 +
+	// Retry-After without costing a JSON decode.
+	Limiter *resilience.Limiter
+}
+
+// NewHandlerConfig is NewHandler with the full edge configuration.
+func NewHandlerConfig(m *Manager, hc HandlerConfig) http.Handler {
+	maxBody := hc.MaxBody
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		if !AdmitClient(hc.Limiter, w, r) {
+			return
+		}
+		deadline, err := ParseDeadline(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
 		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 		var spec Spec
 		dec := json.NewDecoder(r.Body)
@@ -137,7 +277,7 @@ func NewHandlerLimit(m *Manager, maxBody int64) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		st, err := m.Submit(spec)
+		st, err := m.SubmitDeadline(spec, deadline)
 		switch {
 		case err == nil:
 			writeJSON(w, http.StatusAccepted, st)

@@ -111,10 +111,12 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	deadline  time.Time // zero = no per-job deadline
 	rays      int64
 	steps     int64
 	fromCache bool
 	coalesced bool
+	ephemeral bool // terminal at submit (expired deadline): never journaled
 
 	fl   *flight
 	done chan struct{} // closed on any terminal transition
@@ -151,6 +153,12 @@ type flight struct {
 	cancel context.CancelFunc
 	jobs   []*Job
 	refs   int
+	// deadline bounds the solve (zero = unbounded). It is the loosest
+	// deadline over the attached jobs — a coalesced job without one
+	// makes the flight unbounded — so riding on a shared solve never
+	// tightens what any job asked for. Guarded by the manager's mutex;
+	// the solve snapshots it at dequeue.
+	deadline time.Time
 }
 
 // Config sizes a Manager. Zero values take defaults.
@@ -259,7 +267,7 @@ type Manager struct {
 	mDone, mFailed, mCancelled                  *metrics.Counter
 	mCacheHit, mCacheMiss, mEvicted, mCoalesced *metrics.Counter
 	mRays, mSteps                               *metrics.Counter
-	mRetried, mDeadline                         *metrics.Counter
+	mRetried, mDeadline, mExpired               *metrics.Counter
 	mReplayed, mTornRecords, mRecovered         *metrics.Counter
 	mResumedPatches                             *metrics.Counter
 	gQueued, gRunning, gLastCkpt                *metrics.Gauge
@@ -385,6 +393,7 @@ func Recover(cfg Config) (*Manager, error) {
 	m.mCoalesced = r.Counter("rmcrtd_jobs_coalesced_total", "submissions coalesced onto an in-flight identical solve")
 	m.mRetried = r.Counter("rmcrtd_jobs_retried_total", "solves retried once after a transient backend failure")
 	m.mDeadline = r.Counter("rmcrtd_jobs_deadline_exceeded_total", "jobs failed by the per-job deadline")
+	m.mExpired = r.Counter("rmcrtd_jobs_expired_total", "jobs fast-failed because their propagated deadline had already expired before any solve work started")
 	m.mRays = r.Counter("rmcrtd_rays_traced_total", "rays traced by completed solves")
 	m.mSteps = r.Counter("rmcrtd_cell_steps_total", "DDA cell steps taken by completed solves")
 	m.mReplayed = r.Counter("rmcrtd_journal_records_replayed_total", "journal records replayed at startup")
@@ -477,7 +486,8 @@ func (m *Manager) restoreJob(rec JournalRecord) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
-	if _, ok := m.batch.Attach(key, job); ok {
+	if fl, ok := m.batch.Attach(key, job); ok {
+		loosenDeadline(fl, job) // recovered jobs carry no deadline: unbinds the flight
 		job.coalesced = true
 		m.jobs[job.id] = job
 		return
@@ -521,6 +531,15 @@ func (m *Manager) Packed() *PackedCache { return m.packed }
 // (single-flight), and otherwise enqueued — or rejected with
 // ErrQueueFull when the bounded queue is at capacity.
 func (m *Manager) Submit(spec Spec) (JobStatus, error) {
+	return m.SubmitDeadline(spec, time.Time{})
+}
+
+// SubmitDeadline is Submit with a per-job absolute deadline (zero =
+// none), as propagated over HTTP by DeadlineHeader. A job whose
+// deadline has already expired is accepted but fast-failed with
+// ErrDeadlineExceeded before touching a worker; a live deadline bounds
+// the solve like Config.JobDeadline does, whichever is earlier.
+func (m *Manager) SubmitDeadline(spec Spec, deadline time.Time) (JobStatus, error) {
 	spec = spec.Normalized()
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
@@ -545,7 +564,26 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 		class:     spec.Class,
 		state:     StateQueued,
 		submitted: time.Now(),
+		deadline:  deadline,
 		done:      make(chan struct{}),
+	}
+
+	// 0. Dead on arrival: the propagated deadline expired in transit.
+	// Fail fast and typed without costing a queue slot, a journal write
+	// or a worker. (Cache hits below are exempt: a stored answer is
+	// free, and free work meets any deadline.)
+	expired := !deadline.IsZero() && !time.Now().Before(deadline)
+	if expired {
+		if _, ok := m.cache.get(key); !ok {
+			m.mExpired.Inc()
+			classInc(m.mClassSubmitted, job.class)
+			m.queueEventLocked(Event{Type: EventSubmitted, ID: job.id, Key: key, Class: job.class})
+			job.ephemeral = true
+			m.jobs[job.id] = job
+			m.finishLocked(job, StateFailed, nil,
+				fmt.Errorf("%w: expired before solve start", ErrDeadlineExceeded))
+			return m.statusLocked(job), nil
+		}
 	}
 
 	// 1. Content-addressed cache: determinism means an equal key is the
@@ -574,7 +612,8 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 
 	// 2. Single-flight: an identical solve is already queued or running
 	// — attach to it instead of burning a second worker.
-	if _, ok := m.batch.Attach(key, job); ok {
+	if fl, ok := m.batch.Attach(key, job); ok {
+		loosenDeadline(fl, job)
 		m.mCoalesced.Inc()
 		m.mSubmitted.Inc()
 		classInc(m.mClassSubmitted, job.class)
@@ -586,7 +625,7 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 
 	// 3. Fresh solve: admission-controlled enqueue.
 	fctx, fcancel := context.WithCancel(m.baseCtx)
-	fl := &flight{key: key, spec: spec, ctx: fctx, cancel: fcancel, jobs: []*Job{job}, refs: 1}
+	fl := &flight{key: key, spec: spec, ctx: fctx, cancel: fcancel, jobs: []*Job{job}, refs: 1, deadline: job.deadline}
 	select {
 	case m.queue <- fl:
 	default:
@@ -611,6 +650,21 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 	return m.statusLocked(job), nil
 }
 
+// loosenDeadline widens fl.deadline to cover job j: a job without a
+// deadline makes the flight unbounded, otherwise the flight keeps the
+// latest deadline over its jobs. Callers hold the manager's mutex (or
+// run single-threaded during Recover).
+func loosenDeadline(fl *flight, j *Job) {
+	if fl.deadline.IsZero() {
+		return
+	}
+	if j.deadline.IsZero() {
+		fl.deadline = time.Time{}
+	} else if j.deadline.After(fl.deadline) {
+		fl.deadline = j.deadline
+	}
+}
+
 // runFlight executes one queued solve and resolves every attached job.
 func (m *Manager) runFlight(fl *flight) {
 	defer fl.cancel()
@@ -621,6 +675,22 @@ func (m *Manager) runFlight(fl *flight) {
 	}
 	start := time.Now()
 	m.mu.Lock()
+	deadline := fl.deadline // snapshot under m.mu: attaches after dequeue miss this solve
+	if !deadline.IsZero() && !start.Before(deadline) {
+		// The flight sat in the queue past every attached job's deadline:
+		// fail them all without starting the solve.
+		m.batch.Finish(fl.key)
+		err := fmt.Errorf("%w: expired while queued", ErrDeadlineExceeded)
+		for _, j := range fl.jobs {
+			if !j.state.terminal() {
+				m.mExpired.Inc()
+				m.finishLocked(j, StateFailed, nil, err)
+			}
+		}
+		m.mu.Unlock()
+		m.drainEvents()
+		return
+	}
 	for _, j := range fl.jobs {
 		if j.state == StateQueued {
 			j.state = StateRunning
@@ -630,13 +700,13 @@ func (m *Manager) runFlight(fl *flight) {
 	m.mu.Unlock()
 
 	m.gRunning.Inc()
-	divQ, rays, steps, err := m.solveAttempt(fl)
+	divQ, rays, steps, err := m.solveAttempt(fl, deadline)
 	if err != nil && IsTransient(err) && !m.cfg.DisableRetry && fl.ctx.Err() == nil {
 		// Transient backend failure (rank lost): retry exactly once.
 		// Determinism makes the retry safe — success yields the same
 		// bits the first attempt would have produced.
 		m.mRetried.Inc()
-		divQ, rays, steps, err = m.solveAttempt(fl)
+		divQ, rays, steps, err = m.solveAttempt(fl, deadline)
 	}
 	m.gRunning.Dec()
 	elapsed := time.Since(start).Seconds()
@@ -673,20 +743,27 @@ func (m *Manager) runFlight(fl *flight) {
 }
 
 // solveAttempt runs one solve attempt under the flight's context,
-// bounded by the per-job deadline when one is configured. Deadline
+// bounded by the earlier of the configured per-job deadline
+// (Config.JobDeadline) and the flight's propagated absolute deadline
+// (zero = none), pre-snapshotted under m.mu by runFlight. Deadline
 // expiry (as opposed to client cancellation) is translated into the
 // typed ErrDeadlineExceeded.
-func (m *Manager) solveAttempt(fl *flight) (*field.CC[float64], int64, int64, error) {
+func (m *Manager) solveAttempt(fl *flight, deadline time.Time) (*field.CC[float64], int64, int64, error) {
 	ctx := fl.ctx
 	cancel := context.CancelFunc(func() {})
 	if d := m.cfg.JobDeadline; d > 0 {
-		ctx, cancel = context.WithTimeout(ctx, d)
+		if at := time.Now().Add(d); deadline.IsZero() || at.Before(deadline) {
+			deadline = at
+		}
+	}
+	if !deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, deadline)
 	}
 	defer cancel()
 	divQ, rays, steps, err := m.cfg.Solver(ctx, fl.spec)
 	if err != nil && errors.Is(err, context.DeadlineExceeded) && fl.ctx.Err() == nil {
 		m.mDeadline.Inc()
-		err = fmt.Errorf("%w (budget %s)", ErrDeadlineExceeded, m.cfg.JobDeadline)
+		err = fmt.Errorf("%w (deadline %s)", ErrDeadlineExceeded, time.Until(deadline).Round(time.Millisecond))
 	}
 	return divQ, rays, steps, err
 }
@@ -718,8 +795,9 @@ func (m *Manager) finishLocked(j *Job, st State, divQ *field.CC[float64], err er
 	// Close the job's journal entry. Best-effort: a failed append only
 	// means the (terminal, already-answered) job is replayed and
 	// re-solved after a restart — wasted work, not a wrong answer.
-	// Cache-hit jobs were never journaled (they finish inside Submit).
-	if m.journal != nil && !j.fromCache {
+	// Cache-hit jobs were never journaled (they finish inside Submit),
+	// and neither were ephemeral ones (terminal at submit).
+	if m.journal != nil && !j.fromCache && !j.ephemeral {
 		rec := JournalRecord{ID: j.id, Key: j.key}
 		switch st {
 		case StateDone:

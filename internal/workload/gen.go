@@ -24,6 +24,9 @@ type Submission struct {
 	Class string `json:"class"`
 	// Spec is the solve request body.
 	Spec service.Spec `json:"spec"`
+	// DeadlineMs, when positive, rides along as the X-Job-Deadline-Ms
+	// header: the job's remaining-time budget at submission.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
 }
 
 // PlanClient records one client instance's run-time loop behavior —
@@ -87,7 +90,7 @@ func Generate(w Spec, seed uint64) (*Plan, error) {
 				}
 				spec := sampleSpec(g, rng, j)
 				all = append(all, tagged{
-					sub:      Submission{At: at, Client: name, Class: spec.Class, Spec: spec},
+					sub:      Submission{At: at, Client: name, Class: spec.Class, Spec: spec, DeadlineMs: g.DeadlineMs},
 					instance: instance,
 					seq:      j,
 				})

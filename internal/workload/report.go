@@ -19,8 +19,13 @@ type Outcome string
 const (
 	// OutcomeDone: accepted and completed successfully.
 	OutcomeDone Outcome = "done"
-	// OutcomeQueueFull: rejected 429 at the admission edge.
+	// OutcomeQueueFull: rejected 429 because the server's submission
+	// queue was at capacity.
 	OutcomeQueueFull Outcome = "queue-full"
+	// OutcomeRateLimited: rejected 429 by per-client admission — this
+	// client exceeded its token-bucket allowance, independent of queue
+	// state.
+	OutcomeRateLimited Outcome = "rate-limited"
 	// OutcomeRejected: rejected 4xx for any other reason (bad spec,
 	// body too large).
 	OutcomeRejected Outcome = "rejected"
@@ -40,15 +45,19 @@ const (
 
 // ClassReport aggregates one SLO class's outcomes and latency.
 type ClassReport struct {
-	Submitted int `json:"submitted"`
-	Done      int `json:"done"`
-	QueueFull int `json:"queue_full,omitempty"`
-	Rejected  int `json:"rejected,omitempty"`
-	Deadline  int `json:"deadline,omitempty"`
-	Failed    int `json:"failed,omitempty"`
-	Cancelled int `json:"cancelled,omitempty"`
-	Transport int `json:"transport,omitempty"`
-	Timeout   int `json:"timeout,omitempty"`
+	Submitted   int `json:"submitted"`
+	Done        int `json:"done"`
+	QueueFull   int `json:"queue_full,omitempty"`
+	RateLimited int `json:"rate_limited,omitempty"`
+	// RetryHinted counts 429s that carried a Retry-After header — the
+	// server told this client when to come back.
+	RetryHinted int `json:"retry_hinted,omitempty"`
+	Rejected    int `json:"rejected,omitempty"`
+	Deadline    int `json:"deadline,omitempty"`
+	Failed      int `json:"failed,omitempty"`
+	Cancelled   int `json:"cancelled,omitempty"`
+	Transport   int `json:"transport,omitempty"`
+	Timeout     int `json:"timeout,omitempty"`
 	// Submit→terminal latency of done jobs, milliseconds.
 	P50Ms  float64 `json:"p50_ms"`
 	P95Ms  float64 `json:"p95_ms"`
@@ -102,16 +111,22 @@ func (r *Report) class(name string) *ClassReport {
 	return c
 }
 
-// record folds one observed outcome into the report.
-func (r *Report) record(class string, o Outcome, latencyMs float64) {
+// record folds one observed outcome into the report. retryHinted marks
+// a 429 that carried a Retry-After header.
+func (r *Report) record(class string, o Outcome, latencyMs float64, retryHinted bool) {
 	c := r.class(class)
 	c.Submitted++
+	if retryHinted {
+		c.RetryHinted++
+	}
 	switch o {
 	case OutcomeDone:
 		c.Done++
 		c.latencies = append(c.latencies, latencyMs)
 	case OutcomeQueueFull:
 		c.QueueFull++
+	case OutcomeRateLimited:
+		c.RateLimited++
 	case OutcomeRejected:
 		c.Rejected++
 	case OutcomeDeadline:

@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/uintah-repro/rmcrt/internal/service"
 )
 
 // RunConfig configures one run of a plan against a live server.
@@ -78,9 +81,9 @@ func Run(ctx context.Context, plan *Plan, cfg RunConfig) (*Report, error) {
 
 	report := newReport(plan)
 	var mu sync.Mutex
-	record := func(class string, o Outcome, latencyMs float64) {
+	record := func(class string, o Outcome, latencyMs float64, retryHinted bool) {
 		mu.Lock()
-		report.record(class, o, latencyMs)
+		report.record(class, o, latencyMs, retryHinted)
 		mu.Unlock()
 	}
 
@@ -111,7 +114,7 @@ func Run(ctx context.Context, plan *Plan, cfg RunConfig) (*Report, error) {
 }
 
 // runClient issues one client instance's submissions in order.
-func runClient(ctx context.Context, cfg RunConfig, pc PlanClient, subs []Submission, start time.Time, record func(string, Outcome, float64)) {
+func runClient(ctx context.Context, cfg RunConfig, pc PlanClient, subs []Submission, start time.Time, record func(string, Outcome, float64, bool)) {
 	mode := pc.Mode
 	if cfg.ASAP {
 		mode = ModeASAP
@@ -136,7 +139,7 @@ func runClient(ctx context.Context, cfg RunConfig, pc PlanClient, subs []Submiss
 		case ModeOpen:
 			// Fire at the planned absolute offset.
 			if !sleepUntil(ctx, start.Add(sub.At)) {
-				record(sub.Class, OutcomeTransport, 0)
+				record(sub.Class, OutcomeTransport, 0, false)
 				continue
 			}
 		case ModeClosed:
@@ -145,22 +148,22 @@ func runClient(ctx context.Context, cfg RunConfig, pc PlanClient, subs []Submiss
 			gap := sub.At - prev
 			prev = sub.At
 			if !sleepFor(ctx, gap) {
-				record(sub.Class, OutcomeTransport, 0)
+				record(sub.Class, OutcomeTransport, 0, false)
 				continue
 			}
 		}
 		select {
 		case <-slots:
 		case <-ctx.Done():
-			record(sub.Class, OutcomeTransport, 0)
+			record(sub.Class, OutcomeTransport, 0, false)
 			continue
 		}
 		wg.Add(1)
 		go func(sub Submission) {
 			defer wg.Done()
 			defer func() { slots <- struct{}{} }()
-			o, latency := issue(ctx, cfg, sub)
-			record(sub.Class, o, latency)
+			o, latency, hinted := issue(ctx, cfg, sub)
+			record(sub.Class, o, latency, hinted)
 		}(sub)
 	}
 	wg.Wait()
@@ -186,35 +189,51 @@ func sleepFor(ctx context.Context, d time.Duration) bool {
 
 // issue submits one job and waits for its terminal state, classifying
 // the outcome. Latency is submit→observed-terminal in milliseconds.
-func issue(ctx context.Context, cfg RunConfig, sub Submission) (Outcome, float64) {
+// The third return marks a 429 that carried a Retry-After hint.
+func issue(ctx context.Context, cfg RunConfig, sub Submission) (Outcome, float64, bool) {
 	body, err := json.Marshal(sub.Spec)
 	if err != nil {
-		return OutcomeRejected, 0
+		return OutcomeRejected, 0, false
 	}
 	submitAt := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.Target+"/v1/solve", bytes.NewReader(body))
 	if err != nil {
-		return OutcomeTransport, 0
+		return OutcomeTransport, 0, false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Identify ourselves so per-client admission keys on this client
+	// instance, and attach the planned deadline budget when one is set.
+	req.Header.Set(service.ClientIDHeader, sub.Client)
+	if sub.DeadlineMs > 0 {
+		req.Header.Set(service.DeadlineHeader, strconv.Itoa(sub.DeadlineMs))
+	}
 	resp, err := cfg.Client.Do(req)
 	if err != nil {
-		return OutcomeTransport, 0
+		return OutcomeTransport, 0, false
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// Both admission paths answer 429; the body says which. A
+		// rate-limited client was personally over allowance — a
+		// queue-full one just hit a busy server.
+		hinted := resp.Header.Get("Retry-After") != ""
+		if strings.Contains(string(raw), "rate limited") {
+			return OutcomeRateLimited, 0, hinted
+		}
+		return OutcomeQueueFull, 0, hinted
 	}
 	var st jobStatus
-	decodeErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st)
-	resp.Body.Close()
+	decodeErr := json.Unmarshal(raw, &st)
 	switch {
-	case resp.StatusCode == http.StatusTooManyRequests:
-		return OutcomeQueueFull, 0
 	case resp.StatusCode >= 400:
-		return OutcomeRejected, 0
+		return OutcomeRejected, 0, false
 	case decodeErr != nil || st.ID == "":
-		return OutcomeTransport, 0
+		return OutcomeTransport, 0, false
 	}
 	if terminalState(st.State) {
 		// Cache hits come back already terminal.
-		return classify(st), time.Since(submitAt).Seconds() * 1e3
+		return classify(st), time.Since(submitAt).Seconds() * 1e3, false
 	}
 
 	deadline := time.NewTimer(cfg.JobTimeout)
@@ -224,9 +243,9 @@ func issue(ctx context.Context, cfg RunConfig, sub Submission) (Outcome, float64
 	for {
 		select {
 		case <-ctx.Done():
-			return OutcomeTransport, 0
+			return OutcomeTransport, 0, false
 		case <-deadline.C:
-			return OutcomeTimeout, 0
+			return OutcomeTimeout, 0, false
 		case <-tick.C:
 		}
 		cur, err := pollJob(ctx, cfg, st.ID)
@@ -234,7 +253,7 @@ func issue(ctx context.Context, cfg RunConfig, sub Submission) (Outcome, float64
 			continue // transient scrape failure: keep polling until the budget
 		}
 		if terminalState(cur.State) {
-			return classify(cur), time.Since(submitAt).Seconds() * 1e3
+			return classify(cur), time.Since(submitAt).Seconds() * 1e3, false
 		}
 	}
 }

@@ -183,6 +183,37 @@ func init() {
 		}},
 	})
 
+	// abuse: one client hammering at ~10x the compliant interactive
+	// rate with the *same* job size — the only abusive variable is the
+	// rate, so the soak isolates admission. Against an edge with
+	// per-client admission (-client-rate) the abuser is shed
+	// 429-at-the-edge while the compliant client's latency stays near
+	// its no-abuse baseline. Deadlines ride along so queue-stranded
+	// abuse jobs fast-fail instead of occupying workers.
+	register(Scenario{
+		Name:        "abuse",
+		Description: "10x-rate abusive client vs compliant interactive (admission isolation soak)",
+		Spec: workload.Spec{Clients: []workload.ClientSpec{
+			{
+				Name: "abuser", Jobs: 60, Class: service.ClassBestEffort,
+				Arrival:    workload.Arrival{Process: workload.ArrivalPoisson, RateHz: 500},
+				DeadlineMs: 30000,
+				Job: workload.JobDist{
+					N:    workload.IntDist{Const: 8},
+					Rays: workload.IntDist{Const: 8}, DistinctSeeds: true,
+				},
+			},
+			{
+				Name: "compliant", Jobs: 12, Class: service.ClassInteractive,
+				Arrival: workload.Arrival{Process: workload.ArrivalPoisson, RateHz: 50},
+				Job: workload.JobDist{
+					N:    workload.IntDist{Const: 8},
+					Rays: workload.IntDist{Const: 8}, DistinctSeeds: true,
+				},
+			},
+		}},
+	})
+
 	// mixed: every arrival process, mode and class in one workload —
 	// the golden-trace profile exercising the full generator surface.
 	register(Scenario{

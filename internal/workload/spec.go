@@ -183,6 +183,10 @@ type ClientSpec struct {
 	// Inflight bounds outstanding submissions in closed/asap modes
 	// (default 1).
 	Inflight int `json:"inflight,omitempty"`
+	// DeadlineMs attaches a per-job deadline (sent as the
+	// X-Job-Deadline-Ms header) of this many milliseconds to every
+	// submission; 0 sends none.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
 	// Job shapes the solve specs.
 	Job JobDist `json:"job"`
 }
@@ -216,6 +220,9 @@ func (c ClientSpec) validate() error {
 	}
 	if c.Inflight < 1 {
 		return fmt.Errorf("workload: client %q inflight = %d (want >= 1)", c.Name, c.Inflight)
+	}
+	if c.DeadlineMs < 0 {
+		return fmt.Errorf("workload: client %q deadline_ms = %d (want >= 0)", c.Name, c.DeadlineMs)
 	}
 	if c.Class != "" && len(c.ClassMix) > 0 {
 		return fmt.Errorf("workload: client %q sets both class and class_mix", c.Name)
