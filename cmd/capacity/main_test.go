@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The plan is a pure function of (scenario, seed, sweep, SLO) under
+// the uncalibrated default model, so the CLI's rendered table is
+// golden-tested byte-for-byte: the acceptance criterion for a
+// deterministic capacity plan. Regenerate with -update alongside a
+// deliberate planner or formatting change.
+func TestCapacityGoldenPlan(t *testing.T) {
+	args := []string{
+		"-scenario", "smoke", "-seed", "7",
+		"-min-shards", "1", "-max-shards", "4",
+		"-slo", "interactive=0.03,batch=0.05",
+	}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "smoke_plan.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("plan drifted from golden:\ngot:\n%s\nwant:\n%s", out.Bytes(), want)
+	}
+
+	// And twice in a row agrees with itself — determinism through the
+	// real CLI path, not just the library.
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Error("two identical runs disagree")
+	}
+}
+
+func TestCapacityJSONAndErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "smoke", "-max-shards", "2", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"recommended_shards"`) {
+		t.Errorf("JSON output missing recommended_shards:\n%s", out.String())
+	}
+
+	for _, bad := range [][]string{
+		{},
+		{"-scenario", "no-such-scenario"},
+		{"-scenario", "smoke", "-slo", "batch"},
+		{"-scenario", "smoke", "-slo", "batch=-1"},
+		{"-scenario", "smoke", "-spec", "also-set.json"},
+	} {
+		if err := run(bad, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted, want error", bad)
+		}
+	}
+}
+
+func TestCapacityList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "smoke") || !strings.Contains(out.String(), "overload") {
+		t.Errorf("-list output missing known scenarios:\n%s", out.String())
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/uintah-repro/rmcrt/internal/calib"
+)
+
+// CalibrationArtifact is what -calibrate writes: the fitted
+// coefficients next to the predicted-vs-measured evidence for them.
+// calib.Load understands this envelope, so the nightly artifact is one
+// self-contained file that both documents the model's accuracy and can
+// be handed straight to rmcrtd/rmcrtrouter/capacity -calibration.
+type CalibrationArtifact struct {
+	Calibration calib.Calibration `json:"calibration"`
+	Report      calib.Report      `json:"report"`
+}
+
+// Gate bounds pinned by the acceptance test (internal/calib): the
+// calibrated model must predict measured wall time within 30% MAPE and
+// correlate at r ≥ 0.9 across the sweep.
+const (
+	gateMAPE    = 30.0
+	gatePearson = 0.9
+)
+
+// runCalibrate executes the observe-predict-calibrate loop in-process:
+// solve the default sweep through the real engine, fit coefficients,
+// score predicted vs measured, and write calibration + report JSON. It
+// exits non-zero when the fit misses the pinned accuracy gate, making
+// the nightly calibrate-and-validate job a real gate rather than a
+// data dump.
+func runCalibrate(out string, repeats int, verbose bool) error {
+	cal, rep, err := calib.Calibrate(context.Background(), calib.MeasureOptions{Repeats: repeats})
+	if err != nil {
+		return err
+	}
+	if verbose {
+		for _, row := range rep.Rows {
+			fmt.Printf("  %-20s measured %8.4fs predicted %8.4fs err %6.2f%%\n",
+				row.Name, row.MeasuredSec, row.PredictedSec, row.AbsPctErr)
+		}
+	}
+	fmt.Printf("perfgate: calibration over %d configs: %.3g s/step, %.3g s/ray, %.3g s base\n",
+		len(rep.Rows), cal.SecondsPerStep, cal.SecondsPerRay, cal.SecondsBase)
+	fmt.Printf("perfgate: MAPE %.2f%% (gate <= %.0f%%), Pearson r %.4f (gate >= %.1f)\n",
+		rep.MAPE, gateMAPE, rep.PearsonR, gatePearson)
+
+	b, err := json.MarshalIndent(CalibrationArtifact{Calibration: cal, Report: rep}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("perfgate: wrote %s\n", out)
+
+	if rep.MAPE > gateMAPE || rep.PearsonR < gatePearson {
+		return fmt.Errorf("calibration misses the accuracy gate: MAPE %.2f%% (<= %.0f%%), r %.4f (>= %.1f)",
+			rep.MAPE, gateMAPE, rep.PearsonR, gatePearson)
+	}
+	return nil
+}

@@ -153,10 +153,23 @@ func main() {
 		verbose   = flag.Bool("v", false, "print every benchmark line as it is parsed")
 		pprofdir  = flag.String("pprofdir", "", "write per-package cpu/mem profiles and test binaries into this directory")
 		summary   = flag.Bool("summary", false, "with -compare: print a benchstat-style before/after table")
+		calibrate = flag.String("calibrate", "", "run the observe-predict-calibrate loop and write calibration+report JSON to this file")
+		calReps   = flag.Int("calibrate-repeats", 2, "with -calibrate: solves per config, fastest kept")
 	)
 	flag.Parse()
+	if *calibrate != "" {
+		if *update != "" || *compare != "" {
+			fmt.Fprintln(os.Stderr, "perfgate: -calibrate excludes -update and -compare")
+			os.Exit(2)
+		}
+		if err := runCalibrate(*calibrate, *calReps, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if (*update == "") == (*compare == "") {
-		fmt.Fprintln(os.Stderr, "perfgate: exactly one of -update or -compare is required")
+		fmt.Fprintln(os.Stderr, "perfgate: exactly one of -update, -compare or -calibrate is required")
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -46,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/uintah-repro/rmcrt/internal/calib"
 	"github.com/uintah-repro/rmcrt/internal/resilience"
 	"github.com/uintah-repro/rmcrt/internal/service"
 )
@@ -74,8 +75,20 @@ func run(args []string, notify func(addr string)) error {
 	maxBody := fs.Int64("max-body", service.DefaultMaxBodyBytes, "submit request body byte limit (413 beyond it)")
 	clientRate := fs.Float64("client-rate", 0, "per-client admission rate in requests/s (0 disables the limiter)")
 	clientBurst := fs.Float64("client-burst", 0, "per-client admission burst (0 = 2x rate)")
+	calPath := fs.String("calibration", "", "calibration JSON from perfgate -calibrate; enables admission-time solve-cost prediction and deadline feasibility rejection")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var costModel func(service.Spec) float64
+	if *calPath != "" {
+		cal, err := calib.Load(*calPath)
+		if err != nil {
+			return fmt.Errorf("calibration: %w", err)
+		}
+		costModel = cal.Seconds
+		log.Printf("rmcrtd: calibration %s: %.3g s/step, %.3g s/ray, %.3g s base (host %s)",
+			*calPath, cal.SecondsPerStep, cal.SecondsPerRay, cal.SecondsBase, cal.Host)
 	}
 
 	mgr, err := service.Recover(service.Config{
@@ -85,6 +98,7 @@ func run(args []string, notify func(addr string)) error {
 		MaxCells:      *maxCells,
 		JournalPath:   *journal,
 		CheckpointDir: *ckptDir,
+		CostModel:     costModel,
 	})
 	if err != nil {
 		return fmt.Errorf("recover: %w", err)

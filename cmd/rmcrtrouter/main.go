@@ -52,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/uintah-repro/rmcrt/internal/calib"
 	"github.com/uintah-repro/rmcrt/internal/cluster"
 	"github.com/uintah-repro/rmcrt/internal/resilience"
 	"github.com/uintah-repro/rmcrt/internal/service"
@@ -126,12 +127,23 @@ func run(args []string, notify func(addr string)) error {
 	retryRefill := fs.Float64("retry-refill", 0, "reroute tokens refunded per successful job (0 = default 0.1)")
 	backoffBase := fs.Duration("backoff-base", 0, "reroute backoff floor (0 = default 25ms)")
 	backoffCap := fs.Duration("backoff-cap", 0, "reroute backoff ceiling (0 = default 1s)")
+	calPath := fs.String("calibration", "", "calibration JSON from perfgate -calibrate; prices SJF ordering in wall-seconds and rejects deadline-infeasible jobs with 422")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if len(shards.cfgs) == 0 {
 		return fmt.Errorf("at least one -shard is required")
+	}
+	var cal *calib.Calibration
+	if *calPath != "" {
+		loaded, err := calib.Load(*calPath)
+		if err != nil {
+			return fmt.Errorf("calibration: %w", err)
+		}
+		cal = &loaded
+		log.Printf("rmcrtrouter: calibration %s: %.3g s/step, %.3g s/ray, %.3g s base (host %s)",
+			*calPath, cal.SecondsPerStep, cal.SecondsPerRay, cal.SecondsBase, cal.Host)
 	}
 	c, err := cluster.New(cluster.Config{
 		Shards:              shards.cfgs,
@@ -149,6 +161,7 @@ func run(args []string, notify func(addr string)) error {
 		RetryRefill:         *retryRefill,
 		BackoffBase:         *backoffBase,
 		BackoffCap:          *backoffCap,
+		Calibration:         cal,
 	})
 	if err != nil {
 		return err

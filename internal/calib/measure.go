@@ -1,0 +1,117 @@
+package calib
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/uintah-repro/rmcrt/internal/service"
+)
+
+// MeasureOptions shapes an instrumented calibration run.
+type MeasureOptions struct {
+	// Specs are the configurations to solve; empty means DefaultSpecs.
+	Specs []service.Spec
+	// Repeats solves each spec this many times and keeps the fastest
+	// wall time — the standard benchmarking defense against scheduler
+	// noise on short solves. Default 2.
+	Repeats int
+	// Warmup runs one untimed solve of the first spec before measuring
+	// (JIT-free Go still benefits: page faults, CPU frequency ramp,
+	// allocator warm-up). Default on; set SkipWarmup to disable.
+	SkipWarmup bool
+}
+
+// DefaultSpecs is the standard calibration sweep: ≥8 configurations
+// spanning ~50× in predicted work across resolutions, ray budgets and
+// both level structures, so the fit is anchored at both ends of the
+// sizes the serving path admits and the level-specific model
+// corrections each see several points.
+func DefaultSpecs() []service.Spec {
+	return []service.Spec{
+		{Kind: service.KindBenchmark, N: 8, Rays: 6, Seed: 11},
+		{Kind: service.KindBenchmark, N: 8, Rays: 24, Seed: 12},
+		{Kind: service.KindBenchmark, N: 12, Rays: 8, Seed: 13},
+		{Kind: service.KindBenchmark, N: 12, Rays: 24, Seed: 14},
+		{Kind: service.KindBenchmark, N: 16, Rays: 8, Seed: 15},
+		{Kind: service.KindBenchmark, N: 16, Rays: 24, Seed: 16},
+		{Kind: service.KindBenchmark, N: 16, Levels: 2, PatchN: 8, RR: 2, Rays: 8, Seed: 17},
+		{Kind: service.KindBenchmark, N: 16, Levels: 2, PatchN: 8, RR: 2, Rays: 24, Seed: 18},
+		{Kind: service.KindBenchmark, N: 24, Rays: 8, Seed: 19},
+		{Kind: service.KindBenchmark, N: 24, Levels: 2, PatchN: 8, RR: 2, Rays: 12, Seed: 20},
+	}
+}
+
+// SpecName renders a compact configuration label for reports.
+func SpecName(spec service.Spec) string {
+	n := spec.Normalized()
+	if n.Levels == 2 {
+		return fmt.Sprintf("n%d-p%d-rr%d-r%d-2L", n.N, n.PatchN, n.RR, n.Rays)
+	}
+	return fmt.Sprintf("n%d-r%d-1L", n.N, n.Rays)
+}
+
+// Measure runs the instrumented sweep: each spec is solved Repeats
+// times through the real engine, and the fastest wall time together
+// with the engine's exact step/ray counters becomes one Sample. The
+// counters are deterministic for a given spec (seeded solver); only
+// the wall time is host-dependent.
+func Measure(ctx context.Context, opts MeasureOptions) ([]Sample, error) {
+	specs := opts.Specs
+	if len(specs) == 0 {
+		specs = DefaultSpecs()
+	}
+	repeats := opts.Repeats
+	if repeats <= 0 {
+		repeats = 2
+	}
+	if !opts.SkipWarmup {
+		if _, _, _, err := specs[0].Solve(ctx); err != nil {
+			return nil, fmt.Errorf("calib: warmup solve: %w", err)
+		}
+	}
+	samples := make([]Sample, 0, len(specs))
+	for _, spec := range specs {
+		var best Sample
+		for rep := 0; rep < repeats; rep++ {
+			start := time.Now()
+			_, rays, steps, err := spec.Solve(ctx)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("calib: solve %s: %w", SpecName(spec), err)
+			}
+			if rep == 0 || wall < best.Seconds {
+				best = Sample{
+					Name:    SpecName(spec),
+					Spec:    spec.Normalized(),
+					Steps:   float64(steps),
+					Rays:    float64(rays),
+					Seconds: wall,
+				}
+			}
+		}
+		samples = append(samples, best)
+	}
+	return samples, nil
+}
+
+// Calibrate runs the whole loop: measure, fit, evaluate. The returned
+// report scores the fitted calibration on the very sweep it was fitted
+// from — the in-sample check the acceptance gate pins (MAPE ≤ 30%,
+// Pearson r ≥ 0.9); cross-host validation is the nightly job's.
+func Calibrate(ctx context.Context, opts MeasureOptions) (Calibration, Report, error) {
+	samples, err := Measure(ctx, opts)
+	if err != nil {
+		return Calibration{}, Report{}, err
+	}
+	c, err := Fit(samples)
+	if err != nil {
+		return Calibration{}, Report{}, err
+	}
+	host, _ := os.Hostname()
+	c.Host = host
+	c.GoMaxProcs = runtime.GOMAXPROCS(0)
+	return c, Evaluate(c, samples), nil
+}

@@ -28,6 +28,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/uintah-repro/rmcrt/internal/calib"
+
 	"github.com/uintah-repro/rmcrt/internal/metrics"
 	"github.com/uintah-repro/rmcrt/internal/resilience"
 	"github.com/uintah-repro/rmcrt/internal/service"
@@ -49,6 +51,12 @@ var (
 	// ErrShardRejected carries a shard's own rejection (bad spec, too
 	// large) back to the client unchanged in meaning.
 	ErrShardRejected = errors.New("cluster: shard rejected job")
+	// ErrDeadlineInfeasible rejects a submission whose calibrated
+	// predicted solve time already exceeds its deadline budget on an
+	// idle shard — failing fast at admission instead of burning a queue
+	// slot and a solve on a job that cannot finish in time. Only raised
+	// when Config.Calibration is set; HTTP maps it to 422.
+	ErrDeadlineInfeasible = errors.New("cluster: deadline infeasible for predicted solve time")
 )
 
 // Config sizes a Cluster. Zero values take defaults.
@@ -116,6 +124,16 @@ type Config struct {
 	// Seed seeds the backoff jitter (default 1), so tests replaying a
 	// fault schedule see a reproducible retry timeline.
 	Seed uint64
+
+	// Calibration prices jobs in predicted wall-seconds for SJF
+	// ordering, the est_seconds status field and the predicted-cost
+	// metrics. nil uses calib.Default() — the uncalibrated
+	// steps-proportional model — and, because default pricing is not
+	// host-accurate, disables the admission-time deadline feasibility
+	// check; set a measured calibration (perfgate -calibrate) to also
+	// reject jobs whose predicted solve time already exceeds their
+	// deadline budget on an idle shard.
+	Calibration *calib.Calibration
 }
 
 func (c Config) withDefaults() Config {
@@ -181,9 +199,12 @@ type Job struct {
 	key         string
 	class       string
 	affinityKey string
-	cost        float64
-	seq         int64
-	spec        service.Spec
+	// cost is the predicted wall-seconds (the SJF ordering key);
+	// costSteps the predicted DDA cell-step count behind it.
+	cost      float64
+	costSteps float64
+	seq       int64
+	spec      service.Spec
 
 	state    service.State
 	shard    *Shard
@@ -220,9 +241,11 @@ type JobStatus struct {
 	ShardJobID string `json:"shard_job_id,omitempty"`
 	// Attempts counts placements; >1 means the job was rerouted.
 	Attempts int `json:"attempts,omitempty"`
-	// EstCostSteps is the perfmodel-predicted DDA cell-step count the
-	// SJF scheduler ordered the job by.
+	// EstCostSteps is the cost model's predicted DDA cell-step count;
+	// EstSeconds the predicted wall-seconds derived from it — the SJF
+	// ordering key and the deadline feasibility check's budget.
 	EstCostSteps float64   `json:"est_cost_steps,omitempty"`
+	EstSeconds   float64   `json:"est_seconds,omitempty"`
 	Submitted    time.Time `json:"submitted"`
 	QueueSeconds float64   `json:"queue_seconds"`
 	RunSeconds   float64   `json:"run_seconds"`
@@ -241,6 +264,12 @@ type Cluster struct {
 	shards *ShardRegistry
 	router Router
 	queue  *dispatchQueue
+	// cal is the resolved cost model (Config.Calibration or the
+	// uncalibrated default); calibrated reports whether an explicit
+	// measured calibration was supplied, which arms the deadline
+	// feasibility rejection.
+	cal        calib.Calibration
+	calibrated bool
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -264,7 +293,8 @@ type Cluster struct {
 	mRerouted, mDone, mFailed           *metrics.Counter
 	mCancelled, mExpired, mBudgetDenied *metrics.Counter
 	mBreakerOpens, mBreakerCloses       *metrics.Counter
-	mBreakerHalfOpens                   *metrics.Counter
+	mBreakerHalfOpens, mInfeasible      *metrics.Counter
+	fcPredictedSeconds                  *metrics.FloatCounter
 	gQueued                             *metrics.Gauge
 	gBudgetTokens                       *metrics.FloatGauge
 	hClass                              map[string]*metrics.Histogram
@@ -318,6 +348,15 @@ func New(cfg Config) (*Cluster, error) {
 		jobs:       make(map[string]*Job),
 		classStats: make(map[string]*classStat),
 		hClass:     make(map[string]*metrics.Histogram),
+		cal:        calib.Default(),
+	}
+	if cfg.Calibration != nil {
+		if err := cfg.Calibration.Validate(); err != nil {
+			cancel()
+			return nil, err
+		}
+		c.cal = *cfg.Calibration
+		c.calibrated = true
 	}
 	c.mSubmitted = reg.Counter("router_jobs_submitted_total", "jobs accepted by the router")
 	c.mRejected = reg.Counter("router_jobs_rejected_total", "jobs rejected by router admission control")
@@ -331,6 +370,8 @@ func New(cfg Config) (*Cluster, error) {
 	c.mBreakerOpens = reg.Counter("router_breaker_opens_total", "shard circuit-breaker transitions to open")
 	c.mBreakerCloses = reg.Counter("router_breaker_closes_total", "shard circuit-breaker transitions to closed")
 	c.mBreakerHalfOpens = reg.Counter("router_breaker_half_opens_total", "shard circuit-breaker transitions to half-open (probe admitted)")
+	c.mInfeasible = reg.Counter("router_jobs_infeasible_total", "jobs rejected at admission because the calibrated predicted solve time exceeded the deadline budget")
+	c.fcPredictedSeconds = reg.FloatCounter("router_predicted_seconds_total", "calibrated predicted wall-seconds of admitted jobs")
 	c.gQueued = reg.Gauge("router_queue_depth", "jobs waiting in the dispatch queue")
 	c.gBudgetTokens = reg.FloatGauge("router_retry_budget_tokens", "retry-budget tokens remaining")
 	c.gJain = reg.FloatGauge("router_class_fairness_jain", "Jain fairness index over per-class goodput fractions (1 = perfectly fair)")
@@ -424,7 +465,22 @@ func (c *Cluster) SubmitDeadline(spec service.Spec, deadline time.Time) (JobStat
 	if c.closed {
 		return JobStatus{}, ErrClosed
 	}
+	estSeconds := c.cal.Seconds(spec)
 	expired := !deadline.IsZero() && !time.Now().Before(deadline)
+	// Deadline feasibility: with a measured calibration, a job whose
+	// predicted solve time exceeds its entire remaining budget cannot
+	// finish in time even on an idle shard — reject it at admission
+	// instead of spending a queue slot and a solve on it. The default
+	// model is not host-accurate, so uncalibrated clusters skip this.
+	if c.calibrated && !expired && !deadline.IsZero() && estSeconds > time.Until(deadline).Seconds() {
+		c.mInfeasible.Inc()
+		c.mRejected.Inc()
+		if m, ok := c.mClassRejected[spec.Class]; ok {
+			m.Inc()
+		}
+		return JobStatus{}, fmt.Errorf("%w: predicted %.3fs, budget %.3fs",
+			ErrDeadlineInfeasible, estSeconds, time.Until(deadline).Seconds())
+	}
 	if !expired && c.queue.len() >= c.cfg.QueueDepth {
 		c.mRejected.Inc()
 		if m, ok := c.mClassRejected[spec.Class]; ok {
@@ -438,7 +494,8 @@ func (c *Cluster) SubmitDeadline(spec service.Spec, deadline time.Time) (JobStat
 		key:         spec.Key(),
 		class:       spec.Class,
 		affinityKey: spec.AffinityKey(),
-		cost:        EstimateCost(spec),
+		cost:        estSeconds,
+		costSteps:   c.cal.Steps(spec),
 		seq:         c.seq,
 		spec:        spec,
 		state:       service.StateQueued,
@@ -446,6 +503,7 @@ func (c *Cluster) SubmitDeadline(spec service.Spec, deadline time.Time) (JobStat
 		submitted:   time.Now(),
 		done:        make(chan struct{}),
 	}
+	c.fcPredictedSeconds.Add(estSeconds)
 	c.jobs[job.id] = job
 	c.mSubmitted.Inc()
 	if m, ok := c.mClassSubmitted[job.class]; ok {
@@ -1027,7 +1085,7 @@ func (c *Cluster) statusLocked(job *Job) JobStatus {
 	st := JobStatus{
 		ID: job.id, Key: job.key, Class: job.class, State: job.state,
 		ShardJobID: job.shardID, Attempts: job.attempts,
-		EstCostSteps: job.cost, Submitted: job.submitted,
+		EstCostSteps: job.costSteps, EstSeconds: job.cost, Submitted: job.submitted,
 		Rays: job.lastShard.Rays, Steps: job.lastShard.Steps,
 		FromCache: job.lastShard.FromCache,
 	}

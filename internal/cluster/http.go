@@ -136,6 +136,10 @@ func NewHandlerConfig(c *Cluster, hc HandlerConfig) http.Handler {
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			writeErr(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDeadlineInfeasible):
+			// Not a load problem: retrying the same job with the same
+			// deadline can never succeed, so no Retry-After.
+			writeErr(w, http.StatusUnprocessableEntity, err)
 		case errors.Is(err, ErrClosed):
 			writeErr(w, http.StatusServiceUnavailable, err)
 		default: // spec validation

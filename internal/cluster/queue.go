@@ -3,10 +3,9 @@ package cluster
 import (
 	"container/heap"
 	"fmt"
-	"math"
 	"sync"
 
-	"github.com/uintah-repro/rmcrt/internal/perfmodel"
+	"github.com/uintah-repro/rmcrt/internal/calib"
 	"github.com/uintah-repro/rmcrt/internal/service"
 )
 
@@ -17,42 +16,22 @@ const (
 	// SchedPriority dispatches by SLO class (interactive before batch
 	// before best-effort), FCFS within a class.
 	SchedPriority = "priority"
-	// SchedSJF dispatches the cheapest predicted solve first (estimated
-	// DDA cell-steps from the perfmodel cost model), FCFS on ties —
+	// SchedSJF dispatches the cheapest predicted solve first (predicted
+	// wall-seconds from the calibrated cost model), FCFS on ties —
 	// minimizing mean wait when job sizes vary widely.
 	SchedSJF = "sjf"
 )
 
-// EstimateCost predicts the total DDA cell-step count of a spec's
-// solve — the cluster's shortest-job-first ordering key and per-class
-// cost proxy. It is seeded from internal/perfmodel's mean-chord model:
-// for the paper's 2-level configuration the per-patch kernel work times
-// the patch count, and for single-level solves cells × rays × the
-// mean-chord step count of the cube. Only relative order matters for
-// scheduling, so the constants are the model's, uncalibrated.
+// EstimateCost predicts the wall-seconds of a spec's solve — the
+// cluster's shortest-job-first ordering key and per-class cost proxy —
+// under the default (uncalibrated) cost model. The model itself lives
+// in internal/calib: the analytical mean-chord step count priced at
+// Titan's per-core tracing rate, so ordering is identical to the old
+// raw cell-step estimate while the magnitude reads as seconds.
+// Clusters configured with a measured Calibration price jobs through
+// it instead (see Config.Calibration).
 func EstimateCost(spec service.Spec) float64 {
-	n := spec.Normalized()
-	if n.Levels == 2 && n.RR > 0 && n.N%n.RR == 0 && n.PatchN > 0 && n.N%n.PatchN == 0 {
-		p := perfmodel.Problem{
-			FineN: n.N, CoarseN: n.N / n.RR, PatchN: n.PatchN,
-			Rays: n.Rays, Props: 3, Halo: n.Halo,
-		}
-		// Guard the model output: extreme-but-valid specs can overflow
-		// the integer patch count, and a poisoned ordering key would
-		// corrupt the SJF heap invariant.
-		if p.Validate() == nil {
-			if w := p.KernelWork() * float64(p.FinePatches()); w > 0 && !math.IsInf(w, 0) {
-				return w
-			}
-		}
-	}
-	// Single level: rays originate anywhere in the cube and march to a
-	// wall — half the mean chord, 1.5 axis steps per chord cell. All
-	// float math: N³ in int64 overflows long before float64 loses the
-	// ordering.
-	steps := 0.66 * 1.5 * float64(n.N) / 2
-	cells := float64(n.N) * float64(n.N) * float64(n.N)
-	return cells * float64(n.Rays) * steps
+	return calib.Default().Seconds(spec)
 }
 
 // validSched reports whether name is a known scheduling policy,

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// FloatCounter must accumulate fractional increments exactly (within
+// float addition), survive concurrent adders without losing updates,
+// and expose itself as TYPE counter.
+func TestFloatCounter(t *testing.T) {
+	r := NewRegistry()
+	fc := r.FloatCounter("rmcrt_predicted_seconds_total", "predicted wall-seconds admitted")
+	if same := r.FloatCounter("rmcrt_predicted_seconds_total", ""); same != fc {
+		t.Fatal("re-registration returned a different instance")
+	}
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				fc.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	want := float64(workers*per) * 0.5
+	if got := fc.Value(); got != want {
+		t.Fatalf("Value = %g, want %g", got, want)
+	}
+	if v, ok := r.Value("rmcrt_predicted_seconds_total"); !ok || v != want {
+		t.Fatalf("Registry.Value = %g, %v; want %g, true", v, ok, want)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE rmcrt_predicted_seconds_total counter") {
+		t.Errorf("exposition missing counter TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, "rmcrt_predicted_seconds_total 4000") {
+		t.Errorf("exposition missing value line:\n%s", out)
+	}
+}

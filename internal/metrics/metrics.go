@@ -65,6 +65,28 @@ func (g *FloatGauge) Set(x float64) { g.v.Store(math.Float64bits(x)) }
 // Value returns the current value.
 func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
 
+// FloatCounter is a monotonically increasing counter accumulating
+// float64 increments (stored as bits in an atomic word, added with a
+// CAS loop like Histogram's running sum) — for series that count
+// fractional quantities, e.g. predicted wall-seconds admitted per
+// class. The zero value is ready to use.
+type FloatCounter struct{ v atomic.Uint64 }
+
+// Add adds x (x must be non-negative for the exposition to stay
+// meaningful; this is not enforced on the hot path).
+func (c *FloatCounter) Add(x float64) {
+	for {
+		old := c.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if c.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.v.Load()) }
+
 // Histogram counts observations into fixed cumulative buckets. Observe
 // is lock-free and allocation-free: one binary search, two atomic adds
 // and a CAS loop for the running sum.
@@ -149,10 +171,11 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
 // metric kinds for the exposition format.
 const (
-	kindCounter    = "counter"
-	kindGauge      = "gauge"
-	kindFloatGauge = "floatgauge" // internal; exposed as "gauge"
-	kindHist       = "histogram"
+	kindCounter      = "counter"
+	kindGauge        = "gauge"
+	kindFloatGauge   = "floatgauge"   // internal; exposed as "gauge"
+	kindFloatCounter = "floatcounter" // internal; exposed as "counter"
+	kindHist         = "histogram"
 )
 
 type metric struct {
@@ -160,6 +183,7 @@ type metric struct {
 	c                *Counter
 	g                *Gauge
 	fg               *FloatGauge
+	fc               *FloatCounter
 	h                *Histogram
 }
 
@@ -225,6 +249,18 @@ func (r *Registry) FloatGauge(name, help string) *FloatGauge {
 	return m.fg
 }
 
+// FloatCounter returns the named float counter, registering it on
+// first use. It renders as TYPE counter with a %g value.
+func (r *Registry) FloatCounter(name, help string) *FloatCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name, help, kindFloatCounter)
+	if m.fc == nil {
+		m.fc = &FloatCounter{}
+	}
+	return m.fc
+}
+
 // Histogram returns the named histogram, registering it with the given
 // bucket upper bounds on first use (later calls reuse the original
 // buckets).
@@ -257,6 +293,8 @@ func (r *Registry) Value(name string) (float64, bool) {
 		return float64(m.g.Value()), true
 	case kindFloatGauge:
 		return m.fg.Value(), true
+	case kindFloatCounter:
+		return m.fc.Value(), true
 	}
 	return 0, false
 }
@@ -278,6 +316,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 		if kind == kindFloatGauge {
 			kind = kindGauge
 		}
+		if kind == kindFloatCounter {
+			kind = kindCounter
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, kind); err != nil {
 			return err
 		}
@@ -289,6 +330,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value())
 		case kindFloatGauge:
 			_, err = fmt.Fprintf(w, "%s %g\n", m.name, m.fg.Value())
+		case kindFloatCounter:
+			_, err = fmt.Fprintf(w, "%s %g\n", m.name, m.fc.Value())
 		case kindHist:
 			cum := int64(0)
 			for i, b := range m.h.bounds {

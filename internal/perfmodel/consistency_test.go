@@ -1,0 +1,87 @@
+package perfmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Every communication estimator must keep its byte totals an exact
+// multiple of its message counts: one coarse patch, one face slab, or
+// one fine patch of one property per message. Mixing a ceil'd message
+// count with truncated float byte math let the two disagree at high
+// node counts; this property pins the consistent rounding across a
+// node sweep on every benchmark geometry.
+func TestCommEstimateBytesMatchMessages(t *testing.T) {
+	problems := map[string]Problem{
+		"medium-8":  Medium(8),
+		"medium-16": Medium(16),
+		"large-8":   Large(8),
+		"large-16":  Large(16),
+	}
+	for name, p := range problems {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: invalid fixture: %v", name, err)
+		}
+		coarsePatchBytes := p.CoarseBytes()
+		cp := p.CoarseN / coarsePatchEdge
+		if n := cp * cp * cp; n >= 1 {
+			coarsePatchBytes = p.CoarseBytes() / int64(n)
+		}
+		faceBytes := int64(p.PatchN) * int64(p.PatchN) * int64(p.Halo) * 8
+		finePatchBytes := int64(p.CellsPerPatch()) * 8
+		for nodes := 2; nodes <= 1<<20; nodes *= 2 {
+			check := func(kind string, e CommEstimate, payload int64) {
+				t.Helper()
+				if e.BytesSent != int64(e.MsgsSent)*payload {
+					t.Fatalf("%s %s at %d nodes: BytesSent = %d, want %d msgs x %d",
+						name, kind, nodes, e.BytesSent, e.MsgsSent, payload)
+				}
+				if e.BytesRecv != int64(e.MsgsRecv)*payload {
+					t.Fatalf("%s %s at %d nodes: BytesRecv = %d, want %d msgs x %d",
+						name, kind, nodes, e.BytesRecv, e.MsgsRecv, payload)
+				}
+			}
+			check("CoarseGather", p.CoarseGather(nodes), coarsePatchBytes)
+			check("HaloExchange", p.HaloExchange(nodes), faceBytes)
+			check("SingleLevelGather", p.SingleLevelGather(nodes), finePatchBytes)
+		}
+	}
+}
+
+// WeakScale used to round FineN to a multiple of PatchN only, so the
+// recomputed CoarseN = FineN/rr could fail FineN % CoarseN == 0 and the
+// returned Problem failed its own Validate. Property: for any valid
+// base problem and any node pair, the weak-scaled problem validates.
+func TestWeakScaleAlwaysValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ratios := []int{2, 3, 4, 8}
+	patches := []int{4, 8, 12, 16}
+	for i := 0; i < 500; i++ {
+		rr := ratios[rng.Intn(len(ratios))]
+		patchN := patches[rng.Intn(len(patches))]
+		// FineN a random multiple of lcm(patchN, rr) keeps the base valid.
+		unit := patchN * rr / gcdInt(patchN, rr)
+		p := Problem{
+			FineN:  unit * (1 + rng.Intn(16)),
+			PatchN: patchN,
+			Rays:   1 + rng.Intn(100),
+			Props:  3,
+			Halo:   1 + rng.Intn(4),
+		}
+		p.CoarseN = p.FineN / rr
+		if err := p.Validate(); err != nil {
+			t.Fatalf("base problem invalid (test bug): %+v: %v", p, err)
+		}
+		baseNodes := 1 << rng.Intn(12)
+		nodes := 1 << rng.Intn(15)
+		q := p.WeakScale(baseNodes, nodes)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("WeakScale(%d, %d) of %+v => invalid %+v: %v",
+				baseNodes, nodes, p, q, err)
+		}
+		if got := q.FineN / q.CoarseN; got != rr {
+			t.Fatalf("WeakScale(%d, %d) of %+v changed refinement ratio: %d -> %d",
+				baseNodes, nodes, p, rr, got)
+		}
+	}
+}

@@ -228,11 +228,16 @@ func (p Problem) CoarseGather(nodes int) CommEstimate {
 	sent := own * float64(nodes-1) * float64(p.Props)
 	// Receiving the whole level minus the local share, per property.
 	recv := float64(coarsePatches) * (1 - 1/float64(nodes)) * float64(p.Props)
+	// Bytes follow from the rounded-up message counts so the two never
+	// disagree about how many messages crossed the wire: every message
+	// carries exactly one coarse patch of one property.
+	sentMsgs := int(math.Ceil(sent))
+	recvMsgs := int(math.Ceil(recv))
 	return CommEstimate{
-		MsgsSent:  int(math.Ceil(sent)),
-		MsgsRecv:  int(math.Ceil(recv)),
-		BytesSent: int64(sent * float64(patchBytes)),
-		BytesRecv: int64(recv * float64(patchBytes)),
+		MsgsSent:  sentMsgs,
+		MsgsRecv:  recvMsgs,
+		BytesSent: int64(sentMsgs) * patchBytes,
+		BytesRecv: int64(recvMsgs) * patchBytes,
 	}
 }
 
@@ -249,11 +254,14 @@ func (p Problem) HaloExchange(nodes int) CommEstimate {
 	const faces = 6
 	msgs := own * faces * float64(p.Props)
 	faceBytes := int64(p.PatchN) * int64(p.PatchN) * int64(p.Halo) * 8
+	// One face slab per message; bytes derive from the same rounded-up
+	// message count the Msgs fields report.
+	nMsgs := int(math.Ceil(msgs))
 	return CommEstimate{
-		MsgsSent:  int(math.Ceil(msgs)),
-		MsgsRecv:  int(math.Ceil(msgs)),
-		BytesSent: int64(msgs) * faceBytes,
-		BytesRecv: int64(msgs) * faceBytes,
+		MsgsSent:  nMsgs,
+		MsgsRecv:  nMsgs,
+		BytesSent: int64(nMsgs) * faceBytes,
+		BytesRecv: int64(nMsgs) * faceBytes,
 	}
 }
 
@@ -264,13 +272,18 @@ func (p Problem) SingleLevelGather(nodes int) CommEstimate {
 	if nodes == 1 {
 		return CommEstimate{}
 	}
-	fineBytes := int64(p.FineN) * int64(p.FineN) * int64(p.FineN) * 8 * int64(p.Props)
 	own := float64(p.FinePatches()) / float64(nodes)
+	// Every message carries one fine patch of one property; bytes are
+	// messages × that payload, with the message counts rounded up once
+	// so the pair stays consistent at any node count.
+	patchBytes := int64(p.CellsPerPatch()) * 8
+	sentMsgs := int(math.Ceil(own * float64(nodes-1) * float64(p.Props)))
+	recvMsgs := int(math.Ceil((float64(p.FinePatches()) - own) * float64(p.Props)))
 	return CommEstimate{
-		MsgsSent:  int(own * float64(nodes-1) * float64(p.Props)),
-		MsgsRecv:  (p.FinePatches() - int(own)) * p.Props,
-		BytesSent: int64(float64(fineBytes) * (1 - 1/float64(nodes))),
-		BytesRecv: int64(float64(fineBytes) * (1 - 1/float64(nodes))),
+		MsgsSent:  sentMsgs,
+		MsgsRecv:  recvMsgs,
+		BytesSent: int64(sentMsgs) * patchBytes,
+		BytesRecv: int64(recvMsgs) * patchBytes,
 	}
 }
 
@@ -345,20 +358,28 @@ func (m Machine) NetworkTime(e CommEstimate) float64 {
 // WeakScale returns the problem grown so cells scale proportionally
 // with nodes relative to a base at baseNodes: the per-axis resolution
 // multiplies by (nodes/baseNodes)^(1/3), rounded to the nearest
-// power-of-two-friendly multiple of the patch size.
+// multiple of lcm(PatchN, refinement ratio) so the result keeps both
+// the patch decomposition (FineN % PatchN == 0) and an exact coarse
+// divisor (CoarseN = FineN/rr with FineN % CoarseN == 0) — i.e. the
+// returned Problem always passes its own Validate when p does.
 func (p Problem) WeakScale(baseNodes, nodes int) Problem {
 	f := math.Cbrt(float64(nodes) / float64(baseNodes))
-	scale := func(n int) int {
-		s := int(math.Round(float64(n) * f / float64(p.PatchN)))
-		if s < 1 {
-			s = 1
-		}
-		return s * p.PatchN
+	// Keep the refinement ratio fixed; degenerate bases (CoarseN ≥
+	// FineN or unset) scale as single-level, rr = 1.
+	rr := 1
+	if p.CoarseN > 0 && p.FineN/p.CoarseN > 1 {
+		rr = p.FineN / p.CoarseN
+	}
+	unit := rr
+	if p.PatchN > 0 {
+		unit = p.PatchN * rr / gcdInt(p.PatchN, rr)
+	}
+	s := int(math.Round(float64(p.FineN) * f / float64(unit)))
+	if s < 1 {
+		s = 1
 	}
 	q := p
-	q.FineN = scale(p.FineN)
-	// Keep the refinement ratio fixed.
-	rr := p.FineN / p.CoarseN
+	q.FineN = s * unit
 	q.CoarseN = q.FineN / rr
 	return q
 }
@@ -403,11 +424,11 @@ func (p Problem) SingleLevelMemoryBytes(ranksPerNode int) int64 {
 	return fine * int64(ranksPerNode)
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
+func gcdInt(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
 	}
-	return b
+	return a
 }
 
 func maxInt(a, b int) int {

@@ -286,6 +286,10 @@ func NewHandlerConfig(m *Manager, hc HandlerConfig) http.Handler {
 			writeErr(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrTooLarge):
 			writeErr(w, http.StatusRequestEntityTooLarge, err)
+		case errors.Is(err, ErrDeadlineInfeasible):
+			// Not a load problem: retrying the same job with the same
+			// deadline can never succeed, so no Retry-After.
+			writeErr(w, http.StatusUnprocessableEntity, err)
 		case errors.Is(err, ErrClosed):
 			writeErr(w, http.StatusServiceUnavailable, err)
 		default: // SpecError and friends

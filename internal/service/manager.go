@@ -34,6 +34,13 @@ var (
 	// per-job deadline (Config.JobDeadline) — the job is failed, not
 	// cancelled: the client did not ask for it to stop.
 	ErrDeadlineExceeded = errors.New("service: job deadline exceeded")
+	// ErrDeadlineInfeasible rejects a submission whose predicted solve
+	// time (Config.CostModel) already exceeds its remaining deadline
+	// budget: it could not finish in time even on an idle worker, so
+	// admitting it would only burn a slot to manufacture a guaranteed
+	// deadline failure. HTTP maps it to 422 — retrying the same job
+	// with the same deadline can never succeed.
+	ErrDeadlineInfeasible = errors.New("service: deadline infeasible for predicted solve time")
 	// ErrRankLost is the distributed backend's typed rank-loss
 	// failure, re-exported so clients of the service layer can match
 	// it without importing the scheduler.
@@ -195,6 +202,13 @@ type Config struct {
 	// read-only packed copy (0 = default 64 MiB, negative disables the
 	// cache entirely; solves then pack privately).
 	PackedRetainBytes int64
+	// CostModel, when set, predicts a spec's solve wall-seconds at
+	// admission time — the calibrated cost model's serving hook (a
+	// closure over calib.Calibration.Seconds keeps this package free of
+	// the calib dependency). Submissions with a deadline whose
+	// prediction exceeds the remaining budget are rejected with
+	// ErrDeadlineInfeasible; nil disables estimation entirely.
+	CostModel func(Spec) float64
 	// Metrics receives the service's instrumentation (a fresh registry
 	// is created when nil).
 	Metrics *metrics.Registry
@@ -268,6 +282,8 @@ type Manager struct {
 	mCacheHit, mCacheMiss, mEvicted, mCoalesced *metrics.Counter
 	mRays, mSteps                               *metrics.Counter
 	mRetried, mDeadline, mExpired               *metrics.Counter
+	mInfeasible                                 *metrics.Counter
+	fcPredicted                                 *metrics.FloatCounter
 	mReplayed, mTornRecords, mRecovered         *metrics.Counter
 	mResumedPatches                             *metrics.Counter
 	gQueued, gRunning, gLastCkpt                *metrics.Gauge
@@ -394,6 +410,8 @@ func Recover(cfg Config) (*Manager, error) {
 	m.mRetried = r.Counter("rmcrtd_jobs_retried_total", "solves retried once after a transient backend failure")
 	m.mDeadline = r.Counter("rmcrtd_jobs_deadline_exceeded_total", "jobs failed by the per-job deadline")
 	m.mExpired = r.Counter("rmcrtd_jobs_expired_total", "jobs fast-failed because their propagated deadline had already expired before any solve work started")
+	m.mInfeasible = r.Counter("rmcrtd_jobs_infeasible_total", "submissions rejected because the predicted solve time exceeded the remaining deadline budget")
+	m.fcPredicted = r.FloatCounter("rmcrtd_predicted_seconds_total", "predicted solve wall-seconds of admitted jobs under the configured cost model")
 	m.mRays = r.Counter("rmcrtd_rays_traced_total", "rays traced by completed solves")
 	m.mSteps = r.Counter("rmcrtd_cell_steps_total", "DDA cell steps taken by completed solves")
 	m.mReplayed = r.Counter("rmcrtd_journal_records_replayed_total", "journal records replayed at startup")
@@ -583,6 +601,26 @@ func (m *Manager) SubmitDeadline(spec Spec, deadline time.Time) (JobStatus, erro
 			m.finishLocked(job, StateFailed, nil,
 				fmt.Errorf("%w: expired before solve start", ErrDeadlineExceeded))
 			return m.statusLocked(job), nil
+		}
+	}
+
+	// 0b. Deadline feasibility: with a cost model wired in, a job whose
+	// predicted solve time already exceeds its remaining budget is
+	// rejected up front — it cannot meet its deadline even on an idle
+	// worker, so admitting it would only manufacture a guaranteed
+	// deadline failure. Cache hits stay exempt for the same reason as
+	// above: a stored answer is free, and free work meets any deadline.
+	if m.cfg.CostModel != nil {
+		if _, hit := m.cache.get(key); !hit {
+			est := m.cfg.CostModel(spec)
+			if !deadline.IsZero() && est > time.Until(deadline).Seconds() {
+				m.mInfeasible.Inc()
+				classInc(m.mClassRejected, job.class)
+				m.queueEventLocked(Event{Type: EventRejected, Key: key, Class: job.class, Err: ErrDeadlineInfeasible})
+				return JobStatus{}, fmt.Errorf("%w: predicted %.3fs, budget %.3fs",
+					ErrDeadlineInfeasible, est, time.Until(deadline).Seconds())
+			}
+			m.fcPredicted.Add(est)
 		}
 	}
 

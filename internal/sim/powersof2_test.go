@@ -1,0 +1,21 @@
+package sim
+
+import "testing"
+
+// PowersOf2 with a non-positive start used to loop forever (0 doubles
+// to 0; negatives never reach to). It must return nil instead.
+func TestPowersOf2NonPositiveFrom(t *testing.T) {
+	for _, from := range []int{0, -1, -16} {
+		if got := PowersOf2(from, 1024); got != nil {
+			t.Errorf("PowersOf2(%d, 1024) = %v, want nil", from, got)
+		}
+	}
+	// An empty range is fine and empty, not an error.
+	if got := PowersOf2(256, 128); got != nil {
+		t.Errorf("PowersOf2(256, 128) = %v, want nil", got)
+	}
+	// The guard must not disturb the normal case.
+	if got := PowersOf2(1, 8); len(got) != 4 || got[0] != 1 || got[3] != 8 {
+		t.Errorf("PowersOf2(1, 8) = %v, want [1 2 4 8]", got)
+	}
+}

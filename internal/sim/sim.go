@@ -183,8 +183,13 @@ func Efficiency(a, b Point) float64 {
 // Speedup returns T(a)/T(b).
 func Speedup(a, b Point) float64 { return a.TotalSeconds / b.TotalSeconds }
 
-// PowersOf2 returns {from, 2from, ..., to} inclusive.
+// PowersOf2 returns {from, 2from, ..., to} inclusive. from must be
+// positive: doubling never advances 0 and never moves a negative value
+// toward to, so non-positive starts return nil instead of spinning.
 func PowersOf2(from, to int) []int {
+	if from <= 0 {
+		return nil
+	}
 	var out []int
 	for g := from; g <= to; g *= 2 {
 		out = append(out, g)
