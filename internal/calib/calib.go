@@ -35,8 +35,18 @@ import (
 // as an affine function of the analytically predicted step and ray
 // counts. The zero value predicts 0 for everything; use Default or Fit.
 type Calibration struct {
-	// SecondsPerStep is the fitted marginal cost of one DDA cell-step.
+	// SecondsPerStep is the fitted marginal cost of one DDA cell-step
+	// in a single-level solve (all steps on the wavefront fast path).
 	SecondsPerStep float64 `json:"seconds_per_step"`
+	// SecondsPerStep2 is the fitted marginal per-step cost of 2-level
+	// solves. The batched marcher made fine-ROI fast-path steps
+	// cheaper without touching the level-crossing slow path, so the
+	// blended per-step cost of a multi-level march is systematically
+	// higher than a single-level one; a shared rate would mis-rank
+	// specs across the level classes. 0 means "unfitted, use
+	// SecondsPerStep" (degenerate sweeps, pre-existing calibration
+	// files).
+	SecondsPerStep2 float64 `json:"seconds_per_step_2,omitempty"`
 	// SecondsPerRay is the fitted marginal cost of one ray (launch,
 	// direction sampling, result merge) beyond its stepping.
 	SecondsPerRay float64 `json:"seconds_per_ray"`
@@ -75,13 +85,17 @@ func Default() Calibration {
 // configurations the per-patch kernel work times the patch count, and
 // for single-level solves cells × rays × the mean-chord step count of
 // the cube. This is the analytical half of the loop — no measured
-// quantities.
+// quantities. The per-cell ray budget is the spec's pricing bound
+// (Spec.CostRays): AdaptiveMaxRays for adaptive solves and ×K bands
+// for spectral ones, keeping predictions feasibility-safe upper
+// bounds for those modes.
 func ModelSteps(spec service.Spec) float64 {
 	n := spec.Normalized()
+	rays := n.CostRays()
 	if n.Levels == 2 && n.RR > 0 && n.N%n.RR == 0 && n.PatchN > 0 && n.N%n.PatchN == 0 {
 		p := perfmodel.Problem{
 			FineN: n.N, CoarseN: n.N / n.RR, PatchN: n.PatchN,
-			Rays: n.Rays, Props: 3, Halo: n.Halo,
+			Rays: rays, Props: 3, Halo: n.Halo,
 		}
 		// Guard the model output: extreme-but-valid specs can overflow
 		// the integer patch count, and a poisoned ordering key would
@@ -98,15 +112,16 @@ func ModelSteps(spec service.Spec) float64 {
 	// ordering.
 	steps := 0.66 * 1.5 * float64(n.N) / 2
 	cells := float64(n.N) * float64(n.N) * float64(n.N)
-	return cells * float64(n.Rays) * steps
+	return cells * float64(rays) * steps
 }
 
-// ModelRays predicts the ray count of a spec's solve: one ray budget
-// per fine cell, both single- and 2-level (rays originate on the fine
-// level only).
+// ModelRays predicts the ray count of a spec's solve: one priced ray
+// budget (Spec.CostRays — the adaptive/spectral upper bound) per fine
+// cell, both single- and 2-level (rays originate on the fine level
+// only).
 func ModelRays(spec service.Spec) float64 {
 	n := spec.Normalized()
-	return float64(n.Cells()) * float64(n.Rays)
+	return float64(n.Cells()) * float64(n.CostRays())
 }
 
 // stepsScale returns the level-appropriate model correction.
@@ -127,9 +142,18 @@ func (c Calibration) Steps(spec service.Spec) float64 {
 	return c.stepsScale(spec.Normalized().Levels) * ModelSteps(spec)
 }
 
+// perStep returns the level-appropriate fitted step rate.
+func (c Calibration) perStep(levels int) float64 {
+	if levels == 2 && c.SecondsPerStep2 > 0 && !math.IsInf(c.SecondsPerStep2, 0) {
+		return c.SecondsPerStep2
+	}
+	return c.SecondsPerStep
+}
+
 // Seconds predicts the spec's solve wall time on the calibrated host.
 func (c Calibration) Seconds(spec service.Spec) float64 {
-	return c.SecondsFromCounters(c.Steps(spec), ModelRays(spec))
+	levels := spec.Normalized().Levels
+	return c.SecondsBase + c.perStep(levels)*c.Steps(spec) + c.SecondsPerRay*ModelRays(spec)
 }
 
 // SecondsFromCounters prices a solve from raw step and ray counts —
@@ -161,6 +185,7 @@ func (c Calibration) Validate() error {
 		name string
 		x    float64
 	}{
+		{"seconds_per_step_2", c.SecondsPerStep2},
 		{"seconds_per_ray", c.SecondsPerRay},
 		{"seconds_base", c.SecondsBase},
 	} {

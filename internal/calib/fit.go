@@ -74,7 +74,17 @@ func Fit(samples []Sample) (Calibration, error) {
 		c.StepsScale2 = meas2 / model2
 	}
 
-	// Least squares, richest model first.
+	// Least squares, richest model first: split step rates per level
+	// class (the wavefront fast path prices single-level steps below
+	// the level-crossing blend of 2-level marches), then a shared
+	// rate, then progressively fewer parameters.
+	if base, ps1, ps2, perRay, ok := fit4(samples); ok {
+		c.SecondsBase, c.SecondsPerStep, c.SecondsPerStep2, c.SecondsPerRay = base, ps1, ps2, perRay
+		if err := c.Validate(); err != nil {
+			return Calibration{}, err
+		}
+		return c, nil
+	}
 	base, perStep, perRay, ok := fit3(samples)
 	if !ok {
 		base, perStep, ok = fit2(samples)
@@ -89,6 +99,91 @@ func Fit(samples []Sample) (Calibration, error) {
 		return Calibration{}, err
 	}
 	return c, nil
+}
+
+// fit4 solves seconds = b0 + b1·steps₁ + b2·steps₂ + b3·rays, where
+// steps₁/steps₂ are the measured steps of single-level and 2-level
+// samples respectively (each sample contributes to exactly one). ok is
+// false when either level class is absent or too thin to identify its
+// rate, the normal equations are singular, or any coefficient is not a
+// usable price (negative or non-finite).
+func fit4(samples []Sample) (base, perStep1, perStep2, perRay float64, ok bool) {
+	var n1, n2 int
+	for _, s := range samples {
+		if s.Spec.Normalized().Levels == 2 {
+			n2++
+		} else {
+			n1++
+		}
+	}
+	if n1 < 2 || n2 < 2 {
+		return 0, 0, 0, 0, false
+	}
+	var a [4][5]float64
+	for _, s := range samples {
+		w := relWeight(s)
+		var s1, s2 float64
+		if s.Spec.Normalized().Levels == 2 {
+			s2 = s.Steps
+		} else {
+			s1 = s.Steps
+		}
+		x := [4]float64{1, s1, s2, s.Rays}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				a[i][j] += w * x[i] * x[j]
+			}
+			a[i][4] += w * x[i] * s.Seconds
+		}
+	}
+	b, ok := solve4(&a)
+	if !ok {
+		return 0, 0, 0, 0, false
+	}
+	base, perStep1, perStep2, perRay = b[0], b[1], b[2], b[3]
+	if !(perStep1 > 0) || !(perStep2 > 0) || perRay < 0 || base < 0 ||
+		math.IsInf(base, 0) || math.IsInf(perStep1, 0) ||
+		math.IsInf(perStep2, 0) || math.IsInf(perRay, 0) {
+		return 0, 0, 0, 0, false
+	}
+	return base, perStep1, perStep2, perRay, true
+}
+
+// solve4 runs Gaussian elimination with partial pivoting on the 4×5
+// augmented system.
+func solve4(a *[4][5]float64) ([4]float64, bool) {
+	var x [4]float64
+	for col := 0; col < 4; col++ {
+		piv := col
+		for r := col + 1; r < 4; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		if a[col][col] == 0 {
+			return x, false
+		}
+		for r := col + 1; r < 4; r++ {
+			f := a[r][col] / a[col][col]
+			for j := col; j < 5; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	for i := 3; i >= 0; i-- {
+		v := a[i][4]
+		for j := i + 1; j < 4; j++ {
+			v -= a[i][j] * x[j]
+		}
+		x[i] = v / a[i][i]
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return x, false
+		}
+	}
+	return x, true
 }
 
 // fit3 solves seconds = b0 + b1·steps + b2·rays; ok is false when the

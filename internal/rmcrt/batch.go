@@ -1,0 +1,952 @@
+package rmcrt
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// Wavefront-batched coherent ray marching.
+//
+// The scalar engine traces each ray to completion before starting the
+// next: per DDA step it pays the Vec3 Component/WithComponent switch
+// dispatch, re-derives the level context, and walks a call chain the
+// compiler cannot flatten. This file restructures the tile solve around
+// a struct-of-arrays ray batch held in a per-worker arena: a chunk of
+// cells generates all of its rays up front (in the exact per-cell RNG
+// draw order of solveCell, so the default mode stays bitwise identical
+// to the seed engine), then the batch is marched in passes over the
+// packed tables. The hot loop works on flat scalar locals — axis
+// selection, segment accumulation, and the stride advance are branchy
+// scalar code with no struct accessors — with the per-level table slice
+// and ROI bounds hoisted into a levelCtx. Rays that terminate are
+// compacted out of the active list between passes, so late passes stay
+// dense over the few long-lived rays.
+//
+// Slow events — wall hits, level drops, opaque cells, reflections — are
+// handled out of line in laneTail, which deliberately reuses the same
+// Vec3/grid helpers as traceRay so the arithmetic is the same
+// instruction sequence. Per-ray float accumulation order is unchanged
+// (each lane owns its sumI; cell sums reduce over lanes in ray order),
+// which is what makes the batched default bitwise identical to seedref
+// at any worker count, tile size, or pass budget.
+//
+// Scattering redirects rays with trace-time RNG draws interleaved into
+// the per-cell stream, which a pre-generated batch cannot reproduce;
+// ScatterCoeff > 0 therefore falls back to the scalar per-cell kernel
+// (scalarKernel below), preserving bitwise identity there too.
+//
+// On top of the batch layer sits the adaptive ray budget mode (ARC-
+// style, Hartley & Ricotti): cells start at AdaptiveMinRays rays, and
+// only cells whose running (Welford) relative standard error still
+// exceeds AdaptiveRelTol get topped up in doubling waves, capped at
+// AdaptiveMaxRays. All draws stay on the per-cell stream in ray order
+// and the stopping rule is a pure function of the cell's own ray
+// values, so adaptive results are deterministic at any worker count or
+// tile size (though not bitwise comparable to a fixed-ray solve).
+
+// defaultMaxBatchRays bounds the rays resident in a worker's batch
+// arena: 2048 lanes × ~230 B of SoA state ≈ 470 KiB, streaming-friendly
+// and well inside L2 alongside the packed tables.
+const defaultMaxBatchRays = 2048
+
+// defaultPassSteps is the per-lane step budget of one march pass. A
+// full batch costs at most lanes × passSteps ≈ 1M steps (~25 ms)
+// between cancellation polls; typical rays extinguish in well under
+// 512 steps, so most lanes terminate (and compact away) in pass one.
+const defaultPassSteps = 512
+
+// levelCtx is one level's march context with everything the hot loop
+// reads hoisted to flat fields: the packed record slice and the ROI
+// bounds as scalar ints (the bounds check compiles to six compares, no
+// method calls).
+type levelCtx struct {
+	lvl           *grid.Level
+	pl            *PackedLevel
+	recs          []PackedCell
+	lo0, lo1, lo2 int
+	hi0, hi1, hi2 int
+}
+
+// batchBuf is the struct-of-arrays ray state: lane l's ray is spread
+// across the arrays at index l. Lanes never move — the active set is an
+// index list compacted between passes — so a cell's rays stay at their
+// generation-order indices and reduce in ray order.
+type batchBuf struct {
+	ox, oy, oz    []float64 // ray origin
+	dx, dy, dz    []float64 // ray direction
+	tmx, tmy, tmz []float64 // DDA tMax per axis
+	tdx, tdy, tdz []float64 // DDA tDelta per axis
+	cx, cy, cz    []int     // current cell
+	sx, sy, sz    []int     // step direction per axis (−1/0/+1)
+	idx           []int     // flat packed-record index
+	d0, d1, d2    []int     // per-axis flat-index stride deltas
+	li            []int     // current level index
+	tau           []float64 // accumulated optical thickness
+	trans         []float64 // e^{−τ}
+	tcur          []float64 // distance travelled along the ray
+	sum           []float64 // accumulated incoming intensity
+	refl          []int     // reflections so far
+	left          []int     // remaining step budget (maxSteps)
+}
+
+func (b *batchBuf) grow(n int) {
+	if cap(b.ox) >= n {
+		return
+	}
+	b.ox, b.oy, b.oz = make([]float64, n), make([]float64, n), make([]float64, n)
+	b.dx, b.dy, b.dz = make([]float64, n), make([]float64, n), make([]float64, n)
+	b.tmx, b.tmy, b.tmz = make([]float64, n), make([]float64, n), make([]float64, n)
+	b.tdx, b.tdy, b.tdz = make([]float64, n), make([]float64, n), make([]float64, n)
+	b.cx, b.cy, b.cz = make([]int, n), make([]int, n), make([]int, n)
+	b.sx, b.sy, b.sz = make([]int, n), make([]int, n), make([]int, n)
+	b.idx = make([]int, n)
+	b.d0, b.d1, b.d2 = make([]int, n), make([]int, n), make([]int, n)
+	b.li = make([]int, n)
+	b.tau, b.trans = make([]float64, n), make([]float64, n)
+	b.tcur, b.sum = make([]float64, n), make([]float64, n)
+	b.refl, b.left = make([]int, n), make([]int, n)
+}
+
+// batchKernel is the per-worker wavefront tracer. One kernel serves
+// many tiles; its arena is reused across chunks.
+type batchKernel struct {
+	d   *Domain
+	ld  *LevelData
+	tc  traceCtx
+	cnt *traceCounters
+
+	lvls      []levelCtx
+	buf       batchBuf
+	active    []int
+	laneCap   int
+	passSteps int
+
+	// spec, when non-nil, carries K spectral bands per lane over the
+	// shared geometric cursors (spectral_batch.go); the march and tail
+	// dispatch to their *Spectral twins.
+	spec *spectralLanes
+
+	// Cell slots of the chunk in flight.
+	cells []grid.IntVector
+
+	// Adaptive mode state, indexed by cell slot.
+	adaptive   bool
+	aMin, aMax int
+	relTol     float64
+	crng       []mathutil.RNG
+	sh1, sh2   []float64
+	n          []int
+	csum       []float64
+	mean, m2   []float64
+	emit       []float64
+	pending    []int
+	npending   []int
+}
+
+func newBatchKernel(d *Domain, opts *Options, cnt *traceCounters) *batchKernel {
+	k := &batchKernel{
+		d:         d,
+		ld:        d.finest(),
+		tc:        newTraceCtx(opts),
+		cnt:       cnt,
+		passSteps: defaultPassSteps,
+		laneCap:   defaultMaxBatchRays,
+	}
+	if opts.testPassSteps > 0 {
+		k.passSteps = opts.testPassSteps
+	}
+	if k.adaptive = opts.adaptiveEnabled(); k.adaptive {
+		k.aMin, k.aMax = opts.adaptiveBudget()
+		k.relTol = opts.AdaptiveRelTol
+		if k.aMax > k.laneCap {
+			k.laneCap = k.aMax
+		}
+	} else if opts.NRays > k.laneCap {
+		k.laneCap = opts.NRays
+	}
+	pd := d.ensurePacked()
+	k.lvls = make([]levelCtx, len(d.Levels))
+	for i := range d.Levels {
+		ld := &d.Levels[i]
+		k.lvls[i] = levelCtx{
+			lvl:  ld.Level,
+			pl:   pd.levels[i],
+			recs: pd.levels[i].recs,
+			lo0:  ld.ROI.Lo.X, lo1: ld.ROI.Lo.Y, lo2: ld.ROI.Lo.Z,
+			hi0: ld.ROI.Hi.X, hi1: ld.ROI.Hi.Y, hi2: ld.ROI.Hi.Z,
+		}
+	}
+	k.buf.grow(k.laneCap)
+	return k
+}
+
+// collectFlow gathers the tile's flow cells (z fastest, the engine's
+// cell order) into k.cells.
+func (k *batchKernel) collectFlow(lo, hi grid.IntVector) {
+	k.cells = k.cells[:0]
+	for x := lo.X; x < hi.X; x++ {
+		for y := lo.Y; y < hi.Y; y++ {
+			for z := lo.Z; z < hi.Z; z++ {
+				c := grid.IV(x, y, z)
+				if k.ld.CellType.At(c) != field.Flow {
+					continue
+				}
+				k.cells = append(k.cells, c)
+			}
+		}
+	}
+}
+
+func (k *batchKernel) solveTile(lo, hi grid.IntVector, out *field.CC[float64], poll func() bool) bool {
+	if !poll() {
+		return false
+	}
+	k.collectFlow(lo, hi)
+	if len(k.cells) == 0 {
+		return true
+	}
+	if k.spec != nil {
+		return k.solveSpectral(out, poll)
+	}
+	if k.adaptive {
+		return k.solveAdaptive(out, poll)
+	}
+	return k.solveFixed(out, poll)
+}
+
+// solveFixed traces opts.NRays rays per cell, a chunk of cells at a
+// time, and reduces each cell's lane sums in ray order — the bitwise
+// twin of solveCell.
+func (k *batchKernel) solveFixed(out *field.CC[float64], poll func() bool) bool {
+	opts := k.tc.opts
+	nRays := opts.NRays
+	chunk := k.laneCap / nRays
+	if chunk < 1 {
+		chunk = 1
+	}
+	for start := 0; start < len(k.cells); start += chunk {
+		end := start + chunk
+		if end > len(k.cells) {
+			end = len(k.cells)
+		}
+		group := k.cells[start:end]
+		if !poll() {
+			return false
+		}
+		k.active = k.active[:0]
+		lane := 0
+		for _, c := range group {
+			rng := &k.tc.rng
+			rng.SeedStream(opts.Seed, cellStreamID(c))
+			var sh1, sh2 float64
+			if opts.Stratified {
+				sh1, sh2 = rng.Float64(), rng.Float64()
+			}
+			k.genRays(c, rng, sh1, sh2, 0, nRays, lane)
+			lane += nRays
+		}
+		if !k.marchAll(poll) {
+			return false
+		}
+		for i, c := range group {
+			sum := 0.0
+			for r := 0; r < nRays; r++ {
+				sum += k.buf.sum[i*nRays+r]
+			}
+			meanI := sum / float64(nRays)
+			kappa := k.ld.Abskg.At(c)
+			out.Set(c, 4*math.Pi*kappa*(k.ld.SigmaT4OverPi.At(c)-meanI))
+		}
+	}
+	return true
+}
+
+// genRays generates rays rFirst..rFirst+count−1 of cell c into lanes
+// lane.., drawing from rng in solveCell's exact per-ray order (3 origin
+// draws unless cell-centered, then 2 direction draws unless
+// stratified).
+func (k *batchKernel) genRays(c grid.IntVector, rng *mathutil.RNG, sh1, sh2 float64, rFirst, count, lane int) {
+	opts := k.tc.opts
+	lvl := k.ld.Level
+	dx := lvl.CellSize()
+	lo := lvl.CellLo(c)
+	for r := rFirst; r < rFirst+count; r++ {
+		var origin mathutil.Vec3
+		if opts.CellCenteredRays {
+			origin = lvl.CellCenter(c)
+		} else {
+			origin = mathutil.Vec3{
+				X: lo.X + rng.Float64()*dx.X,
+				Y: lo.Y + rng.Float64()*dx.Y,
+				Z: lo.Z + rng.Float64()*dx.Z,
+			}
+		}
+		var dir mathutil.Vec3
+		if opts.Stratified {
+			u1 := frac(mathutil.Halton(r, 2) + sh1)
+			u2 := frac(mathutil.Halton(r, 3) + sh2)
+			cosTheta := 2*u1 - 1
+			sinTheta := math.Sqrt(1 - cosTheta*cosTheta)
+			phi := 2 * math.Pi * u2
+			dir = mathutil.Vec3{X: sinTheta * math.Cos(phi), Y: sinTheta * math.Sin(phi), Z: cosTheta}
+		} else {
+			dir = rng.UnitSphere()
+		}
+		if !k.startLane(lane, origin, dir) {
+			k.active = append(k.active, lane)
+		}
+		lane++
+	}
+}
+
+// startLane seeds lane l with a fresh ray at origin/dir on the finest
+// level and marches it immediately — the fused generation pass. The DDA
+// setup is flat per-axis arithmetic written straight into the arena (no
+// marchState, no Vec3 switch dispatch), computing exactly initMarch's
+// expressions with tCur = 0; most rays then terminate inside this first
+// march and never revisit the arena. Returns true when the ray
+// terminated; the caller parks survivors in the active list.
+func (k *batchKernel) startLane(l int, origin, dir mathutil.Vec3) bool {
+	k.cnt.rays++
+	b := &k.buf
+	li := len(k.lvls) - 1
+	lc := &k.lvls[li]
+	lvl := lc.lvl
+	cell := lvl.CellContaining(origin)
+	pl := lc.pl
+	if !pl.box.Contains(cell) {
+		panic(fmt.Sprintf("rmcrt: packed cursor at %v outside table %v", cell, pl.box))
+	}
+	dxv := lvl.CellSize()
+	lov := lvl.CellLo(cell)
+	var sx, sy, sz int
+	var tdx, tdy, tdz, tmx, tmy, tmz float64
+	// The explicit 0+… keeps the tCur addition initMarch performs (it
+	// is not a no-op in IEEE arithmetic: 0 + (−0) is +0).
+	if dc := dir.X; dc > 0 {
+		sx, tdx, tmx = 1, dxv.X/dc, 0+(lov.X+dxv.X-origin.X)/dc
+	} else if dc < 0 {
+		sx, tdx, tmx = -1, -dxv.X/dc, 0+(lov.X-origin.X)/dc
+	} else {
+		sx, tdx, tmx = 0, math.Inf(1), math.Inf(1)
+	}
+	if dc := dir.Y; dc > 0 {
+		sy, tdy, tmy = 1, dxv.Y/dc, 0+(lov.Y+dxv.Y-origin.Y)/dc
+	} else if dc < 0 {
+		sy, tdy, tmy = -1, -dxv.Y/dc, 0+(lov.Y-origin.Y)/dc
+	} else {
+		sy, tdy, tmy = 0, math.Inf(1), math.Inf(1)
+	}
+	if dc := dir.Z; dc > 0 {
+		sz, tdz, tmz = 1, dxv.Z/dc, 0+(lov.Z+dxv.Z-origin.Z)/dc
+	} else if dc < 0 {
+		sz, tdz, tmz = -1, -dxv.Z/dc, 0+(lov.Z-origin.Z)/dc
+	} else {
+		sz, tdz, tmz = 0, math.Inf(1), math.Inf(1)
+	}
+	// Only what laneTail needs and the march never mutates goes to the
+	// arena up front; the live march state stays in a stack laneRegs so
+	// the common ray — terminating inside this first march — never pays
+	// the 29-array SoA roundtrip at all.
+	b.ox[l], b.oy[l], b.oz[l] = origin.X, origin.Y, origin.Z
+	b.dx[l], b.dy[l], b.dz[l] = dir.X, dir.Y, dir.Z
+	b.refl[l] = 0
+	var st laneRegs
+	st.cc[0], st.cc[1], st.cc[2] = cell.X, cell.Y, cell.Z
+	st.ss[0], st.ss[1], st.ss[2] = sx, sy, sz
+	st.dd[0], st.dd[1], st.dd[2] = pl.sx*sx, pl.sy*sy, sz
+	st.tm[0], st.tm[1], st.tm[2] = tmx, tmy, tmz
+	st.td[0], st.td[1], st.td[2] = tdx, tdy, tdz
+	st.idx, st.li = pl.OffsetOf(cell), li
+	st.trans = 1
+	st.left = k.tc.maxSteps
+	if k.spec != nil {
+		k.spec.reset(l)
+		return k.marchFromSpectral(l, k.passSteps, &st)
+	}
+	return k.marchFrom(l, k.passSteps, &st)
+}
+
+// storeGeom writes a lane's geometric march state (origin, direction,
+// DDA state, packed cursor, level) back to the arena. The cursor is
+// rebuilt through PackedLevel.cursor, preserving the scalar tracer's
+// out-of-window panic semantics at every point a cursor is (re)built.
+func (k *batchKernel) storeGeom(l, li int, origin, dir mathutil.Vec3, st *marchState) {
+	b := &k.buf
+	cur := k.lvls[li].pl.cursor(st)
+	b.ox[l], b.oy[l], b.oz[l] = origin.X, origin.Y, origin.Z
+	b.dx[l], b.dy[l], b.dz[l] = dir.X, dir.Y, dir.Z
+	b.cx[l], b.cy[l], b.cz[l] = st.cell.X, st.cell.Y, st.cell.Z
+	b.sx[l], b.sy[l], b.sz[l] = st.step.X, st.step.Y, st.step.Z
+	b.tmx[l], b.tmy[l], b.tmz[l] = st.tMax.X, st.tMax.Y, st.tMax.Z
+	b.tdx[l], b.tdy[l], b.tdz[l] = st.tDelta.X, st.tDelta.Y, st.tDelta.Z
+	b.idx[l] = cur.idx
+	b.d0[l], b.d1[l], b.d2[l] = cur.d[0], cur.d[1], cur.d[2]
+	b.li[l] = li
+}
+
+// marchAll runs march passes over the active lanes, compacting
+// terminated lanes out of the index list between passes, until the
+// batch drains or poll reports cancellation.
+func (k *batchKernel) marchAll(poll func() bool) bool {
+	for len(k.active) > 0 {
+		if !poll() {
+			return false
+		}
+		keep := k.active[:0]
+		for _, l := range k.active {
+			if !k.marchLane(l, k.passSteps) {
+				keep = append(keep, l)
+			}
+		}
+		k.active = keep
+	}
+	return true
+}
+
+// laneRegs is the live march state of one lane, held on the stack while
+// the lane is being marched. The common ray terminates inside its first
+// march burst without ever touching the SoA arena; only slow events and
+// parking spill/reload through loadRegs/syncRegs.
+type laneRegs struct {
+	cc, ss, dd [3]int     // current cell, step dir, flat-index deltas
+	tm, td     [3]float64 // DDA tMax/tDelta per axis
+	idx, li    int        // flat packed index, level index
+	tau, trans float64
+	tcur, sumI float64
+	left       int // remaining maxSteps budget
+}
+
+// loadRegs fills st from lane l's arena state.
+func (k *batchKernel) loadRegs(l int, st *laneRegs) {
+	b := &k.buf
+	st.cc = [3]int{b.cx[l], b.cy[l], b.cz[l]}
+	st.ss = [3]int{b.sx[l], b.sy[l], b.sz[l]}
+	st.dd = [3]int{b.d0[l], b.d1[l], b.d2[l]}
+	st.tm = [3]float64{b.tmx[l], b.tmy[l], b.tmz[l]}
+	st.td = [3]float64{b.tdx[l], b.tdy[l], b.tdz[l]}
+	st.idx, st.li = b.idx[l], b.li[l]
+	st.tau, st.trans = b.tau[l], b.trans[l]
+	st.tcur, st.sumI = b.tcur[l], b.sum[l]
+	st.left = b.left[l]
+}
+
+// syncRegs writes st back to lane l's arena state — everything laneTail
+// and a later marchLane read. startLane-seeded lanes have never written
+// the arena, so the geometry fields must all be stored here.
+func (k *batchKernel) syncRegs(l int, st *laneRegs) {
+	b := &k.buf
+	b.cx[l], b.cy[l], b.cz[l] = st.cc[0], st.cc[1], st.cc[2]
+	b.sx[l], b.sy[l], b.sz[l] = st.ss[0], st.ss[1], st.ss[2]
+	b.d0[l], b.d1[l], b.d2[l] = st.dd[0], st.dd[1], st.dd[2]
+	b.tmx[l], b.tmy[l], b.tmz[l] = st.tm[0], st.tm[1], st.tm[2]
+	b.tdx[l], b.tdy[l], b.tdz[l] = st.td[0], st.td[1], st.td[2]
+	b.idx[l], b.li[l] = st.idx, st.li
+	b.tau[l], b.trans[l] = st.tau, st.trans
+	b.tcur[l], b.sum[l] = st.tcur, st.sumI
+	b.left[l] = st.left
+}
+
+// marchLane advances a parked lane l by at most budget DDA steps,
+// returning true when the ray terminated (b.sum[l] holds its final
+// sumI).
+func (k *batchKernel) marchLane(l, budget int) bool {
+	var st laneRegs
+	k.loadRegs(l, &st)
+	if k.spec != nil {
+		return k.marchFromSpectral(l, budget, &st)
+	}
+	return k.marchFrom(l, budget, &st)
+}
+
+// marchFrom is the march core: traceRay's arithmetic on flat scalar
+// locals seeded from st. Lane l's arena holds origin/direction/refl
+// (laneTail's inputs); the rest of the arena is written only when a
+// slow event or parking forces a spill.
+func (k *batchKernel) marchFrom(l, budget int, st *laneRegs) bool {
+	b := &k.buf
+	threshold := k.tc.threshold
+	for budget > 0 {
+		lc := &k.lvls[st.li]
+		recs := lc.recs
+		lo0, lo1, lo2 := lc.lo0, lc.lo1, lc.lo2
+		// ROI containment as three unsigned range checks: cc ∈ [lo,hi)
+		// iff uint(cc−lo) < uint(hi−lo), halving the six signed
+		// compares in the hot loop.
+		ux0 := uint(lc.hi0 - lo0)
+		ux1 := uint(lc.hi1 - lo1)
+		ux2 := uint(lc.hi2 - lo2)
+		// Axis-indexed local arrays make the advance branchless: the
+		// crossed axis is data-dependent and effectively random, so a
+		// per-axis switch mispredicts roughly half the time; indexed
+		// loads/stores on stack arrays replace those branches with data
+		// movement. The arrays are padded to length 4 so every ax-indexed
+		// access below can be masked (ax & 3 < len), which lets the
+		// compiler drop all bounds checks from the per-step loop.
+		cc := [4]int{st.cc[0], st.cc[1], st.cc[2]}
+		ss := [4]int{st.ss[0], st.ss[1], st.ss[2]}
+		tm := [4]float64{st.tm[0], st.tm[1], st.tm[2]}
+		td := [4]float64{st.td[0], st.td[1], st.td[2]}
+		dd := [4]int{st.dd[0], st.dd[1], st.dd[2]}
+		idx := st.idx
+		tau, trans, tcur := st.tau, st.trans, st.tcur
+		sumI := st.sumI
+		left := st.left
+		if left <= 0 {
+			// maxSteps exhausted: the scalar loop falls off the end and
+			// returns the sum accumulated so far.
+			b.sum[l] = sumI
+			return true
+		}
+		// One march burst: min(pass budget, remaining maxSteps) steps.
+		eff := budget
+		if left < eff {
+			eff = left
+		}
+		n := 0
+		done := false // ray terminated (extinction)
+		slow := false // slow event: laneTail decides
+		slowAx, slowROI := 0, false
+		rec := &recs[idx]
+		for n < eff {
+			n++
+			// nextAxis as a branchless min-select (same strict-<
+			// tie-breaking: x wins ties, then y). Each guarded constant
+			// assignment compiles to a CMOV — the crossed axis is
+			// effectively random, so a branchy select would mispredict
+			// roughly every other step. Tracking the min alongside the
+			// index avoids a dependent tm[ax] reload after the select.
+			ax := 0
+			tNext := tm[0]
+			if tm[1] < tNext {
+				ax = 1
+				tNext = tm[1]
+			}
+			if tm[2] < tNext {
+				ax = 2
+				tNext = tm[2]
+			}
+			ds := tNext - tcur
+			if ds < 0 {
+				ds = 0
+			}
+
+			// Segment accumulation: the one record load per step feeds
+			// both this segment and the opaque check below.
+			tauNew := tau + rec.Abskg*ds
+			transNew := math.Exp(-tauNew)
+			sumI += rec.SigmaT4OverPi * (trans - transNew)
+			tau, trans = tauNew, transNew
+
+			if trans < threshold {
+				done = true // extinction
+				break
+			}
+
+			tcur = tNext
+			axm := ax & 3
+			cc[axm] += ss[axm]
+			tm[axm] += td[axm]
+			idx += dd[axm]
+
+			if uint(cc[0]-lo0) < ux0 && uint(cc[1]-lo1) < ux1 && uint(cc[2]-lo2) < ux2 {
+				rec = &recs[idx]
+				if rec.Flags == 0 {
+					continue
+				}
+				slow, slowAx, slowROI = true, ax, true
+			} else {
+				// Outside the ROI the flat index is not meaningful;
+				// laneTail rebuilds the cursor after the wall/drop.
+				slow, slowAx, slowROI = true, ax, false
+			}
+			break
+		}
+		budget -= n
+		left -= n
+		k.cnt.steps += int64(n)
+		if done {
+			b.sum[l] = sumI
+			return true
+		}
+		// Spill the live state to the arena (laneTail reads it there;
+		// a parked lane reloads it on its next pass).
+		st.cc = [3]int{cc[0], cc[1], cc[2]}
+		st.tm = [3]float64{tm[0], tm[1], tm[2]}
+		st.idx = idx
+		st.tau, st.trans, st.tcur = tau, trans, tcur
+		st.sumI, st.left = sumI, left
+		k.syncRegs(l, st)
+		if slow {
+			if k.laneTail(l, slowAx, slowROI) {
+				return true
+			}
+			// The event may have moved the lane to another level:
+			// reload the rebuilt geometry and go around.
+			k.loadRegs(l, st)
+			continue
+		}
+		if left <= 0 {
+			return true // maxSteps exhausted
+		}
+		return false // pass budget exhausted: lane parked
+	}
+	return false
+}
+
+// laneTail handles one slow event for lane l — the ray left its level's
+// ROI (inROI false: enclosure wall at the coarsest level, level drop
+// otherwise) and/or advanced into an opaque cell. It is called with the
+// lane synced to the arena just after the advance across axis ax, and
+// mirrors the corresponding traceRay blocks statement for statement
+// (same Vec3/grid helper calls, same order), so the cold path stays
+// bitwise identical too. Returns true when the ray terminated.
+func (k *batchKernel) laneTail(l, ax int, inROI bool) bool {
+	b := &k.buf
+	tc := &k.tc
+	li := b.li[l]
+	lc := &k.lvls[li]
+	cell := grid.IV(b.cx[l], b.cy[l], b.cz[l])
+	step := grid.IV(b.sx[l], b.sy[l], b.sz[l])
+	origin := mathutil.Vec3{X: b.ox[l], Y: b.oy[l], Z: b.oz[l]}
+	dir := mathutil.Vec3{X: b.dx[l], Y: b.dy[l], Z: b.dz[l]}
+	tau, trans, tCur := b.tau[l], b.trans[l], b.tcur[l]
+	sumI := b.sum[l]
+	dropped := false
+
+	if !inROI {
+		if li == 0 {
+			// Enclosure wall.
+			sumI += tc.wallIntensity * trans
+			if !tc.reflections || tc.wallEmissivity >= 1 ||
+				b.refl[l] >= tc.maxReflections {
+				b.sum[l] = sumI
+				return true
+			}
+			trans *= 1 - tc.wallEmissivity
+			tau -= math.Log(1 - tc.wallEmissivity)
+			if trans < tc.threshold {
+				b.sum[l] = sumI
+				return true
+			}
+			b.refl[l]++
+			inside := cell.WithComponent(ax, cell.Component(ax)-step.Component(ax))
+			p := origin.Add(dir.Scale(tCur))
+			dir = dir.WithComponent(ax, -dir.Component(ax))
+			origin, tCur = p, 0
+			st := initMarch(lc.lvl, inside, origin, dir, 0)
+			b.tau[l], b.trans[l], b.tcur[l] = tau, trans, tCur
+			b.sum[l] = sumI
+			k.storeGeom(l, li, origin, dir, &st)
+			return false
+		}
+		// Drop to the next coarser level at the current position,
+		// nudged slightly forward (traceRay's level-drop block).
+		li--
+		lc = &k.lvls[li]
+		eps := 1e-9 * lc.lvl.CellSize().MinComponent()
+		p := origin.Add(dir.Scale(tCur + eps))
+		ncell := lc.lvl.CellContaining(p)
+		st := initMarch(lc.lvl, ncell, p, dir, tCur)
+		k.storeGeom(l, li, origin, dir, &st)
+		cell, step = st.cell, st.step
+		dropped = true
+	}
+
+	// Opaque cell: emission pickup, then terminate or reflect.
+	if rec := &lc.recs[b.idx[l]]; rec.Flags != 0 {
+		sumI += tc.wallEmissivity * rec.SigmaT4OverPi * trans
+		if !tc.reflections || tc.wallEmissivity >= 1 ||
+			b.refl[l] >= tc.maxReflections {
+			b.sum[l] = sumI
+			return true
+		}
+		trans *= 1 - tc.wallEmissivity
+		tau -= math.Log(1 - tc.wallEmissivity)
+		if trans < tc.threshold {
+			b.sum[l] = sumI
+			return true
+		}
+		b.refl[l]++
+		inside := cell.WithComponent(ax, cell.Component(ax)-step.Component(ax))
+		p := origin.Add(dir.Scale(tCur))
+		if dropped && !enteredThroughFace(lc.lvl, cell, ax, step.Component(ax), p) {
+			inside = cell
+		}
+		dir = dir.WithComponent(ax, -dir.Component(ax))
+		origin, tCur = p, 0
+		st := initMarch(lc.lvl, inside, origin, dir, 0)
+		b.tau[l], b.trans[l], b.tcur[l] = tau, trans, tCur
+		b.sum[l] = sumI
+		k.storeGeom(l, li, origin, dir, &st)
+	}
+	return false
+}
+
+// Adaptive ray budgets ------------------------------------------------
+
+// solveAdaptive runs the wave loop: every unconverged cell of the chunk
+// receives one wave per round (AdaptiveMinRays first, then doubling
+// top-ups capped at AdaptiveMaxRays), waves are marched in lane-capacity
+// sub-batches, and each cell's Welford accumulator decides — purely from
+// its own ray values, in ray order — whether it is done. Cancellation is
+// polled between waves and passes, so top-up waves interleave cleanly
+// with prompt cancellation.
+func (k *batchKernel) solveAdaptive(out *field.CC[float64], poll func() bool) bool {
+	opts := k.tc.opts
+	nc := len(k.cells)
+	k.growSlots(nc)
+	for i, c := range k.cells {
+		rng := &k.crng[i]
+		rng.SeedStream(opts.Seed, cellStreamID(c))
+		k.sh1[i], k.sh2[i] = 0, 0
+		if opts.Stratified {
+			k.sh1[i], k.sh2[i] = rng.Float64(), rng.Float64()
+		}
+		k.n[i], k.csum[i] = 0, 0
+		k.mean[i], k.m2[i] = 0, 0
+		k.emit[i] = k.ld.SigmaT4OverPi.At(c)
+	}
+	k.pending = k.pending[:0]
+	for i := range k.cells {
+		k.pending = append(k.pending, i)
+	}
+
+	for len(k.pending) > 0 {
+		k.npending = k.npending[:0]
+		// One wave per pending slot this round, in lane-capacity
+		// sub-batches of slots.
+		for at := 0; at < len(k.pending); {
+			lanes := 0
+			end := at
+			for end < len(k.pending) {
+				w := k.waveSize(k.pending[end])
+				if lanes+w > k.laneCap && end > at {
+					break
+				}
+				lanes += w
+				end++
+			}
+			if !poll() {
+				return false
+			}
+			k.active = k.active[:0]
+			lane := 0
+			for _, s := range k.pending[at:end] {
+				w := k.waveSize(s)
+				k.genRays(k.cells[s], &k.crng[s], k.sh1[s], k.sh2[s], k.n[s], w, lane)
+				lane += w
+			}
+			if !k.marchAll(poll) {
+				return false
+			}
+			lane = 0
+			for _, s := range k.pending[at:end] {
+				w := k.waveSize(s)
+				for r := 0; r < w; r++ {
+					x := k.buf.sum[lane+r]
+					k.n[s]++
+					k.csum[s] += x
+					delta := x - k.mean[s]
+					k.mean[s] += delta / float64(k.n[s])
+					k.m2[s] += delta * (x - k.mean[s])
+				}
+				lane += w
+				if !k.converged(s) {
+					k.npending = append(k.npending, s)
+				}
+			}
+			at = end
+		}
+		k.pending, k.npending = k.npending, k.pending
+	}
+
+	for i, c := range k.cells {
+		meanI := k.csum[i] / float64(k.n[i])
+		kappa := k.ld.Abskg.At(c)
+		out.Set(c, 4*math.Pi*kappa*(k.ld.SigmaT4OverPi.At(c)-meanI))
+	}
+	return true
+}
+
+// waveSize returns slot s's next wave: the initial AdaptiveMinRays
+// budget, then doubling top-ups clamped to the AdaptiveMaxRays cap.
+func (k *batchKernel) waveSize(s int) int {
+	n := k.n[s]
+	if n == 0 {
+		return k.aMin
+	}
+	w := n
+	if rem := k.aMax - n; w > rem {
+		w = rem
+	}
+	return w
+}
+
+// converged applies the per-cell stopping rule: done at the budget cap,
+// or when the standard error of the mean-intensity estimate drops below
+// AdaptiveRelTol relative to the cell's signal scale (the larger of
+// |mean intensity| and the cell's own emitted intensity, so cold cells
+// in hot surroundings still resolve their incoming flux).
+func (k *batchKernel) converged(s int) bool {
+	n := k.n[s]
+	if n >= k.aMax {
+		return true
+	}
+	if n < 2 {
+		return false
+	}
+	sem := math.Sqrt(k.m2[s] / float64(n-1) / float64(n))
+	scale := math.Abs(k.csum[s] / float64(n))
+	if e := k.emit[s]; e > scale {
+		scale = e
+	}
+	return sem <= k.relTol*scale
+}
+
+func (k *batchKernel) growSlots(n int) {
+	if cap(k.crng) >= n {
+		k.crng = k.crng[:n]
+		k.sh1, k.sh2 = k.sh1[:n], k.sh2[:n]
+		k.n, k.csum = k.n[:n], k.csum[:n]
+		k.mean, k.m2 = k.mean[:n], k.m2[:n]
+		k.emit = k.emit[:n]
+		return
+	}
+	k.crng = make([]mathutil.RNG, n)
+	k.sh1, k.sh2 = make([]float64, n), make([]float64, n)
+	k.n = make([]int, n)
+	k.csum = make([]float64, n)
+	k.mean, k.m2 = make([]float64, n), make([]float64, n)
+	k.emit = make([]float64, n)
+}
+
+// Scalar fallback kernel ----------------------------------------------
+
+// scalarKernel is the per-cell scalar path: the pre-batching engine
+// loop, kept for configurations whose trace-time RNG draws (scattering)
+// a pre-generated batch cannot reproduce, and as the measured baseline
+// for batched-vs-scalar benchmarks (Options.testForceScalar).
+type scalarKernel struct {
+	d      *Domain
+	ld     *LevelData
+	tc     traceCtx
+	cnt    *traceCounters
+	solved int
+
+	adaptive   bool
+	aMin, aMax int
+	relTol     float64
+}
+
+func newScalarKernel(d *Domain, opts *Options, cnt *traceCounters) *scalarKernel {
+	k := &scalarKernel{d: d, ld: d.finest(), tc: newTraceCtx(opts), cnt: cnt}
+	if k.adaptive = opts.adaptiveEnabled(); k.adaptive {
+		k.aMin, k.aMax = opts.adaptiveBudget()
+		k.relTol = opts.AdaptiveRelTol
+	}
+	return k
+}
+
+func (k *scalarKernel) solveTile(lo, hi grid.IntVector, out *field.CC[float64], poll func() bool) bool {
+	for x := lo.X; x < hi.X; x++ {
+		for y := lo.Y; y < hi.Y; y++ {
+			for z := lo.Z; z < hi.Z; z++ {
+				if k.solved%cancelCheckEvery == 0 && !poll() {
+					return false
+				}
+				k.solved++
+				c := grid.IV(x, y, z)
+				if k.ld.CellType.At(c) != field.Flow {
+					continue
+				}
+				if k.adaptive {
+					out.Set(c, k.solveCellAdaptive(c))
+				} else {
+					out.Set(c, k.d.solveCell(c, &k.tc, k.cnt))
+				}
+			}
+		}
+	}
+	return true
+}
+
+// solveCellAdaptive is the scalar twin of the batched adaptive wave
+// loop: rays are traced one at a time off the same per-cell stream (so
+// scattering draws interleave exactly as in solveCell) with the same
+// Welford stopping rule after each wave. Batched and scalar adaptive
+// agree whenever the per-ray results agree (i.e. without scattering).
+func (k *scalarKernel) solveCellAdaptive(c grid.IntVector) float64 {
+	opts := k.tc.opts
+	ld := k.ld
+	rng := &k.tc.rng
+	rng.SeedStream(opts.Seed, cellStreamID(c))
+	lvl := ld.Level
+	dx := lvl.CellSize()
+	lo := lvl.CellLo(c)
+	var sh1, sh2 float64
+	if opts.Stratified {
+		sh1, sh2 = rng.Float64(), rng.Float64()
+	}
+	emit := ld.SigmaT4OverPi.At(c)
+
+	n := 0
+	csum, mean, m2 := 0.0, 0.0, 0.0
+	for n < k.aMax {
+		wave := k.aMin
+		if n > 0 {
+			wave = n
+			if rem := k.aMax - n; wave > rem {
+				wave = rem
+			}
+		}
+		// Snapshot the wave end: n advances inside the body, so a
+		// `r < n+wave` bound would chase it forever.
+		for r, end := n, n+wave; r < end; r++ {
+			var origin mathutil.Vec3
+			if opts.CellCenteredRays {
+				origin = lvl.CellCenter(c)
+			} else {
+				origin = mathutil.Vec3{
+					X: lo.X + rng.Float64()*dx.X,
+					Y: lo.Y + rng.Float64()*dx.Y,
+					Z: lo.Z + rng.Float64()*dx.Z,
+				}
+			}
+			var dir mathutil.Vec3
+			if opts.Stratified {
+				u1 := frac(mathutil.Halton(r, 2) + sh1)
+				u2 := frac(mathutil.Halton(r, 3) + sh2)
+				cosTheta := 2*u1 - 1
+				sinTheta := math.Sqrt(1 - cosTheta*cosTheta)
+				phi := 2 * math.Pi * u2
+				dir = mathutil.Vec3{X: sinTheta * math.Cos(phi), Y: sinTheta * math.Sin(phi), Z: cosTheta}
+			} else {
+				dir = rng.UnitSphere()
+			}
+			x := k.d.traceRay(origin, dir, rng, &k.tc, k.cnt)
+			csum += x
+			delta := x - mean
+			mean += delta / float64(n+1)
+			m2 += delta * (x - mean)
+			n++
+		}
+		if n >= 2 && n < k.aMax {
+			sem := math.Sqrt(m2 / float64(n-1) / float64(n))
+			scale := math.Abs(csum / float64(n))
+			if emit > scale {
+				scale = emit
+			}
+			if sem <= k.relTol*scale {
+				break
+			}
+		}
+	}
+	meanI := csum / float64(n)
+	kappa := ld.Abskg.At(c)
+	return 4 * math.Pi * kappa * (ld.SigmaT4OverPi.At(c) - meanI)
+}

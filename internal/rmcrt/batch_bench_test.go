@@ -1,0 +1,93 @@
+package rmcrt
+
+import (
+	"testing"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+)
+
+// BenchmarkBatchedMarch is the wavefront-batching gate: the same full
+// 32³ Burns & Christon solve through the batched SoA marcher (the
+// default engine path) vs the scalar per-cell path (testForceScalar),
+// both reporting ns/step. The two modes trace bitwise-identical rays,
+// so the ns/op ratio IS the ns/step ratio; perfgate guards
+// scalar/batched staying above the batched ≤ 0.85× scalar bar.
+func BenchmarkBatchedMarch(b *testing.B) {
+	d, _, err := NewBenchmarkDomain(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	region := d.finest().ROI
+
+	// March-dominated configuration: the tighter extinction threshold
+	// lengthens rays ~1.5× over the default, so the ns/step metric
+	// measures steady-state march cost rather than per-ray RNG setup
+	// (which both modes share identically).
+	opts := benchSolveOpts()
+	opts.Threshold = 1e-6
+
+	run := func(b *testing.B, opts Options) {
+		b.ReportAllocs()
+		start := d.Steps.Load()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.SolveRegion(region, &opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if steps := d.Steps.Load() - start; steps > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps), "ns/step")
+		}
+	}
+
+	b.Run("mode=batched", func(b *testing.B) {
+		run(b, opts)
+	})
+	b.Run("mode=scalar", func(b *testing.B) {
+		opts := opts
+		opts.testForceScalar = true
+		run(b, opts)
+	})
+}
+
+// BenchmarkAdaptiveSolve measures the adaptive ray-budget mode on the
+// 32³ problem: cells start at 8 rays and top up toward the paper's 100
+// only where the Welford relative error demands it. rays_saved_pct is
+// the fraction of the fixed-budget ray count (flow cells ×
+// AdaptiveMaxRays) the adaptive mode did not have to trace — the
+// rays-saved headline perfgate surfaces in its summary.
+func BenchmarkAdaptiveSolve(b *testing.B) {
+	d, _, err := NewBenchmarkDomain(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	region := d.finest().ROI
+	opts := DefaultOptions()
+	opts.NRays = 100
+	opts.AdaptiveRelTol = 0.05
+	opts.AdaptiveMinRays = 8
+	opts.AdaptiveMaxRays = 100
+
+	ld := d.finest()
+	flow := 0
+	region.ForEach(func(c grid.IntVector) {
+		if ld.CellType.At(c) == field.Flow {
+			flow++
+		}
+	})
+	b.ReportAllocs()
+	start := d.Rays.Load()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.SolveRegion(region, &opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	traced := float64(d.Rays.Load()-start) / float64(b.N)
+	potential := float64(flow * opts.AdaptiveMaxRays)
+	if potential > 0 {
+		b.ReportMetric(100*(1-traced/potential), "rays_saved_pct")
+	}
+}

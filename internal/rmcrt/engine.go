@@ -85,6 +85,26 @@ const cancelCheckEvery = 16
 // ceilDiv returns ⌈a/b⌉ for positive b.
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
+// tileKernel is one worker's tracing strategy: solveTile computes divQ
+// for every flow cell of [lo,hi) into out, polling poll between bounded
+// amounts of work and returning false the moment it reports
+// cancellation. A kernel is worker-private (built per goroutine) and is
+// reused across all tiles that worker claims.
+type tileKernel interface {
+	solveTile(lo, hi grid.IntVector, out *field.CC[float64], poll func() bool) bool
+}
+
+// newKernel picks the tracing strategy for opts: the wavefront-batched
+// marcher by default, or the scalar per-cell path when trace-time RNG
+// draws (scattering) make pre-generated ray batches impossible — and
+// for benchmarks that pin the scalar baseline.
+func (d *Domain) newKernel(opts *Options, cnt *traceCounters) tileKernel {
+	if opts.ScatterCoeff > 0 || opts.testForceScalar {
+		return newScalarKernel(d, opts, cnt)
+	}
+	return newBatchKernel(d, opts, cnt)
+}
+
 // solveRegionTiled runs the tile-scheduled solve. On cancellation it
 // returns a guaranteed non-nil error: ctx.Err() when it is already
 // visible, context.Canceled otherwise (a worker can observe the Done
@@ -106,7 +126,20 @@ func (d *Domain) solveRegionTiled(ctx context.Context, region grid.Box, opts *Op
 		return nil, stats, fmt.Errorf("rmcrt: region %v outside finest ROI %v", region, ld.ROI)
 	}
 	out := field.NewCC[float64](region)
+	err := d.runTiles(ctx, region, opts, out, &stats, func(cnt *traceCounters) tileKernel {
+		return d.newKernel(opts, cnt)
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
 
+// runTiles decomposes region into cubic tiles and feeds them to
+// GOMAXPROCS workers through an atomic tile cursor; each worker builds
+// its own kernel via newKern and merges its private counters into the
+// Domain once per tile. Inputs are assumed validated.
+func (d *Domain) runTiles(ctx context.Context, region grid.Box, opts *Options, out *field.CC[float64], stats *solveStats, newKern func(*traceCounters) tileKernel) error {
 	tile := opts.tileSize()
 	ext := region.Extent()
 	tx := ceilDiv(ext.X, tile)
@@ -133,12 +166,19 @@ func (d *Domain) solveRegionTiled(ctx context.Context, region grid.Box, opts *Op
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tc := newTraceCtx(opts)
 			var cnt traceCounters
 			// A cancelled worker still merges its partial tallies, so
 			// Steps/Rays stay an honest account of work performed.
 			defer cnt.flushTo(d)
-			solved := 0
+			kern := newKern(&cnt)
+			poll := func() bool {
+				select {
+				case <-done:
+					cancelled.Store(true)
+				default:
+				}
+				return !cancelled.Load()
+			}
 			for {
 				t := int(cursor.Add(1) - 1)
 				if t >= nTiles || cancelled.Load() {
@@ -159,27 +199,8 @@ func (d *Domain) solveRegionTiled(ctx context.Context, region grid.Box, opts *Op
 				if timed {
 					start = time.Now()
 				}
-				for x := lo.X; x < hi.X; x++ {
-					for y := lo.Y; y < hi.Y; y++ {
-						for z := lo.Z; z < hi.Z; z++ {
-							if solved%cancelCheckEvery == 0 {
-								select {
-								case <-done:
-									cancelled.Store(true)
-								default:
-								}
-								if cancelled.Load() {
-									return
-								}
-							}
-							solved++
-							c := grid.IV(x, y, z)
-							if ld.CellType.At(c) != field.Flow {
-								continue
-							}
-							out.Set(c, d.solveCell(c, &tc, &cnt))
-						}
-					}
+				if !kern.solveTile(lo, hi, out, poll) {
+					return
 				}
 				cnt.flushTo(d)
 				if m := d.Metrics; m != nil {
@@ -192,12 +213,12 @@ func (d *Domain) solveRegionTiled(ctx context.Context, region grid.Box, opts *Op
 	wg.Wait()
 	if cancelled.Load() {
 		if err := ctx.Err(); err != nil {
-			return nil, stats, err
+			return err
 		}
-		return nil, stats, context.Canceled
+		return context.Canceled
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, stats, err
+		return err
 	}
-	return out, stats, nil
+	return nil
 }

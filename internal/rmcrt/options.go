@@ -70,6 +70,33 @@ type Options struct {
 	// are bitwise independent of the tile size — it only shapes
 	// scheduling granularity.
 	TileSize int
+	// AdaptiveRelTol, when positive, enables adaptive per-cell ray
+	// budgets (ARC-style): each cell starts at AdaptiveMinRays rays and
+	// is topped up in doubling waves until the relative standard error
+	// of its mean-intensity estimate falls below this tolerance or the
+	// budget reaches AdaptiveMaxRays. Adaptive results are deterministic
+	// for a given seed (the per-cell streams and the per-cell stopping
+	// rule are both decomposition-independent) but are NOT bitwise
+	// comparable to a fixed-ray solve; 0 keeps the default fixed-NRays
+	// mode, which stays bitwise identical to the seed engine.
+	AdaptiveRelTol float64
+	// AdaptiveMinRays is the initial per-cell ray budget in adaptive
+	// mode (default 8, clamped to AdaptiveMaxRays).
+	AdaptiveMinRays int
+	// AdaptiveMaxRays caps the per-cell ray budget in adaptive mode
+	// (default NRays). Cost models price adaptive solves at this upper
+	// bound so scheduling stays feasibility-safe.
+	AdaptiveMaxRays int
+
+	// testPassSteps, when positive, forces the wavefront marcher's
+	// per-pass step budget — a test-only knob for exercising pass/
+	// compaction edge cases (e.g. 1 forces a compaction sweep after
+	// every step). Zero selects the production budget.
+	testPassSteps int
+	// testForceScalar forces the per-cell scalar trace path even when
+	// the batched marcher is eligible — the benchmark/test baseline for
+	// batched-vs-scalar comparisons.
+	testForceScalar bool
 }
 
 // DefaultOptions mirrors the paper's benchmark configuration: 100 rays
@@ -114,8 +141,40 @@ func (o Options) validate() error {
 		return errOpt("HaloCells must be non-negative")
 	case o.TileSize < 0:
 		return errOpt("TileSize must be non-negative")
+	case o.AdaptiveRelTol < 0:
+		return errOpt("AdaptiveRelTol must be non-negative")
+	case o.AdaptiveMinRays < 0 || o.AdaptiveMaxRays < 0:
+		return errOpt("adaptive ray budgets must be non-negative")
+	case o.AdaptiveMinRays > 0 && o.AdaptiveMaxRays > 0 && o.AdaptiveMinRays > o.AdaptiveMaxRays:
+		return errOpt("AdaptiveMinRays must not exceed AdaptiveMaxRays")
 	}
 	return nil
+}
+
+// defaultAdaptiveMinRays is the initial wave when AdaptiveMinRays is
+// unset: enough rays for a meaningful variance estimate, small enough
+// that smooth cells save ~an order of magnitude vs the paper's 100.
+const defaultAdaptiveMinRays = 8
+
+// adaptiveEnabled reports whether the solve uses adaptive per-cell ray
+// budgets.
+func (o Options) adaptiveEnabled() bool { return o.AdaptiveRelTol > 0 }
+
+// adaptiveBudget resolves the per-cell ray budget range, applying
+// defaults (min 8, max NRays) and clamping min to max.
+func (o Options) adaptiveBudget() (minRays, maxRays int) {
+	maxRays = o.AdaptiveMaxRays
+	if maxRays <= 0 {
+		maxRays = o.NRays
+	}
+	minRays = o.AdaptiveMinRays
+	if minRays <= 0 {
+		minRays = defaultAdaptiveMinRays
+	}
+	if minRays > maxRays {
+		minRays = maxRays
+	}
+	return minRays, maxRays
 }
 
 // defaultTileSize is the work-tile edge used when Options.TileSize is

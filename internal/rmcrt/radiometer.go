@@ -1,6 +1,7 @@
 package rmcrt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -58,6 +59,15 @@ type RadiometerReading struct {
 // sampled uniformly over the view cone (deterministic given the seed
 // and the instrument definition).
 func (d *Domain) SolveRadiometer(r Radiometer, opts *Options) (RadiometerReading, error) {
+	return d.SolveRadiometerCtx(context.Background(), r, opts)
+}
+
+// SolveRadiometerCtx is SolveRadiometer with cooperative cancellation
+// under the SolveRegionCtx contract: ctx is polled between rays (each
+// a bounded march), cancellation stops the instrument promptly with a
+// guaranteed non-nil error, and partial ray/step tallies still merge
+// into the Domain counters.
+func (d *Domain) SolveRadiometerCtx(ctx context.Context, r Radiometer, opts *Options) (RadiometerReading, error) {
 	if err := opts.validate(); err != nil {
 		return RadiometerReading{}, err
 	}
@@ -65,6 +75,9 @@ func (d *Domain) SolveRadiometer(r Radiometer, opts *Options) (RadiometerReading
 		return RadiometerReading{}, err
 	}
 	if err := d.Validate(); err != nil {
+		return RadiometerReading{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return RadiometerReading{}, err
 	}
 	// Instrument streams live in the tagged non-cell namespace
@@ -76,8 +89,14 @@ func (d *Domain) SolveRadiometer(r Radiometer, opts *Options) (RadiometerReading
 	var cnt traceCounters
 	defer cnt.flushTo(d)
 
+	done := ctx.Done()
 	var sumI, sumCos float64
 	for i := 0; i < opts.NRays; i++ {
+		select {
+		case <-done:
+			return RadiometerReading{}, ctxErr(ctx)
+		default:
+		}
 		// Uniform direction in the cone: cosθ uniform in [cosH, 1].
 		cosT := cosH + (1-cosH)*rng.Float64()
 		sinT := math.Sqrt(1 - cosT*cosT)

@@ -134,10 +134,22 @@ func (f WallFace) normal() mathutil.Vec3 {
 //
 //	q_in = ∫_{2π} I cosθ dΩ  ≈  π · mean(sumI)   (cosine-weighted MC)
 func (d *Domain) SolveWallFlux(face WallFace, opts *Options) (float64, error) {
+	return d.SolveWallFluxCtx(context.Background(), face, opts)
+}
+
+// SolveWallFluxCtx is SolveWallFlux with cooperative cancellation
+// under the same contract as SolveRegionCtx: the trace loop polls ctx
+// between rays (each ray is a bounded march), stops promptly once it
+// is cancelled, and returns a guaranteed non-nil error. Partial ray
+// and step tallies are still merged into the Domain counters.
+func (d *Domain) SolveWallFluxCtx(ctx context.Context, face WallFace, opts *Options) (float64, error) {
 	if err := opts.validate(); err != nil {
 		return 0, err
 	}
 	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
 	ld := d.finest()
@@ -156,11 +168,27 @@ func (d *Domain) SolveWallFlux(face WallFace, opts *Options) (float64, error) {
 	rng := mathutil.NewStream(opts.Seed, wallFaceStreamID(face))
 	tc := newTraceCtx(opts)
 	var cnt traceCounters
+	defer cnt.flushTo(d)
+	done := ctx.Done()
 	sum := 0.0
 	for r := 0; r < opts.NRays; r++ {
+		select {
+		case <-done:
+			return 0, ctxErr(ctx)
+		default:
+		}
 		dir := rng.CosineHemisphere(n)
 		sum += d.traceRay(p, dir, rng, &tc, &cnt)
 	}
-	cnt.flushTo(d)
 	return math.Pi * sum / float64(opts.NRays), nil
+}
+
+// ctxErr returns ctx's error, or context.Canceled when the Done
+// channel is observably closed before ctx.Err() turns non-nil — the
+// cancellation paths promise a non-nil error.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
 }

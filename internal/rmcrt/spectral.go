@@ -1,6 +1,7 @@
 package rmcrt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -123,22 +124,27 @@ func (s *SpectralDomain) bandView(k int) *Domain {
 // SolveRegionSpectral computes the band-summed divergence of the heat
 // flux over region: the wavelength loop of the paper's future work.
 // Wall emission in each band is scaled by the same emissive fraction
-// (gray walls). Band sub-solves reuse the per-cell deterministic
-// streams offset by the band index, so results are reproducible.
+// (gray walls). The default path marches all K bands through the
+// wavefront batch over shared ray geometry (spectral_batch.go); with
+// scattering the bands are solved independently on band-offset
+// streams. Either way results are deterministic for a given seed.
 func (s *SpectralDomain) SolveRegionSpectral(region grid.Box, opts *Options) (*field.CC[float64], error) {
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
+	return s.SolveRegionSpectralCtx(context.Background(), region, opts)
+}
+
+// solveSpectralBands is the independent-band fallback: one gray solve
+// per band on a band-offset stream, summed. It supports trace-time RNG
+// draws (scattering), which the fused batch path cannot reproduce.
+// Inputs are assumed validated; ctx is checked between band solves and
+// inside each one.
+func (s *SpectralDomain) solveSpectralBands(ctx context.Context, region grid.Box, opts *Options) (*field.CC[float64], error) {
 	total := field.NewCC[float64](region)
 	for k := range s.LevelBands[0] {
 		view := s.bandView(k)
 		bandOpts := *opts
 		bandOpts.Seed = opts.Seed + uint64(k)*0x9e3779b97f4a7c15
 		bandOpts.WallSigmaT4 = opts.WallSigmaT4 * s.LevelBands[0][k].EmissiveFraction
-		out, err := view.SolveRegion(region, &bandOpts)
+		out, err := view.SolveRegionCtx(ctx, region, &bandOpts)
 		if err != nil {
 			return nil, fmt.Errorf("rmcrt: band %d (%s): %w", k, s.LevelBands[0][k].Name, err)
 		}

@@ -1,0 +1,451 @@
+package rmcrt
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/uintah-repro/rmcrt/internal/field"
+	"github.com/uintah-repro/rmcrt/internal/grid"
+	"github.com/uintah-repro/rmcrt/internal/mathutil"
+)
+
+// Fused multi-band spectral marching.
+//
+// The legacy wavelength loop (SolveRegionSpectral's per-band fallback)
+// solves each band as an independent gray solve: K bands pay K full
+// DDA marches per ray, re-walking identical geometry with different
+// absorption coefficients. The fused path instead carries the K bands
+// as extra lanes of the wavefront batch that share one geometric
+// cursor: a single DDA march per ray advances cell/tMax/packed-index
+// once per step, and an inner band loop accumulates per-band optical
+// depth, transmittance and intensity against per-band absorption
+// tables aligned to the packed layout. A band whose transmittance
+// falls below the extinction threshold is frozen (it stops
+// accumulating, exactly as its own gray ray would have terminated);
+// the shared ray terminates when every band is frozen.
+//
+// Sampling: the fused solve draws ray origins and directions from the
+// base per-cell streams — the same draws a gray solve makes — so all
+// bands see identical ray geometry (correlated sampling; each band's
+// estimator is unbiased, and with one band the result is bitwise
+// identical to the gray solve). Scattering needs per-band trace-time
+// redirection and falls back to the legacy independent-band loop.
+
+// spectralShared is the read-only per-solve band context shared by all
+// workers: emissive fractions, per-band wall intensities, and per-band
+// absorption arrays indexed exactly like each level's packed records.
+type spectralShared struct {
+	K     int
+	w     []float64     // emissive fraction per band
+	wallI []float64     // ε·w_k·WallSigmaT4/π per band
+	kap   [][][]float64 // kap[level][band][flat packed index]
+	// fine[k] is band k's finest-level absorption field, read at
+	// finalize time for the per-cell 4π κ_k factor.
+	fine []*field.CC[float64]
+}
+
+// spectralLanes is one worker's per-band lane state, indexed
+// lane*K + band alongside the geometric arena.
+type spectralLanes struct {
+	sh     *spectralShared
+	tau    []float64
+	trans  []float64
+	sum    []float64
+	frozen []bool
+	alive  []int // unfrozen band count per lane
+}
+
+// reset reinitializes lane l's band state for a fresh ray.
+func (sp *spectralLanes) reset(l int) {
+	K := sp.sh.K
+	base := l * K
+	for b := 0; b < K; b++ {
+		sp.tau[base+b] = 0
+		sp.trans[base+b] = 1
+		sp.sum[base+b] = 0
+		sp.frozen[base+b] = false
+	}
+	sp.alive[l] = K
+}
+
+// spectralShared builds the per-solve band context: absorption arrays
+// are laid out with PackedLevel.OffsetOf so the fused march indexes
+// them with the same flat cursor as the packed records. Entries
+// outside the ROI stay zero — the march only reads them through the
+// in-ROI gate.
+func (s *SpectralDomain) spectralShared(opts *Options) *spectralShared {
+	d := s.Base
+	pd := d.ensurePacked()
+	K := len(s.LevelBands[0])
+	sh := &spectralShared{K: K}
+	sh.w = make([]float64, K)
+	sh.wallI = make([]float64, K)
+	for k := 0; k < K; k++ {
+		w := s.LevelBands[0][k].EmissiveFraction
+		sh.w[k] = w
+		sh.wallI[k] = opts.WallEmissivity * (w * opts.WallSigmaT4) / math.Pi
+	}
+	sh.kap = make([][][]float64, len(d.Levels))
+	for li := range d.Levels {
+		pl := pd.levels[li]
+		roi := d.Levels[li].ROI
+		sh.kap[li] = make([][]float64, K)
+		for k := 0; k < K; k++ {
+			arr := make([]float64, len(pl.recs))
+			f := s.LevelBands[li][k].Abskg
+			roi.ForEach(func(c grid.IntVector) {
+				arr[pl.OffsetOf(c)] = f.At(c)
+			})
+			sh.kap[li][k] = arr
+		}
+	}
+	sh.fine = make([]*field.CC[float64], K)
+	for k := 0; k < K; k++ {
+		sh.fine[k] = s.LevelBands[len(d.Levels)-1][k].Abskg
+	}
+	return sh
+}
+
+// newSpectralBatchKernel builds a worker kernel whose batch marches
+// sh.K bands per ray over shared cursors.
+func newSpectralBatchKernel(d *Domain, sh *spectralShared, opts *Options, cnt *traceCounters) *batchKernel {
+	k := newBatchKernel(d, opts, cnt)
+	n := k.laneCap * sh.K
+	k.spec = &spectralLanes{
+		sh:     sh,
+		tau:    make([]float64, n),
+		trans:  make([]float64, n),
+		sum:    make([]float64, n),
+		frozen: make([]bool, n),
+		alive:  make([]int, k.laneCap),
+	}
+	return k
+}
+
+// solveSpectral is solveFixed's multi-band twin: the same chunked
+// generation and march passes, with the per-cell reduction summing
+// each band's lanes in ray order and accumulating the band terms of
+//
+//	divQ = Σ_k 4π κ_k ( w_k σT⁴/π − mean sumI_k ).
+func (k *batchKernel) solveSpectral(out *field.CC[float64], poll func() bool) bool {
+	opts := k.tc.opts
+	sp := k.spec
+	sh := sp.sh
+	nRays := opts.NRays
+	chunk := k.laneCap / nRays
+	if chunk < 1 {
+		chunk = 1
+	}
+	for start := 0; start < len(k.cells); start += chunk {
+		end := start + chunk
+		if end > len(k.cells) {
+			end = len(k.cells)
+		}
+		group := k.cells[start:end]
+		if !poll() {
+			return false
+		}
+		k.active = k.active[:0]
+		lane := 0
+		for _, c := range group {
+			rng := &k.tc.rng
+			rng.SeedStream(opts.Seed, cellStreamID(c))
+			var sh1, sh2 float64
+			if opts.Stratified {
+				sh1, sh2 = rng.Float64(), rng.Float64()
+			}
+			k.genRays(c, rng, sh1, sh2, 0, nRays, lane)
+			lane += nRays
+		}
+		if !k.marchAll(poll) {
+			return false
+		}
+		for i, c := range group {
+			sigma := k.ld.SigmaT4OverPi.At(c)
+			var dq float64
+			for b := 0; b < sh.K; b++ {
+				sum := 0.0
+				for r := 0; r < nRays; r++ {
+					sum += sp.sum[(i*nRays+r)*sh.K+b]
+				}
+				meanI := sum / float64(nRays)
+				kappa := sh.fine[b].At(c)
+				term := 4 * math.Pi * kappa * (sh.w[b]*sigma - meanI)
+				if b == 0 {
+					dq = term
+				} else {
+					dq += term
+				}
+			}
+			out.Set(c, dq)
+		}
+	}
+	return true
+}
+
+// marchFromSpectral is marchFrom's multi-band twin: identical DDA
+// geometry (axis min-select, segment lengths, stride advance, ROI
+// gate), with the segment accumulation looping over the lane's
+// unfrozen bands against the per-band absorption tables. Band state
+// lives in the spectralLanes arrays (indexed, not register-carried:
+// K is dynamic), geometry in the stack laneRegs.
+func (k *batchKernel) marchFromSpectral(l, budget int, st *laneRegs) bool {
+	sp := k.spec
+	sh := sp.sh
+	K := sh.K
+	bbase := l * K
+	threshold := k.tc.threshold
+	for budget > 0 {
+		lc := &k.lvls[st.li]
+		recs := lc.recs
+		kap := sh.kap[st.li]
+		lo0, lo1, lo2 := lc.lo0, lc.lo1, lc.lo2
+		ux0 := uint(lc.hi0 - lo0)
+		ux1 := uint(lc.hi1 - lo1)
+		ux2 := uint(lc.hi2 - lo2)
+		cc := st.cc
+		ss := st.ss
+		tm := st.tm
+		td := st.td
+		dd := st.dd
+		idx := st.idx
+		tcur := st.tcur
+		left := st.left
+		if left <= 0 {
+			return true // maxSteps exhausted; band sums are in place
+		}
+		eff := budget
+		if left < eff {
+			eff = left
+		}
+		n := 0
+		done := false
+		slow := false
+		slowAx, slowROI := 0, false
+		rec := &recs[idx]
+		for n < eff {
+			n++
+			ax := 0
+			if tm[1] < tm[0] {
+				ax = 1
+			}
+			lt2 := 0
+			if tm[2] < tm[ax] {
+				lt2 = 1
+			}
+			ax += (2 - ax) * lt2
+			tNext := tm[ax]
+			ds := tNext - tcur
+			if ds < 0 {
+				ds = 0
+			}
+
+			alive := sp.alive[l]
+			for bd := 0; bd < K; bd++ {
+				i := bbase + bd
+				if sp.frozen[i] {
+					continue
+				}
+				tauNew := sp.tau[i] + kap[bd][idx]*ds
+				transNew := math.Exp(-tauNew)
+				sp.sum[i] += (sh.w[bd] * rec.SigmaT4OverPi) * (sp.trans[i] - transNew)
+				sp.tau[i], sp.trans[i] = tauNew, transNew
+				if transNew < threshold {
+					sp.frozen[i] = true
+					alive--
+				}
+			}
+			sp.alive[l] = alive
+			if alive == 0 {
+				done = true // every band extinguished
+				break
+			}
+
+			tcur = tNext
+			cc[ax] += ss[ax]
+			tm[ax] += td[ax]
+			idx += dd[ax]
+
+			if uint(cc[0]-lo0) < ux0 && uint(cc[1]-lo1) < ux1 && uint(cc[2]-lo2) < ux2 {
+				rec = &recs[idx]
+				if rec.Flags == 0 {
+					continue
+				}
+				slow, slowAx, slowROI = true, ax, true
+			} else {
+				slow, slowAx, slowROI = true, ax, false
+			}
+			break
+		}
+		budget -= n
+		left -= n
+		k.cnt.steps += int64(n)
+		if done {
+			return true
+		}
+		st.cc, st.tm, st.idx = cc, tm, idx
+		st.tcur, st.left = tcur, left
+		k.syncRegs(l, st)
+		if slow {
+			if k.laneTailSpectral(l, slowAx, slowROI) {
+				return true
+			}
+			k.loadRegs(l, st)
+			continue
+		}
+		if left <= 0 {
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// laneTailSpectral mirrors laneTail's wall / level-drop / opaque
+// blocks with the wall and emission pickups looped over the lane's
+// unfrozen bands. Geometry handling (reflection step-back, level-drop
+// nudge, cursor rebuild) is band-independent and identical.
+func (k *batchKernel) laneTailSpectral(l, ax int, inROI bool) bool {
+	b := &k.buf
+	tc := &k.tc
+	sp := k.spec
+	sh := sp.sh
+	K := sh.K
+	bbase := l * K
+	li := b.li[l]
+	lc := &k.lvls[li]
+	cell := grid.IV(b.cx[l], b.cy[l], b.cz[l])
+	step := grid.IV(b.sx[l], b.sy[l], b.sz[l])
+	origin := mathutil.Vec3{X: b.ox[l], Y: b.oy[l], Z: b.oz[l]}
+	dir := mathutil.Vec3{X: b.dx[l], Y: b.dy[l], Z: b.dz[l]}
+	tCur := b.tcur[l]
+	dropped := false
+
+	// attenuate applies the (1−ε) reflection weighting to every
+	// unfrozen band, freezing the ones that fall below the threshold;
+	// it reports whether any band is still alive.
+	attenuate := func() bool {
+		alive := sp.alive[l]
+		for bd := 0; bd < K; bd++ {
+			i := bbase + bd
+			if sp.frozen[i] {
+				continue
+			}
+			sp.trans[i] *= 1 - tc.wallEmissivity
+			sp.tau[i] -= math.Log(1 - tc.wallEmissivity)
+			if sp.trans[i] < tc.threshold {
+				sp.frozen[i] = true
+				alive--
+			}
+		}
+		sp.alive[l] = alive
+		return alive > 0
+	}
+
+	if !inROI {
+		if li == 0 {
+			// Enclosure wall: per-band ε·w·σT⁴_wall/π pickup.
+			for bd := 0; bd < K; bd++ {
+				i := bbase + bd
+				if !sp.frozen[i] {
+					sp.sum[i] += sh.wallI[bd] * sp.trans[i]
+				}
+			}
+			if !tc.reflections || tc.wallEmissivity >= 1 ||
+				b.refl[l] >= tc.maxReflections {
+				return true
+			}
+			if !attenuate() {
+				return true
+			}
+			b.refl[l]++
+			inside := cell.WithComponent(ax, cell.Component(ax)-step.Component(ax))
+			p := origin.Add(dir.Scale(tCur))
+			dir = dir.WithComponent(ax, -dir.Component(ax))
+			origin, tCur = p, 0
+			st := initMarch(lc.lvl, inside, origin, dir, 0)
+			b.tcur[l] = tCur
+			k.storeGeom(l, li, origin, dir, &st)
+			return false
+		}
+		li--
+		lc = &k.lvls[li]
+		eps := 1e-9 * lc.lvl.CellSize().MinComponent()
+		p := origin.Add(dir.Scale(tCur + eps))
+		ncell := lc.lvl.CellContaining(p)
+		st := initMarch(lc.lvl, ncell, p, dir, tCur)
+		k.storeGeom(l, li, origin, dir, &st)
+		cell, step = st.cell, st.step
+		dropped = true
+	}
+
+	if rec := &lc.recs[b.idx[l]]; rec.Flags != 0 {
+		for bd := 0; bd < K; bd++ {
+			i := bbase + bd
+			if !sp.frozen[i] {
+				sp.sum[i] += tc.wallEmissivity * (sh.w[bd] * rec.SigmaT4OverPi) * sp.trans[i]
+			}
+		}
+		if !tc.reflections || tc.wallEmissivity >= 1 ||
+			b.refl[l] >= tc.maxReflections {
+			return true
+		}
+		if !attenuate() {
+			return true
+		}
+		b.refl[l]++
+		inside := cell.WithComponent(ax, cell.Component(ax)-step.Component(ax))
+		p := origin.Add(dir.Scale(tCur))
+		if dropped && !enteredThroughFace(lc.lvl, cell, ax, step.Component(ax), p) {
+			inside = cell
+		}
+		dir = dir.WithComponent(ax, -dir.Component(ax))
+		origin, tCur = p, 0
+		st := initMarch(lc.lvl, inside, origin, dir, 0)
+		b.tcur[l] = tCur
+		k.storeGeom(l, li, origin, dir, &st)
+	}
+	return false
+}
+
+// SolveRegionSpectralCtx is the ctx-aware K-band spectral solve. The
+// default path marches all bands through the wavefront batch over
+// shared ray geometry (one DDA march per ray regardless of K); with
+// scattering enabled it falls back to the legacy independent-band
+// loop, which supports trace-time redirection. Adaptive ray budgets
+// are not supported with spectral solves. Cancellation follows the
+// SolveRegionCtx contract: prompt stop, guaranteed non-nil error,
+// partial counters merged.
+func (s *SpectralDomain) SolveRegionSpectralCtx(ctx context.Context, region grid.Box, opts *Options) (*field.CC[float64], error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.adaptiveEnabled() {
+		return nil, errOpt("adaptive ray budgets are not supported with spectral solves")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opts.ScatterCoeff > 0 || opts.testForceScalar {
+		return s.solveSpectralBands(ctx, region, opts)
+	}
+	d := s.Base
+	ld := d.finest()
+	if ld.ROI.Intersect(region) != region {
+		return nil, fmt.Errorf("rmcrt: region %v outside finest ROI %v", region, ld.ROI)
+	}
+	sh := s.spectralShared(opts)
+	out := field.NewCC[float64](region)
+	var stats solveStats
+	err := d.runTiles(ctx, region, opts, out, &stats, func(cnt *traceCounters) tileKernel {
+		return newSpectralBatchKernel(d, sh, opts, cnt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

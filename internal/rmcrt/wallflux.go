@@ -1,10 +1,12 @@
 package rmcrt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/uintah-repro/rmcrt/internal/mathutil"
 )
@@ -40,10 +42,23 @@ func (f *FluxMap) Max() float64 { return mathutil.LinfNorm(f.Q) }
 // face cell: q_in = π · mean(sumI). Work is parallelized across face
 // rows; results are deterministic per face cell.
 func (d *Domain) SolveWallFluxMap(face WallFace, opts *Options) (*FluxMap, error) {
+	return d.SolveWallFluxMapCtx(context.Background(), face, opts)
+}
+
+// SolveWallFluxMapCtx is SolveWallFluxMap with cooperative
+// cancellation under the SolveRegionCtx contract: every worker polls
+// ctx between face cells (a face cell is NRays bounded marches), all
+// workers stop promptly once any of them observes cancellation, and
+// the error returned is guaranteed non-nil. Partial counter tallies
+// are still merged into the Domain.
+func (d *Domain) SolveWallFluxMapCtx(ctx context.Context, face WallFace, opts *Options) (*FluxMap, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	ld := d.finest()
@@ -74,6 +89,8 @@ func (d *Domain) SolveWallFluxMap(face WallFace, opts *Options) (*FluxMap, error
 	if nw > fm.NU {
 		nw = fm.NU
 	}
+	done := ctx.Done()
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
@@ -85,6 +102,14 @@ func (d *Domain) SolveWallFluxMap(face WallFace, opts *Options) (*FluxMap, error
 			rng := &tc.rng
 			for u := w; u < fm.NU; u += nw {
 				for v := 0; v < fm.NV; v++ {
+					select {
+					case <-done:
+						cancelled.Store(true)
+					default:
+					}
+					if cancelled.Load() {
+						return
+					}
 					// Deterministic stream per (face, u, v), in the
 					// tagged non-cell namespace (streams.go).
 					rng.SeedStream(opts.Seed, wallMapStreamID(face, u, v))
@@ -105,6 +130,9 @@ func (d *Domain) SolveWallFluxMap(face WallFace, opts *Options) (*FluxMap, error
 		}(w)
 	}
 	wg.Wait()
+	if cancelled.Load() {
+		return nil, ctxErr(ctx)
+	}
 	return fm, nil
 }
 

@@ -121,6 +121,7 @@ type Job struct {
 	deadline  time.Time // zero = no per-job deadline
 	rays      int64
 	steps     int64
+	raysSaved int64
 	fromCache bool
 	coalesced bool
 	ephemeral bool // terminal at submit (expired deadline): never journaled
@@ -145,9 +146,13 @@ type JobStatus struct {
 	RunSeconds float64 `json:"run_seconds"`
 	Rays       int64   `json:"rays,omitempty"`
 	Steps      int64   `json:"steps,omitempty"`
-	FromCache  bool    `json:"from_cache,omitempty"`
-	Coalesced  bool    `json:"coalesced,omitempty"`
-	Error      string  `json:"error,omitempty"`
+	// RaysSaved is how many rays the adaptive budget avoided tracing
+	// versus the spec's AdaptiveMaxRays upper bound (0 for fixed-budget
+	// solves, and for cache hits, which traced nothing either way).
+	RaysSaved int64  `json:"rays_saved,omitempty"`
+	FromCache bool   `json:"from_cache,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // flight is one in-flight solve shared by every job with the same key
@@ -280,7 +285,7 @@ type Manager struct {
 	mSubmitted, mRejected, mTooLarge            *metrics.Counter
 	mDone, mFailed, mCancelled                  *metrics.Counter
 	mCacheHit, mCacheMiss, mEvicted, mCoalesced *metrics.Counter
-	mRays, mSteps                               *metrics.Counter
+	mRays, mSteps, mRaysSaved                   *metrics.Counter
 	mRetried, mDeadline, mExpired               *metrics.Counter
 	mInfeasible                                 *metrics.Counter
 	fcPredicted                                 *metrics.FloatCounter
@@ -414,6 +419,7 @@ func Recover(cfg Config) (*Manager, error) {
 	m.fcPredicted = r.FloatCounter("rmcrtd_predicted_seconds_total", "predicted solve wall-seconds of admitted jobs under the configured cost model")
 	m.mRays = r.Counter("rmcrtd_rays_traced_total", "rays traced by completed solves")
 	m.mSteps = r.Counter("rmcrtd_cell_steps_total", "DDA cell steps taken by completed solves")
+	m.mRaysSaved = r.Counter("rmcrtd_adaptive_rays_saved_total", "rays the adaptive budget avoided tracing versus the AdaptiveMaxRays upper bound")
 	m.mReplayed = r.Counter("rmcrtd_journal_records_replayed_total", "journal records replayed at startup")
 	m.mTornRecords = r.Counter("rmcrtd_journal_torn_records_total", "torn journal tail records discarded at startup")
 	m.mRecovered = r.Counter("rmcrtd_jobs_recovered_total", "jobs re-enqueued from the journal at startup")
@@ -759,9 +765,20 @@ func (m *Manager) runFlight(fl *flight) {
 	case err == nil:
 		m.hSolve.Observe(elapsed)
 		m.mEvicted.Add(int64(m.cache.put(fl.key, divQ)))
+		// Adaptive solves trace at most Cells × AdaptiveMaxRays rays;
+		// the shortfall is the budget the variance-based stopping rule
+		// saved. Clamped at zero: retries can double-count rays.
+		var saved int64
+		if n := fl.spec.Normalized(); n.AdaptiveRelTol > 0 {
+			if saved = n.Cells()*int64(n.AdaptiveMaxRays) - rays; saved < 0 {
+				saved = 0
+			}
+			m.mRaysSaved.Add(saved)
+		}
 		for _, j := range fl.jobs {
 			if !j.state.terminal() {
 				j.rays, j.steps = rays, steps
+				j.raysSaved = saved
 				m.finishLocked(j, StateDone, divQ, nil)
 			}
 		}
@@ -879,7 +896,8 @@ func (m *Manager) drainEvents() {
 func (m *Manager) statusLocked(j *Job) JobStatus {
 	st := JobStatus{
 		ID: j.id, Key: j.key, Class: j.class, State: j.state, Submitted: j.submitted,
-		Rays: j.rays, Steps: j.steps, FromCache: j.fromCache, Coalesced: j.coalesced,
+		Rays: j.rays, Steps: j.steps, RaysSaved: j.raysSaved,
+		FromCache: j.fromCache, Coalesced: j.coalesced,
 	}
 	now := time.Now()
 	switch {

@@ -127,6 +127,31 @@ type Spec struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Threshold is the ray extinction threshold (default 1e-4).
 	Threshold float64 `json:"threshold,omitempty"`
+	// AdaptiveRelTol, when positive, enables adaptive per-cell ray
+	// budgets: cells start at AdaptiveMinRays rays and are topped up in
+	// doubling waves until the relative standard error of the mean
+	// intensity falls below this tolerance or the budget reaches
+	// AdaptiveMaxRays. Deterministic for a given seed, but not bitwise
+	// comparable to a fixed-ray solve, so all three fields are in Key.
+	// Cost models price adaptive solves at the AdaptiveMaxRays upper
+	// bound (see CostRays).
+	AdaptiveRelTol float64 `json:"adaptive_rel_tol,omitempty"`
+	// AdaptiveMinRays is the initial per-cell budget in adaptive mode
+	// (default 8).
+	AdaptiveMinRays int `json:"adaptive_min_rays,omitempty"`
+	// AdaptiveMaxRays caps the per-cell budget in adaptive mode
+	// (default Rays).
+	AdaptiveMaxRays int `json:"adaptive_max_rays,omitempty"`
+	// SpectralBands, when >= 2, solves a K-band box spectral model
+	// instead of the gray medium: band k's absorption is the medium's
+	// gray κ scaled by a geometric ladder spanning SpectralSpread, with
+	// the emissive power split evenly so the Planck-mean κ matches the
+	// gray field. 0 or 1 keeps the gray solve. Incompatible with
+	// adaptive ray budgets.
+	SpectralBands int `json:"spectral_bands,omitempty"`
+	// SpectralSpread is the ratio between the strongest and weakest
+	// band's absorption (default 4, must be >= 1).
+	SpectralSpread float64 `json:"spectral_spread,omitempty"`
 	// Class is the job's SLO class: "interactive", "batch" (default) or
 	// "best-effort". It shapes scheduling only, never the answer, and is
 	// therefore excluded from Key.
@@ -187,6 +212,26 @@ func (s Spec) Normalized() Spec {
 	if s.Threshold == 0 {
 		s.Threshold = def.Threshold
 	}
+	if s.AdaptiveRelTol > 0 {
+		if s.AdaptiveMinRays == 0 {
+			s.AdaptiveMinRays = 8 // the solver's defaultAdaptiveMinRays
+		}
+		if s.AdaptiveMaxRays == 0 {
+			s.AdaptiveMaxRays = s.Rays
+		}
+	} else if s.AdaptiveRelTol == 0 {
+		// Zero disables adaptive cleanly; a negative tolerance is left
+		// in place for Validate to reject rather than silently folding
+		// a client typo into "adaptive off".
+		s.AdaptiveMinRays, s.AdaptiveMaxRays = 0, 0
+	}
+	if s.SpectralBands >= 2 {
+		if s.SpectralSpread == 0 {
+			s.SpectralSpread = 4
+		}
+	} else {
+		s.SpectralBands, s.SpectralSpread = 0, 0
+	}
 	if s.Class == "" {
 		s.Class = ClassBatch
 	}
@@ -228,6 +273,18 @@ func (s Spec) Validate() error {
 		return specErrf("wall_emissivity = %g (want in (0,1])", n.WallEmissivity)
 	case n.WallSigmaT4 < 0:
 		return specErrf("wall_sigma_t4 = %g (want >= 0)", n.WallSigmaT4)
+	case n.AdaptiveRelTol < 0:
+		return specErrf("adaptive_rel_tol = %g (want >= 0)", n.AdaptiveRelTol)
+	case n.AdaptiveRelTol > 0 && (n.AdaptiveMinRays < 1 || n.AdaptiveMaxRays < 1):
+		return specErrf("adaptive budgets (%d,%d) (want >= 1)", n.AdaptiveMinRays, n.AdaptiveMaxRays)
+	case n.AdaptiveRelTol > 0 && n.AdaptiveMinRays > n.AdaptiveMaxRays:
+		return specErrf("adaptive_min_rays = %d exceeds adaptive_max_rays = %d", n.AdaptiveMinRays, n.AdaptiveMaxRays)
+	case n.SpectralBands > 16:
+		return specErrf("spectral_bands = %d (want <= 16)", n.SpectralBands)
+	case n.SpectralBands >= 2 && n.SpectralSpread < 1:
+		return specErrf("spectral_spread = %g (want >= 1)", n.SpectralSpread)
+	case n.SpectralBands >= 2 && n.AdaptiveRelTol > 0:
+		return specErrf("spectral bands and adaptive ray budgets are incompatible")
 	case n.Class != ClassInteractive && n.Class != ClassBatch && n.Class != ClassBestEffort:
 		return specErrf("class %q (want %q, %q or %q)", n.Class, ClassInteractive, ClassBatch, ClassBestEffort)
 	}
@@ -276,7 +333,28 @@ func (s Spec) Options() rmcrt.Options {
 	opts.ScatterCoeff = n.ScatterCoeff
 	opts.WallEmissivity = n.WallEmissivity
 	opts.WallSigmaT4 = n.WallSigmaT4
+	opts.AdaptiveRelTol = n.AdaptiveRelTol
+	opts.AdaptiveMinRays = n.AdaptiveMinRays
+	opts.AdaptiveMaxRays = n.AdaptiveMaxRays
 	return opts
+}
+
+// CostRays returns the per-cell ray budget cost models price the spec
+// at: the AdaptiveMaxRays upper bound for adaptive solves (the solver
+// traces fewer rays where the variance allows, never more), times the
+// band count for spectral solves (the fused marcher shares geometry
+// across bands and is cheaper; the independent-band fallback is not).
+// Pricing at the bound keeps admission-time feasibility checks safe.
+func (s Spec) CostRays() int {
+	n := s.Normalized()
+	r := n.Rays
+	if n.AdaptiveRelTol > 0 {
+		r = n.AdaptiveMaxRays
+	}
+	if n.SpectralBands >= 2 {
+		r *= n.SpectralBands
+	}
+	return r
 }
 
 // Key returns the content address of the solve: a hash over the
@@ -287,14 +365,16 @@ func (s Spec) Options() rmcrt.Options {
 func (s Spec) Key() string {
 	n := s.Normalized()
 	h := sha256.New()
-	fmt.Fprintf(h, "rmcrtd/v2|%s|%d|%d|%d|%d|%d|%x|%x|%d|%d|%x|%x|%x|%x|%d|%d|%d|%d|%x|%x",
+	fmt.Fprintf(h, "rmcrtd/v3|%s|%d|%d|%d|%d|%d|%x|%x|%d|%d|%x|%x|%x|%x|%d|%d|%d|%d|%x|%x|%x|%d|%d|%d|%x",
 		n.Kind, n.N, n.Levels, n.PatchN, n.RR, n.Halo,
 		math.Float64bits(n.Kappa), math.Float64bits(n.SigmaT4),
 		n.Rays, n.Seed, math.Float64bits(n.Threshold),
 		math.Float64bits(n.ScatterCoeff), math.Float64bits(n.WallEmissivity),
 		math.Float64bits(n.WallSigmaT4),
 		n.HotX, n.HotY, n.HotZ, n.HotN,
-		math.Float64bits(n.HotKappa), math.Float64bits(n.HotSigmaT4))
+		math.Float64bits(n.HotKappa), math.Float64bits(n.HotSigmaT4),
+		math.Float64bits(n.AdaptiveRelTol), n.AdaptiveMinRays, n.AdaptiveMaxRays,
+		n.SpectralBands, math.Float64bits(n.SpectralSpread))
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
@@ -357,6 +437,45 @@ type problem struct {
 	id     int
 	region grid.Box
 	domain *rmcrt.Domain
+	// spectral, when non-nil, wraps domain as the K-band spectral solve
+	// (SpectralBands >= 2); solve dispatches to the spectral entry point.
+	spectral *rmcrt.SpectralDomain
+}
+
+// spectralize wraps d in the spec's K-band box model: band k scales the
+// gray absorption by a geometric ladder across SpectralSpread,
+// normalized so the Planck-mean (emission-weighted) κ equals the gray
+// field, with the emissive power split evenly across bands.
+func (s Spec) spectralize(d *rmcrt.Domain) *rmcrt.SpectralDomain {
+	K := s.SpectralBands
+	raw := make([]float64, K)
+	mean := 0.0
+	for k := range raw {
+		raw[k] = math.Pow(s.SpectralSpread, float64(k)/float64(K-1))
+		mean += raw[k]
+	}
+	mean /= float64(K)
+	w := 1 / float64(K)
+	lb := make([][]rmcrt.Band, len(d.Levels))
+	for li := range d.Levels {
+		base := d.Levels[li].Abskg
+		bands := make([]rmcrt.Band, K)
+		for k := 0; k < K; k++ {
+			m := raw[k] / mean
+			scaled := field.NewCC[float64](base.Box())
+			src, dst := base.Data(), scaled.Data()
+			for i := range src {
+				dst[i] = m * src[i]
+			}
+			bands[k] = rmcrt.Band{
+				Name:             fmt.Sprintf("band%d", k),
+				Abskg:            scaled,
+				EmissiveFraction: w,
+			}
+		}
+		lb[li] = bands
+	}
+	return &rmcrt.SpectralDomain{Base: d, LevelBands: lb}
 }
 
 // problems builds the output field and the ordered list of independent
@@ -380,7 +499,11 @@ func (s Spec) problems() (out *field.CC[float64], probs []problem, err error) {
 			Level: lvl, ROI: lvl.IndexBox(), Abskg: a, SigmaT4OverPi: sig, CellType: ct,
 		}}}
 		out = field.NewCC[float64](lvl.IndexBox())
-		return out, []problem{{id: 0, region: lvl.IndexBox(), domain: d}}, nil
+		pr := problem{id: 0, region: lvl.IndexBox(), domain: d}
+		if n.SpectralBands >= 2 {
+			pr.spectral = n.spectralize(d)
+		}
+		return out, []problem{pr}, nil
 	}
 
 	// 2-level AMR: fine mesh per patch (patch + halo ROI), coarse
@@ -409,7 +532,11 @@ func (s Spec) problems() (out *field.CC[float64], probs []problem, err error) {
 			{Level: coarse, ROI: coarse.IndexBox(), Abskg: ca, SigmaT4OverPi: cs, CellType: cc},
 			{Level: fine, ROI: roi, Abskg: fa, SigmaT4OverPi: fs, CellType: fc},
 		}}
-		probs = append(probs, problem{id: i, region: p.Cells, domain: d})
+		pr := problem{id: i, region: p.Cells, domain: d}
+		if n.SpectralBands >= 2 {
+			pr.spectral = n.spectralize(d)
+		}
+		probs = append(probs, pr)
 	}
 	return out, probs, nil
 }
@@ -420,7 +547,12 @@ func (s Spec) problems() (out *field.CC[float64], probs []problem, err error) {
 // into the service's metrics registry.
 func (pr problem) solve(ctx context.Context, opts *rmcrt.Options, out *field.CC[float64], tm *rmcrt.TraceMetrics) (rays, steps int64, err error) {
 	pr.domain.Metrics = tm
-	part, err := pr.domain.SolveRegionCtx(ctx, pr.region, opts)
+	var part *field.CC[float64]
+	if pr.spectral != nil {
+		part, err = pr.spectral.SolveRegionSpectralCtx(ctx, pr.region, opts)
+	} else {
+		part, err = pr.domain.SolveRegionCtx(ctx, pr.region, opts)
+	}
 	rays, steps = pr.domain.Rays.Load(), pr.domain.Steps.Load()
 	if err != nil {
 		return rays, steps, err

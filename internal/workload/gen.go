@@ -175,6 +175,19 @@ func sampleSpec(c ClientSpec, rng *mathutil.RNG, jobIndex int) service.Spec {
 		spec.HotSigmaT4 = j.HotSigmaT4
 	}
 	spec.Threshold = j.Threshold
+	// Adaptive draw is conditional so workloads that don't use it keep
+	// their RNG stream — and therefore their golden traces — unchanged.
+	adaptive := j.AdaptiveFraction > 0 && rng.Float64() < j.AdaptiveFraction
+	if adaptive {
+		spec.AdaptiveRelTol = j.AdaptiveRelTol
+		spec.AdaptiveMinRays = j.AdaptiveMinRays
+		spec.AdaptiveMaxRays = spec.Rays
+	} else if j.SpectralBands >= 2 {
+		// Spectral and adaptive are incompatible at the solver; the
+		// non-adaptive remainder carries the band sweep.
+		spec.SpectralBands = j.SpectralBands
+		spec.SpectralSpread = j.SpectralSpread
+	}
 	if j.DistinctSeeds {
 		spec.Seed = rng.Uint64() | 1 // never 0: 0 would normalize to the default
 	}

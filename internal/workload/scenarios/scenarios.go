@@ -214,6 +214,57 @@ func init() {
 		}},
 	})
 
+	// spectral-bands: K-band non-gray solves through the fused batched
+	// marcher — bands ride as extra batch lanes over shared ray
+	// geometry, so a K-band job costs one DDA march (not K). The sweep
+	// cycles K across jobs; the wide κ ladder (spread 16) includes
+	// near-transparent window bands that a gray mean coefficient would
+	// hold in.
+	register(Scenario{
+		Name:        "spectral-bands",
+		Description: "K-band spectral solves via fused batch lanes (non-gray window effect)",
+		Spec: workload.Spec{Clients: []workload.ClientSpec{
+			{
+				Name: "bands2", Jobs: 4, Class: service.ClassBatch, Mode: workload.ModeASAP, Inflight: 2,
+				Job: workload.JobDist{
+					Kind: service.KindUniform, Kappa: 1, SigmaT4: 1,
+					WallEmissivity: 1, WallSigmaT4: 1,
+					SpectralBands: 2, SpectralSpread: 4,
+					N:    workload.IntDist{Const: 8},
+					Rays: workload.IntDist{Const: 12}, DistinctSeeds: true,
+				},
+			},
+			{
+				Name: "bands4", Jobs: 4, Class: service.ClassBatch, Mode: workload.ModeASAP, Inflight: 2,
+				Job: workload.JobDist{
+					Kind: service.KindUniform, Kappa: 1, SigmaT4: 1,
+					WallEmissivity: 1, WallSigmaT4: 1,
+					SpectralBands: 4, SpectralSpread: 16,
+					N:    workload.IntDist{Const: 8},
+					Rays: workload.IntDist{Const: 8}, DistinctSeeds: true,
+				},
+			},
+		}},
+	})
+
+	// adaptive-budget: every job runs under an adaptive ray budget with
+	// a generous max — smooth benchmark media converge far below the
+	// cap, so the scenario demonstrates (and its test asserts, via the
+	// job-status rays_saved counter) that adaptive budgets trace
+	// measurably fewer rays than the fixed budget they're priced at.
+	register(Scenario{
+		Name:        "adaptive-budget",
+		Description: "adaptive ray budgets: SEM-converged early stop vs fixed-budget pricing",
+		Spec: workload.Spec{Clients: []workload.ClientSpec{{
+			Name: "adaptive", Jobs: 6, Class: service.ClassBatch, Mode: workload.ModeASAP, Inflight: 2,
+			Job: workload.JobDist{
+				AdaptiveFraction: 1, AdaptiveRelTol: 0.05, AdaptiveMinRays: 8,
+				N:    workload.IntDist{Const: 10},
+				Rays: workload.IntDist{Const: 64}, DistinctSeeds: true,
+			},
+		}}},
+	})
+
 	// mixed: every arrival process, mode and class in one workload —
 	// the golden-trace profile exercising the full generator surface.
 	register(Scenario{

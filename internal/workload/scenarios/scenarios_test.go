@@ -181,6 +181,70 @@ func TestHotSpotMarchPackedCache(t *testing.T) {
 	}
 }
 
+// TestSpectralBandsEquilibrium: the spectral scenario runs at
+// radiative equilibrium (black walls at the medium's own σT⁴), and
+// equilibrium holds band by band — each band sees walls and medium
+// emitting the same w_k-scaled blackbody field whatever its κ_k — so
+// the band-summed divQ must vanish for every K in the sweep.
+func TestSpectralBandsEquilibrium(t *testing.T) {
+	s, _ := Get("spectral-bands")
+	plan, err := workload.Generate(s.Spec, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := newTestManager(t)
+	bands := map[int]bool{}
+	for _, r := range solveAll(t, mgr, plan) {
+		bands[r.sub.Spec.SpectralBands] = true
+		emission := 4 * r.sub.Spec.Kappa * r.sub.Spec.SigmaT4
+		bound := 0.05 * emission
+		if math.Abs(r.stats.min) > bound || math.Abs(r.stats.max) > bound {
+			t.Fatalf("K=%d: divQ ∈ [%g, %g], want |divQ| < %g (per-band equilibrium)",
+				r.sub.Spec.SpectralBands, r.stats.min, r.stats.max, bound)
+		}
+	}
+	for _, want := range []int{2, 4} {
+		if !bands[want] {
+			t.Fatalf("scenario never solved K=%d (got %v)", want, bands)
+		}
+	}
+}
+
+// TestAdaptiveBudgetSavesRays: every adaptive-budget job is priced at
+// its AdaptiveMaxRays cap but the smooth benchmark medium converges
+// far below it, so each job's status must report rays actually saved.
+func TestAdaptiveBudgetSavesRays(t *testing.T) {
+	s, _ := Get("adaptive-budget")
+	plan, err := workload.Generate(s.Spec, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := newTestManager(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for i := range plan.Subs {
+		sub := plan.Subs[i]
+		if sub.Spec.AdaptiveRelTol <= 0 || sub.Spec.AdaptiveMaxRays != sub.Spec.Rays {
+			t.Fatalf("sub %d: adaptive fields not mapped: %+v", i, sub.Spec)
+		}
+		st, err := mgr.Submit(sub.Spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if st, err = mgr.Wait(ctx, st.ID); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		if st.State != service.StateDone {
+			t.Fatalf("job %d finished %s: %s", i, st.State, st.Error)
+		}
+		if st.RaysSaved <= 0 {
+			t.Fatalf("job %d saved %d rays, want > 0 (adaptive early stop)", i, st.RaysSaved)
+		}
+		t.Logf("job %d: %d rays saved of %d budgeted", i,
+			st.RaysSaved, sub.Spec.Cells()*int64(sub.Spec.AdaptiveMaxRays))
+	}
+}
+
 // TestSmokeDeterministicAccounting: the CI smoke profile's distinct
 // seeds defeat the result cache, so counts are exact: every submission
 // is a real solve and every class finishes all its jobs.

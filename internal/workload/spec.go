@@ -135,6 +135,24 @@ type JobDist struct {
 	HotSigmaT4 float64 `json:"hot_sigma_t4,omitempty"`
 	// Threshold overrides the ray extinction threshold.
 	Threshold float64 `json:"threshold,omitempty"`
+	// AdaptiveFraction of jobs run with an adaptive ray budget: the
+	// sampled Rays value becomes AdaptiveMaxRays (the pricing bound) and
+	// the solver stops early per cell once the intensity SEM clears
+	// AdaptiveRelTol. The rest keep the fixed budget.
+	AdaptiveFraction float64 `json:"adaptive_fraction,omitempty"`
+	// AdaptiveRelTol is the relative SEM tolerance for adaptive jobs
+	// (service default applies when 0 and AdaptiveFraction > 0 is
+	// rejected, so set both together).
+	AdaptiveRelTol float64 `json:"adaptive_rel_tol,omitempty"`
+	// AdaptiveMinRays is the starting wave size for adaptive jobs
+	// (0 = solver default).
+	AdaptiveMinRays int `json:"adaptive_min_rays,omitempty"`
+	// SpectralBands, when >= 2, makes every non-adaptive job a K-band
+	// spectral solve over a synthetic geometric κ ladder spanning
+	// SpectralSpread (see service.Spec). Adaptive jobs stay gray —
+	// the two modes are incompatible at the solver.
+	SpectralBands  int     `json:"spectral_bands,omitempty"`
+	SpectralSpread float64 `json:"spectral_spread,omitempty"`
 	// DistinctSeeds gives every job its own solver seed, defeating the
 	// result cache and single-flight coalescing so each submission is
 	// real solve work. Off, identical specs coalesce — which is itself
@@ -156,6 +174,24 @@ func (j JobDist) validate() error {
 		if s < 0 {
 			return fmt.Errorf("workload: scatter coefficient %g (want >= 0)", s)
 		}
+	}
+	if j.AdaptiveFraction < 0 || j.AdaptiveFraction > 1 {
+		return fmt.Errorf("workload: adaptive_fraction = %g (want in [0,1])", j.AdaptiveFraction)
+	}
+	if j.AdaptiveFraction > 0 && j.AdaptiveRelTol <= 0 {
+		return fmt.Errorf("workload: adaptive_fraction = %g needs adaptive_rel_tol > 0", j.AdaptiveFraction)
+	}
+	if j.AdaptiveRelTol < 0 {
+		return fmt.Errorf("workload: adaptive_rel_tol = %g (want >= 0)", j.AdaptiveRelTol)
+	}
+	if j.AdaptiveMinRays < 0 {
+		return fmt.Errorf("workload: adaptive_min_rays = %d (want >= 0)", j.AdaptiveMinRays)
+	}
+	if j.SpectralBands < 0 || j.SpectralBands == 1 || j.SpectralBands > 16 {
+		return fmt.Errorf("workload: spectral_bands = %d (want 0 or 2..16)", j.SpectralBands)
+	}
+	if j.SpectralBands >= 2 && j.SpectralSpread != 0 && j.SpectralSpread < 1 {
+		return fmt.Errorf("workload: spectral_spread = %g (want >= 1)", j.SpectralSpread)
 	}
 	return nil
 }
